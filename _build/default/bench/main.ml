@@ -1,0 +1,209 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   - the experiment harness, which regenerates every table and figure of
+     the paper's evaluation (Figures 12-15, Table 1, the Section 5.1
+     baseline comparison, the Section 5.2 instrumentation control and
+     model-size diagnostics, plus two ablations) with the reproduction's
+     measured values printed beside the paper's reported ones;
+
+   - Bechamel micro-benchmarks of the core algorithms (one Test.make per
+     component), which measure the toolchain itself rather than the
+     simulated machine.
+
+   Usage:
+     dune exec bench/main.exe                 # experiments + micro-benches
+     dune exec bench/main.exe -- experiments  # experiments only
+     dune exec bench/main.exe -- micro        # micro-benches only
+     dune exec bench/main.exe -- fig12 | fig13 | fig14 | fig15 | tab1
+                               | sec51 | overhead | diag | ablation *)
+
+let suite_memo = ref None
+
+let suite () =
+  match !suite_memo with
+  | Some s -> s
+  | None ->
+      let progress line = Printf.eprintf "  [suite] %s\n%!" line in
+      let s = Figures.run_suite ~progress () in
+      suite_memo := Some s;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let bench_jemalloc =
+    let vmem = Vmem.create () in
+    let alloc = Jemalloc_sim.create vmem in
+    Test.make ~name:"jemalloc_sim.malloc+free"
+      (Staged.stage (fun () ->
+           let a = alloc.Alloc_iface.malloc 48 in
+           alloc.Alloc_iface.free a))
+  in
+  let bench_group_alloc =
+    let vmem = Vmem.create () in
+    let fallback = Jemalloc_sim.create vmem in
+    let galloc =
+      Group_alloc.create ~classify:(fun ~size:_ -> Some 0) ~fallback vmem
+    in
+    let iface = Group_alloc.iface galloc in
+    Test.make ~name:"group_alloc.malloc+free"
+      (Staged.stage (fun () ->
+           let a = iface.Alloc_iface.malloc 48 in
+           iface.Alloc_iface.free a))
+  in
+  let bench_cache =
+    let h = Hierarchy.create () in
+    let counter = ref 0 in
+    Test.make ~name:"hierarchy.access"
+      (Staged.stage (fun () ->
+           incr counter;
+           Hierarchy.access h (!counter * 40 land 0xFFFFF) 8))
+  in
+  let bench_affinity_queue =
+    let heap = Heap_model.create () in
+    let objs =
+      Array.init 64 (fun k ->
+          Heap_model.on_alloc heap ~addr:(0x1000 + (k * 64)) ~size:32
+            ~ctx:(k mod 4))
+    in
+    let q =
+      Affinity_queue.create ~affinity_distance:128 ~heap
+        ~on_affinity:(fun _ _ -> ())
+        ()
+    in
+    let counter = ref 0 in
+    Test.make ~name:"affinity_queue.add"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Affinity_queue.add q objs.(!counter land 63) ~bytes:8 : bool)))
+  in
+  let bench_sequitur =
+    Test.make ~name:"sequitur.push(1k, period 25)"
+      (Staged.stage (fun () ->
+           let t = Sequitur.create () in
+           for k = 0 to 999 do
+             Sequitur.push t (k mod 25)
+           done))
+  in
+  let bench_grouping =
+    (* A fixed 40-node graph with 8 hot cliques. *)
+    let g = Affinity_graph.create () in
+    for c = 0 to 7 do
+      for a = 0 to 4 do
+        for b = a + 1 to 4 do
+          for _ = 0 to 9 do
+            Affinity_graph.add_affinity g ((c * 5) + a) ((c * 5) + b)
+          done
+        done;
+        for _ = 0 to 99 do
+          Affinity_graph.add_access g ((c * 5) + a)
+        done
+      done
+    done;
+    Test.make ~name:"grouping.group(40 nodes)"
+      (Staged.stage (fun () ->
+           ignore (Grouping.group g Grouping.default_params : Grouping.t)))
+  in
+  let bench_shadow =
+    let s = Shadow_stack.create () in
+    Test.make ~name:"shadow_stack.push/reduce/pop(depth 12)"
+      (Staged.stage (fun () ->
+           for d = 0 to 11 do
+             Shadow_stack.push s ~func:(string_of_int (d land 3)) ~site:(d * 16)
+           done;
+           ignore (Shadow_stack.reduced s : int array);
+           for _ = 0 to 11 do
+             Shadow_stack.pop s
+           done))
+  in
+  [
+    bench_jemalloc;
+    bench_group_alloc;
+    bench_cache;
+    bench_affinity_queue;
+    bench_sequitur;
+    bench_grouping;
+    bench_shadow;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  print_endline "Micro-benchmarks (Bechamel; ns per run, OLS estimate):";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> Printf.sprintf "%12.1f ns/run" x
+            | _ -> "(no estimate)"
+          in
+          Printf.printf "  %-42s %s\n%!" name ns)
+        analysis)
+    (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () = Figures.print_all ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      run_experiments ();
+      print_newline ();
+      run_micro ()
+  | [ "experiments" ] -> run_experiments ()
+  | [ "trials"; n ] ->
+      (* §5.1-style multi-trial run: distinct input seeds, medians with
+         25th/75th-percentile error bars in Figures 13-15. *)
+      let n = int_of_string n in
+      let seeds = List.init n (fun k -> 2 + (3 * k)) in
+      let progress line = Printf.eprintf "  [suite] %s\n%!" line in
+      let suite = Figures.run_suite ~seeds ~progress () in
+      Table.print (Figures.fig13 suite);
+      print_newline ();
+      Table.print (Figures.fig14 suite);
+      print_newline ();
+      Table.print (Figures.fig15 suite)
+  | [ "micro" ] -> run_micro ()
+  | [ "fig12" ] -> Table.print (Figures.fig12 ())
+  | [ "fig13" ] -> Table.print (Figures.fig13 (suite ()))
+  | [ "fig14" ] -> Table.print (Figures.fig14 (suite ()))
+  | [ "fig15" ] -> Table.print (Figures.fig15 (suite ()))
+  | [ "tab1" ] -> Table.print (Figures.tab1 (suite ()))
+  | [ "sec51" ] -> Table.print (Figures.sec51_baseline ())
+  | [ "overhead" ] -> Table.print (Figures.overhead_control ())
+  | [ "diag" ] -> Table.print (Figures.hds_diagnostics (suite ()))
+  | [ "ablation" ] ->
+      Table.print (Figures.ablation_grouping ());
+      print_newline ();
+      Table.print (Figures.ablation_packing ());
+      print_newline ();
+      Table.print (Figures.ablation_identification ());
+      print_newline ();
+      Table.print (Figures.ablation_backend ());
+      print_newline ();
+      Table.print (Figures.ablation_sampling ())
+  | _ ->
+      prerr_endline
+        "usage: main.exe \
+         [experiments|trials N|micro|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation]";
+      exit 2

@@ -1,0 +1,354 @@
+(* The `halo` command-line tool.
+
+   Mirrors the artefact appendix's workflow (A.5): `halo baseline` and
+   `halo run` measure a workload under the default and optimised
+   configurations, `halo plot`'s role is played by `halo figures` (text
+   tables rather than PDFs), and the A.8 per-benchmark flags
+   (--chunk-size, --max-spare-chunks, --max-groups) are accepted by
+   `halo run`. `halo plan` additionally exposes the optimisation plan
+   itself — groups, selectors, monitored sites, and the Figure 9 affinity
+   graph as graphviz dot. *)
+
+open Cmdliner
+
+let workload_conv =
+  let parse s =
+    match Workloads.find s with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown workload %S (try: %s)" s
+                (String.concat ", " Workloads.names)))
+  in
+  let print ppf w = Format.pp_print_string ppf w.Workload.name in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to operate on.")
+
+let seed_arg =
+  Arg.(value & opt int 2 & info [ "seed" ] ~docv:"N" ~doc:"Measurement input seed.")
+
+let kind_conv =
+  let table =
+    [
+      ("jemalloc", Runner.Jemalloc);
+      ("ptmalloc", Runner.Ptmalloc);
+      ("halo", Runner.Halo);
+      ("noalloc", Runner.Halo_no_alloc);
+      ("hds", Runner.Hds);
+      ("hds-merged", Runner.Hds_merged_packing);
+      ("random", Runner.Random_pools 4);
+    ]
+  in
+  let parse s =
+    match List.assoc_opt s table with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown config %S (one of: %s)" s
+                (String.concat ", " (List.map fst table))))
+  in
+  let print ppf k = Format.pp_print_string ppf (Runner.kind_name k) in
+  Arg.conv (parse, print)
+
+let kind_arg =
+  Arg.(
+    value
+    & opt kind_conv Runner.Halo
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:
+          "Allocator configuration: jemalloc, ptmalloc, halo, noalloc, hds, \
+           hds-merged, or random.")
+
+let chunk_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk-size" ] ~docv:"BYTES" ~doc:"Group-chunk size (A.8 flag).")
+
+let spare_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-spare-chunks" ] ~docv:"N"
+        ~doc:"Spare chunks kept resident when purging (A.8 flag).")
+
+let max_groups_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-groups" ] ~docv:"N" ~doc:"Cap on allocation groups (A.8 flag).")
+
+let affinity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "affinity-distance" ] ~docv:"BYTES"
+        ~doc:"Affinity distance A for profiling (default 128).")
+
+let pipeline_config ~chunk_size ~spare ~max_groups ~affinity =
+  let c = Pipeline.default_config in
+  let allocator =
+    {
+      c.Pipeline.allocator with
+      Group_alloc.chunk_size =
+        Option.value chunk_size ~default:c.Pipeline.allocator.Group_alloc.chunk_size;
+      spare_policy =
+        (match spare with
+        | Some n -> Group_alloc.Keep_spare n
+        | None -> c.Pipeline.allocator.Group_alloc.spare_policy);
+    }
+  in
+  let grouping =
+    match max_groups with
+    | Some n -> { c.Pipeline.grouping with Grouping.max_groups = Some n }
+    | None -> c.Pipeline.grouping
+  in
+  let profiler =
+    match affinity with
+    | Some a -> { c.Pipeline.profiler with Profiler.affinity_distance = a }
+    | None -> c.Pipeline.profiler
+  in
+  { c with Pipeline.allocator; grouping; profiler }
+
+let print_measurement ?baseline (m : Runner.measurement) =
+  Printf.printf "workload:      %s\nconfiguration: %s\n" m.Runner.workload
+    (Runner.kind_name m.Runner.kind);
+  Printf.printf "instructions:  %d\n" m.Runner.instructions;
+  Printf.printf "accesses:      %d\n" m.Runner.counters.Hierarchy.accesses;
+  Printf.printf "L1D misses:    %d\n" m.Runner.counters.Hierarchy.l1_misses;
+  Printf.printf "L2 misses:     %d\n" m.Runner.counters.Hierarchy.l2_misses;
+  Printf.printf "L3 misses:     %d\n" m.Runner.counters.Hierarchy.l3_misses;
+  Printf.printf "DTLB misses:   %d\n" m.Runner.counters.Hierarchy.tlb_misses;
+  Printf.printf "cycles:        %.0f\n" m.Runner.cycles;
+  Printf.printf "sim time:      %.3f ms\n" (m.Runner.seconds *. 1e3);
+  (match baseline with
+  | Some b when b != m ->
+      Printf.printf "vs jemalloc:   %s misses, %s time\n"
+        (Table.fmt_pct (Runner.miss_reduction_vs ~baseline:b m))
+        (Table.fmt_pct (Runner.speedup_vs ~baseline:b m))
+  | _ -> ());
+  (match m.Runner.halo with
+  | Some h ->
+      Printf.printf
+        "halo:          %d groups, %d monitored sites, %d graph nodes\n"
+        h.Runner.groups h.Runner.monitored_sites h.Runner.graph_nodes;
+      Printf.printf
+        "allocator:     %d grouped mallocs, %d chunks carved, %d reuses\n"
+        h.Runner.grouped_mallocs h.Runner.chunks_carved h.Runner.chunk_reuses;
+      Printf.printf "fragmentation: %.2f%% (%s at peak)\n"
+        (100.0 *. h.Runner.frag.Group_alloc.frag_pct)
+        (Table.fmt_bytes h.Runner.frag.Group_alloc.frag_bytes)
+  | None -> ());
+  match m.Runner.hds with
+  | Some h ->
+      Printf.printf
+        "hds:           %d pools from %d candidate streams (%d selected, %.0f%% \
+         coverage, trace %d)\n"
+        h.Runner.pools h.Runner.stream_count h.Runner.selected_streams
+        (100.0 *. h.Runner.hds_coverage)
+        h.Runner.trace_length
+  | None -> ()
+
+let run_cmd =
+  let run w kind seed chunk_size spare max_groups affinity json_out =
+    let pc = pipeline_config ~chunk_size ~spare ~max_groups ~affinity in
+    let baseline = Runner.run ~seed w Runner.Jemalloc in
+    let m =
+      if kind = Runner.Jemalloc then baseline
+      else Runner.run ~seed ~pipeline_config:pc w kind
+    in
+    print_measurement ~baseline m;
+    match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Json.to_channel oc (Runner.to_json ~baseline m);
+        close_out oc;
+        Printf.printf "data points written to %s\n" path
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the run's data points as JSON (A.6 workflow).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Measure a workload under a configuration.")
+    Term.(
+      const run $ workload_arg $ kind_arg $ seed_arg $ chunk_size_arg $ spare_arg
+      $ max_groups_arg $ affinity_arg $ json_arg)
+
+let baseline_cmd =
+  let run w seed =
+    print_measurement (Runner.run ~seed w Runner.Jemalloc)
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Measure a workload under plain jemalloc.")
+    Term.(const run $ workload_arg $ seed_arg)
+
+let plan_cmd =
+  let run w dot_file affinity =
+    let pc =
+      pipeline_config ~chunk_size:None ~spare:None ~max_groups:None ~affinity
+    in
+    let config =
+      {
+        pc with
+        Pipeline.grouping = w.Workload.halo_grouping pc.Pipeline.grouping;
+        allocator = w.Workload.halo_allocator pc.Pipeline.allocator;
+      }
+    in
+    let program = w.Workload.make Workload.Test in
+    let plan = Pipeline.plan ~config program in
+    print_string (Pipeline.describe plan ~site_label:(Ir.site_label program));
+    match dot_file with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Pipeline.graph_dot plan ~site_label:(Ir.site_label program));
+        close_out oc;
+        Printf.printf "affinity graph written to %s\n" path
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the grouped affinity graph (Figure 9 analog) as dot.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show the HALO optimisation plan for a workload.")
+    Term.(const run $ workload_arg $ dot_arg $ affinity_arg)
+
+let sweep_cmd =
+  let run distances =
+    let distances = match distances with [] -> None | l -> Some l in
+    Table.print (Figures.fig12 ?distances ())
+  in
+  let distances_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "distances" ] ~docv:"A,B,..."
+          ~doc:"Affinity distances to sweep (default 8..131072, powers of 2).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Figure 12: omnetpp execution time across affinity distances.")
+    Term.(const run $ distances_arg)
+
+let figures_cmd =
+  let run which =
+    match which with
+    | "all" -> Figures.print_all ()
+    | "fig12" -> Table.print (Figures.fig12 ())
+    | "sec51" -> Table.print (Figures.sec51_baseline ())
+    | "overhead" -> Table.print (Figures.overhead_control ())
+    | "ablation" ->
+        Table.print (Figures.ablation_grouping ());
+        Table.print (Figures.ablation_packing ());
+        Table.print (Figures.ablation_identification ());
+        Table.print (Figures.ablation_backend ());
+        Table.print (Figures.ablation_sampling ())
+    | "fig13" | "fig14" | "fig15" | "tab1" | "diag" ->
+        let suite = Figures.run_suite () in
+        let t =
+          match which with
+          | "fig13" -> Figures.fig13 suite
+          | "fig14" -> Figures.fig14 suite
+          | "fig15" -> Figures.fig15 suite
+          | "tab1" -> Figures.tab1 suite
+          | _ -> Figures.hds_diagnostics suite
+        in
+        Table.print t
+    | other ->
+        Printf.eprintf "unknown figure %S\n" other;
+        exit 2
+  in
+  let which_arg =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"FIGURE"
+          ~doc:
+            "One of: all, fig12, fig13, fig14, fig15, tab1, sec51, overhead, \
+             diag, ablation.")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ which_arg)
+
+let contexts_cmd =
+  let run w =
+    let program = w.Workload.make Workload.Test in
+    let r = Profiler.profile program in
+    let label = Ir.site_label program in
+    let graph = r.Profiler.graph in
+    Printf.printf
+      "%d contexts observed; %d tracked allocations; %d macro accesses\n\n"
+      (Context.count r.Profiler.contexts)
+      r.Profiler.tracked_allocs r.Profiler.total_accesses;
+    Context.fold r.Profiler.contexts ~init:() ~f:(fun () id _sites ->
+        Printf.printf "ctx %3d  %8d accesses%s  %s\n" id
+          (Affinity_graph.node_accesses r.Profiler.raw_graph id)
+          (if Affinity_graph.node_accesses graph id > 0 then "" else " (filtered)")
+          (Context.label r.Profiler.contexts label id))
+  in
+  Cmd.v
+    (Cmd.info "contexts"
+       ~doc:"Profile a workload and list its allocation contexts.")
+    Term.(const run $ workload_arg)
+
+let disasm_cmd =
+  let run w scale_name stats =
+    let scale =
+      match scale_name with
+      | "test" -> Workload.Test
+      | "train" -> Workload.Train
+      | _ -> Workload.Ref
+    in
+    let program = w.Workload.make scale in
+    if stats then print_string (Ir_analysis.stats_to_string (Ir_analysis.analyse program))
+    else print_string (Ir_print.program_to_string program)
+  in
+  let scale_arg =
+    Arg.(
+      value & opt string "test"
+      & info [ "scale" ] ~docv:"SCALE" ~doc:"test, train or ref.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print call-graph statistics instead of the IR.")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Pretty-print a workload's IR with site addresses.")
+    Term.(const run $ workload_arg $ scale_arg $ stats_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w -> Printf.printf "%-10s %s\n" w.Workload.name w.Workload.description)
+      Workloads.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available workloads.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "halo" ~version:"1.0.0"
+      ~doc:"HALO post-link heap-layout optimisation (simulated reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; baseline_cmd; plan_cmd; sweep_cmd; figures_cmd; disasm_cmd;
+            contexts_cmd; list_cmd;
+          ]))

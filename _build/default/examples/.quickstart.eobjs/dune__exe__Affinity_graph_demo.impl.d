@@ -1,0 +1,1 @@
+examples/affinity_graph_demo.ml: Affinity_graph Array Context Grouping Ir List Pipeline Printf Profiler Sys Workload Workloads

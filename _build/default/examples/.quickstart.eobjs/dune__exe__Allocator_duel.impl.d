@@ -1,0 +1,1 @@
+examples/allocator_duel.ml: Alloc_iface Group_alloc Jemalloc_sim List Printf Ptmalloc_sim Vmem

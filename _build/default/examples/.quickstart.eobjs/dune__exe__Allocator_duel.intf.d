@@ -1,0 +1,1 @@
+examples/allocator_duel.mli:

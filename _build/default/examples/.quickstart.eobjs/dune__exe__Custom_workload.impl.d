@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Dsl Group_alloc Hierarchy Interp Ir Jemalloc_sim Pipeline Printf Table Timing Vmem

@@ -1,0 +1,1 @@
+examples/fragmentation_study.ml: Group_alloc Hierarchy Interp Jemalloc_sim Option Pipeline Printf Table Vmem Workload Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc_iface Exec_env Group_alloc Hierarchy Interp Ir Jemalloc_sim Option Pipeline Printf Table Timing Vmem Workload Workloads

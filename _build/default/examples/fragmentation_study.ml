@@ -1,0 +1,62 @@
+(* Fragmentation study: the Table 1 pathology and the §6 fix.
+
+   Runs the leela workload (per-search tree teardown with pinned nodes —
+   the paper's worst fragmentation case at 99.99%) under HALO with the
+   paper's bump-only pools and with the future-work sharded-free-list
+   backend, printing fragmentation at peak alongside the cache effect.
+   Memory checking is enabled throughout: every access is validated
+   against the simulated address space.
+
+     dune exec examples/fragmentation_study.exe *)
+
+let run backend =
+  let w = Option.get (Workloads.find "leela") in
+  let config =
+    {
+      Pipeline.default_config with
+      Pipeline.allocator =
+        { Pipeline.default_config.Pipeline.allocator with Group_alloc.backend };
+    }
+  in
+  let plan = Pipeline.plan ~config (w.Workload.make Workload.Test) in
+  let vmem = Vmem.create () in
+  let fallback = Jemalloc_sim.create vmem in
+  let rt = Pipeline.instantiate plan ~fallback vmem in
+  let hier = Hierarchy.create () in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_access = (fun a s _ -> Hierarchy.access hier a s);
+    }
+  in
+  let interp =
+    Interp.create ~seed:2 ~hooks ~patches:rt.Pipeline.patches ~env:rt.Pipeline.env
+      ~memcheck:vmem
+      ~program:(w.Workload.make Workload.Ref)
+      ~alloc:(Group_alloc.iface rt.Pipeline.galloc) ()
+  in
+  ignore (Interp.run interp : int);
+  let frag = Group_alloc.frag_stats rt.Pipeline.galloc in
+  let misses = (Hierarchy.counters hier).Hierarchy.l1_misses in
+  (frag, misses, Group_alloc.freelist_reuses rt.Pipeline.galloc)
+
+let () =
+  print_endline
+    "leela under HALO: fragmentation of grouped objects at peak memory usage\n";
+  let show label (frag, misses, reuses) =
+    Printf.printf
+      "%-22s frag %6.2f%%  (%s wasted of %s resident)  L1D misses %d  freelist \
+       reuses %d\n"
+      label
+      (100.0 *. frag.Group_alloc.frag_pct)
+      (Table.fmt_bytes frag.Group_alloc.frag_bytes)
+      (Table.fmt_bytes frag.Group_alloc.peak_resident)
+      misses reuses
+  in
+  show "bump-only (paper):" (run Group_alloc.Bump_only);
+  show "sharded (sec. 6):" (run Group_alloc.Sharded_free_lists);
+  print_endline
+    "\nBump-only pools reclaim space only when a whole chunk empties, so the\n\
+     pinned node each search leaves behind strands its chunk (Table 1's\n\
+     99.99%). Sharded free lists reuse freed regions in place — the paper's\n\
+     proposed future work — and collapse the waste without losing locality."

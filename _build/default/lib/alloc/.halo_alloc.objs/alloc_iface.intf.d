@@ -1,0 +1,1 @@
+lib/alloc/alloc_iface.mli: Addr Lazy

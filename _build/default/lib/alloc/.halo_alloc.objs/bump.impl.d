@@ -1,0 +1,1 @@
+lib/alloc/bump.ml: Addr Alloc_iface Lazy Option Vmem

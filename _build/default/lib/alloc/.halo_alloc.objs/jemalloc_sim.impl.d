@@ -1,0 +1,1 @@
+lib/alloc/jemalloc_sim.ml: Addr Alloc_iface Array Hashtbl Lazy Option Size_class Vmem

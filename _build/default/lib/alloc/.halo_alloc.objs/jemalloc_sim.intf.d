@@ -1,0 +1,1 @@
+lib/alloc/jemalloc_sim.mli: Alloc_iface Vmem

@@ -1,0 +1,1 @@
+lib/alloc/ptmalloc_sim.ml: Addr Alloc_iface Int Lazy Map Option Set Vmem

@@ -1,0 +1,1 @@
+lib/alloc/ptmalloc_sim.mli: Alloc_iface Vmem

@@ -1,0 +1,1 @@
+lib/alloc/random_pool.ml: Addr Alloc_iface Array Lazy Option Printf Rng Vmem

@@ -1,0 +1,1 @@
+lib/alloc/random_pool.mli: Alloc_iface Rng Vmem

@@ -1,0 +1,95 @@
+type stats = {
+  mallocs : int;
+  frees : int;
+  live_bytes : int;
+  peak_live_bytes : int;
+  forwarded : int;
+}
+
+type t = {
+  name : string;
+  malloc : int -> Addr.t;
+  free : Addr.t -> unit;
+  realloc : Addr.t -> int -> Addr.t;
+  usable_size : Addr.t -> int option;
+  stats : unit -> stats;
+}
+
+let empty_stats =
+  { mallocs = 0; frees = 0; live_bytes = 0; peak_live_bytes = 0; forwarded = 0 }
+
+module Live_table = struct
+  type table = {
+    live : (Addr.t, int * int) Hashtbl.t; (* addr -> requested, reserved *)
+    mutable mallocs : int;
+    mutable frees : int;
+    mutable live_bytes : int;
+    mutable peak_live_bytes : int;
+    mutable forwarded : int;
+  }
+
+  let create () =
+    {
+      live = Hashtbl.create 1024;
+      mallocs = 0;
+      frees = 0;
+      live_bytes = 0;
+      peak_live_bytes = 0;
+      forwarded = 0;
+    }
+
+  let on_malloc t addr ~requested ~reserved =
+    if addr = Addr.null then failwith "allocator returned the null address";
+    if Hashtbl.mem t.live addr then
+      failwith
+        (Printf.sprintf "allocator returned an already-live address %s"
+           (Addr.to_hex addr));
+    Hashtbl.replace t.live addr (requested, reserved);
+    t.mallocs <- t.mallocs + 1;
+    t.live_bytes <- t.live_bytes + requested;
+    if t.live_bytes > t.peak_live_bytes then t.peak_live_bytes <- t.live_bytes
+
+  let on_free t addr =
+    match Hashtbl.find_opt t.live addr with
+    | None ->
+        failwith
+          (Printf.sprintf "free of unknown or already-freed address %s"
+             (Addr.to_hex addr))
+    | Some (requested, reserved) ->
+        Hashtbl.remove t.live addr;
+        t.frees <- t.frees + 1;
+        t.live_bytes <- t.live_bytes - requested;
+        (requested, reserved)
+
+  let find t addr = Hashtbl.find_opt t.live addr
+  let count_forwarded t = t.forwarded <- t.forwarded + 1
+
+  let stats t =
+    {
+      mallocs = t.mallocs;
+      frees = t.frees;
+      live_bytes = t.live_bytes;
+      peak_live_bytes = t.peak_live_bytes;
+      forwarded = t.forwarded;
+    }
+
+  let live_count t = Hashtbl.length t.live
+  let iter_live t f = Hashtbl.iter f t.live
+end
+
+let default_realloc self reserved_size old n =
+  let self = Lazy.force self in
+  if old = Addr.null then self.malloc n
+  else
+    match reserved_size old with
+    | None ->
+        failwith
+          (Printf.sprintf "realloc of unknown address %s" (Addr.to_hex old))
+    | Some reserved when n <= reserved && n > 0 ->
+        (* Shrinking (or growing within the reserved block) keeps the block
+           in place, as real allocators do for same-size-class reallocs. *)
+        old
+    | Some _ ->
+        let fresh = self.malloc n in
+        self.free old;
+        fresh

@@ -1,0 +1,11 @@
+(** A trivial bump ("arena") allocator.
+
+    Satisfies every request by advancing a cursor through large slabs mapped
+    from {!Vmem}; [free] only validates and accounts (memory is reclaimed
+    when the whole arena is dropped). Used as a building block in tests and
+    as the simplest possible placement policy: objects are laid out exactly
+    in allocation order, regardless of size. *)
+
+val create : ?slab_size:int -> ?min_align:int -> Vmem.t -> Alloc_iface.t
+(** [create vmem] builds a bump allocator drawing [slab_size] (default
+    1 MiB) slabs. All blocks are aligned to [min_align] (default 8). *)

@@ -1,0 +1,95 @@
+type pool = { mutable cursor : Addr.t; mutable limit : Addr.t }
+
+type state = {
+  vmem : Vmem.t;
+  rng : Rng.t;
+  fallback : Alloc_iface.t;
+  chunk_size : int;
+  max_object : int;
+  pools : pool array;
+  table : Alloc_iface.Live_table.table;
+}
+
+let pool_malloc st pool n =
+  let reserved = Addr.align_up (max n 1) 8 in
+  let p = st.pools.(pool) in
+  let base = Addr.align_up p.cursor 8 in
+  if base + reserved > p.limit then begin
+    let chunk = Vmem.mmap st.vmem ~size:st.chunk_size ~align:Vmem.page_size in
+    p.cursor <- chunk;
+    p.limit <- chunk + st.chunk_size
+  end;
+  let base = Addr.align_up p.cursor 8 in
+  p.cursor <- base + reserved;
+  Alloc_iface.Live_table.on_malloc st.table base ~requested:n ~reserved;
+  base
+
+let malloc st n =
+  if n < 0 then invalid_arg "Random_pool.malloc: negative size";
+  if n >= st.max_object then begin
+    Alloc_iface.Live_table.count_forwarded st.table;
+    st.fallback.Alloc_iface.malloc n
+  end
+  else pool_malloc st (Rng.int st.rng (Array.length st.pools)) n
+
+let free st addr =
+  if addr <> Addr.null then
+    if Option.is_some (Alloc_iface.Live_table.find st.table addr) then
+      ignore (Alloc_iface.Live_table.on_free st.table addr)
+    else st.fallback.Alloc_iface.free addr
+
+let create ?(pools = 4) ?(chunk_size = 1 lsl 20) ?max_object ~rng ~fallback vmem =
+  if pools <= 0 then invalid_arg "Random_pool.create: need at least one pool";
+  let max_object = Option.value max_object ~default:Vmem.page_size in
+  let st =
+    {
+      vmem;
+      rng;
+      fallback;
+      chunk_size;
+      max_object;
+      pools = Array.init pools (fun _ -> { cursor = Addr.null; limit = Addr.null });
+      table = Alloc_iface.Live_table.create ();
+    }
+  in
+  let usable_size addr =
+    match Alloc_iface.Live_table.find st.table addr with
+    | Some (_, reserved) -> Some reserved
+    | None -> st.fallback.Alloc_iface.usable_size addr
+  in
+  let rec self =
+    lazy
+      {
+        Alloc_iface.name = Printf.sprintf "random-pool-%d" pools;
+        malloc = (fun n -> malloc st n);
+        free = (fun a -> free st a);
+        realloc =
+          (fun old n ->
+            let self = Lazy.force self in
+            if old = Addr.null then self.Alloc_iface.malloc n
+            else
+              match usable_size old with
+              | Some reserved when n <= reserved && n > 0 -> old
+              | Some _ ->
+                  let fresh = self.Alloc_iface.malloc n in
+                  self.Alloc_iface.free old;
+                  fresh
+              | None -> failwith "Random_pool.realloc: unknown address");
+        usable_size;
+        stats =
+          (fun () ->
+            (* Fold the fallback's traffic into our own so callers see the
+               whole program's allocation activity. *)
+            let own = Alloc_iface.Live_table.stats st.table in
+            let fb = st.fallback.Alloc_iface.stats () in
+            {
+              own with
+              Alloc_iface.mallocs = own.Alloc_iface.mallocs + fb.Alloc_iface.mallocs;
+              frees = own.Alloc_iface.frees + fb.Alloc_iface.frees;
+              live_bytes = own.Alloc_iface.live_bytes + fb.Alloc_iface.live_bytes;
+              peak_live_bytes =
+                own.Alloc_iface.peak_live_bytes + fb.Alloc_iface.peak_live_bytes;
+            });
+      }
+  in
+  Lazy.force self

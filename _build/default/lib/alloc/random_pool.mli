@@ -1,0 +1,25 @@
+(** The Figure 15 strawman: random pool assignment.
+
+    §5.2 probes which benchmarks are sensitive to small-object placement at
+    all by running them under "an allocator that randomly allocates objects
+    smaller than the page size from four 'groups', much in the same way that
+    a variant of HALO with an extremely poor grouping algorithm might".
+    Larger objects are forwarded to the default allocator.
+
+    Each pool is a bump-allocated sequence of chunks, so the mechanism is
+    identical to HALO's specialised allocator — only the grouping decision
+    (uniformly random) differs. Benchmarks whose behaviour this allocator
+    visibly changes are the ones HALO can help or hurt. *)
+
+val create :
+  ?pools:int ->
+  ?chunk_size:int ->
+  ?max_object:int ->
+  rng:Rng.t ->
+  fallback:Alloc_iface.t ->
+  Vmem.t ->
+  Alloc_iface.t
+(** [create ~rng ~fallback vmem] builds the random-pool allocator with
+    [pools] pools (default 4), [chunk_size] chunks (default 1 MiB), and
+    forwarding of requests larger than [max_object] (default one page) to
+    [fallback]. *)

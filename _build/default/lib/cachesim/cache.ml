@@ -1,0 +1,136 @@
+type t = {
+  name : string;
+  line_bytes : int;
+  line_bits : int;
+  sets : int;
+  assoc : int;
+  (* tags.(set * assoc + way); recency.(set * assoc + way) — larger is more
+     recently used. A global stamp gives O(assoc) LRU with no list
+     shuffling. *)
+  tags : int array;
+  recency : int array;
+  valid : bool array;
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let log2_exact n =
+  if not (Addr.is_power_of_two n) then invalid_arg "Cache: not a power of two";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~name ~size_bytes ~assoc ~line_bytes =
+  if assoc <= 0 then invalid_arg "Cache.create: non-positive associativity";
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by assoc * line";
+  let sets = size_bytes / (assoc * line_bytes) in
+  if sets <= 0 then invalid_arg "Cache.create: zero sets";
+  {
+    name;
+    line_bytes;
+    line_bits = log2_exact line_bytes;
+    sets;
+    assoc;
+    tags = Array.make (sets * assoc) 0;
+    recency = Array.make (sets * assoc) 0;
+    valid = Array.make (sets * assoc) false;
+    stamp = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  let line = addr lsr t.line_bits in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let base = set * t.assoc in
+  t.stamp <- t.stamp + 1;
+  let found = ref (-1) in
+  let victim = ref base in
+  let oldest = ref max_int in
+  for w = base to base + t.assoc - 1 do
+    if !found < 0 then begin
+      if t.valid.(w) && t.tags.(w) = tag then found := w
+      else if (not t.valid.(w)) && !oldest > min_int then begin
+        (* Prefer an invalid way as the victim. *)
+        victim := w;
+        oldest := min_int
+      end
+      else if t.valid.(w) && t.recency.(w) < !oldest then begin
+        victim := w;
+        oldest := t.recency.(w)
+      end
+    end
+  done;
+  if !found >= 0 then begin
+    t.recency.(!found) <- t.stamp;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.tags.(!victim) <- tag;
+    t.valid.(!victim) <- true;
+    t.recency.(!victim) <- t.stamp;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let locate t addr =
+  let line = addr lsr t.line_bits in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  (set, tag)
+
+let contains t addr =
+  let set, tag = locate t addr in
+  let base = set * t.assoc in
+  let rec go w =
+    if w >= base + t.assoc then false
+    else (t.valid.(w) && t.tags.(w) = tag) || go (w + 1)
+  in
+  go base
+
+let fill t addr =
+  let set, tag = locate t addr in
+  let base = set * t.assoc in
+  t.stamp <- t.stamp + 1;
+  let found = ref (-1) in
+  let victim = ref base in
+  let oldest = ref max_int in
+  for w = base to base + t.assoc - 1 do
+    if !found < 0 then begin
+      if t.valid.(w) && t.tags.(w) = tag then found := w
+      else if (not t.valid.(w)) && !oldest > min_int then begin
+        victim := w;
+        oldest := min_int
+      end
+      else if t.valid.(w) && t.recency.(w) < !oldest then begin
+        victim := w;
+        oldest := t.recency.(w)
+      end
+    end
+  done;
+  if !found >= 0 then t.recency.(!found) <- t.stamp
+  else begin
+    t.tags.(!victim) <- tag;
+    t.valid.(!victim) <- true;
+    t.recency.(!victim) <- t.stamp
+  end
+
+let line_bytes t = t.line_bytes
+let sets t = t.sets
+let assoc t = t.assoc
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.fill t.valid 0 (Array.length t.valid) false;
+  reset_counters t
+
+let name t = t.name

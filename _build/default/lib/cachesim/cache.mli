@@ -1,0 +1,45 @@
+(** A single set-associative cache level with true-LRU replacement.
+
+    The reproduction's stand-in for the hardware counters used in §5:
+    every simulated load/store is pushed through a model of the Xeon
+    W-2195's cache hierarchy, and "L1 data-cache misses" in the reproduced
+    figures are misses counted here. Physical indexing, inclusive write-
+    allocate behaviour and LRU are sufficient: the paper's effect operates
+    through line-granularity spatial locality, not replacement-policy
+    subtleties. *)
+
+type t
+
+val create : name:string -> size_bytes:int -> assoc:int -> line_bytes:int -> t
+(** [create ~name ~size_bytes ~assoc ~line_bytes]. [size_bytes] must be
+    divisible by [assoc * line_bytes] and [line_bytes] a power of two. *)
+
+val access : t -> Addr.t -> bool
+(** [access t addr] looks up (and on miss, fills) the line containing
+    [addr]. Returns [true] on hit. One call covers one line; callers split
+    straddling accesses (see {!Hierarchy.access}). *)
+
+val name : t -> string
+val line_bytes : t -> int
+val sets : t -> int
+val assoc : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+
+val reset_counters : t -> unit
+(** Zero the hit/miss counters without disturbing cache contents — used to
+    exclude warm-up phases from measurement, like discarding the first trial
+    in §5.1. *)
+
+val fill : t -> Addr.t -> unit
+(** Insert the line containing [addr] without touching the hit/miss
+    counters (prefetch fill). The line becomes most-recently-used; if it
+    is already present only its recency updates. *)
+
+val contains : t -> Addr.t -> bool
+(** Probe without side effects (no fill, no counter, no LRU update). *)
+
+val flush : t -> unit
+(** Invalidate every line and zero the counters. *)

@@ -1,0 +1,118 @@
+type config = {
+  l1_size : int;
+  l1_assoc : int;
+  l2_size : int;
+  l2_assoc : int;
+  l3_size : int;
+  l3_assoc : int;
+  line_bytes : int;
+  tlb_entries : int;
+  tlb_assoc : int;
+  prefetch : bool;
+}
+
+let xeon_w2195 =
+  {
+    l1_size = 32 * 1024;
+    l1_assoc = 8;
+    l2_size = 1024 * 1024;
+    l2_assoc = 16;
+    l3_size = 25344 * 1024;
+    l3_assoc = 11;
+    line_bytes = 64;
+    tlb_entries = 64;
+    tlb_assoc = 4;
+    prefetch = false;
+  }
+
+type counters = {
+  accesses : int;
+  l1_misses : int;
+  l2_misses : int;
+  l3_misses : int;
+  tlb_misses : int;
+  prefetches : int;
+}
+
+type t = {
+  cfg : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  tlb : Tlb.t;
+  mutable accesses : int;
+  mutable prefetches : int;
+}
+
+let create ?(config = xeon_w2195) () =
+  {
+    cfg = config;
+    l1 =
+      Cache.create ~name:"L1D" ~size_bytes:config.l1_size ~assoc:config.l1_assoc
+        ~line_bytes:config.line_bytes;
+    l2 =
+      Cache.create ~name:"L2" ~size_bytes:config.l2_size ~assoc:config.l2_assoc
+        ~line_bytes:config.line_bytes;
+    l3 =
+      Cache.create ~name:"L3" ~size_bytes:config.l3_size ~assoc:config.l3_assoc
+        ~line_bytes:config.line_bytes;
+    tlb = Tlb.create ~entries:config.tlb_entries ~assoc:config.tlb_assoc ();
+    accesses = 0;
+    prefetches = 0;
+  }
+
+let access t addr size =
+  if size <= 0 then invalid_arg "Hierarchy.access: non-positive size";
+  t.accesses <- t.accesses + 1;
+  let line = t.cfg.line_bytes in
+  let first = Addr.align_down addr line in
+  let last = Addr.align_down (addr + size - 1) line in
+  let a = ref first in
+  while !a <= last do
+    if not (Cache.access t.l1 !a) then begin
+      if not (Cache.access t.l2 !a) then ignore (Cache.access t.l3 !a : bool);
+      if t.cfg.prefetch then begin
+        (* Next-line prefetch: fill L1/L2 without charging a miss. *)
+        let nxt = !a + line in
+        if not (Cache.contains t.l1 nxt) then begin
+          Cache.fill t.l1 nxt;
+          Cache.fill t.l2 nxt;
+          t.prefetches <- t.prefetches + 1
+        end
+      end
+    end;
+    a := !a + line
+  done;
+  let page = Tlb.page_bytes t.tlb in
+  let firstp = Addr.align_down addr page in
+  let lastp = Addr.align_down (addr + size - 1) page in
+  let p = ref firstp in
+  while !p <= lastp do
+    ignore (Tlb.access t.tlb !p : bool);
+    p := !p + page
+  done
+
+let counters t =
+  {
+    accesses = t.accesses;
+    l1_misses = Cache.misses t.l1;
+    l2_misses = Cache.misses t.l2;
+    l3_misses = Cache.misses t.l3;
+    tlb_misses = Tlb.misses t.tlb;
+    prefetches = t.prefetches;
+  }
+
+let reset_counters t =
+  t.accesses <- 0;
+  t.prefetches <- 0;
+  Cache.reset_counters t.l1;
+  Cache.reset_counters t.l2;
+  Cache.reset_counters t.l3;
+  Tlb.reset_counters t.tlb
+
+let config t = t.cfg
+
+let pp_counters ppf (c : counters) =
+  Format.fprintf ppf
+    "accesses=%d l1_miss=%d l2_miss=%d l3_miss=%d tlb_miss=%d prefetch=%d"
+    c.accesses c.l1_misses c.l2_misses c.l3_misses c.tlb_misses c.prefetches

@@ -1,0 +1,46 @@
+type model = {
+  base_cpi : float;
+  l2_latency : float;
+  l3_latency : float;
+  mem_latency : float;
+  tlb_latency : float;
+  overlap : float;
+  ghz : float;
+}
+
+let skylake_sp =
+  {
+    base_cpi = 0.35;
+    l2_latency = 10.0;
+    l3_latency = 40.0;
+    mem_latency = 200.0;
+    tlb_latency = 25.0;
+    overlap = 0.4;
+    ghz = 2.3;
+  }
+
+let cycles m ~instructions (c : Hierarchy.counters) =
+  if m.overlap < 0.0 || m.overlap >= 1.0 then
+    invalid_arg "Timing.cycles: overlap must be in [0, 1)";
+  let exposed = 1.0 -. m.overlap in
+  let f = float_of_int in
+  (* Each miss at level N is *additionally* delayed by the next level's
+     latency: an L3 miss pays l2 + l3 + mem beyond the L1 hit path, which
+     the summation below produces because l3_misses is a subset of
+     l2_misses is a subset of l1_misses. *)
+  (m.base_cpi *. f instructions)
+  +. exposed
+     *. ((m.l2_latency *. f c.Hierarchy.l1_misses)
+        +. (m.l3_latency *. f c.Hierarchy.l2_misses)
+        +. (m.mem_latency *. f c.Hierarchy.l3_misses)
+        +. (m.tlb_latency *. f c.Hierarchy.tlb_misses))
+
+let seconds m ~instructions c = cycles m ~instructions c /. (m.ghz *. 1e9)
+
+let speedup ~baseline ~optimised =
+  if baseline <= 0.0 then invalid_arg "Timing.speedup: non-positive baseline";
+  (baseline -. optimised) /. baseline
+
+let miss_reduction ~baseline ~optimised =
+  if baseline <= 0 then 0.0
+  else float_of_int (baseline - optimised) /. float_of_int baseline

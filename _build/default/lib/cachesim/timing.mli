@@ -1,0 +1,39 @@
+(** A latency-based timing model.
+
+    The paper measures wall-clock execution time on real hardware; the
+    reproduction derives a simulated execution time from the interpreter's
+    instruction count and the hierarchy's miss counters using published
+    Skylake-SP load-to-use latencies. The model is deliberately simple — a
+    fixed base CPI plus additive miss penalties — because the reproduced
+    claims are relative (speedup of one layout over another on the same
+    workload), for which a first-order model preserves ordering and rough
+    magnitude. An out-of-order core hides part of each miss; the [overlap]
+    factor discounts penalties accordingly. *)
+
+type model = {
+  base_cpi : float;  (** Cycles per instruction when every access hits L1. *)
+  l2_latency : float;  (** Extra cycles for an L1 miss served by L2. *)
+  l3_latency : float;  (** Extra cycles for an L2 miss served by L3. *)
+  mem_latency : float;  (** Extra cycles for an L3 miss served by DRAM. *)
+  tlb_latency : float;  (** Page-walk cycles for a DTLB miss. *)
+  overlap : float;
+      (** Fraction of each penalty hidden by out-of-order overlap, in
+          \[0, 1). *)
+  ghz : float;  (** Clock, for converting cycles to seconds. *)
+}
+
+val skylake_sp : model
+(** Defaults for the Xeon W-2195 testbed. *)
+
+val cycles : model -> instructions:int -> Hierarchy.counters -> float
+(** Total simulated core cycles for a run. *)
+
+val seconds : model -> instructions:int -> Hierarchy.counters -> float
+
+val speedup : baseline:float -> optimised:float -> float
+(** [speedup ~baseline ~optimised] as reported in the paper's Figure 14:
+    the fraction by which execution time improved, e.g. [0.28] for a
+    28% speedup ([(baseline - optimised) / baseline]). *)
+
+val miss_reduction : baseline:int -> optimised:int -> float
+(** Figure 13's metric: fractional reduction in (L1D) misses. *)

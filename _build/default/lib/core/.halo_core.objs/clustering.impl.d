@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Affinity_graph Array Grouping Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/clustering.mli: Affinity_graph Context Grouping

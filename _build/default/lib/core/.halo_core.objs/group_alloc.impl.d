@@ -1,0 +1,1 @@
+lib/core/group_alloc.ml: Addr Alloc_iface Hashtbl List Option Vmem

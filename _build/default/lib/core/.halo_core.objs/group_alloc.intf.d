@@ -1,0 +1,1 @@
+lib/core/group_alloc.mli: Alloc_iface Vmem

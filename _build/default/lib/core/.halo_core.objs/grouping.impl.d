@@ -1,0 +1,1 @@
+lib/core/grouping.ml: Affinity_graph Array Context Hashtbl List Score

@@ -1,0 +1,1 @@
+lib/core/identify.ml: Array Context Grouping Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/core/identify.mli: Context Grouping Ir

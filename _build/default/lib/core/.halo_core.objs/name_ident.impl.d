@@ -1,0 +1,1 @@
+lib/core/name_ident.ml: Affinity_graph Array Context Exec_env Grouping Hashtbl List Profiler

@@ -1,0 +1,1 @@
+lib/core/name_ident.mli: Exec_env Grouping Ir Profiler

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Affinity_graph Array Buffer Context Dot Exec_env Group_alloc Grouping Identify Ir List Option Printf Profiler Rewrite String

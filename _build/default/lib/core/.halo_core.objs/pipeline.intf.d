@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Affinity_graph Alloc_iface Exec_env Group_alloc Grouping Identify Ir Profiler Rewrite Vmem

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Bitset Hashtbl Identify Ir List Printf

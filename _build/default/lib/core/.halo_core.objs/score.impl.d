@@ -1,0 +1,1 @@
+lib/core/score.ml: Affinity_graph Float Hashtbl List

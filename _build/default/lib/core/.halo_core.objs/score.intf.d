@@ -1,0 +1,1 @@
+lib/core/score.mli: Affinity_graph Context

@@ -1,0 +1,277 @@
+(* Loop edges are ignored throughout this module: a (v,v) edge crosses no
+   cut and joins no two communities, so none of these standard algorithms
+   has a use for it. (Figure 6's own score function is the one that treats
+   loops specially — that is part of what the ablation compares.) *)
+
+let nonloop_edges g =
+  List.filter (fun (x, y, _) -> x <> y) (Affinity_graph.edges g)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy modularity (CNM-style agglomeration).                        *)
+(* ------------------------------------------------------------------ *)
+
+let modularity g =
+  let edges = nonloop_edges g in
+  let nodes = Affinity_graph.nodes g in
+  let two_m =
+    2 * List.fold_left (fun acc (_, _, w) -> acc + w) 0 edges
+  in
+  if two_m = 0 then List.map (fun n -> [ n ]) nodes
+  else begin
+    let comm = Hashtbl.create 64 in
+    (* node -> community id; community id -> members, strength *)
+    let members = Hashtbl.create 64 in
+    let strength = Hashtbl.create 64 in
+    List.iteri
+      (fun idx n ->
+        Hashtbl.replace comm n idx;
+        Hashtbl.replace members idx [ n ];
+        Hashtbl.replace strength idx 0)
+      nodes;
+    List.iter
+      (fun (x, y, w) ->
+        let cx = Hashtbl.find comm x and cy = Hashtbl.find comm y in
+        Hashtbl.replace strength cx (Hashtbl.find strength cx + w);
+        Hashtbl.replace strength cy (Hashtbl.find strength cy + w))
+      edges;
+    (* between.(a,b) = weight between communities a and b *)
+    let between = Hashtbl.create 256 in
+    let bkey a b = if a < b then (a, b) else (b, a) in
+    List.iter
+      (fun (x, y, w) ->
+        let cx = Hashtbl.find comm x and cy = Hashtbl.find comm y in
+        if cx <> cy then begin
+          let k = bkey cx cy in
+          let cur = try Hashtbl.find between k with Not_found -> 0 in
+          Hashtbl.replace between k (cur + w)
+        end)
+      edges;
+    let fm = float_of_int two_m in
+    let gain a b =
+      let w_ab = try Hashtbl.find between (bkey a b) with Not_found -> 0 in
+      (2.0 *. float_of_int w_ab /. fm)
+      -. (2.0
+         *. float_of_int (Hashtbl.find strength a)
+         *. float_of_int (Hashtbl.find strength b)
+         /. (fm *. fm))
+    in
+    let continue_ = ref true in
+    while !continue_ do
+      (* Best positive-gain merge among currently-connected pairs. *)
+      let best = ref None in
+      Hashtbl.iter
+        (fun (a, b) w ->
+          if w > 0 && Hashtbl.mem members a && Hashtbl.mem members b then begin
+            let gq = gain a b in
+            match !best with
+            | Some (_, _, bg) when bg >= gq -> ()
+            | _ -> if gq > 0.0 then best := Some (a, b, gq)
+          end)
+        between;
+      match !best with
+      | None -> continue_ := false
+      | Some (a, b, _) ->
+          (* Merge b into a. *)
+          Hashtbl.replace members a (Hashtbl.find members a @ Hashtbl.find members b);
+          Hashtbl.replace strength a (Hashtbl.find strength a + Hashtbl.find strength b);
+          Hashtbl.remove members b;
+          Hashtbl.remove strength b;
+          (* Re-point b's between-entries at a. *)
+          let updates = ref [] in
+          Hashtbl.iter
+            (fun (x, y) w ->
+              if x = b || y = b then begin
+                let other = if x = b then y else x in
+                updates := (other, w) :: !updates
+              end)
+            between;
+          List.iter
+            (fun (other, _) -> Hashtbl.remove between (bkey other b))
+            !updates;
+          List.iter
+            (fun (other, w) ->
+              if other <> a then begin
+                let k = bkey a other in
+                let cur = try Hashtbl.find between k with Not_found -> 0 in
+                Hashtbl.replace between k (cur + w)
+              end)
+            !updates
+    done;
+    Hashtbl.fold (fun _ ms acc -> ms :: acc) members []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stoer–Wagner global minimum cut.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let min_cut g nodes =
+  let n = List.length nodes in
+  if n < 2 then invalid_arg "Clustering.min_cut: need at least 2 nodes";
+  let idx = Hashtbl.create 16 in
+  List.iteri (fun k x -> Hashtbl.replace idx x k) nodes;
+  let node_arr = Array.of_list nodes in
+  let w = Array.make_matrix n n 0 in
+  List.iter
+    (fun (x, y, wt) ->
+      match (Hashtbl.find_opt idx x, Hashtbl.find_opt idx y) with
+      | Some a, Some b when a <> b ->
+          w.(a).(b) <- w.(a).(b) + wt;
+          w.(b).(a) <- w.(b).(a) + wt
+      | _ -> ())
+    (nonloop_edges g);
+  (* merged.(v) holds the original nodes contracted into v. *)
+  let merged = Array.init n (fun k -> [ node_arr.(k) ]) in
+  let active = Array.make n true in
+  let best_cut = ref max_int in
+  let best_side = ref [] in
+  let remaining = ref n in
+  while !remaining > 1 do
+    (* Maximum adjacency ordering. *)
+    let in_a = Array.make n false in
+    let weight_to_a = Array.make n 0 in
+    let prev = ref (-1) in
+    let last = ref (-1) in
+    for _ = 1 to !remaining do
+      let sel = ref (-1) in
+      for v = 0 to n - 1 do
+        if active.(v) && (not in_a.(v))
+           && (!sel = -1 || weight_to_a.(v) > weight_to_a.(!sel))
+        then sel := v
+      done;
+      let v = !sel in
+      in_a.(v) <- true;
+      prev := !last;
+      last := v;
+      for u = 0 to n - 1 do
+        if active.(u) && not in_a.(u) then
+          weight_to_a.(u) <- weight_to_a.(u) + w.(v).(u)
+      done
+    done;
+    (* Cut of the phase: last vertex vs the rest. *)
+    if weight_to_a.(!last) < !best_cut then begin
+      best_cut := weight_to_a.(!last);
+      best_side := merged.(!last)
+    end;
+    (* Contract last into prev. *)
+    let s = !prev and t = !last in
+    merged.(s) <- merged.(s) @ merged.(t);
+    active.(t) <- false;
+    for v = 0 to n - 1 do
+      if active.(v) && v <> s then begin
+        w.(s).(v) <- w.(s).(v) + w.(t).(v);
+        w.(v).(s) <- w.(s).(v)
+      end
+    done;
+    decr remaining
+  done;
+  (!best_cut, !best_side)
+
+(* ------------------------------------------------------------------ *)
+(* Highly Connected Subgraphs.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let hcs g =
+  let rec go nodes =
+    let n = List.length nodes in
+    if n < 2 then [ nodes ]
+    else begin
+      let cut, side = min_cut g nodes in
+      if 2 * cut > n then [ nodes ] (* highly connected: min cut > n/2 *)
+      else begin
+        let in_side = Hashtbl.create 16 in
+        List.iter (fun x -> Hashtbl.replace in_side x ()) side;
+        let rest = List.filter (fun x -> not (Hashtbl.mem in_side x)) nodes in
+        if side = [] || rest = [] then [ nodes ]
+        else go side @ go rest
+      end
+    end
+  in
+  go (Affinity_graph.nodes g)
+
+(* ------------------------------------------------------------------ *)
+(* Threshold / cut-based components.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let threshold_components ~min_weight g =
+  let adj = Hashtbl.create 64 in
+  let add a b =
+    let cur = try Hashtbl.find adj a with Not_found -> [] in
+    Hashtbl.replace adj a (b :: cur)
+  in
+  List.iter
+    (fun (x, y, w) ->
+      if w >= min_weight then begin
+        add x y;
+        add y x
+      end)
+    (nonloop_edges g);
+  let seen = Hashtbl.create 64 in
+  let component root =
+    let acc = ref [] in
+    let stack = ref [ root ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+          stack := rest;
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.replace seen x ();
+            acc := x :: !acc;
+            List.iter
+              (fun y -> if not (Hashtbl.mem seen y) then stack := y :: !stack)
+              (try Hashtbl.find adj x with Not_found -> [])
+          end
+    done;
+    !acc
+  in
+  List.filter_map
+    (fun x -> if Hashtbl.mem seen x then None else Some (component x))
+    (Affinity_graph.nodes g)
+
+(* ------------------------------------------------------------------ *)
+(* Adapter into the pipeline's Grouping.t shape.                       *)
+(* ------------------------------------------------------------------ *)
+
+let as_grouping g (params : Grouping.params) partition =
+  let heat x = Affinity_graph.node_accesses g x in
+  let trimmed =
+    List.map
+      (fun group ->
+        group
+        |> List.sort (fun a b -> compare (heat b, a) (heat a, b))
+        |> List.filteri (fun i _ -> i < params.Grouping.max_group_members))
+      partition
+  in
+  let threshold =
+    params.Grouping.gthresh *. float_of_int (Affinity_graph.total_accesses g)
+  in
+  let kept =
+    List.filter
+      (fun group ->
+        List.length group >= 1
+        && float_of_int (Affinity_graph.subgraph_weight g group) >= threshold
+        && Affinity_graph.subgraph_weight g group > 0)
+      trimmed
+  in
+  let with_pop =
+    List.map
+      (fun group ->
+        (group, Affinity_graph.subgraph_weight g group,
+         List.fold_left (fun acc x -> acc + heat x) 0 group))
+      kept
+  in
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare b a) with_pop in
+  let sorted =
+    match params.Grouping.max_groups with
+    | None -> sorted
+    | Some n -> List.filteri (fun i _ -> i < n) sorted
+  in
+  let groups = Array.of_list (List.map (fun (m, _, _) -> m) sorted) in
+  let group_weights = Array.of_list (List.map (fun (_, w, _) -> w) sorted) in
+  let group_accesses = Array.of_list (List.map (fun (_, _, p) -> p) sorted) in
+  let in_group = Hashtbl.create 64 in
+  Array.iter (List.iter (fun x -> Hashtbl.replace in_group x ())) groups;
+  let ungrouped =
+    List.filter (fun x -> not (Hashtbl.mem in_group x)) (Affinity_graph.nodes g)
+  in
+  { Grouping.groups; group_accesses; group_weights; ungrouped }

@@ -1,0 +1,39 @@
+(** Alternative clustering algorithms for the grouping ablation.
+
+    §4.2 claims the greedy merge-benefit algorithm "generates clusters we
+    find to be more amenable to region-based co-allocation than standard
+    modularity, HCS, or cut-based clustering techniques". To back that
+    claim, this module implements those three standard techniques over the
+    affinity graph; the ablation bench swaps each into the HALO pipeline
+    and measures the resulting end-to-end miss reduction.
+
+    All three return raw partitions (no popularity ordering, no group
+    thresholding); {!as_grouping} converts a partition into the
+    {!Grouping.t} shape the rest of the pipeline expects, applying the
+    same max-members / gthresh / max-groups filters as Figure 6 so the
+    comparison isolates the clustering decision itself. *)
+
+val modularity : Affinity_graph.t -> Context.id list list
+(** Greedy agglomerative modularity maximisation (Newman 2004 / CNM
+    style): start from singletons, repeatedly apply the merge with the
+    largest positive modularity gain. Singleton communities are returned
+    too. *)
+
+val hcs : Affinity_graph.t -> Context.id list list
+(** Highly Connected Subgraphs (Hartuv & Shamir 2000): recursively split
+    along a global minimum cut (Stoer–Wagner) until every subgraph's min
+    cut exceeds half its node count; those subgraphs are the clusters. *)
+
+val threshold_components : min_weight:int -> Affinity_graph.t -> Context.id list list
+(** Cut-based strawman: drop edges lighter than [min_weight], return
+    connected components. *)
+
+val min_cut : Affinity_graph.t -> Context.id list -> int * Context.id list
+(** [min_cut g nodes] is the Stoer–Wagner global minimum cut of the
+    induced subgraph: total crossing weight and one side of the cut.
+    Requires at least 2 nodes. Exposed for tests. *)
+
+val as_grouping :
+  Affinity_graph.t -> Grouping.params -> Context.id list list -> Grouping.t
+(** Order a partition by popularity and apply Figure 6's group filters
+    (max members by trimming coldest members, gthresh, max_groups). *)

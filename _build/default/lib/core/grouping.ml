@@ -1,0 +1,117 @@
+type params = {
+  min_edge_weight : int;
+  max_group_members : int;
+  merge_tol : float;
+  gthresh : float;
+  max_groups : int option;
+}
+
+let default_params =
+  {
+    min_edge_weight = 2;
+    max_group_members = 8;
+    merge_tol = 0.05;
+    gthresh = 0.001;
+    max_groups = None;
+  }
+
+type t = {
+  groups : Context.id list array;
+  group_accesses : int array;
+  group_weights : int array;
+  ungrouped : Context.id list;
+}
+
+let strongest_avail_edge g avail =
+  (* The strongest edge both of whose endpoints are still available; ties
+     broken towards lower node ids for determinism. *)
+  List.fold_left
+    (fun best (x, y, w) ->
+      if Hashtbl.mem avail x && Hashtbl.mem avail y then
+        match best with
+        | Some (_, _, bw) when bw > w -> best
+        | Some (bx, by, bw) when bw = w && (bx, by) <= (x, y) -> best
+        | _ -> Some (x, y, w)
+      else best)
+    None (Affinity_graph.edges g)
+
+let group graph params =
+  if params.max_group_members < 1 then
+    invalid_arg "Grouping.group: max_group_members must be >= 1";
+  let g = Affinity_graph.prune_edges graph ~min_weight:params.min_edge_weight in
+  let avail = Hashtbl.create 64 in
+  List.iter (fun x -> Hashtbl.replace avail x ()) (Affinity_graph.nodes g);
+  let kept = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match strongest_avail_edge g avail with
+    | None -> continue_ := false
+    | Some (x, y, _w) ->
+        (* Seed with the hotter endpoint of the strongest edge. *)
+        let seed =
+          if Affinity_graph.node_accesses g x >= Affinity_graph.node_accesses g y
+          then x
+          else y
+        in
+        let group = ref [ seed ] in
+        Hashtbl.remove avail seed;
+        let growing = ref true in
+        while !growing && List.length !group < params.max_group_members do
+          let best =
+            Hashtbl.fold
+              (fun cand () best ->
+                let benefit =
+                  Score.merge_benefit g ~tol:params.merge_tol !group cand
+                in
+                match best with
+                | Some (_, b) when b > benefit -> best
+                | Some (bc, b) when b = benefit && bc <= cand -> best
+                | _ -> if benefit > 0.0 then Some (cand, benefit) else best)
+              avail None
+          in
+          match best with
+          | None -> growing := false
+          | Some (cand, _) ->
+              group := cand :: !group;
+              Hashtbl.remove avail cand
+        done;
+        let members = List.rev !group in
+        let weight = Affinity_graph.subgraph_weight g members in
+        let threshold =
+          params.gthresh *. float_of_int (Affinity_graph.total_accesses g)
+        in
+        if float_of_int weight >= threshold then kept := (members, weight) :: !kept
+        (* else: the group is dropped, but its nodes remain consumed. *)
+  done;
+  let popularity members =
+    List.fold_left (fun acc x -> acc + Affinity_graph.node_accesses g x) 0 members
+  in
+  let with_pop =
+    List.map (fun (members, weight) -> (members, weight, popularity members)) !kept
+  in
+  let sorted =
+    List.sort (fun (_, _, pa) (_, _, pb) -> compare pb pa) with_pop
+  in
+  let sorted =
+    match params.max_groups with
+    | None -> sorted
+    | Some n -> List.filteri (fun i _ -> i < n) sorted
+  in
+  let groups = Array.of_list (List.map (fun (m, _, _) -> m) sorted) in
+  let group_weights = Array.of_list (List.map (fun (_, w, _) -> w) sorted) in
+  let group_accesses = Array.of_list (List.map (fun (_, _, p) -> p) sorted) in
+  let in_group = Hashtbl.create 64 in
+  Array.iter (List.iter (fun x -> Hashtbl.replace in_group x ())) groups;
+  let ungrouped =
+    List.filter
+      (fun x -> not (Hashtbl.mem in_group x))
+      (Affinity_graph.nodes graph)
+  in
+  { groups; group_accesses; group_weights; ungrouped }
+
+let group_of t ctx =
+  let found = ref None in
+  Array.iteri
+    (fun i members -> if !found = None && List.mem ctx members then found := Some i)
+    t.groups;
+  !found

@@ -1,0 +1,43 @@
+(** The context-grouping algorithm (§4.2, Figure 6).
+
+    Partitions (part of) the affinity graph's contexts into tight-knit
+    groups to be co-allocated from shared pools. A simple greedy process:
+    repeatedly seed a group with the hotter endpoint of the strongest
+    remaining edge, then grow it by the candidate with the highest merge
+    benefit until no candidate is beneficial (or the member cap is hit).
+    Groups whose internal weight falls below a fraction [gthresh] of all
+    observed accesses are dropped as noise — but their nodes stay consumed,
+    exactly as in the paper's pseudocode. *)
+
+type params = {
+  min_edge_weight : int;
+      (** Edges lighter than this are removed before grouping (noise
+          thresholding). *)
+  max_group_members : int;
+  merge_tol : float;  (** Tolerance [T]; 5% performs well (§4.2). *)
+  gthresh : float;
+      (** Minimum group weight as a fraction of total observed accesses. *)
+  max_groups : int option;
+      (** Keep only the N most popular groups (the artefact's
+          [--max-groups], needed by roms). *)
+}
+
+val default_params : params
+(** [min_edge_weight = 2], [max_group_members = 8], [merge_tol = 0.05],
+    [gthresh = 0.001], no group cap. *)
+
+type t = {
+  groups : Context.id list array;
+      (** Disjoint groups, sorted by descending popularity (total member
+          accesses) — the order identification relies on. *)
+  group_accesses : int array;  (** Popularity per group, same order. *)
+  group_weights : int array;  (** Internal affinity weight per group. *)
+  ungrouped : Context.id list;
+      (** Graph nodes not in any kept group (insufficient merge benefit or
+          group weight). *)
+}
+
+val group : Affinity_graph.t -> params -> t
+
+val group_of : t -> Context.id -> int option
+(** Index of the group containing a context, if any. *)

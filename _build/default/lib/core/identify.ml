@@ -1,0 +1,98 @@
+type conj = Ir.site list
+type selector = { group : int; disjuncts : conj list }
+
+let chain_contains chain site = Array.exists (fun s -> s = site) chain
+
+(* Grow one conjunction for [member] (its site chain), counting conflicts
+   against [candidates] (chains of contexts in no group or a less popular
+   group). Returns the conjunction in insertion order. *)
+let build_conjunction ~member ~candidates =
+  let expr = ref [] in
+  let satisfies chain = List.for_all (chain_contains chain) !expr in
+  let conflicts = ref max_int in
+  let continue_ = ref true in
+  while !continue_ do
+    let live_chains = List.filter satisfies candidates in
+    if live_chains = [] then continue_ := false
+    else begin
+      (* For each site of the member's own chain, how many conflicting
+         chains would survive if we required it? Prefer the minimum;
+         tie-break toward sites lower in the stack (smaller index). *)
+      let best = ref None in
+      Array.iteri
+        (fun _idx site ->
+          let m =
+            List.fold_left
+              (fun acc c -> if chain_contains c site then acc + 1 else acc)
+              0 live_chains
+          in
+          match !best with
+          | Some (_, bm) when bm <= m -> ()
+          | _ -> best := Some (site, m))
+        member;
+      match !best with
+      | None -> continue_ := false
+      | Some (site, m) ->
+          if m >= !conflicts then continue_ := false
+          else begin
+            expr := !expr @ [ site ];
+            conflicts := m;
+            if m = 0 then continue_ := false
+          end
+    end
+  done;
+  (* An empty conjunction would match every allocation; anchor it with the
+     member's allocation site so the selector is at least site-specific.
+     (Reached only when the member conflicts with nothing from the very
+     start.) *)
+  if !expr = [] then [ member.(Array.length member - 1) ] else !expr
+
+let build ~contexts ~grouping =
+  let group_of_ctx = Hashtbl.create 64 in
+  Array.iteri
+    (fun gi members ->
+      List.iter (fun c -> Hashtbl.replace group_of_ctx c gi) members)
+    grouping.Grouping.groups;
+  let all_chains =
+    Context.fold contexts ~init:[] ~f:(fun acc id chain ->
+        (id, chain, Hashtbl.find_opt group_of_ctx id) :: acc)
+  in
+  let ignored = Hashtbl.create 8 in
+  Array.to_list
+    (Array.mapi
+       (fun gi members ->
+         Hashtbl.replace ignored gi ();
+         let candidates =
+           List.filter_map
+             (fun (_, chain, g) ->
+               match g with
+               | Some g when Hashtbl.mem ignored g -> None
+               | _ -> Some chain)
+             all_chains
+         in
+         let disjuncts =
+           List.map
+             (fun member_ctx ->
+               let member = Context.sites contexts member_ctx in
+               build_conjunction ~member ~candidates)
+             members
+         in
+         { group = gi; disjuncts })
+       grouping.Grouping.groups)
+
+let eval live sel =
+  List.exists (fun conj -> List.for_all live conj) sel.disjuncts
+
+let classify_chain selectors chain =
+  let live site = chain_contains chain site in
+  List.find_map
+    (fun sel -> if eval live sel then Some sel.group else None)
+    selectors
+
+let monitored_sites selectors =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun sel ->
+      List.iter (List.iter (fun s -> Hashtbl.replace tbl s ())) sel.disjuncts)
+    selectors;
+  Hashtbl.fold (fun s () acc -> s :: acc) tbl [] |> List.sort compare

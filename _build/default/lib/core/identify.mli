@@ -1,0 +1,45 @@
+(** Group identification: selector construction (§4.3, Figure 10).
+
+    Rather than walking the call stack at runtime, HALO identifies group
+    membership with {e selectors}: DNF boolean expressions over "has the
+    flow of control passed through call site S?" predicates, evaluated
+    against the group-state bit vector maintained by the rewritten binary.
+
+    For each group, in descending popularity order, and for each member
+    context of that group, a conjunction is grown greedily: at every step
+    the candidate site (drawn from the member's own chain) that minimises
+    the number of {e conflicting} contexts — contexts of not-yet-processed
+    groups or of no group whose chains also satisfy the conjunction so
+    far — is appended, until conflicts stop decreasing (ideally at zero).
+    Ties prefer sites lower in the stack (closer to [main]). The member's
+    conjunction is OR-ed into the group's selector.
+
+    Conflicts with {e more} popular groups are permitted by construction
+    (they left the conflict set before this group was processed); they are
+    harmless because the runtime evaluates selectors in popularity order
+    and takes the first match. Residual conflicts that cannot be resolved
+    mean some foreign allocations will be pulled into the group at runtime
+    — the accepted sub-optimality the paper notes. *)
+
+type conj = Ir.site list
+(** All listed sites must be live on the call stack. *)
+
+type selector = {
+  group : int;  (** Group index in the {!Grouping.t} order. *)
+  disjuncts : conj list;  (** One conjunction per group member. *)
+}
+
+val build : contexts:Context.table -> grouping:Grouping.t -> selector list
+(** Selectors for every group, in evaluation (popularity) order. *)
+
+val eval : (Ir.site -> bool) -> selector -> bool
+(** [eval live sel]: does any disjunct have all of its sites live? *)
+
+val classify_chain : selector list -> Ir.site array -> int option
+(** Classify a full context chain by selector order — the profiling-side
+    oracle used in tests and in coverage statistics: a chain [c] matches a
+    conjunction when every site of the conjunction occurs in [c]. *)
+
+val monitored_sites : selector list -> Ir.site list
+(** The distinct call sites appearing in any selector — the "small handful
+    of call sites" the binary rewriter must instrument. Ascending. *)

@@ -1,0 +1,75 @@
+let name_of_ctx ~window ctx =
+  if window < 1 then invalid_arg "Name_ident.name_of_ctx: window must be >= 1";
+  let n = Array.length ctx in
+  let acc = ref 0 in
+  for k = max 0 (n - window) to n - 1 do
+    acc := !acc lxor ctx.(k)
+  done;
+  !acc
+
+type plan = { window : int; group_of_name : (int, int) Hashtbl.t; ngroups : int }
+
+let plan ?(params = Grouping.default_params) ~window profile =
+  if window <> 1 && window <> 4 then
+    invalid_arg "Name_ident.plan: runtime maintains windows 1 and 4 only";
+  let contexts = profile.Profiler.contexts in
+  let g = profile.Profiler.graph in
+  (* Coarsen: context id -> name; re-aggregate the affinity graph over
+     names. Names are sparse ints; give them dense ids for the grouping
+     algorithm. *)
+  let name_of_id = Hashtbl.create 64 in
+  let dense_of_name = Hashtbl.create 64 in
+  let names = ref [] in
+  let dense name =
+    match Hashtbl.find_opt dense_of_name name with
+    | Some d -> d
+    | None ->
+        let d = Hashtbl.length dense_of_name in
+        Hashtbl.replace dense_of_name name d;
+        names := name :: !names;
+        d
+  in
+  let coarse id =
+    match Hashtbl.find_opt name_of_id id with
+    | Some d -> d
+    | None ->
+        let d = dense (name_of_ctx ~window (Context.sites contexts id)) in
+        Hashtbl.replace name_of_id id d;
+        d
+  in
+  let cg = Affinity_graph.create () in
+  List.iter
+    (fun id ->
+      let d = coarse id in
+      for _ = 1 to Affinity_graph.node_accesses g id do
+        Affinity_graph.add_access cg d
+      done)
+    (Affinity_graph.nodes g);
+  List.iter
+    (fun (x, y, w) ->
+      let dx = coarse x and dy = coarse y in
+      for _ = 1 to w do
+        Affinity_graph.add_affinity cg dx dy
+      done)
+    (Affinity_graph.edges g);
+  let grouping = Grouping.group cg params in
+  let name_arr = Array.of_list (List.rev !names) in
+  let group_of_name = Hashtbl.create 64 in
+  Array.iteri
+    (fun gi members ->
+      List.iter
+        (fun d ->
+          let name = name_arr.(d) in
+          if not (Hashtbl.mem group_of_name name) then
+            Hashtbl.replace group_of_name name gi)
+        members)
+    grouping.Grouping.groups;
+  { window; group_of_name; ngroups = Array.length grouping.Grouping.groups }
+
+let groups p = p.ngroups
+
+let classifier p ~env ~size:_ =
+  let name =
+    if p.window = 1 then env.Exec_env.cur_alloc_site else env.Exec_env.cur_name4
+  in
+  Hashtbl.find_opt p.group_of_name name

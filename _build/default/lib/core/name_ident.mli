@@ -1,0 +1,40 @@
+(** Name-based identification — the identification-granularity ablation.
+
+    The paper's central novelty claim is that identification by the {e full}
+    reduced call stack (selectors over monitored sites) beats the cheaper
+    identification schemes of prior work (§2.2.3):
+
+    - Calder et al. name an allocation by XOR-ing the last four return
+      addresses on the stack;
+    - MO and the hot-data-streams comparator use the immediate call site
+      alone (a window of one).
+
+    This module implements that family: contexts are coarsened to the XOR
+    of their last [window] sites, HALO's own grouping algorithm (Figure 6)
+    runs on the coarsened affinity graph, and runtime identification looks
+    the allocation's current name up in a table. Everything except the
+    identification granularity is held constant, so comparing this against
+    the full pipeline isolates exactly the paper's contribution.
+
+    The interpreter maintains the current allocation's name in
+    {!Exec_env.t} ([cur_name4] holds the window-4 name; window-1 is
+    [cur_alloc_site]). *)
+
+val name_of_ctx : window:int -> Ir.site array -> int
+(** XOR of the last [min window (length ctx)] sites of a reduced context
+    (the allocation site is the innermost element). *)
+
+type plan
+
+val plan :
+  ?params:Grouping.params -> window:int -> Profiler.result -> plan
+(** Coarsen the profile's contexts to names, aggregate the affinity graph
+    over names, and group with Figure 6's algorithm. [window] must be 1
+    (immediate site) or 4 (Calder's scheme) — the two granularities the
+    runtime maintains. *)
+
+val groups : plan -> int
+(** Number of groups formed over names. *)
+
+val classifier : plan -> env:Exec_env.t -> size:int -> int option
+(** Runtime identification by name lookup. *)

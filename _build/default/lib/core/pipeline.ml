@@ -1,0 +1,111 @@
+type config = {
+  profiler : Profiler.config;
+  grouping : Grouping.params;
+  min_edge_frac : float;
+  allocator : Group_alloc.config;
+}
+
+let default_config =
+  {
+    profiler = Profiler.default_config;
+    grouping = Grouping.default_params;
+    min_edge_frac = 1e-4;
+    allocator = Group_alloc.default_config;
+  }
+
+type plan = {
+  config : config;
+  profile : Profiler.result;
+  grouping : Grouping.t;
+  selectors : Identify.selector list;
+  rewrite : Rewrite.t;
+}
+
+let plan ?(config = default_config) ?(group_fn = Grouping.group) program =
+  let profile = Profiler.profile ~config:config.profiler program in
+  let min_edge_weight =
+    max config.grouping.Grouping.min_edge_weight
+      (int_of_float
+         (config.min_edge_frac *. float_of_int profile.Profiler.total_accesses))
+  in
+  let gparams = { config.grouping with Grouping.min_edge_weight } in
+  let grouping = group_fn profile.Profiler.graph gparams in
+  let selectors =
+    Identify.build ~contexts:profile.Profiler.contexts ~grouping
+  in
+  let rewrite = Rewrite.plan selectors in
+  { config; profile; grouping; selectors; rewrite }
+
+type runtime = {
+  env : Exec_env.t;
+  galloc : Group_alloc.t;
+  patches : (Ir.site * int) list;
+}
+
+let instantiate ?allocator plan ~fallback vmem =
+  let alloc_cfg = Option.value allocator ~default:plan.config.allocator in
+  let env = Exec_env.create ~group_bits:(max plan.rewrite.Rewrite.nbits 1) () in
+  let classify ~size:_ =
+    Rewrite.classify plan.rewrite env.Exec_env.group_state
+  in
+  let galloc = Group_alloc.create ~config:alloc_cfg ~classify ~fallback vmem in
+  { env; galloc; patches = plan.rewrite.Rewrite.patches }
+
+let graph_dot plan ~site_label =
+  let g = plan.profile.Profiler.graph in
+  let contexts = plan.profile.Profiler.contexts in
+  let nodes =
+    List.map
+      (fun id ->
+        {
+          Dot.id;
+          label = Context.label contexts site_label id;
+          group = Grouping.group_of plan.grouping id;
+          accesses = Affinity_graph.node_accesses g id;
+        })
+      (Affinity_graph.nodes g)
+  in
+  let edges =
+    List.map
+      (fun (x, y, w) -> { Dot.src = x; dst = y; weight = w })
+      (Affinity_graph.edges g)
+  in
+  Dot.render ~name:"halo-affinity" nodes edges
+
+let describe plan ~site_label =
+  let buf = Buffer.create 1024 in
+  let contexts = plan.profile.Profiler.contexts in
+  let g = plan.profile.Profiler.graph in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "profile: %d tracked allocs, %d macro accesses, %d contexts, %d graph nodes\n"
+       plan.profile.Profiler.tracked_allocs plan.profile.Profiler.total_accesses
+       (Context.count contexts)
+       (List.length (Affinity_graph.nodes g)));
+  Array.iteri
+    (fun gi members ->
+      Buffer.add_string buf
+        (Printf.sprintf "group %d (accesses=%d, weight=%d):\n" gi
+           plan.grouping.Grouping.group_accesses.(gi)
+           plan.grouping.Grouping.group_weights.(gi));
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  ctx %d: %s\n" c (Context.label contexts site_label c)))
+        members)
+    plan.grouping.Grouping.groups;
+  List.iter
+    (fun (sel : Identify.selector) ->
+      Buffer.add_string buf (Printf.sprintf "selector for group %d:\n" sel.group);
+      List.iter
+        (fun conj ->
+          Buffer.add_string buf
+            (Printf.sprintf "  [%s]\n"
+               (String.concat " && " (List.map site_label conj))))
+        sel.disjuncts)
+    plan.selectors;
+  Buffer.add_string buf
+    (Printf.sprintf "monitored sites: %s\n"
+       (String.concat ", "
+          (List.map site_label (Identify.monitored_sites plan.selectors))));
+  Buffer.contents buf

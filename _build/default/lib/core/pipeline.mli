@@ -1,0 +1,61 @@
+(** The end-to-end HALO pipeline (Figure 4).
+
+    [Executable -> Profiling -> Affinity graph -> Grouping -> Identification
+    -> BOLT rewriting + allocator synthesis -> Optimised executable].
+
+    Profiling runs on a {e test}-scale program; the resulting plan (groups,
+    selectors, patch list) is then instantiated against a {e ref}-scale
+    program for measurement — mirroring the paper's profile-on-test /
+    measure-on-ref methodology (§5.1). The two programs must share
+    structure (same sites); workload generators guarantee this by varying
+    only input-scale constants. *)
+
+type config = {
+  profiler : Profiler.config;
+  grouping : Grouping.params;
+  min_edge_frac : float;
+      (** Noise threshold for edges as a fraction of total observed
+          accesses; the effective [min_edge_weight] is the max of this and
+          the absolute parameter. Default 1e-4. *)
+  allocator : Group_alloc.config;
+}
+
+val default_config : config
+
+type plan = {
+  config : config;
+  profile : Profiler.result;
+  grouping : Grouping.t;
+  selectors : Identify.selector list;
+  rewrite : Rewrite.t;
+}
+
+val plan :
+  ?config:config ->
+  ?group_fn:(Affinity_graph.t -> Grouping.params -> Grouping.t) ->
+  Ir.program ->
+  plan
+(** Profile the (test-scale) program and derive groups, selectors and the
+    rewriting plan. [group_fn] substitutes an alternative clustering
+    algorithm (see {!Clustering}) for Figure 6's — the grouping-ablation
+    hook; default is {!Grouping.group}. *)
+
+type runtime = {
+  env : Exec_env.t;  (** Share between allocator and interpreter. *)
+  galloc : Group_alloc.t;
+  patches : (Ir.site * int) list;  (** Pass to {!Interp.create}. *)
+}
+
+val instantiate :
+  ?allocator:Group_alloc.config -> plan -> fallback:Alloc_iface.t -> Vmem.t -> runtime
+(** Synthesise the specialised allocator and runtime environment for a
+    measurement run. [allocator] overrides the plan's allocator config
+    (per-benchmark flags like chunk size or spare policy). *)
+
+val graph_dot : plan -> site_label:(Ir.site -> string) -> string
+(** Figure 9 analog: the filtered affinity graph with nodes coloured by
+    group (grey when ungrouped), as graphviz dot text. *)
+
+val describe : plan -> site_label:(Ir.site -> string) -> string
+(** Human-readable summary: groups with member contexts, selectors, and
+    monitored sites. *)

@@ -1,0 +1,43 @@
+type t = {
+  patches : (Ir.site * int) list;
+  selectors : compiled list;
+  nbits : int;
+}
+
+and compiled = { group : int; conjs : int list list }
+
+let max_bits = 64
+
+let plan selectors =
+  let sites = Identify.monitored_sites selectors in
+  let nbits = List.length sites in
+  if nbits > max_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Rewrite.plan: %d monitored sites exceed the %d-bit group state vector"
+         nbits max_bits);
+  let bit_of = Hashtbl.create 32 in
+  List.iteri (fun i s -> Hashtbl.replace bit_of s i) sites;
+  let compile (sel : Identify.selector) =
+    {
+      group = sel.Identify.group;
+      conjs =
+        List.map (List.map (fun s -> Hashtbl.find bit_of s)) sel.Identify.disjuncts;
+    }
+  in
+  {
+    patches = List.mapi (fun i s -> (s, i)) sites;
+    selectors = List.map compile selectors;
+    nbits;
+  }
+
+let classify t state =
+  let conj_live = List.for_all (fun b -> Bitset.get state b) in
+  List.find_map
+    (fun c -> if List.exists conj_live c.conjs then Some c.group else None)
+    t.selectors
+
+let site_of_bit t bit =
+  match List.find_opt (fun (_, b) -> b = bit) t.patches with
+  | Some (s, _) -> s
+  | None -> invalid_arg (Printf.sprintf "Rewrite.site_of_bit: bit %d unused" bit)

@@ -1,0 +1,36 @@
+let score g members =
+  let n = List.length members in
+  if n = 0 then 0.0
+  else begin
+    let in_group = Hashtbl.create 16 in
+    List.iter (fun x -> Hashtbl.replace in_group x ()) members;
+    let weight_sum = ref 0 in
+    let loops = ref 0 in
+    (* Iterate each member's adjacency once; undirected edges are seen from
+       both endpoints, so halve non-loop contributions. *)
+    let double_nonloop = ref 0 in
+    List.iter
+      (fun x ->
+        List.iter
+          (fun (y, w) ->
+            if Hashtbl.mem in_group y then
+              if x = y then begin
+                weight_sum := !weight_sum + w;
+                incr loops
+              end
+              else double_nonloop := !double_nonloop + w)
+          (Affinity_graph.edges_of g x))
+      members;
+    weight_sum := !weight_sum + (!double_nonloop / 2);
+    let denom = float_of_int !loops +. (float_of_int (n * (n - 1)) /. 2.0) in
+    if denom <= 0.0 then 0.0 else float_of_int !weight_sum /. denom
+  end
+
+let merge_benefit g ~tol group candidate =
+  if tol < 0.0 || tol >= 1.0 then invalid_arg "Score.merge_benefit: tol out of range";
+  if List.mem candidate group then
+    invalid_arg "Score.merge_benefit: candidate already in group";
+  let sa = score g group in
+  let sb = score g [ candidate ] in
+  let sc = score g (candidate :: group) in
+  sc -. ((1.0 -. tol) *. Float.max sa sb)

@@ -1,0 +1,30 @@
+(** Group quality scoring (§4.2, Figures 7 and 8).
+
+    The score [s(G)] of a candidate group is a variant of weighted graph
+    density:
+
+    {v s(G) = (Σ_{(u,v) ∈ E} w(u,v)) / (|L| + |V|(|V|-1)/2) v}
+
+    where [L] is the set of loop edges with positive weight. The standard
+    formulation of weighted density ignores loop edges; this variant
+    distributes weight among loops only when they are present, so a context
+    that is strongly self-affinitive scores well alone, and adding it to a
+    group must beat that.
+
+    The merge benefit of folding candidate [B] into group [A] is
+
+    {v m(A,B) = s(G[A ∪ B]) - (1 - T) · max(s(G[A]), s(G[B])) v}
+
+    positive only when the union scores higher than either part alone —
+    except that the tolerance [T] (5% in the evaluation) permits a
+    fractionally lower combined score, without which most groups would
+    stall at one or two nodes. *)
+
+val score : Affinity_graph.t -> Context.id list -> float
+(** [score g members] is [s] of the subgraph of [g] induced by [members].
+    A subgraph with an empty denominator (a single node with no loop edge)
+    scores 0. *)
+
+val merge_benefit :
+  Affinity_graph.t -> tol:float -> Context.id list -> Context.id -> float
+(** [merge_benefit g ~tol group candidate] is [m(group, {candidate})]. *)

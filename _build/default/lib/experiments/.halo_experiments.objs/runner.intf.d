@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Affinity_graph Alloc_iface Group_alloc Grouping Hierarchy Json Pipeline Workload

@@ -1,0 +1,66 @@
+type fig13_14 = {
+  bench : string;
+  hds_miss : float;
+  halo_miss : float;
+  hds_speed : float;
+  halo_speed : float;
+}
+
+(* Approximate reads of Figures 13 and 14 (bar charts); text-anchored
+   values marked in comments. *)
+let fig13_14 =
+  [
+    { bench = "health"; hds_miss = 0.18; halo_miss = 0.22; hds_speed = 0.21;
+      halo_speed = 0.28 (* text: ~28%, +7 points over HDS *) };
+    { bench = "ft"; hds_miss = 0.06; halo_miss = 0.07; hds_speed = 0.07;
+      halo_speed = 0.08 };
+    { bench = "analyzer"; hds_miss = 0.08; halo_miss = 0.10; hds_speed = 0.06;
+      halo_speed = 0.08 };
+    { bench = "ammp"; hds_miss = 0.10; halo_miss = 0.12; hds_speed = 0.08;
+      halo_speed = 0.10 };
+    { bench = "art"; hds_miss = 0.12; halo_miss = 0.14; hds_speed = 0.09;
+      halo_speed = 0.11 };
+    { bench = "equake"; hds_miss = 0.12; halo_miss = 0.15; hds_speed = 0.10;
+      halo_speed = 0.12 };
+    { bench = "povray"; hds_miss = 0.02; halo_miss = 0.10; hds_speed = 0.00;
+      halo_speed = 0.02 (* text: 5-15% fewer misses, time largely unchanged *) };
+    { bench = "omnetpp"; hds_miss = 0.00; halo_miss = 0.06; hds_speed = 0.00;
+      halo_speed = 0.04 (* text: roughly 4% speedup *) };
+    { bench = "xalanc"; hds_miss = 0.01; halo_miss = 0.17; hds_speed = 0.00;
+      halo_speed = 0.16 (* text: 16% speedup *) };
+    { bench = "leela"; hds_miss = 0.02; halo_miss = 0.08; hds_speed = 0.00;
+      halo_speed = 0.01 (* text: 5-15% fewer misses, time largely unchanged *) };
+    { bench = "roms"; hds_miss = -0.04; halo_miss = 0.01; hds_speed = -0.02;
+      halo_speed = 0.00 (* text: HDS increases misses; HALO essentially no effect *) };
+  ]
+
+let fig15 =
+  [
+    ("health", -0.55);
+    ("ft", -0.10);
+    ("analyzer", -0.08);
+    ("ammp", -0.12);
+    ("art", -0.15);
+    ("equake", -0.20);
+    ("povray", 0.00);
+    ("omnetpp", -0.03);
+    ("xalanc", -0.02);
+    ("leela", 0.00);
+    ("roms", -0.01);
+  ]
+
+(* Table 1: exact printed values. *)
+let table1 =
+  [
+    ("health", 0.0001, 32747 (* 31.98 KiB *));
+    ("equake", 0.0005, 12370 (* 12.08 KiB *));
+    ("analyzer", 0.0013, 4413 (* 4.31 KiB *));
+    ("ammp", 0.0020, 41953 (* 40.97 KiB *));
+    ("art", 0.0062, 11981 (* 11.70 KiB *));
+    ("ft", 0.0206, 4147 (* 4.05 KiB *));
+    ("povray", 0.2647, 37949 (* 37.06 KiB *));
+    ("roms", 0.9360, 30669 (* 29.95 KiB *));
+    ("leela", 0.9999, 2149581 (* 2.05 MiB *));
+  ]
+
+let fig12_baseline_seconds = 285.0

@@ -1,0 +1,1 @@
+lib/hds/hds_pipeline.ml: Array Context Exec_env Hashtbl Heap_model Hot_streams Interp Jemalloc_sim List Sequitur Set_packing Vmem

@@ -1,0 +1,1 @@
+lib/hds/hds_pipeline.mli: Exec_env Hot_streams Ir

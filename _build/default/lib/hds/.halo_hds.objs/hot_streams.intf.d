@@ -1,0 +1,1 @@
+lib/hds/hot_streams.mli: Sequitur

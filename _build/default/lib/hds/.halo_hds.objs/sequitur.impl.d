@@ -1,0 +1,1 @@
+lib/hds/sequitur.ml: Array Hashtbl List Printf

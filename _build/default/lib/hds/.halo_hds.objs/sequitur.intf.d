@@ -1,0 +1,1 @@
+lib/hds/sequitur.mli:

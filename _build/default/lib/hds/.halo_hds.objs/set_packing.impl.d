@@ -1,0 +1,1 @@
+lib/hds/set_packing.ml: Hashtbl List Option

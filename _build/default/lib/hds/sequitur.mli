@@ -1,0 +1,46 @@
+(** SEQUITUR grammar inference (Nevill-Manning & Witten, 1997).
+
+    Builds, online and in linear time, a context-free grammar in which no
+    digram (adjacent symbol pair) appears twice ({e digram uniqueness}) and
+    every rule is used at least twice ({e rule utility}). The hot-data-
+    streams comparator (§5.1, after Chilimbi & Shaham) compresses the
+    profiled data-reference trace with SEQUITUR and mines the grammar's
+    rules for frequently repeated access sequences.
+
+    Terminals are non-negative integers (object ids in the comparator's
+    use). *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> int -> unit
+(** Append a terminal to the input; the grammar is maintained
+    incrementally. Terminals must be non-negative. *)
+
+val input_length : t -> int
+(** Terminals pushed so far. *)
+
+type rule_info = {
+  rule_id : int;  (** 0 is the start rule. *)
+  expansion : int array;  (** The rule fully expanded to terminals. *)
+  uses : int;
+      (** Occurrences of this rule in the full derivation of the input
+          (the start rule has 1). [expansion length * uses] is the number
+          of trace positions the rule accounts for — its {e heat}. *)
+  rhs_length : int;  (** Symbols on the right-hand side (not expanded). *)
+}
+
+val rules : t -> rule_info list
+(** All current rules. The start rule is first; others follow in
+    unspecified order. *)
+
+val expand : t -> int array
+(** The full reconstructed input — must equal the pushed sequence (the
+    round-trip property the tests rely on). Linear in input length. *)
+
+val rule_count : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Verify digram uniqueness and rule utility; used by the property
+    tests. *)

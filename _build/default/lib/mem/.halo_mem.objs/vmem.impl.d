@@ -1,0 +1,1 @@
+lib/mem/vmem.ml: Addr Hashtbl Option Printf

@@ -1,0 +1,31 @@
+(** jemalloc-style size classes.
+
+    Almost all contemporary general-purpose allocators are size-segregated
+    (§2.1): free blocks are organised around a fixed set of size classes, so
+    objects are co-located primarily by size and allocation order (Figure 1).
+    This module reproduces jemalloc 5.x's small-size-class map: a linear
+    quantum-spaced region followed by four classes per power-of-two doubling
+    ("size class groups"). It is shared by the simulated jemalloc baseline
+    and by the grouped-allocation threshold logic. *)
+
+val quantum : int
+(** 16 bytes — the minimum spacing (and minimum class). *)
+
+val small_max : int
+(** Largest "small" size (16 KiB here); beyond this the simulated baseline
+    satisfies requests with dedicated mappings ("large" allocations). *)
+
+val nclasses : int
+(** Number of small size classes. *)
+
+val class_of_size : int -> int option
+(** [class_of_size n] is the index of the smallest class that fits a request
+    of [n] bytes, or [None] when [n > small_max]. Requests of 0 bytes are
+    treated as 1 (malloc(0) returns a unique pointer). *)
+
+val size_of_class : int -> int
+(** Byte size of class [i]. Raises [Invalid_argument] when out of range. *)
+
+val round_up : int -> int option
+(** [round_up n] is the class size that a request of [n] bytes actually
+    occupies, or [None] for large requests. *)

@@ -1,0 +1,1 @@
+lib/profile/affinity_graph.ml: Context Hashtbl List

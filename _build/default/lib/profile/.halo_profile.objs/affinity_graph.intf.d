@@ -1,0 +1,1 @@
+lib/profile/affinity_graph.mli: Context

@@ -1,0 +1,1 @@
+lib/profile/affinity_queue.ml: Array Context Hashtbl Heap_model

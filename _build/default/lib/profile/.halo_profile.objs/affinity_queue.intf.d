@@ -1,0 +1,1 @@
+lib/profile/affinity_queue.mli: Context Heap_model

@@ -1,0 +1,1 @@
+lib/profile/context.ml: Array Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/profile/context.mli: Ir

@@ -1,0 +1,1 @@
+lib/profile/heap_model.ml: Addr Array Context Hashtbl Int Map

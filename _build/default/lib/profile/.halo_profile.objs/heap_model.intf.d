@@ -1,0 +1,1 @@
+lib/profile/heap_model.mli: Addr Context

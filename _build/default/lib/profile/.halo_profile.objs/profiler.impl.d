@@ -1,0 +1,1 @@
+lib/profile/profiler.ml: Affinity_graph Affinity_queue Context Heap_model Interp Jemalloc_sim Vmem

@@ -1,0 +1,1 @@
+lib/profile/profiler.mli: Affinity_graph Context Ir

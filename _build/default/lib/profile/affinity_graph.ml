@@ -1,0 +1,124 @@
+type t = {
+  accesses : (Context.id, int ref) Hashtbl.t;
+  weights : (Context.id * Context.id, int ref) Hashtbl.t; (* key normalised x <= y *)
+  adj : (Context.id, (Context.id, int ref) Hashtbl.t) Hashtbl.t;
+  mutable total : int;
+  mutable reported_total : int option;
+      (* Set on filtered copies: the pre-filter access total. *)
+}
+
+let create () =
+  {
+    accesses = Hashtbl.create 256;
+    weights = Hashtbl.create 1024;
+    adj = Hashtbl.create 256;
+    total = 0;
+    reported_total = None;
+  }
+
+let counter tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace tbl key r;
+      r
+
+let add_access t x =
+  incr (counter t.accesses x);
+  t.total <- t.total + 1
+
+let adj_tbl t x =
+  match Hashtbl.find_opt t.adj x with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace t.adj x tbl;
+      tbl
+
+let add_affinity t x y =
+  let a, b = if x <= y then (x, y) else (y, x) in
+  (* Ensure both endpoints exist as nodes (with zero accesses until
+     [add_access] says otherwise). *)
+  ignore (counter t.accesses a : int ref);
+  ignore (counter t.accesses b : int ref);
+  incr (counter t.weights (a, b));
+  incr (counter (adj_tbl t a) b);
+  if a <> b then incr (counter (adj_tbl t b) a)
+
+let node_accesses t x =
+  match Hashtbl.find_opt t.accesses x with Some r -> !r | None -> 0
+
+let weight t x y =
+  let key = if x <= y then (x, y) else (y, x) in
+  match Hashtbl.find_opt t.weights key with Some r -> !r | None -> 0
+
+let total_accesses t =
+  match t.reported_total with Some n -> n | None -> t.total
+
+let nodes t =
+  Hashtbl.fold (fun x _ acc -> x :: acc) t.accesses [] |> List.sort compare
+
+let edges t =
+  Hashtbl.fold (fun (x, y) w acc -> if !w > 0 then (x, y, !w) :: acc else acc)
+    t.weights []
+
+let edges_of t x =
+  match Hashtbl.find_opt t.adj x with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun y w acc -> if !w > 0 then (y, !w) :: acc else acc) tbl []
+
+let copy_structure t ~keep_node ~keep_edge =
+  let out = create () in
+  Hashtbl.iter
+    (fun x r ->
+      if keep_node x then begin
+        Hashtbl.replace out.accesses x (ref !r);
+        out.total <- out.total + !r
+      end)
+    t.accesses;
+  Hashtbl.iter
+    (fun (x, y) w ->
+      if !w > 0 && keep_node x && keep_node y && keep_edge !w then begin
+        Hashtbl.replace out.weights (x, y) (ref !w);
+        (counter (adj_tbl out x) y) := !w;
+        if x <> y then (counter (adj_tbl out y) x) := !w
+      end)
+    t.weights;
+  out.reported_total <- Some (total_accesses t);
+  out
+
+let filter_top t ~coverage =
+  if coverage <= 0.0 || coverage > 1.0 then
+    invalid_arg "Affinity_graph.filter_top: coverage must be in (0,1]";
+  let by_heat =
+    nodes t
+    |> List.map (fun x -> (node_accesses t x, x))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  let target =
+    int_of_float (ceil (coverage *. float_of_int (total_accesses t)))
+  in
+  let kept = Hashtbl.create 64 in
+  let cum = ref 0 in
+  List.iter
+    (fun (acc, x) ->
+      (* Nodes are added until the running total has reached the target;
+         every node after that point is discarded (§4.1). *)
+      if !cum < target then begin
+        Hashtbl.replace kept x ();
+        cum := !cum + acc
+      end)
+    by_heat;
+  copy_structure t ~keep_node:(Hashtbl.mem kept) ~keep_edge:(fun _ -> true)
+
+let prune_edges t ~min_weight =
+  copy_structure t ~keep_node:(fun _ -> true) ~keep_edge:(fun w -> w >= min_weight)
+
+let subgraph_weight t group =
+  let members = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace members x ()) group;
+  Hashtbl.fold
+    (fun (x, y) w acc ->
+      if Hashtbl.mem members x && Hashtbl.mem members y then acc + !w else acc)
+    t.weights 0

@@ -1,0 +1,49 @@
+(** The pairwise affinity graph (§4.1).
+
+    Nodes are reduced allocation contexts; the weight of edge (x, y) counts
+    contemporaneous accesses to objects allocated from x and y within the
+    affinity window. Loop edges (x, x) are legal and meaningful: they
+    record affinity between distinct objects of a single context. Nodes
+    also carry access counts, used both for the post-run noise filter (keep
+    the hottest nodes covering 90% of observed accesses) and for grouping
+    decisions. *)
+
+type t
+
+val create : unit -> t
+
+val add_access : t -> Context.id -> unit
+(** Count one macro-level access to an object of this context (creates the
+    node if needed). *)
+
+val add_affinity : t -> Context.id -> Context.id -> unit
+(** Increment the (x, y) edge weight by one (undirected; x = y allowed). *)
+
+val node_accesses : t -> Context.id -> int
+(** 0 for absent nodes. *)
+
+val weight : t -> Context.id -> Context.id -> int
+val total_accesses : t -> int
+val nodes : t -> Context.id list
+(** Ascending by id. *)
+
+val edges : t -> (Context.id * Context.id * int) list
+(** Normalised (x <= y), positive-weight edges, in unspecified order. *)
+
+val edges_of : t -> Context.id -> (Context.id * int) list
+(** Neighbours of a node with edge weights (includes itself if a loop edge
+    exists). *)
+
+val filter_top : t -> coverage:float -> t
+(** The paper's noise filter: iterate nodes from most- to least-accessed,
+    accumulating access counts; once [coverage] (e.g. 0.9) of all observed
+    accesses is covered, discard the remaining nodes (and their edges).
+    [total_accesses] of the result still reports the original total, since
+    thresholds in grouping are expressed against all observed accesses. *)
+
+val prune_edges : t -> min_weight:int -> t
+(** Drop edges with weight below [min_weight] (grouping's first step). *)
+
+val subgraph_weight : t -> Context.id list -> int
+(** Sum of weights of edges with both endpoints in the list (loops
+    included) — the "group weight" tested against the gthresh cutoff. *)

@@ -1,0 +1,94 @@
+type entry = { oid : int; ctx : Context.id; bytes : int; seq : int }
+
+type t = {
+  a : int; (* affinity distance, bytes *)
+  heap : Heap_model.t;
+  on_affinity : Context.id -> Context.id -> unit;
+  mutable ring : entry array;
+  mutable start : int; (* index of oldest entry *)
+  mutable count : int;
+  mutable accesses : int;
+  seen : (int, unit) Hashtbl.t; (* per-traversal double-counting guard *)
+}
+
+let dummy = { oid = -1; ctx = -1; bytes = 0; seq = -1 }
+
+let create ~affinity_distance ~heap ~on_affinity () =
+  if affinity_distance <= 0 then
+    invalid_arg "Affinity_queue.create: affinity distance must be positive";
+  {
+    a = affinity_distance;
+    heap;
+    on_affinity;
+    ring = Array.make 64 dummy;
+    start = 0;
+    count = 0;
+    accesses = 0;
+    seen = Hashtbl.create 64;
+  }
+
+let length t = t.count
+let accesses t = t.accesses
+
+let nth_newest t i =
+  (* i = 0 is the newest entry. *)
+  let idx = (t.start + t.count - 1 - i) mod Array.length t.ring in
+  t.ring.(idx)
+
+let push t e =
+  if t.count = Array.length t.ring then begin
+    let bigger = Array.make (2 * t.count) dummy in
+    for i = 0 to t.count - 1 do
+      bigger.(i) <- t.ring.((t.start + i) mod Array.length t.ring)
+    done;
+    t.ring <- bigger;
+    t.start <- 0
+  end;
+  t.ring.((t.start + t.count) mod Array.length t.ring) <- e;
+  t.count <- t.count + 1
+
+let drop_oldest t n =
+  let n = min n t.count in
+  t.start <- (t.start + n) mod Array.length t.ring;
+  t.count <- t.count - n
+
+let co_allocatable t (u : entry) (v : entry) =
+  let lo = min u.seq v.seq and hi = max u.seq v.seq in
+  (not (Heap_model.ctx_allocs_in_range t.heap ~ctx:u.ctx ~lo ~hi))
+  && not
+       (u.ctx <> v.ctx && Heap_model.ctx_allocs_in_range t.heap ~ctx:v.ctx ~lo ~hi)
+
+let add t (o : Heap_model.obj) ~bytes =
+  if bytes <= 0 then invalid_arg "Affinity_queue.add: non-positive access size";
+  (* Deduplication: a repeat of the immediately preceding object is part of
+     the same macro-level access. *)
+  if t.count > 0 && (nth_newest t 0).oid = o.Heap_model.oid then false
+  else begin
+    t.accesses <- t.accesses + 1;
+    let u = { oid = o.Heap_model.oid; ctx = o.Heap_model.ctx; bytes; seq = o.Heap_model.seq } in
+    Hashtbl.reset t.seen;
+    let acc = ref 0 in
+    let i = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !i < t.count do
+      let v = nth_newest t !i in
+      acc := !acc + v.bytes;
+      if !acc >= t.a then begin
+        stop := true;
+        (* Entries older than this one can never again fall inside the
+           window (future accumulated distances only grow), so trim them.
+           [v] itself stays: a future smaller access pattern could... not
+           reach it either, so it can go too once it has been excluded. *)
+        drop_oldest t (t.count - !i)
+      end
+      else begin
+        if v.oid <> u.oid && not (Hashtbl.mem t.seen v.oid) then begin
+          Hashtbl.replace t.seen v.oid ();
+          if co_allocatable t u v then t.on_affinity u.ctx v.ctx
+        end;
+        incr i
+      end
+    done;
+    push t u;
+    true
+  end

@@ -1,0 +1,72 @@
+module Addr_map = Map.Make (Int)
+
+type obj = { oid : int; addr : Addr.t; size : int; ctx : Context.id; seq : int }
+
+(* Per-context allocation sequence numbers, appended in increasing order
+   (seq is global and monotonic), so membership in an open interval is a
+   binary search. *)
+type seq_log = { mutable data : int array; mutable len : int }
+
+type t = {
+  mutable live : obj Addr_map.t; (* keyed by base address *)
+  mutable next_oid : int;
+  mutable next_seq : int;
+  ctx_seqs : (Context.id, seq_log) Hashtbl.t;
+}
+
+let create () =
+  { live = Addr_map.empty; next_oid = 0; next_seq = 0; ctx_seqs = Hashtbl.create 64 }
+
+let log_push t ctx seq =
+  let log =
+    match Hashtbl.find_opt t.ctx_seqs ctx with
+    | Some l -> l
+    | None ->
+        let l = { data = Array.make 16 0; len = 0 } in
+        Hashtbl.replace t.ctx_seqs ctx l;
+        l
+  in
+  if log.len = Array.length log.data then begin
+    let bigger = Array.make (2 * log.len) 0 in
+    Array.blit log.data 0 bigger 0 log.len;
+    log.data <- bigger
+  end;
+  log.data.(log.len) <- seq;
+  log.len <- log.len + 1
+
+let on_alloc t ~addr ~size ~ctx =
+  let o = { oid = t.next_oid; addr; size; ctx; seq = t.next_seq } in
+  t.next_oid <- t.next_oid + 1;
+  t.next_seq <- t.next_seq + 1;
+  log_push t ctx o.seq;
+  t.live <- Addr_map.add addr o t.live;
+  o
+
+let on_free t ~addr =
+  match Addr_map.find_opt addr t.live with
+  | None -> None
+  | Some o ->
+      t.live <- Addr_map.remove addr t.live;
+      Some o
+
+let find t addr =
+  match Addr_map.find_last_opt (fun base -> base <= addr) t.live with
+  | Some (_, o) when addr < o.addr + max o.size 1 -> Some o
+  | _ -> None
+
+let live_count t = Addr_map.cardinal t.live
+let allocs_total t = t.next_seq
+
+let ctx_allocs_in_range t ~ctx ~lo ~hi =
+  if hi - lo <= 1 then false
+  else
+    match Hashtbl.find_opt t.ctx_seqs ctx with
+    | None -> false
+    | Some log ->
+        (* Find the first seq > lo; check whether it is < hi. *)
+        let a = ref 0 and b = ref log.len in
+        while !a < !b do
+          let mid = (!a + !b) / 2 in
+          if log.data.(mid) <= lo then a := mid + 1 else b := mid
+        done;
+        !a < log.len && log.data.(!a) < hi

@@ -1,0 +1,41 @@
+(** Object-granularity tracking of live heap data (§4.1).
+
+    The profiling tool instruments all POSIX.1 memory-management calls and
+    tracks live data at object granularity: every load/store is resolved to
+    the heap object containing its target address, and every object knows
+    the context it was allocated from and its position in allocation order
+    (its {e sequence number}), which the affinity queue's co-allocatability
+    constraint consults. *)
+
+type obj = {
+  oid : int;  (** Unique per tracked allocation (never reused). *)
+  addr : Addr.t;
+  size : int;  (** Requested bytes. *)
+  ctx : Context.id;
+  seq : int;  (** Position in allocation order, 0-based, across contexts. *)
+}
+
+type t
+
+val create : unit -> t
+
+val on_alloc : t -> addr:Addr.t -> size:int -> ctx:Context.id -> obj
+(** Track a new allocation. The sequence number advances even for
+    allocations a caller later decides not to model, so chronology matches
+    the program's real allocation order. *)
+
+val on_free : t -> addr:Addr.t -> obj option
+(** Stop tracking the object based at [addr]; [None] if the address is not
+    a tracked object's base (e.g. it was never tracked). *)
+
+val find : t -> Addr.t -> obj option
+(** The live tracked object whose [addr, addr+size) interval contains the
+    given address, if any. *)
+
+val live_count : t -> int
+val allocs_total : t -> int
+
+val ctx_allocs_in_range : t -> ctx:Context.id -> lo:int -> hi:int -> bool
+(** Whether any allocation from [ctx] has a sequence number strictly
+    between [lo] and [hi] — the co-allocatability test's primitive. Counts
+    all allocations ever made (freed or not): chronology is immutable. *)

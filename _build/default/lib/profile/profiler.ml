@@ -1,0 +1,79 @@
+type config = {
+  affinity_distance : int;
+  max_tracked_size : int;
+  node_coverage : float;
+  seed : int;
+  sample_period : int;
+}
+
+let default_config =
+  {
+    affinity_distance = 128;
+    max_tracked_size = 4096;
+    node_coverage = 0.9;
+    seed = 1;
+    sample_period = 1;
+  }
+
+type result = {
+  graph : Affinity_graph.t;
+  raw_graph : Affinity_graph.t;
+  contexts : Context.table;
+  total_accesses : int;
+  tracked_allocs : int;
+  instructions : int;
+}
+
+let profile ?(config = default_config) program =
+  let vmem = Vmem.create () in
+  let alloc = Jemalloc_sim.create vmem in
+  let contexts = Context.create () in
+  let heap = Heap_model.create () in
+  let graph = Affinity_graph.create () in
+  let queue =
+    Affinity_queue.create ~affinity_distance:config.affinity_distance ~heap
+      ~on_affinity:(fun x y -> Affinity_graph.add_affinity graph x y)
+      ()
+  in
+  if config.sample_period < 1 then
+    invalid_arg "Profiler.profile: sample_period must be >= 1";
+  let tracked_allocs = ref 0 in
+  let tick = ref 0 in
+  let track addr size ctx_sites =
+    if size <= config.max_tracked_size then begin
+      let cid = Context.intern contexts ctx_sites in
+      ignore (Heap_model.on_alloc heap ~addr ~size ~ctx:cid : Heap_model.obj);
+      incr tracked_allocs
+    end
+  in
+  let hooks =
+    {
+      Interp.on_access =
+        (fun addr size _write ->
+          incr tick;
+          if !tick mod config.sample_period = 0 then
+            match Heap_model.find heap addr with
+            | None -> ()
+            | Some o ->
+                if Affinity_queue.add queue o ~bytes:size then
+                  Affinity_graph.add_access graph o.Heap_model.ctx);
+      on_alloc = (fun addr size _site ctx -> track addr size ctx);
+      on_realloc =
+        (fun old_addr addr size _site ctx ->
+          ignore (Heap_model.on_free heap ~addr:old_addr : Heap_model.obj option);
+          track addr size ctx);
+      on_free =
+        (fun addr -> ignore (Heap_model.on_free heap ~addr : Heap_model.obj option));
+    }
+  in
+  let interp = Interp.create ~seed:config.seed ~hooks ~program ~alloc () in
+  ignore (Interp.run interp : int);
+  let filtered = Affinity_graph.filter_top graph ~coverage:config.node_coverage in
+  {
+    graph = filtered;
+    raw_graph = graph;
+    contexts;
+    total_accesses = Affinity_queue.accesses queue;
+    tracked_allocs = !tracked_allocs;
+    instructions = Interp.instructions interp;
+  }

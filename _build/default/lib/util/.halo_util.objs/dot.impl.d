@@ -1,0 +1,1 @@
+lib/util/dot.ml: Array Buffer List Printf String

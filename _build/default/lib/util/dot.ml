@@ -1,0 +1,54 @@
+type node = { id : int; label : string; group : int option; accesses : int }
+type edge = { src : int; dst : int; weight : int }
+
+(* A colour-blind-safe qualitative palette (Okabe–Ito). *)
+let palette =
+  [|
+    "#E69F00"; "#56B4E9"; "#009E73"; "#F0E442"; "#0072B2"; "#D55E00"; "#CC79A7";
+    "#999933"; "#882255"; "#44AA99";
+  |]
+
+let group_color g = palette.(abs g mod Array.length palette)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(name = "affinity") ?(min_weight = 0) nodes edges =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  layout=neato;\n  overlap=false;\n  splines=true;\n";
+  Buffer.add_string buf "  node [style=filled, fontname=\"Helvetica\"];\n";
+  let max_w =
+    List.fold_left (fun acc (e : edge) -> max acc e.weight) 1 edges |> float_of_int
+  in
+  List.iter
+    (fun (n : node) ->
+      let color, fontcolor =
+        match n.group with
+        | Some g -> (group_color g, "#000000")
+        | None -> ("#BBBBBB", "#333333")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  n%d [label=\"%s\\n(%d accesses)\", fillcolor=\"%s\", fontcolor=\"%s\"];\n"
+           n.id (escape n.label) n.accesses color fontcolor))
+    nodes;
+  List.iter
+    (fun (e : edge) ->
+      if e.weight >= min_weight then
+        let pen = 1.0 +. (7.0 *. (float_of_int e.weight /. max_w)) in
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -- n%d [penwidth=%.2f, label=\"%d\"];\n" e.src e.dst
+             pen e.weight))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Graphviz [dot] emission for affinity graphs (Figure 9 analog).
+
+    The paper visualises allocation-context affinity graphs with nodes
+    coloured by group and edge thickness proportional to weight; this module
+    produces an equivalent [.dot] file from abstract node/edge descriptions
+    so the reproduction's graphs can be rendered with stock graphviz. *)
+
+type node = {
+  id : int;
+  label : string;
+  group : int option;  (** [None] renders grey (ungrouped), like the paper. *)
+  accesses : int;
+}
+
+type edge = { src : int; dst : int; weight : int }
+
+val render : ?name:string -> ?min_weight:int -> node list -> edge list -> string
+(** [render nodes edges] produces the text of an undirected dot graph.
+    Edges below [min_weight] (default 0) are hidden, mirroring the paper's
+    "edges with weight less than 200,000 are hidden" treatment. *)
+
+val group_color : int -> string
+(** Deterministic colour for a group index (cycles through a fixed palette). *)

@@ -1,0 +1,86 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_str f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(pretty = true) t =
+  let buf = Buffer.create 256 in
+  let rec go indent t =
+    let pad n = if pretty then Buffer.add_string buf (String.make (2 * n) ' ') in
+    let nl () = if pretty then Buffer.add_char buf '\n' in
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f -> Buffer.add_string buf (float_str f)
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun k item ->
+            if k > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (indent + 1);
+            go (indent + 1) item)
+          items;
+        nl ();
+        pad indent;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun k (name, value) ->
+            if k > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (indent + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape name);
+            Buffer.add_string buf (if pretty then "\": " else "\":");
+            go (indent + 1) value)
+          fields;
+        nl ();
+        pad indent;
+        Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let to_channel ?pretty oc t =
+  output_string oc (to_string ?pretty t);
+  output_char oc '\n'

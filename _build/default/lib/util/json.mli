@@ -1,0 +1,21 @@
+(** Minimal JSON emission (no external dependencies).
+
+    The paper's artefact generates "JSON files ... containing the specific
+    data points for each run" (A.6); {!Runner.to_json}-style serialisation
+    and the CLI's [--json] flag use this module. Emission only — the
+    reproduction never needs to parse JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise; [pretty] (default true) indents with two spaces. Strings
+    are escaped per RFC 8259; non-finite floats become [null]. *)
+
+val to_channel : ?pretty:bool -> out_channel -> t -> unit

@@ -1,0 +1,97 @@
+type align = Left | Right | Center
+
+type item = Row of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  arity : int;
+  mutable aligns : align list;
+  mutable items : item list; (* reversed *)
+}
+
+let create ?title ~headers () =
+  let arity = List.length headers in
+  if arity = 0 then invalid_arg "Table.create: no headers";
+  let aligns = List.mapi (fun i _ -> if i = 0 then Left else Right) headers in
+  { title; headers; arity; aligns; items = [] }
+
+let set_aligns t aligns =
+  if List.length aligns <> t.arity then invalid_arg "Table.set_aligns: arity mismatch";
+  t.aligns <- aligns
+
+let add_row t row =
+  if List.length row <> t.arity then invalid_arg "Table.add_row: arity mismatch";
+  t.items <- Row row :: t.items
+
+let add_rule t = t.items <- Rule :: t.items
+
+(* Visible width: we only emit ASCII so String.length is accurate. *)
+let width = String.length
+
+let pad align w s =
+  let n = width s in
+  if n >= w then s
+  else
+    match align with
+    | Left -> s ^ String.make (w - n) ' '
+    | Right -> String.make (w - n) ' ' ^ s
+    | Center ->
+        let l = (w - n) / 2 in
+        String.make l ' ' ^ s ^ String.make (w - n - l) ' '
+
+let render t =
+  let rows = List.rev t.items in
+  let widths = Array.of_list (List.map width t.headers) in
+  List.iter
+    (function
+      | Rule -> ()
+      | Row r -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (width c)) r)
+    rows;
+  let buf = Buffer.create 1024 in
+  let rule_line () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row aligns r =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_string buf " |")
+      r;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n');
+  rule_line ();
+  emit_row (List.map (fun _ -> Center) t.headers) t.headers;
+  rule_line ();
+  List.iter (function Rule -> rule_line () | Row r -> emit_row t.aligns r) rows;
+  rule_line ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_pct f =
+  let pct = f *. 100.0 in
+  Printf.sprintf "%+.2f%%" pct
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.2fKiB" (f /. 1024.0)
+  else if n < 1024 * 1024 * 1024 then Printf.sprintf "%.2fMiB" (f /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.2fGiB" (f /. (1024.0 *. 1024.0 *. 1024.0))
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f

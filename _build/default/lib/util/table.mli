@@ -1,0 +1,41 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints one table per reproduced paper figure/table;
+    this module renders aligned, boxed ASCII tables so the output is readable
+    both in a terminal and in [bench_output.txt]. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> headers:string list -> unit -> t
+(** [create ~headers ()] starts a table; every row added later must have the
+    same arity as [headers]. *)
+
+val set_aligns : t -> align list -> unit
+(** Per-column alignment; default is [Left] for the first column and [Right]
+    for the rest (numeric-heavy tables). Raises [Invalid_argument] on arity
+    mismatch. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] on arity mismatch. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator rule at the current position. *)
+
+val render : t -> string
+(** Render to a string (trailing newline included). *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)
+
+val fmt_pct : float -> string
+(** Format a fraction as a signed percentage, e.g. [0.0423] -> ["+4.23%"]. *)
+
+val fmt_bytes : int -> string
+(** Human bytes: ["37.06KiB"], ["2.05MiB"], matching the paper's Table 1
+    style. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float with [decimals] (default 2) places. *)

@@ -1,0 +1,1 @@
+lib/vm/dsl.mli: Ir

@@ -1,0 +1,1 @@
+lib/vm/exec_env.ml: Bitset Ir

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Addr Alloc_iface Array Bitset Exec_env Fun Hashtbl Ir List Option Printf Rng Shadow_stack Vmem

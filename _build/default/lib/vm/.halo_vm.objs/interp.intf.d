@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Addr Alloc_iface Exec_env Ir Vmem

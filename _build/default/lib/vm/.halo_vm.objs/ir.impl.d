@@ -1,0 +1,1 @@
+lib/vm/ir.ml: Hashtbl List Printf

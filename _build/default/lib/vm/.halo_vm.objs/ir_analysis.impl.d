@@ -1,0 +1,1 @@
+lib/vm/ir_analysis.ml: Hashtbl Ir List Printf

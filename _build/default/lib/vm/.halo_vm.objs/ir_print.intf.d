@@ -1,0 +1,1 @@
+lib/vm/ir_print.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/vm/shadow_stack.mli: Ir

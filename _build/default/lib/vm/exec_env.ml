@@ -1,0 +1,8 @@
+type t = {
+  group_state : Bitset.t;
+  mutable cur_alloc_site : Ir.site;
+  mutable cur_name4 : int;
+}
+
+let create ?(group_bits = 64) () =
+  { group_state = Bitset.create group_bits; cur_alloc_site = 0; cur_name4 = 0 }

@@ -1,0 +1,28 @@
+(** Shared runtime state between the rewritten program and the allocator.
+
+    In the real system, BOLT-inserted instructions write a group-state bit
+    vector in a known data section, and the specialised allocator locates it
+    when loaded (§4.4); the allocator also implicitly sees the return
+    address of its caller. Here the two sides share this record instead:
+    the interpreter updates it, and allocator classifiers read it. Create
+    it first, hand it to both {!Group_alloc.create}-style allocators and
+    {!Interp.create}. *)
+
+type t = {
+  group_state : Bitset.t;
+      (** One bit per instrumented call site; set while control is inside
+          the site's dynamic extent. *)
+  mutable cur_alloc_site : Ir.site;
+      (** The call site of the allocation currently being serviced — the
+          "immediate call site of the allocation procedure" used by the
+          hot-data-streams comparator's identification; 0 outside an
+          allocation. *)
+  mutable cur_name4 : int;
+      (** Calder-style allocation name: XOR of the last four sites of the
+          current allocation's reduced context (the runtime analog of
+          XOR-ing the last four return addresses); 0 outside an
+          allocation. Used by {!Name_ident}. *)
+}
+
+val create : ?group_bits:int -> unit -> t
+(** [group_bits] (default 64) is the capacity of the group-state vector. *)

@@ -1,0 +1,152 @@
+type info = {
+  program : Ir.program;
+  calls : (string, (Ir.site * string) list) Hashtbl.t;
+      (* function -> its call sites with callees *)
+  allocs : (string, Ir.site list) Hashtbl.t; (* function -> allocation sites *)
+  func_of_site : (Ir.site, string) Hashtbl.t;
+}
+
+type t = info
+
+let analyse program =
+  let calls = Hashtbl.create 64 in
+  let allocs = Hashtbl.create 64 in
+  let func_of_site = Hashtbl.create 256 in
+  let add tbl key v =
+    Hashtbl.replace tbl key (v :: (try Hashtbl.find tbl key with Not_found -> []))
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      Hashtbl.replace calls f.Ir.fname [];
+      Hashtbl.replace allocs f.Ir.fname [];
+      let rec stmt = function
+        | Ir.Call (_, callee, _, site) ->
+            add calls f.Ir.fname (site, callee);
+            Hashtbl.replace func_of_site site f.Ir.fname
+        | Ir.Malloc (_, _, site) | Ir.Calloc (_, _, _, site)
+        | Ir.Realloc (_, _, _, site) ->
+            add allocs f.Ir.fname site;
+            Hashtbl.replace func_of_site site f.Ir.fname
+        | Ir.If (_, a, b) ->
+            List.iter stmt a;
+            List.iter stmt b
+        | Ir.While (_, a) -> List.iter stmt a
+        | Ir.Let _ | Ir.Gassign _ | Ir.Free _ | Ir.Load _ | Ir.Store _
+        | Ir.Return _ | Ir.Compute _ ->
+            ()
+      in
+      List.iter stmt f.Ir.body)
+    (Ir.funcs program);
+  { program; calls; allocs; func_of_site }
+
+let callees t f =
+  (try Hashtbl.find t.calls f with Not_found -> [])
+  |> List.map snd |> List.sort_uniq compare
+
+let call_graph t =
+  Ir.funcs t.program
+  |> List.map (fun (f : Ir.func) -> (f.Ir.fname, callees t f.Ir.fname))
+  |> List.sort compare
+
+let reachable_set t =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      List.iter go (callees t f)
+    end
+  in
+  go (Ir.main t.program);
+  seen
+
+let reachable t =
+  let seen = reachable_set t in
+  Hashtbl.fold (fun f () acc -> f :: acc) seen [] |> List.sort compare
+
+let unreachable t =
+  let seen = reachable_set t in
+  Ir.funcs t.program
+  |> List.filter_map (fun (f : Ir.func) ->
+         if Hashtbl.mem seen f.Ir.fname then None else Some f.Ir.fname)
+  |> List.sort compare
+
+(* Cycle detection restricted to the reachable subgraph, via DFS colours. *)
+let recursive t =
+  let state = Hashtbl.create 64 in
+  (* 1 = on stack, 2 = done *)
+  let rec go f =
+    match Hashtbl.find_opt state f with
+    | Some 1 -> true
+    | Some _ -> false
+    | None ->
+        Hashtbl.replace state f 1;
+        let cyc = List.exists go (callees t f) in
+        Hashtbl.replace state f 2;
+        cyc
+  in
+  go (Ir.main t.program)
+
+let max_depth t =
+  if recursive t then None
+  else begin
+    let memo = Hashtbl.create 64 in
+    let rec depth f =
+      match Hashtbl.find_opt memo f with
+      | Some d -> d
+      | None ->
+          let d =
+            1 + List.fold_left (fun acc g -> max acc (depth g)) 0 (callees t f)
+          in
+          Hashtbl.replace memo f d;
+          d
+    in
+    Some (depth (Ir.main t.program))
+  end
+
+(* can_reach.(g)(f): g = f, or a call path g -> ... -> f exists. *)
+let can_reach t src dst =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    f = dst
+    || (not (Hashtbl.mem seen f))
+       && begin
+            Hashtbl.replace seen f ();
+            List.exists go (callees t f)
+          end
+  in
+  go src
+
+let possible_sites_above t site =
+  let owner =
+    match Hashtbl.find_opt t.func_of_site site with
+    | Some f -> f
+    | None -> invalid_arg "Ir_analysis.possible_sites_above: unknown site"
+  in
+  if not (List.exists (fun (_, sites) -> List.mem site sites)
+            (Hashtbl.fold (fun f s acc -> (f, s) :: acc) t.allocs []))
+  then invalid_arg "Ir_analysis.possible_sites_above: not an allocation site";
+  let main_reach = reachable_set t in
+  let result = ref [] in
+  Hashtbl.iter
+    (fun g call_sites ->
+      if Hashtbl.mem main_reach g then
+        List.iter
+          (fun (s, callee) -> if can_reach t callee owner then result := s :: !result)
+          call_sites)
+    t.calls;
+  List.sort_uniq compare !result
+
+let stats_to_string t =
+  let nfuncs = List.length (Ir.funcs t.program) in
+  let nsites = List.length (Ir.sites t.program) in
+  let nallocs = List.length (Ir.alloc_sites t.program) in
+  let depth =
+    match max_depth t with
+    | Some d -> string_of_int d
+    | None -> "unbounded (recursive)"
+  in
+  Printf.sprintf
+    "functions: %d (%d unreachable)\nsites: %d (%d allocation sites)\nmax call depth: %s\nrecursive: %b\n"
+    nfuncs
+    (List.length (unreachable t))
+    nsites nallocs depth (recursive t)

@@ -1,0 +1,40 @@
+(** Static analysis over workload programs.
+
+    Small compiler-style analyses used for workload validation, for
+    reasoning about identification (which call sites can appear on the
+    stack above each allocation), and by the CLI's program statistics:
+
+    - the static call graph and reachability from [main];
+    - static call-depth bounds (with recursion detected and reported);
+    - for every allocation site, the set of call sites that can possibly
+      be live on the stack when it executes — a sound over-approximation
+      of the contexts the profiler can observe, which the tests use to
+      check that selectors only ever monitor plausible sites. *)
+
+type t
+
+val analyse : Ir.program -> t
+
+val call_graph : t -> (string * string list) list
+(** Each function with the (sorted, distinct) functions it may call. *)
+
+val reachable : t -> string list
+(** Functions reachable from [main], sorted. *)
+
+val unreachable : t -> string list
+(** Dead functions (defined but unreachable), sorted. *)
+
+val recursive : t -> bool
+(** Whether the call graph has a cycle reachable from [main]. *)
+
+val max_depth : t -> int option
+(** Longest call chain from [main] (1 = just [main]); [None] when the
+    program is recursive (depth unbounded statically). *)
+
+val possible_sites_above : t -> Ir.site -> Ir.site list
+(** For an allocation site, every call site that can be on the stack when
+    the allocation executes (not including the allocation site itself),
+    sorted. Raises [Invalid_argument] for a non-allocation site. *)
+
+val stats_to_string : t -> string
+(** Human-readable summary: function/site counts, reachability, depth. *)

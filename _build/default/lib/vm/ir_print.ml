@@ -1,0 +1,85 @@
+open Ir
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Var x -> Format.pp_print_string ppf x
+  | Gvar x -> Format.fprintf ppf "@@%s" x
+  | Rand b -> Format.fprintf ppf "rand(%a)" pp_expr b
+  | Not e -> Format.fprintf ppf "!(%a)" pp_expr e
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+
+let pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_expr ppf args
+
+let rec pp_stmt ?(indent = 0) ppf st =
+  let pad = String.make indent ' ' in
+  let block body =
+    List.iter
+      (fun s -> Format.fprintf ppf "%a@," (pp_stmt ~indent:(indent + 2)) s)
+      body
+  in
+  match st with
+  | Let (x, e) -> Format.fprintf ppf "%s%s = %a;" pad x pp_expr e
+  | Gassign (x, e) -> Format.fprintf ppf "%s@@%s = %a;" pad x pp_expr e
+  | Malloc (x, sz, site) ->
+      Format.fprintf ppf "%s%s = malloc(%a);  // site 0x%x" pad x pp_expr sz site
+  | Calloc (x, n, sz, site) ->
+      Format.fprintf ppf "%s%s = calloc(%a, %a);  // site 0x%x" pad x pp_expr n
+        pp_expr sz site
+  | Realloc (x, p, sz, site) ->
+      Format.fprintf ppf "%s%s = realloc(%a, %a);  // site 0x%x" pad x pp_expr p
+        pp_expr sz site
+  | Free e -> Format.fprintf ppf "%sfree(%a);" pad pp_expr e
+  | Load (x, p, off, bytes) ->
+      Format.fprintf ppf "%s%s = *%d(%a + %a);" pad x bytes pp_expr p pp_expr off
+  | Store (p, off, value, bytes) ->
+      Format.fprintf ppf "%s*%d(%a + %a) = %a;" pad bytes pp_expr p pp_expr off
+        pp_expr value
+  | Call (dst, f, args, site) ->
+      Format.fprintf ppf "%s%s%s(%a);  // site 0x%x" pad
+        (match dst with Some d -> d ^ " = " | None -> "")
+        f pp_args args site
+  | If (c, a, b) ->
+      Format.fprintf ppf "%sif (%a) {@," pad pp_expr c;
+      block a;
+      if b <> [] then begin
+        Format.fprintf ppf "%s} else {@," pad;
+        block b
+      end;
+      Format.fprintf ppf "%s}" pad
+  | While (c, body) ->
+      Format.fprintf ppf "%swhile (%a) {@," pad pp_expr c;
+      block body;
+      Format.fprintf ppf "%s}" pad
+  | Return e -> Format.fprintf ppf "%sreturn %a;" pad pp_expr e
+  | Compute n -> Format.fprintf ppf "%scompute(%d);" pad n
+
+let pp_func ppf (f : func) =
+  Format.fprintf ppf "@[<v>func %s(%s) {@," f.fname (String.concat ", " f.params);
+  List.iter (fun s -> Format.fprintf ppf "%a@," (pp_stmt ~indent:2) s) f.body;
+  Format.fprintf ppf "}@]"
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>// main = %s@,@," (Ir.main p);
+  List.iter (fun f -> Format.fprintf ppf "%a@,@," pp_func f) (Ir.funcs p);
+  Format.fprintf ppf "@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p

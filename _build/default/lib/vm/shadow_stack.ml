@@ -1,0 +1,47 @@
+type frame = { func : string; site : Ir.site }
+type t = { mutable frames : frame list (* innermost first *); mutable depth : int }
+
+let create () = { frames = []; depth = 0 }
+
+let push t ~func ~site =
+  t.frames <- { func; site } :: t.frames;
+  t.depth <- t.depth + 1
+
+let pop t =
+  match t.frames with
+  | [] -> failwith "Shadow_stack.pop: underflow"
+  | _ :: rest ->
+      t.frames <- rest;
+      t.depth <- t.depth - 1
+
+let depth t = t.depth
+
+(* Walk innermost-to-outermost keeping the first (i.e. most recent)
+   occurrence of each (function, site) pair, then reverse into
+   outermost-to-innermost order. *)
+let reduce_frames frames =
+  let seen = Hashtbl.create 16 in
+  let kept =
+    List.filter
+      (fun f ->
+        let key = (f.func, f.site) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      frames
+  in
+  let n = List.length kept in
+  let out = Array.make n 0 in
+  List.iteri (fun idx f -> out.(n - 1 - idx) <- f.site) kept;
+  out
+
+let reduced t = reduce_frames t.frames
+
+let reduce_sites arr =
+  let frames =
+    Array.to_list arr |> List.rev
+    |> List.map (fun (func, site) -> { func; site })
+  in
+  reduce_frames frames

@@ -1,0 +1,33 @@
+(** The profiler's shadow call stack (§4.1).
+
+    During profiling HALO maintains a shadow stack that deliberately differs
+    from the true call stack: it records, for each active call, the exact
+    call site from which the function was invoked. At an allocation, the
+    stack is flattened into the allocation's {e context}.
+
+    Stacks containing recursive calls are transformed into a canonical
+    {e reduced} form in which only the most recent occurrence of any
+    (function, call site) pair is retained — bounding contexts for
+    arbitrarily deep recursion without imposing fixed size limits, while
+    avoiding the overfitting of raw unbounded stacks. *)
+
+type t
+
+val create : unit -> t
+val push : t -> func:string -> site:Ir.site -> unit
+val pop : t -> unit
+(** Raises [Failure] on underflow (an interpreter bug, not a program one). *)
+
+val depth : t -> int
+(** Raw (un-reduced) depth. *)
+
+val reduced : t -> Ir.site array
+(** The canonical reduced context: call sites from outermost to innermost,
+    with only the most recent occurrence of each (function, site) pair
+    kept. The allocation site itself is {e not} included — callers append
+    it (see {!Profiler}). *)
+
+val reduce_sites : (string * Ir.site) array -> Ir.site array
+(** Pure reduction on an explicit outermost-to-innermost stack of
+    (function, site) frames — exposed for direct testing of the
+    canonicalisation rule. *)

@@ -1,0 +1,1 @@
+lib/workloads/wl_ft.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_omnetpp.ml: Dsl Group_alloc Workload

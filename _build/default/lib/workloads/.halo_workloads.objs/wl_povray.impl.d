@@ -1,0 +1,1 @@
+lib/workloads/wl_povray.ml: Dsl Workload

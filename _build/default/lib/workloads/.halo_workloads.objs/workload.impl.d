@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Fun Group_alloc Grouping Ir

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List Wl_ammp Wl_analyzer Wl_art Wl_equake Wl_ft Wl_health Wl_leela Wl_omnetpp Wl_povray Wl_roms Wl_xalanc Workload

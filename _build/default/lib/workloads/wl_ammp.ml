@@ -1,0 +1,76 @@
+(* ammp (SPEC CPU2000) — molecular mechanics.
+
+   Atoms live on a linked list walked every force step, reading position
+   fields and one bonded neighbour; each atom drags a same-size-class
+   "bond parameter" record allocated right after it that the force loop
+   never touches. Direct, distinct allocation sites: an easy target for
+   both techniques (paper: ~8-12% for both, HALO ahead). *)
+
+open Dsl
+
+let sizes = function
+  | Workload.Test -> (900, 55) (* atoms, force steps *)
+  | Workload.Train -> (2000, 110)
+  | Workload.Ref -> (3600, 200)
+
+(* Atom: 0 next, 8 x, 16 y, 24 z, 32 bonded-neighbour ptr. *)
+
+let make scale =
+  let n_atoms, steps = sizes scale in
+  let funcs =
+    [
+      func "new_atom" []
+        [
+          malloc "a" (i 32);
+          store (v "a") (i 8) (rand (i 512));
+          store (v "a") (i 16) (rand (i 512));
+          store (v "a") (i 24) (i 0);
+          return_ (v "a");
+        ];
+      func "new_bond_params" []
+        [ malloc "b" (i 32); store (v "b") (i 0) (rand (i 64)); return_ (v "b") ];
+      func "build_molecule" []
+        (* Atoms arrive in residue bursts of four, followed by the
+           residue's cold parameter record — so the baseline keeps bursts
+           nearly contiguous (random pools destroy this; Figure 15). *)
+        (for_ "k" ~from:(i 0) ~below:(i n_atoms)
+           [
+             call ~dst:"a" "new_atom" [];
+             store (v "a") (i 24) (g "atoms");
+             store (v "a") (i 0) (g "atoms");
+             gassign "atoms" (v "a");
+             if_ (v "k" %: i 4 =: i 3) [ call ~dst:"bp" "new_bond_params" [] ] [];
+           ]);
+      func "force_step" []
+        [
+          let_ "a" (g "atoms");
+          while_
+            (v "a" <>: i 0)
+            [
+              load "x" (v "a") (i 8);
+              load "y" (v "a") (i 16);
+              load "nb" (v "a") (i 24);
+              if_ (v "nb" <>: i 0)
+                [
+                  load "nx" (v "nb") (i 8);
+                  store (v "a") (i 8) (v "x" +: ((v "nx" -: v "x") /: i 16));
+                ]
+                [ store (v "a") (i 8) (v "x" +: v "y") ];
+              compute 7;
+              load "nxt" (v "a") (i 0);
+              let_ "a" (v "nxt");
+            ];
+        ];
+      func "main" []
+        ([ gassign "atoms" (i 0); call "build_molecule" [] ]
+        @ for_ "t" ~from:(i 0) ~below:(i steps) [ call "force_step" [] ]);
+    ]
+  in
+  program ~main:"main" funcs
+
+let workload =
+  Workload.plain ~name:"ammp"
+    ~description:
+      "SPEC ammp: force loop over an atom list with bonded-neighbour \
+       reads; cold bond-parameter records interleave the atom class"
+    ~make ()

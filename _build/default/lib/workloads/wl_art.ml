@@ -1,0 +1,65 @@
+(* art (SPEC CPU2000) — adaptive resonance theory neural network.
+
+   F1-layer neurons are allocated directly and scanned in order through a
+   pointer table every training iteration (two fields read, one written);
+   a same-size-class weight-shadow record per neuron is written once at
+   initialisation and never read in the scan. Direct sites; both
+   techniques co-locate the neurons (paper: both gain, ~6-10%). *)
+
+open Dsl
+
+let sizes = function
+  | Workload.Test -> (1100, 110) (* neurons, training scans *)
+  | Workload.Train -> (2500, 220)
+  | Workload.Ref -> (4500, 400)
+
+(* Neuron: 0 activation, 8 gain, 16 output. *)
+
+let make scale =
+  let n_neurons, scans = sizes scale in
+  let funcs =
+    [
+      func "new_neuron" []
+        [
+          malloc "u" (i 32);
+          store (v "u") (i 0) (rand (i 256));
+          store (v "u") (i 8) (i 1);
+          return_ (v "u");
+        ];
+      func "new_weight_shadow" []
+        [ malloc "w" (i 32); store (v "w") (i 0) (rand (i 256)); return_ (v "w") ];
+      func "train_scan" []
+        (for_ "k" ~from:(i 0) ~below:(i n_neurons)
+           [
+             load "u" (g "f1") (v "k" *: i 8);
+             load "act" (v "u") (i 0);
+             load "gain" (v "u") (i 8);
+             store (v "u") (i 16) (v "act" *: v "gain");
+             compute 5;
+           ]);
+      func "main" []
+        ([ calloc "t" (i n_neurons) (i 8); gassign "f1" (v "t") ]
+        @ for_ "k" ~from:(i 0) ~below:(i n_neurons)
+            [
+              call ~dst:"u" "new_neuron" [];
+              store (g "f1") (v "k" *: i 8) (v "u");
+              (* Two cold shadows after each burst of five neurons (the
+                 period is deliberately not a whole number of lines). *)
+              if_ (v "k" %: i 5 =: i 4)
+                [
+                  call ~dst:"w" "new_weight_shadow" [];
+                  call ~dst:"w2" "new_weight_shadow" [];
+                ]
+                [];
+            ]
+        @ for_ "s" ~from:(i 0) ~below:(i scans) [ call "train_scan" [] ]);
+    ]
+  in
+  program ~main:"main" funcs
+
+let workload =
+  Workload.plain ~name:"art"
+    ~description:
+      "SPEC art: in-order neuron scans via a pointer table; cold weight \
+       shadows dilute the neuron size class"
+    ~make ()

@@ -1,0 +1,86 @@
+(* equake (SPEC CPU2000) — earthquake simulation, sparse matrix-vector
+   products.
+
+   The sparse matrix is a list of row headers, each owning a chain of
+   coefficient cells; rows and cells are allocated interleaved with cold
+   per-row index records of the same size class. The SMVP loop walks rows
+   and their cells every timestep. Direct sites; both techniques gain
+   (paper: ~10-15%). *)
+
+open Dsl
+
+let sizes = function
+  | Workload.Test -> (240, 6, 42) (* rows, cells/row, timesteps *)
+  | Workload.Train -> (550, 7, 90)
+  | Workload.Ref -> (950, 7, 160)
+
+(* Row: 0 next-row, 8 cell head, 16 accumulator. Cell: 0 next, 8 coeff,
+   16 column. *)
+
+let make scale =
+  let rows, cells_per, steps = sizes scale in
+  let funcs =
+    [
+      func "new_row" []
+        [
+          malloc "r" (i 32);
+          store (v "r") (i 8) (i 0);
+          store (v "r") (i 16) (i 0);
+          return_ (v "r");
+        ];
+      func "new_cell" [ "row" ]
+        [
+          malloc "c" (i 32);
+          load "head" (v "row") (i 8);
+          store (v "c") (i 0) (v "head");
+          store (v "c") (i 8) (rand (i 64) +: i 1);
+          store (v "c") (i 16) (rand (i 1024));
+          store (v "row") (i 8) (v "c");
+        ];
+      func "new_index_rec" []
+        [ malloc "x" (i 32); store (v "x") (i 0) (rand (i 1024)); return_ (v "x") ];
+      func "smvp_step" []
+        [
+          let_ "r" (g "rows");
+          while_
+            (v "r" <>: i 0)
+            [
+              let_ "acc" (i 0);
+              load "c" (v "r") (i 8);
+              while_
+                (v "c" <>: i 0)
+                [
+                  load "coef" (v "c") (i 8);
+                  load "col" (v "c") (i 16);
+                  let_ "acc" (v "acc" +: (v "coef" *: v "col"));
+                  load "c2" (v "c") (i 0);
+                  let_ "c" (v "c2");
+                ];
+              store (v "r") (i 16) (v "acc");
+              load "r2" (v "r") (i 0);
+              let_ "r" (v "r2");
+            ];
+        ];
+      func "main" []
+        ([ gassign "rows" (i 0) ]
+        @ for_ "ir" ~from:(i 0) ~below:(i rows)
+            ([
+               call ~dst:"r" "new_row" [];
+               store (v "r") (i 0) (g "rows");
+               gassign "rows" (v "r");
+               call ~dst:"x" "new_index_rec" [];
+             ]
+            @ for_ "k" ~from:(i 0) ~below:(i cells_per)
+                [ call "new_cell" [ v "r" ] ]
+            @ [ call ~dst:"x2" "new_index_rec" []; call ~dst:"x3" "new_index_rec" [] ])
+        @ for_ "t" ~from:(i 0) ~below:(i steps) [ call "smvp_step" [] ]);
+    ]
+  in
+  program ~main:"main" funcs
+
+let workload =
+  Workload.plain ~name:"equake"
+    ~description:
+      "SPEC equake: SMVP over row/cell chains; cold index records \
+       interleave both hot classes"
+    ~make ()

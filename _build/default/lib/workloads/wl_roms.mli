@@ -1,0 +1,4 @@
+(** The roms benchmark analog — see the implementation header for the
+    structural design and the paper-claim rationale. *)
+
+val workload : Workload.t

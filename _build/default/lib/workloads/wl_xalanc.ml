@@ -1,0 +1,113 @@
+(* xalanc (SPEC CPU2017) — XSLT transformation with deep indirection.
+
+   The paper: "xalanc displays significant indirection in its call chains,
+   requiring the traversal of tens of stack frames to properly appreciate
+   the context in which allocations have been made". Result-tree nodes of
+   three kinds are allocated through a shared five-stage forwarding chain
+   ending in a XalanAllocate wrapper; the kinds are distinguishable only
+   near the top of the stack (handle_element / handle_text / handle_attr).
+
+   The immediate allocation site is identical for everything, so hot-data-
+   streams identification fails entirely; HALO's reduced full-stack context
+   separates the kinds and pools the two hot ones (element + text nodes),
+   whose output traversal is memory-bound. The paper's largest CPU2017 win
+   (~16% speedup). *)
+
+open Dsl
+
+let sizes = function
+  | Workload.Test -> (1800, 30) (* input items, output passes *)
+  | Workload.Train -> (3800, 65)
+  | Workload.Ref -> (7000, 120)
+
+(* Node: 0 next, 8 payload, 16 aux. *)
+
+let chain_funcs =
+  (* stage1 -> ... -> stage5 -> xalan_allocate -> malloc: one shared path,
+     ~7 frames between the distinguishing caller and the allocation. *)
+  [
+    func "xalan_allocate" [ "size" ] [ malloc "p" (v "size"); return_ (v "p") ];
+    func "stage5" [ "size" ]
+      [ call ~dst:"p" "xalan_allocate" [ v "size" ]; return_ (v "p") ];
+    func "stage4" [ "size" ] [ call ~dst:"p" "stage5" [ v "size" ]; return_ (v "p") ];
+    func "stage3" [ "size" ] [ call ~dst:"p" "stage4" [ v "size" ]; return_ (v "p") ];
+    func "stage2" [ "size" ] [ call ~dst:"p" "stage3" [ v "size" ]; return_ (v "p") ];
+    func "stage1" [ "size" ] [ call ~dst:"p" "stage2" [ v "size" ]; return_ (v "p") ];
+  ]
+
+let make scale =
+  let n_items, passes = sizes scale in
+  let handler name list_global extra =
+    func name []
+      ([
+         call ~dst:"n" "stage1" [ i 32 ];
+         store (v "n") (i 8) (rand (i 512));
+       ]
+      @ extra
+      @ [
+          store (v "n") (i 0) (g list_global);
+          gassign list_global (v "n");
+        ])
+  in
+  let funcs =
+    chain_funcs
+    @ [
+        (* Hot: element and text result nodes, each on its own output list. *)
+        handler "handle_element" "elements" [ store (v "n") (i 16) (rand (i 64)) ];
+        handler "handle_text" "texts" [];
+        (* Cold: attribute nodes, written once and never traversed. *)
+        handler "handle_attr" "attrs" [ compute 2 ];
+        func "emit_list" [ "head" ]
+          [
+            let_ "n" (v "head");
+            while_
+              (v "n" <>: i 0)
+              [
+                load "p1" (v "n") (i 8);
+                load "p2" (v "n") (i 16);
+                store (v "n") (i 16) (v "p2" +: v "p1");
+                compute 2;
+                load "nxt" (v "n") (i 0);
+                let_ "n" (v "nxt");
+              ];
+          ];
+        func "transform" []
+          (for_ "it" ~from:(i 0) ~below:(i n_items)
+             [
+               let_ "kind" (rand (i 3));
+               (* Attribute (cold) nodes are half of all allocations,
+                  diluting the hot lists in the shared size class. *)
+               if_ (v "kind" =: i 0)
+                 [ call "handle_element" [] ]
+                 [
+                   if_ (v "kind" =: i 1)
+                     [ call "handle_text" [] ]
+                     [ call "handle_attr" [] ];
+                 ];
+             ]);
+        func "main" []
+          ([
+             gassign "elements" (i 0);
+             gassign "texts" (i 0);
+             gassign "attrs" (i 0);
+             call "transform" [];
+           ]
+          @ for_ "p" ~from:(i 0) ~below:(i passes)
+              [
+                call "emit_list" [ g "elements" ];
+                call "emit_list" [ g "texts" ];
+              ]);
+      ]
+  in
+  program ~main:"main" funcs
+
+let workload =
+  Workload.plain ~name:"xalanc"
+    ~description:
+      "SPEC xalanc: result-tree nodes through a deep shared forwarding \
+       chain; kinds distinguishable only by full context"
+    ~in_frag_table:false
+    ~halo_allocator:(fun c ->
+      (* A.8: --max-spare-chunks 0; group chunks always reused. *)
+      { c with Group_alloc.spare_policy = Group_alloc.Always_reuse })
+    ~make ()

@@ -1,0 +1,14 @@
+type scale = Test | Train | Ref
+
+type t = {
+  name : string;
+  description : string;
+  make : scale -> Ir.program;
+  halo_allocator : Group_alloc.config -> Group_alloc.config;
+  halo_grouping : Grouping.params -> Grouping.params;
+  in_frag_table : bool;
+}
+
+let plain ~name ~description ~make ?(halo_allocator = Fun.id)
+    ?(halo_grouping = Fun.id) ?(in_frag_table = true) () =
+  { name; description; make; halo_allocator; halo_grouping; in_frag_table }

@@ -1,0 +1,17 @@
+let all =
+  [
+    Wl_health.workload;
+    Wl_ft.workload;
+    Wl_analyzer.workload;
+    Wl_ammp.workload;
+    Wl_art.workload;
+    Wl_equake.workload;
+    Wl_povray.workload;
+    Wl_omnetpp.workload;
+    Wl_xalanc.workload;
+    Wl_leela.workload;
+    Wl_roms.workload;
+  ]
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) all
+let names = List.map (fun w -> w.Workload.name) all

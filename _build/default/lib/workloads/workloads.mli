@@ -1,0 +1,7 @@
+(** Registry of the 11 evaluation workloads, in the paper's Figure 13/14
+    order: the six prior-work benchmarks first, then the five SPECrate
+    CPU2017 ones. *)
+
+val all : Workload.t list
+val find : string -> Workload.t option
+val names : string list

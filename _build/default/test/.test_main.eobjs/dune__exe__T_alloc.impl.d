@@ -1,0 +1,1 @@
+test/t_alloc.ml: Addr Alcotest Alloc_iface Bump Hashtbl Jemalloc_sim List Ptmalloc_sim QCheck2 QCheck_alcotest Rng Vmem

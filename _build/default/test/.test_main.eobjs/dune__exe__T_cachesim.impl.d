@@ -1,0 +1,1 @@
+test/t_cachesim.ml: Alcotest Cache Hierarchy List QCheck2 QCheck_alcotest Timing Tlb

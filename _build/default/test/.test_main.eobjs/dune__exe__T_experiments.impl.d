@@ -1,0 +1,1 @@
+test/t_experiments.ml: Alcotest Figures Float Group_alloc Hierarchy List Option Pipeline Runner String Table Workloads

@@ -1,0 +1,1 @@
+test/t_hds.ml: Alcotest Array Exec_env Hashtbl Hds_pipeline Hot_streams List Option QCheck2 QCheck_alcotest Sequitur Set_packing Workload Workloads

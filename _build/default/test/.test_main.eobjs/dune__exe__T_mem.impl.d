@@ -1,0 +1,1 @@
+test/t_mem.ml: Addr Alcotest Option QCheck2 QCheck_alcotest Size_class Vmem

@@ -1,0 +1,1 @@
+test/t_profile.ml: Affinity_graph Affinity_queue Alcotest Array Context Dsl Heap_model List Option Profiler QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/t_reference_models.ml: Affinity_graph Affinity_queue Array Cache Float Hashtbl Heap_model Identify List QCheck2 QCheck_alcotest Score

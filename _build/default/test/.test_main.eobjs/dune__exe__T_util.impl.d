@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Bitset Dot Float Fun List QCheck2 QCheck_alcotest Rng Stats String Table

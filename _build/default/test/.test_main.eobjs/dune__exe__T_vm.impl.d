@@ -1,0 +1,1 @@
+test/t_vm.ml: Alcotest Array Bitset Context Dsl Exec_env Group_alloc Interp Ir Ir_analysis Jemalloc_sim List Option Profiler QCheck2 QCheck_alcotest Shadow_stack String Vmem Workload Workloads

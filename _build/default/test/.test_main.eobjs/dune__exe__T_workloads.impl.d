@@ -1,0 +1,1 @@
+test/t_workloads.ml: Affinity_graph Alcotest Array Context Group_alloc Grouping Interp Ir Jemalloc_sim List Option Profiler Vmem Workload Workloads

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_alloc T_cachesim T_core T_experiments T_extensions T_hds T_mem T_profile T_reference_models T_util T_vm T_workloads

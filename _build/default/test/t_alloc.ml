@@ -1,0 +1,271 @@
+(* Tests for halo_alloc: the allocator interface bookkeeping, Bump,
+   Jemalloc_sim and Ptmalloc_sim — including the property tests on
+   allocator invariants (no overlap, alignment, free/malloc round
+   trips). *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let allocators () =
+  [
+    ("bump", fun () -> Bump.create (Vmem.create ()));
+    ("jemalloc", fun () -> Jemalloc_sim.create (Vmem.create ()));
+    ("ptmalloc", fun () -> Ptmalloc_sim.create (Vmem.create ()));
+  ]
+
+(* ---------------- generic behaviours, run per allocator ---------------- *)
+
+let basic_roundtrip (alloc : Alloc_iface.t) () =
+  let a = alloc.Alloc_iface.malloc 24 in
+  checkb "non-null" true (a <> Addr.null);
+  checkb "8-aligned" true (Addr.is_aligned a 8);
+  let stats = alloc.Alloc_iface.stats () in
+  checki "one malloc" 1 stats.Alloc_iface.mallocs;
+  checki "live bytes" 24 stats.Alloc_iface.live_bytes;
+  alloc.Alloc_iface.free a;
+  let stats = alloc.Alloc_iface.stats () in
+  checki "one free" 1 stats.Alloc_iface.frees;
+  checki "nothing live" 0 stats.Alloc_iface.live_bytes
+
+let double_free_detected (alloc : Alloc_iface.t) () =
+  let a = alloc.Alloc_iface.malloc 16 in
+  alloc.Alloc_iface.free a;
+  checkb "double free raises" true
+    (try
+       alloc.Alloc_iface.free a;
+       false
+     with Failure _ -> true)
+
+let free_null_ok (alloc : Alloc_iface.t) () =
+  alloc.Alloc_iface.free Addr.null;
+  checki "no frees counted" 0 (alloc.Alloc_iface.stats ()).Alloc_iface.frees
+
+let foreign_free_detected (alloc : Alloc_iface.t) () =
+  checkb "foreign pointer raises" true
+    (try
+       alloc.Alloc_iface.free 0xDEAD_BEE8;
+       false
+     with Failure _ -> true)
+
+let malloc_zero_distinct (alloc : Alloc_iface.t) () =
+  let a = alloc.Alloc_iface.malloc 0 in
+  let b = alloc.Alloc_iface.malloc 0 in
+  checkb "distinct" true (a <> b)
+
+let usable_size_covers (alloc : Alloc_iface.t) () =
+  let a = alloc.Alloc_iface.malloc 100 in
+  match alloc.Alloc_iface.usable_size a with
+  | None -> Alcotest.fail "usable_size of live block"
+  | Some u -> checkb "usable >= requested" true (u >= 100)
+
+let realloc_grow_shrink (alloc : Alloc_iface.t) () =
+  let a = alloc.Alloc_iface.malloc 16 in
+  let b = alloc.Alloc_iface.realloc a 4000 in
+  checkb "grown non-null" true (b <> Addr.null);
+  let c = alloc.Alloc_iface.realloc b 8 in
+  checkb "shrink keeps or moves" true (c <> Addr.null);
+  alloc.Alloc_iface.free c
+
+let realloc_null_is_malloc (alloc : Alloc_iface.t) () =
+  let a = alloc.Alloc_iface.realloc Addr.null 32 in
+  checkb "allocates" true (a <> Addr.null)
+
+let no_overlap_many (alloc : Alloc_iface.t) () =
+  let rng = Rng.create ~seed:99 in
+  let live = ref [] in
+  for _ = 1 to 500 do
+    let size = 1 + Rng.int rng 300 in
+    let a = alloc.Alloc_iface.malloc size in
+    List.iter
+      (fun (b, bs) ->
+        if a < b + bs && b < a + size then
+          Alcotest.failf "overlap: %s(%d) with %s(%d)" (Addr.to_hex a) size
+            (Addr.to_hex b) bs)
+      !live;
+    live := (a, size) :: !live;
+    (* free a random survivor occasionally *)
+    if Rng.int rng 3 = 0 then
+      match !live with
+      | (b, _) :: rest ->
+          alloc.Alloc_iface.free b;
+          live := rest
+      | [] -> ()
+  done
+
+let per_allocator name mk =
+  let wrap f = fun () -> f (mk ()) () in
+  [
+    Alcotest.test_case (name ^ ": malloc/free roundtrip") `Quick (wrap basic_roundtrip);
+    Alcotest.test_case (name ^ ": double free detected") `Quick (wrap double_free_detected);
+    Alcotest.test_case (name ^ ": free(NULL) is a no-op") `Quick (wrap free_null_ok);
+    Alcotest.test_case (name ^ ": foreign free detected") `Quick (wrap foreign_free_detected);
+    Alcotest.test_case (name ^ ": malloc(0) unique") `Quick (wrap malloc_zero_distinct);
+    Alcotest.test_case (name ^ ": usable_size covers request") `Quick (wrap usable_size_covers);
+    Alcotest.test_case (name ^ ": realloc grow/shrink") `Quick (wrap realloc_grow_shrink);
+    Alcotest.test_case (name ^ ": realloc(NULL)") `Quick (wrap realloc_null_is_malloc);
+    Alcotest.test_case (name ^ ": 500 allocations never overlap") `Quick (wrap no_overlap_many);
+  ]
+
+(* ---------------- allocator-specific behaviours ---------------- *)
+
+let jemalloc_size_segregation () =
+  let alloc = Jemalloc_sim.create (Vmem.create ()) in
+  (* Same-class allocations are contiguous at class spacing. *)
+  let a = alloc.Alloc_iface.malloc 24 in
+  let b = alloc.Alloc_iface.malloc 24 in
+  checki "32-byte class spacing" 32 (b - a);
+  (* A different class goes to a different run. *)
+  let c = alloc.Alloc_iface.malloc 100 in
+  checkb "different run" true (abs (c - b) > 32)
+
+let jemalloc_lifo_reuse () =
+  let alloc = Jemalloc_sim.create (Vmem.create ()) in
+  let a = alloc.Alloc_iface.malloc 24 in
+  let _b = alloc.Alloc_iface.malloc 24 in
+  alloc.Alloc_iface.free a;
+  let c = alloc.Alloc_iface.malloc 24 in
+  checki "freed slot reused LIFO" a c
+
+let jemalloc_large_dedicated () =
+  let v = Vmem.create () in
+  let alloc = Jemalloc_sim.create v in
+  let before = Vmem.mapped_bytes v in
+  let a = alloc.Alloc_iface.malloc (1 lsl 20) in
+  checkb "page aligned" true (Addr.is_aligned a 4096);
+  checkb "dedicated mapping" true (Vmem.mapped_bytes v >= before + (1 lsl 20));
+  alloc.Alloc_iface.free a;
+  checkb "unmapped on free" true (Vmem.mapped_bytes v < before + (1 lsl 20))
+
+let jemalloc_figure1_layout () =
+  (* Figure 1: a(4) b(4) c(16) d(32): a and b co-located in one class;
+     c and d in their own classes. *)
+  let alloc = Jemalloc_sim.create (Vmem.create ()) in
+  let a = alloc.Alloc_iface.malloc 4 in
+  let b = alloc.Alloc_iface.malloc 4 in
+  let c = alloc.Alloc_iface.malloc 16 in
+  let d = alloc.Alloc_iface.malloc 32 in
+  checki "a,b adjacent in smallest class" 16 (b - a);
+  checkb "c in its own region" true (abs (c - b) >= 16);
+  checkb "d in its own region" true (abs (d - c) >= 32)
+
+let ptmalloc_header_spacing () =
+  let alloc = Ptmalloc_sim.create (Vmem.create ()) in
+  let a = alloc.Alloc_iface.malloc 32 in
+  let b = alloc.Alloc_iface.malloc 32 in
+  checki "48-byte spacing (16B header, 16-aligned)" 48 (b - a)
+
+let ptmalloc_best_fit () =
+  let alloc = Ptmalloc_sim.create (Vmem.create ()) in
+  let small = alloc.Alloc_iface.malloc 32 in
+  let _spacer1 = alloc.Alloc_iface.malloc 32 in
+  let big = alloc.Alloc_iface.malloc 200 in
+  let _spacer2 = alloc.Alloc_iface.malloc 32 in
+  alloc.Alloc_iface.free small;
+  alloc.Alloc_iface.free big;
+  (* A 200-byte request should take the 200-byte hole, not the 32-byte
+     one or the top. *)
+  let re = alloc.Alloc_iface.malloc 200 in
+  checki "best fit reuses matching hole" big re;
+  (* A 16-byte request takes the smaller hole. *)
+  let re2 = alloc.Alloc_iface.malloc 16 in
+  checki "small request takes small hole" small re2
+
+let ptmalloc_coalescing () =
+  let alloc = Ptmalloc_sim.create (Vmem.create ()) in
+  let a = alloc.Alloc_iface.malloc 32 in
+  let b = alloc.Alloc_iface.malloc 32 in
+  let _guard = alloc.Alloc_iface.malloc 32 in
+  alloc.Alloc_iface.free a;
+  alloc.Alloc_iface.free b;
+  (* Coalesced hole (2 x 48 chunk bytes) satisfies one 80-byte request at
+     a's position. *)
+  let c = alloc.Alloc_iface.malloc 80 in
+  checki "coalesced neighbours reused" a c
+
+let ptmalloc_top_release () =
+  let alloc = Ptmalloc_sim.create (Vmem.create ()) in
+  let a = alloc.Alloc_iface.malloc 64 in
+  alloc.Alloc_iface.free a;
+  (* After freeing the only (top) block, the next allocation reuses the
+     same address: the heap shrank. *)
+  let b = alloc.Alloc_iface.malloc 64 in
+  checki "top reclaimed" a b
+
+let bump_is_monotone () =
+  let alloc = Bump.create (Vmem.create ()) in
+  let prev = ref 0 in
+  for _ = 1 to 50 do
+    let a = alloc.Alloc_iface.malloc 24 in
+    checkb "monotone addresses" true (a > !prev);
+    prev := a
+  done
+
+let bump_contiguity () =
+  let alloc = Bump.create (Vmem.create ()) in
+  let a = alloc.Alloc_iface.malloc 24 in
+  let b = alloc.Alloc_iface.malloc 8 in
+  checki "8-aligned packing" 24 (b - a)
+
+(* ---------------- qcheck: allocator invariants ---------------- *)
+
+(* A random trace of mallocs and frees; checks alignment, non-overlap and
+   stats consistency at every step. *)
+let alloc_trace_prop name mk =
+  QCheck2.Test.make
+    ~name:(name ^ ": random malloc/free trace maintains invariants")
+    ~count:60
+    QCheck2.Gen.(list_size (int_range 1 120) (pair (int_range 0 600) bool))
+    (fun ops ->
+      let alloc : Alloc_iface.t = mk () in
+      let live = Hashtbl.create 64 in
+      let order = ref [] in
+      let expected_live_bytes = ref 0 in
+      List.for_all
+        (fun (size, do_free) ->
+          if do_free && !order <> [] then begin
+            match !order with
+            | a :: rest ->
+                order := rest;
+                let sz = Hashtbl.find live a in
+                Hashtbl.remove live a;
+                alloc.Alloc_iface.free a;
+                expected_live_bytes := !expected_live_bytes - sz;
+                true
+            | [] -> true
+          end
+          else begin
+            let a = alloc.Alloc_iface.malloc size in
+            let ok_align = Addr.is_aligned a 8 in
+            let ok_disjoint =
+              Hashtbl.fold
+                (fun b bs acc -> acc && not (a < b + max bs 1 && b < a + max size 1))
+                live true
+            in
+            Hashtbl.replace live a size;
+            order := a :: !order;
+            expected_live_bytes := !expected_live_bytes + size;
+            let stats = alloc.Alloc_iface.stats () in
+            ok_align && ok_disjoint
+            && stats.Alloc_iface.live_bytes = !expected_live_bytes
+          end)
+        ops)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    (List.map (fun (name, mk) -> alloc_trace_prop name mk) (allocators ()))
+
+let suite =
+  List.concat_map (fun (name, mk) -> per_allocator name mk) (allocators ())
+  @ [
+      Alcotest.test_case "jemalloc: size segregation" `Quick jemalloc_size_segregation;
+      Alcotest.test_case "jemalloc: LIFO reuse" `Quick jemalloc_lifo_reuse;
+      Alcotest.test_case "jemalloc: large allocations dedicated" `Quick jemalloc_large_dedicated;
+      Alcotest.test_case "jemalloc: Figure 1 layout" `Quick jemalloc_figure1_layout;
+      Alcotest.test_case "ptmalloc: boundary-tag spacing" `Quick ptmalloc_header_spacing;
+      Alcotest.test_case "ptmalloc: best fit" `Quick ptmalloc_best_fit;
+      Alcotest.test_case "ptmalloc: coalescing" `Quick ptmalloc_coalescing;
+      Alcotest.test_case "ptmalloc: top release" `Quick ptmalloc_top_release;
+      Alcotest.test_case "bump: monotone" `Quick bump_is_monotone;
+      Alcotest.test_case "bump: contiguity" `Quick bump_contiguity;
+    ]
+  @ qsuite

@@ -1,0 +1,217 @@
+(* Tests for halo_cachesim: Cache, Tlb, Hierarchy, Timing. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+
+let small_cache () = Cache.create ~name:"t" ~size_bytes:1024 ~assoc:2 ~line_bytes:64
+(* 1024 / (2*64) = 8 sets *)
+
+let cache_cold_miss_then_hit () =
+  let c = small_cache () in
+  checkb "cold miss" false (Cache.access c 0);
+  checkb "hit" true (Cache.access c 0);
+  checkb "same line hit" true (Cache.access c 63);
+  checkb "next line miss" false (Cache.access c 64)
+
+let cache_geometry () =
+  let c = small_cache () in
+  checki "sets" 8 (Cache.sets c);
+  checki "assoc" 2 (Cache.assoc c);
+  checki "line" 64 (Cache.line_bytes c);
+  Alcotest.check Alcotest.string "name" "t" (Cache.name c)
+
+let cache_lru_eviction () =
+  let c = small_cache () in
+  (* Three lines mapping to set 0: line addresses 0, 8*64, 16*64. *)
+  let l0 = 0 and l1 = 8 * 64 and l2 = 16 * 64 in
+  ignore (Cache.access c l0 : bool);
+  ignore (Cache.access c l1 : bool);
+  ignore (Cache.access c l2 : bool);
+  (* l0 was LRU: evicted. *)
+  checkb "LRU victim evicted" false (Cache.access c l0);
+  (* l2 was MRU before l0's refill; l1 was evicted by l0. *)
+  checkb "MRU survives" true (Cache.access c l2)
+
+let cache_lru_touch_refreshes () =
+  let c = small_cache () in
+  let l0 = 0 and l1 = 8 * 64 and l2 = 16 * 64 in
+  ignore (Cache.access c l0 : bool);
+  ignore (Cache.access c l1 : bool);
+  ignore (Cache.access c l0 : bool);
+  (* refresh l0 *)
+  ignore (Cache.access c l2 : bool);
+  (* now l1 is the victim *)
+  checkb "refreshed line survives" true (Cache.access c l0);
+  checkb "stale line evicted" false (Cache.access c l1)
+
+let cache_counters () =
+  let c = small_cache () in
+  ignore (Cache.access c 0 : bool);
+  ignore (Cache.access c 0 : bool);
+  ignore (Cache.access c 64 : bool);
+  checki "hits" 1 (Cache.hits c);
+  checki "misses" 2 (Cache.misses c);
+  checki "accesses" 3 (Cache.accesses c);
+  Cache.reset_counters c;
+  checki "reset" 0 (Cache.accesses c);
+  checkb "contents preserved" true (Cache.access c 0)
+
+let cache_flush () =
+  let c = small_cache () in
+  ignore (Cache.access c 0 : bool);
+  Cache.flush c;
+  checkb "flushed" false (Cache.access c 0)
+
+let cache_working_set_fits () =
+  (* A working set equal to capacity must fully hit on the second pass. *)
+  let c = small_cache () in
+  for k = 0 to 15 do
+    ignore (Cache.access c (k * 64) : bool)
+  done;
+  Cache.reset_counters c;
+  for k = 0 to 15 do
+    ignore (Cache.access c (k * 64) : bool)
+  done;
+  checki "all hits" 16 (Cache.hits c)
+
+let cache_thrash_over_capacity () =
+  (* Cyclic sweep of capacity+1 lines in one set thrashes under LRU. *)
+  let c = Cache.create ~name:"t1" ~size_bytes:128 ~assoc:2 ~line_bytes:64 in
+  (* 1 set, 2 ways *)
+  for _pass = 1 to 3 do
+    for k = 0 to 2 do
+      ignore (Cache.access c (k * 64) : bool)
+    done
+  done;
+  checki "no hits when cycling 3 lines through 2 ways" 0 (Cache.hits c)
+
+let tlb_basic () =
+  let t = Tlb.create () in
+  checkb "cold" false (Tlb.access t 0x5000);
+  checkb "same page" true (Tlb.access t 0x5FFF);
+  checkb "other page" false (Tlb.access t 0x6000);
+  checki "misses" 2 (Tlb.misses t);
+  checki "hits" 1 (Tlb.hits t)
+
+let hierarchy_miss_propagation () =
+  let h = Hierarchy.create () in
+  Hierarchy.access h 0x10000 8;
+  let c = Hierarchy.counters h in
+  checki "l1 miss" 1 c.Hierarchy.l1_misses;
+  checki "l2 miss" 1 c.Hierarchy.l2_misses;
+  checki "l3 miss" 1 c.Hierarchy.l3_misses;
+  Hierarchy.access h 0x10000 8;
+  let c = Hierarchy.counters h in
+  checki "second access hits L1" 1 c.Hierarchy.l1_misses;
+  checki "accesses counted" 2 c.Hierarchy.accesses
+
+let hierarchy_straddling_access () =
+  let h = Hierarchy.create () in
+  (* 16 bytes starting 8 before a line boundary touch two lines. *)
+  Hierarchy.access h (0x20000 - 8) 16;
+  let c = Hierarchy.counters h in
+  checki "two line misses" 2 c.Hierarchy.l1_misses;
+  checki "one program access" 1 c.Hierarchy.accesses
+
+let hierarchy_l2_catches_l1_evictions () =
+  let h = Hierarchy.create () in
+  let cfg = Hierarchy.config h in
+  (* Touch 2x the L1 size, then re-touch: L1 misses but L2 holds it. *)
+  let lines = 2 * cfg.Hierarchy.l1_size / cfg.Hierarchy.line_bytes in
+  for k = 0 to lines - 1 do
+    Hierarchy.access h (k * cfg.Hierarchy.line_bytes) 8
+  done;
+  Hierarchy.reset_counters h;
+  for k = 0 to lines - 1 do
+    Hierarchy.access h (k * cfg.Hierarchy.line_bytes) 8
+  done;
+  let c = Hierarchy.counters h in
+  checkb "L1 misses on sweep" true (c.Hierarchy.l1_misses > 0);
+  checki "but L2 absorbs everything" 0 c.Hierarchy.l2_misses
+
+let timing_monotone_in_misses () =
+  let m = Timing.skylake_sp in
+  let base =
+    { Hierarchy.accesses = 1000; l1_misses = 10; l2_misses = 5; l3_misses = 1;
+      tlb_misses = 0; prefetches = 0 }
+  in
+  let worse = { base with Hierarchy.l1_misses = 100 } in
+  checkb "more misses, more cycles" true
+    (Timing.cycles m ~instructions:1000 worse
+    > Timing.cycles m ~instructions:1000 base)
+
+let timing_speedup_signs () =
+  checkf "28% speedup" 0.28 (Timing.speedup ~baseline:100.0 ~optimised:72.0);
+  checkb "slowdown negative" true (Timing.speedup ~baseline:100.0 ~optimised:110.0 < 0.0)
+
+let timing_miss_reduction () =
+  checkf "23%" 0.23 (Timing.miss_reduction ~baseline:100 ~optimised:77);
+  checkf "zero baseline" 0.0 (Timing.miss_reduction ~baseline:0 ~optimised:5)
+
+let timing_seconds_scale () =
+  let m = Timing.skylake_sp in
+  let c =
+    { Hierarchy.accesses = 0; l1_misses = 0; l2_misses = 0; l3_misses = 0;
+      tlb_misses = 0; prefetches = 0 }
+  in
+  let cycles = Timing.cycles m ~instructions:1_000_000 c in
+  checkf "seconds = cycles/GHz" (cycles /. (m.Timing.ghz *. 1e9))
+    (Timing.seconds m ~instructions:1_000_000 c)
+
+(* qcheck: hits + misses = accesses, under random access streams. *)
+let prop_cache_accounting =
+  QCheck2.Test.make ~name:"cache: hits + misses = accesses" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 500) (int_range 0 (1 lsl 16)))
+    (fun addrs ->
+      let c = small_cache () in
+      List.iter (fun a -> ignore (Cache.access c a : bool)) addrs;
+      Cache.hits c + Cache.misses c = List.length addrs)
+
+(* qcheck: immediate repetition always hits. *)
+let prop_cache_repeat_hits =
+  QCheck2.Test.make ~name:"cache: immediately repeated access hits" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 (1 lsl 20)))
+    (fun addrs ->
+      let c = small_cache () in
+      List.for_all
+        (fun a ->
+          ignore (Cache.access c a : bool);
+          Cache.access c a)
+        addrs)
+
+(* qcheck: inclusion-style monotonicity of the hierarchy counters. *)
+let prop_hierarchy_counter_order =
+  QCheck2.Test.make ~name:"hierarchy: l3 <= l2 <= l1 misses" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 300) (int_range 0 (1 lsl 22)))
+    (fun addrs ->
+      let h = Hierarchy.create () in
+      List.iter (fun a -> Hierarchy.access h a 8) addrs;
+      let c = Hierarchy.counters h in
+      c.Hierarchy.l3_misses <= c.Hierarchy.l2_misses
+      && c.Hierarchy.l2_misses <= c.Hierarchy.l1_misses
+      (* an unaligned 8-byte access may straddle two lines *)
+      && c.Hierarchy.l1_misses <= 2 * List.length addrs)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "cache: cold miss then hit" cache_cold_miss_then_hit;
+    tc "cache: geometry" cache_geometry;
+    tc "cache: LRU eviction" cache_lru_eviction;
+    tc "cache: LRU refresh on touch" cache_lru_touch_refreshes;
+    tc "cache: counters" cache_counters;
+    tc "cache: flush" cache_flush;
+    tc "cache: capacity working set hits" cache_working_set_fits;
+    tc "cache: over-capacity cyclic thrash" cache_thrash_over_capacity;
+    tc "tlb: page granularity" tlb_basic;
+    tc "hierarchy: miss propagation" hierarchy_miss_propagation;
+    tc "hierarchy: straddling access" hierarchy_straddling_access;
+    tc "hierarchy: L2 absorbs L1 evictions" hierarchy_l2_catches_l1_evictions;
+    tc "timing: monotone in misses" timing_monotone_in_misses;
+    tc "timing: speedup signs" timing_speedup_signs;
+    tc "timing: miss reduction" timing_miss_reduction;
+    tc "timing: seconds scale" timing_seconds_scale;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_cache_accounting; prop_cache_repeat_hits; prop_hierarchy_counter_order ]

@@ -1,0 +1,790 @@
+(* Tests for halo_core: the score and merge-benefit functions (Figures 7
+   and 8), the grouping algorithm (Figure 6), selector construction
+   (Figure 10), the rewrite plan, the specialised group allocator (§4.4),
+   the alternative clusterers, and the end-to-end pipeline. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* Build a graph from (x, y, weight) triples and (node, accesses) pairs. *)
+let mk_graph ?(accesses = []) edges =
+  let g = Affinity_graph.create () in
+  List.iter
+    (fun (x, y, w) ->
+      for _ = 1 to w do
+        Affinity_graph.add_affinity g x y
+      done)
+    edges;
+  List.iter
+    (fun (x, n) ->
+      for _ = 1 to n do
+        Affinity_graph.add_access g x
+      done)
+    accesses;
+  g
+
+(* ---------------- Score (Figure 7) ---------------- *)
+
+let score_pair () =
+  (* Two nodes, one edge of weight 10: s = 10 / (0 + 1) = 10. *)
+  let g = mk_graph [ (1, 2, 10) ] in
+  checkf "pair" 10.0 (Score.score g [ 1; 2 ])
+
+let score_singleton_no_loop () =
+  let g = mk_graph [ (1, 2, 10) ] in
+  checkf "no loop, no density" 0.0 (Score.score g [ 1 ])
+
+let score_singleton_with_loop () =
+  (* Loop weight 6: s = 6 / (1 + 0) = 6. *)
+  let g = mk_graph [ (1, 1, 6) ] in
+  checkf "loop only" 6.0 (Score.score g [ 1 ])
+
+let score_loops_in_denominator () =
+  (* Nodes 1,2: edge 8, loop on 1 of 4: s = (8+4) / (1 + 1) = 6. *)
+  let g = mk_graph [ (1, 2, 8); (1, 1, 4) ] in
+  checkf "loops counted" 6.0 (Score.score g [ 1; 2 ])
+
+let score_triangle () =
+  (* Triangle, each edge 6: s = 18 / 3 = 6. *)
+  let g = mk_graph [ (1, 2, 6); (2, 3, 6); (1, 3, 6) ] in
+  checkf "triangle" 6.0 (Score.score g [ 1; 2; 3 ])
+
+let score_ignores_outside_edges () =
+  let g = mk_graph [ (1, 2, 6); (2, 3, 100) ] in
+  checkf "edge to 3 ignored" 6.0 (Score.score g [ 1; 2 ])
+
+(* ---------------- Merge benefit (Figure 8) ---------------- *)
+
+let merge_benefit_positive_for_clique () =
+  (* Group {1,2} with strong edge; candidate 3 strongly tied to both. *)
+  let g = mk_graph [ (1, 2, 10); (1, 3, 10); (2, 3, 10) ] in
+  checkb "beneficial" true (Score.merge_benefit g ~tol:0.05 [ 1; 2 ] 3 > 0.0)
+
+let merge_benefit_negative_for_stranger () =
+  (* Candidate 3 weakly connected: union density collapses. *)
+  let g = mk_graph [ (1, 2, 30); (2, 3, 1) ] in
+  checkb "not beneficial" true (Score.merge_benefit g ~tol:0.05 [ 1; 2 ] 3 <= 0.0)
+
+let merge_benefit_tolerance_allows_slack () =
+  (* Union score fractionally below the max: rejected at tol 0, accepted
+     at 5%. *)
+  let g = mk_graph [ (1, 2, 100); (1, 3, 51); (2, 3, 51) ] in
+  (* s{1,2} = 100; s{1,2,3} = 202/3 = 67.3 -> worse, never merged *)
+  checkb "strict rejects" true (Score.merge_benefit g ~tol:0.0 [ 1; 2 ] 3 <= 0.0);
+  let g2 = mk_graph [ (1, 2, 10); (1, 3, 10); (2, 3, 9) ] in
+  (* s{1,2}=10, union = 29/3 = 9.67: within 5% tolerance *)
+  checkb "tolerant accepts" true (Score.merge_benefit g2 ~tol:0.05 [ 1; 2 ] 3 > 0.0);
+  checkb "strict would reject" true (Score.merge_benefit g2 ~tol:0.0 [ 1; 2 ] 3 <= 0.0)
+
+let merge_benefit_rejects_member () =
+  let g = mk_graph [ (1, 2, 1) ] in
+  checkb "raises" true
+    (try
+       ignore (Score.merge_benefit g ~tol:0.05 [ 1; 2 ] 2);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Grouping (Figure 6) ---------------- *)
+
+let grouping_params = { Grouping.default_params with Grouping.gthresh = 0.0; min_edge_weight = 1 }
+
+let grouping_two_cliques () =
+  let g =
+    mk_graph
+      ~accesses:[ (1, 100); (2, 90); (3, 80); (4, 50); (5, 40); (6, 30) ]
+      [ (1, 2, 20); (2, 3, 20); (1, 3, 20); (4, 5, 10); (5, 6, 10); (4, 6, 10) ]
+  in
+  let r = Grouping.group g grouping_params in
+  checki "two groups" 2 (Array.length r.Grouping.groups);
+  let sets = Array.map (fun m -> List.sort compare m) r.Grouping.groups in
+  checkb "cliques recovered" true
+    (Array.exists (( = ) [ 1; 2; 3 ]) sets && Array.exists (( = ) [ 4; 5; 6 ]) sets);
+  checkb "popularity order" true
+    (r.Grouping.group_accesses.(0) >= r.Grouping.group_accesses.(1))
+
+let grouping_seed_is_hotter_endpoint () =
+  (* Strongest edge (1,2); node 2 hotter: group grows around 2. With no
+     other positive merges, the group is a singleton {2}... which has no
+     weight; use gthresh 0 so it is kept, then check membership. *)
+  let g = mk_graph ~accesses:[ (1, 5); (2, 50) ] [ (1, 2, 10) ] in
+  let r = Grouping.group g grouping_params in
+  checkb "2 grouped first" true
+    (Array.length r.Grouping.groups > 0 && List.mem 2 r.Grouping.groups.(0))
+
+let grouping_disjoint () =
+  let g =
+    mk_graph
+      ~accesses:[ (1, 10); (2, 10); (3, 10); (4, 10) ]
+      [ (1, 2, 5); (2, 3, 5); (3, 4, 5) ]
+  in
+  let r = Grouping.group g grouping_params in
+  let all = Array.to_list r.Grouping.groups |> List.concat in
+  checki "no node twice" (List.length all) (List.length (List.sort_uniq compare all))
+
+let grouping_max_members () =
+  let nodes = List.init 12 (fun k -> k) in
+  let edges =
+    List.concat_map (fun a -> List.filter_map (fun b -> if b > a then Some (a, b, 10) else None) nodes) nodes
+  in
+  let g = mk_graph ~accesses:(List.map (fun n -> (n, 10)) nodes) edges in
+  let r =
+    Grouping.group g { grouping_params with Grouping.max_group_members = 4 }
+  in
+  Array.iter
+    (fun m -> checkb "capped" true (List.length m <= 4))
+    r.Grouping.groups
+
+let grouping_gthresh_drops_but_consumes () =
+  (* One strong pair and one weak pair; gthresh keeps only the strong
+     group, and the weak pair's nodes are consumed (ungrouped, but not
+     re-grouped). *)
+  let g =
+    mk_graph
+      ~accesses:[ (1, 100); (2, 100); (3, 1); (4, 1) ]
+      [ (1, 2, 100); (3, 4, 1) ]
+  in
+  let r =
+    Grouping.group g { grouping_params with Grouping.gthresh = 0.1 }
+  in
+  checki "one group survives" 1 (Array.length r.Grouping.groups);
+  checkb "weak nodes ungrouped" true
+    (List.mem 3 r.Grouping.ungrouped && List.mem 4 r.Grouping.ungrouped)
+
+let grouping_min_edge_weight_filters () =
+  let g = mk_graph ~accesses:[ (1, 10); (2, 10) ] [ (1, 2, 2) ] in
+  let r = Grouping.group g { grouping_params with Grouping.min_edge_weight = 5 } in
+  checki "nothing groupable" 0 (Array.length r.Grouping.groups)
+
+let grouping_max_groups_cap () =
+  let g =
+    mk_graph
+      ~accesses:[ (1, 9); (2, 9); (3, 5); (4, 5); (5, 1); (6, 1) ]
+      [ (1, 2, 10); (3, 4, 10); (5, 6, 10) ]
+  in
+  let r =
+    Grouping.group g { grouping_params with Grouping.max_groups = Some 2 }
+  in
+  checki "capped at 2" 2 (Array.length r.Grouping.groups);
+  (* the most popular groups are kept *)
+  checkb "hottest kept" true (List.mem 1 r.Grouping.groups.(0))
+
+let grouping_group_of () =
+  let g = mk_graph ~accesses:[ (1, 10); (2, 10) ] [ (1, 2, 10) ] in
+  let r = Grouping.group g grouping_params in
+  checkb "member found" true (Grouping.group_of r 1 = Some 0);
+  checkb "absent none" true (Grouping.group_of r 99 = None)
+
+(* ---------------- Identify (Figure 10) ---------------- *)
+
+(* Contexts are arrays of sites; grouping indices refer to context ids in
+   the table. *)
+let mk_contexts chains =
+  let t = Context.create () in
+  let ids = List.map (fun c -> Context.intern t (Array.of_list c)) chains in
+  (t, ids)
+
+let mk_grouping groups =
+  {
+    Grouping.groups = Array.of_list groups;
+    group_accesses = Array.of_list (List.mapi (fun i _ -> 100 - i) groups);
+    group_weights = Array.of_list (List.map (fun _ -> 1) groups);
+    ungrouped = [];
+  }
+
+let identify_selector_accepts_members () =
+  (* Group of ctx0 {1;2;9} and ctx1 {1;3;9}; conflicting ungrouped ctx2
+     {1;9}. *)
+  let contexts, ids = mk_contexts [ [ 1; 2; 9 ]; [ 1; 3; 9 ]; [ 1; 9 ] ] in
+  let c0 = List.nth ids 0 and c1 = List.nth ids 1 and _c2 = List.nth ids 2 in
+  let grouping = mk_grouping [ [ c0; c1 ] ] in
+  let sels = Identify.build ~contexts ~grouping in
+  checki "one selector" 1 (List.length sels);
+  (* Soundness: both member chains are accepted. *)
+  checkb "accepts member 0" true
+    (Identify.classify_chain sels [| 1; 2; 9 |] = Some 0);
+  checkb "accepts member 1" true
+    (Identify.classify_chain sels [| 1; 3; 9 |] = Some 0);
+  (* The conflicting chain {1;9} must be excluded: the selector needs
+     sites 2 or 3. *)
+  checkb "rejects conflicting" true (Identify.classify_chain sels [| 1; 9 |] = None)
+
+let identify_minimises_sites () =
+  (* No conflicts at all: a single site (the anchor) suffices per member. *)
+  let contexts, ids = mk_contexts [ [ 1; 2; 3 ] ] in
+  let grouping = mk_grouping [ ids ] in
+  let sels = Identify.build ~contexts ~grouping in
+  let sites = Identify.monitored_sites sels in
+  checki "one site monitored" 1 (List.length sites)
+
+let identify_popularity_order_permits_earlier_overlap () =
+  (* Two groups; the less popular one's selector may match the more
+     popular one's chains — classify_chain must return the more popular
+     group for its own chain. *)
+  let contexts, ids = mk_contexts [ [ 1; 2 ]; [ 1; 2; 3 ] ] in
+  let c0 = List.nth ids 0 and c1 = List.nth ids 1 in
+  let grouping = mk_grouping [ [ c0 ]; [ c1 ] ] in
+  let sels = Identify.build ~contexts ~grouping in
+  checkb "popular group wins its own chain" true
+    (Identify.classify_chain sels [| 1; 2 |] = Some 0);
+  checkb "second group still identified" true
+    (Identify.classify_chain sels [| 1; 2; 3 |] <> None)
+
+let identify_conflict_counting_reduces () =
+  (* Member {10;20;30}; many conflicting chains containing 10, none
+     containing 20: the algorithm should pick 20-ish sites, not 10. *)
+  let contexts, ids =
+    mk_contexts [ [ 10; 20; 30 ]; [ 10; 30 ]; [ 10; 30; 40 ]; [ 10; 50; 30 ] ]
+  in
+  let member = List.hd ids in
+  let grouping = mk_grouping [ [ member ] ] in
+  let sels = Identify.build ~contexts ~grouping in
+  let sites = Identify.monitored_sites sels in
+  checkb "20 chosen" true (List.mem 20 sites);
+  checkb "conflicts fully resolved" true
+    (List.for_all
+       (fun chain -> Identify.classify_chain sels (Array.of_list chain) = None)
+       [ [ 10; 30 ]; [ 10; 30; 40 ]; [ 10; 50; 30 ] ])
+
+let identify_unresolvable_conflict_tolerated () =
+  (* A conflicting chain that contains every member site cannot be
+     excluded; construction must terminate and still accept the member. *)
+  let contexts, ids = mk_contexts [ [ 1; 2 ]; [ 1; 2; 3 ] ] in
+  let member = List.hd ids in
+  ignore (List.nth ids 1);
+  let grouping = mk_grouping [ [ member ] ] in
+  let sels = Identify.build ~contexts ~grouping in
+  checkb "member accepted" true (Identify.classify_chain sels [| 1; 2 |] = Some 0)
+
+(* ---------------- Rewrite ---------------- *)
+
+let rewrite_bits_assigned () =
+  let sels =
+    [ { Identify.group = 0; disjuncts = [ [ 100; 200 ]; [ 300 ] ] };
+      { Identify.group = 1; disjuncts = [ [ 200; 400 ] ] } ]
+  in
+  let plan = Rewrite.plan sels in
+  checki "four distinct sites" 4 plan.Rewrite.nbits;
+  checki "four patches" 4 (List.length plan.Rewrite.patches);
+  (* site_of_bit inverts the patch map *)
+  List.iter
+    (fun (site, bit) -> checki "inverse" site (Rewrite.site_of_bit plan bit))
+    plan.Rewrite.patches
+
+let rewrite_classify_first_match () =
+  let sels =
+    [ { Identify.group = 0; disjuncts = [ [ 100 ] ] };
+      { Identify.group = 1; disjuncts = [ [ 100; 200 ] ] } ]
+  in
+  let plan = Rewrite.plan sels in
+  let state = Bitset.create plan.Rewrite.nbits in
+  List.iter (fun (_, bit) -> Bitset.set state bit) plan.Rewrite.patches;
+  (* both selectors match; the first (most popular) wins *)
+  checkb "first match" true (Rewrite.classify plan state = Some 0);
+  Bitset.clear_all state;
+  checkb "no match" true (Rewrite.classify plan state = None)
+
+let rewrite_conjunction_requires_all () =
+  let sels = [ { Identify.group = 0; disjuncts = [ [ 100; 200 ] ] } ] in
+  let plan = Rewrite.plan sels in
+  let state = Bitset.create plan.Rewrite.nbits in
+  let bit_of site = List.assoc site plan.Rewrite.patches in
+  Bitset.set state (bit_of 100);
+  checkb "half a conjunction is no match" true (Rewrite.classify plan state = None);
+  Bitset.set state (bit_of 200);
+  checkb "full conjunction matches" true (Rewrite.classify plan state = Some 0)
+
+let rewrite_too_many_sites_rejected () =
+  let sels =
+    [ { Identify.group = 0; disjuncts = [ List.init 65 (fun k -> k * 16) ] } ]
+  in
+  checkb "raises" true
+    (try
+       ignore (Rewrite.plan sels);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Group_alloc (§4.4) ---------------- *)
+
+let mk_galloc ?config ?(classify = fun ~size:_ -> Some 0) () =
+  let vmem = Vmem.create () in
+  let fallback = Jemalloc_sim.create vmem in
+  let g = Group_alloc.create ?config ~classify ~fallback vmem in
+  (g, Group_alloc.iface g, fallback)
+
+let galloc_bump_contiguity () =
+  let _, iface, _ = mk_galloc () in
+  let a = iface.Alloc_iface.malloc 24 in
+  let b = iface.Alloc_iface.malloc 24 in
+  let c = iface.Alloc_iface.malloc 100 in
+  checki "8-aligned bump" 24 (b - a);
+  checki "contiguous" 24 (c - b);
+  ignore c
+
+let galloc_groups_separated () =
+  let flip = ref 0 in
+  let classify ~size:_ =
+    flip := 1 - !flip;
+    Some !flip
+  in
+  let _, iface, _ = mk_galloc ~classify () in
+  let a = iface.Alloc_iface.malloc 24 in
+  let b = iface.Alloc_iface.malloc 24 in
+  let a2 = iface.Alloc_iface.malloc 24 in
+  (* groups live in distinct chunks *)
+  let csize = Group_alloc.default_config.Group_alloc.chunk_size in
+  checkb "different chunks" true (a / csize <> b / csize);
+  checki "same-group contiguity" 24 (a2 - a)
+
+let galloc_forwards_ungrouped () =
+  let g, iface, fallback = mk_galloc ~classify:(fun ~size:_ -> None) () in
+  let a = iface.Alloc_iface.malloc 24 in
+  checkb "served by fallback" true
+    (Option.is_some (fallback.Alloc_iface.usable_size a));
+  checki "forward counted" 1 (iface.Alloc_iface.stats ()).Alloc_iface.forwarded;
+  checki "no grouped mallocs" 0 (Group_alloc.grouped_mallocs g);
+  iface.Alloc_iface.free a;
+  checki "fallback freed" 0 (fallback.Alloc_iface.stats ()).Alloc_iface.live_bytes
+
+let galloc_forwards_large () =
+  let g, iface, _ = mk_galloc () in
+  (* over the max grouped size: forwarded even though classify says 0 *)
+  ignore (iface.Alloc_iface.malloc 8192 : Addr.t);
+  checki "not grouped" 0 (Group_alloc.grouped_mallocs g)
+
+let galloc_chunk_header_masking () =
+  (* A region's chunk is found by masking: freeing decrements the right
+     chunk's live count, and an emptied non-current chunk is recycled. *)
+  let config = { Group_alloc.default_config with Group_alloc.chunk_size = 4096 } in
+  let _, iface, _ = mk_galloc ~config () in
+  (* fill most of chunk 1, then spill to chunk 2 *)
+  let first = iface.Alloc_iface.malloc 2000 in
+  let second = iface.Alloc_iface.malloc 2000 in
+  let third = iface.Alloc_iface.malloc 2000 in
+  checkb "spilled to a new chunk" true (third / 4096 <> first / 4096);
+  ignore second;
+  iface.Alloc_iface.free first;
+  iface.Alloc_iface.free second;
+  (* chunk 1 is now empty and not current: recycled as spare; the next
+     over-spill reuses it *)
+  let fourth = iface.Alloc_iface.malloc 2000 in
+  let fifth = iface.Alloc_iface.malloc 2000 in
+  ignore fourth;
+  checki "spare chunk reused" (first / 4096) (fifth / 4096)
+
+let galloc_current_chunk_rewinds () =
+  let _, iface, _ = mk_galloc () in
+  let a = iface.Alloc_iface.malloc 64 in
+  iface.Alloc_iface.free a;
+  (* the current chunk drained: bump rewinds, the address is reused *)
+  let b = iface.Alloc_iface.malloc 64 in
+  checki "in-place rewind" a b
+
+let galloc_spare_policy_purges () =
+  let vmem = Vmem.create () in
+  let fallback = Jemalloc_sim.create vmem in
+  let config =
+    {
+      Group_alloc.default_config with
+      Group_alloc.chunk_size = 4096;
+      spare_policy = Group_alloc.Keep_spare 0;
+    }
+  in
+  let next = ref 0 in
+  let classify ~size:_ = Some !next in
+  let g = Group_alloc.create ~config ~classify ~fallback vmem in
+  let iface = Group_alloc.iface g in
+  let a = iface.Alloc_iface.malloc 64 in
+  (* switch group so chunk of group 0 is no longer current *)
+  next := 1;
+  let _b = iface.Alloc_iface.malloc 64 in
+  next := 0;
+  iface.Alloc_iface.free a;
+  (* group 0's chunk emptied; with 0 spares it is purged... but it is
+     still current for group 0, so it rewinds instead. Force a non-current
+     empty: allocate from group 0 into a fresh chunk first. *)
+  checkb "allocator still functional" true (iface.Alloc_iface.malloc 64 <> Addr.null)
+
+let galloc_frag_stats () =
+  let config = { Group_alloc.default_config with Group_alloc.chunk_size = 4096 } in
+  let g, iface, _ = mk_galloc ~config () in
+  let keep = iface.Alloc_iface.malloc 64 in
+  for _ = 1 to 10 do
+    let a = iface.Alloc_iface.malloc 64 in
+    iface.Alloc_iface.free a
+  done;
+  ignore keep;
+  let f = Group_alloc.frag_stats g in
+  checkb "peak resident positive" true (f.Group_alloc.peak_resident > 0);
+  checkb "frag bytes = peak - live" true
+    (f.Group_alloc.frag_bytes = f.Group_alloc.peak_resident - f.Group_alloc.live_at_peak);
+  checkb "pct consistent" true
+    (f.Group_alloc.frag_pct >= 0.0 && f.Group_alloc.frag_pct <= 1.0)
+
+let galloc_realloc_within_group () =
+  let _, iface, _ = mk_galloc () in
+  let a = iface.Alloc_iface.malloc 64 in
+  checki "shrink in place" a (iface.Alloc_iface.realloc a 32);
+  let b = iface.Alloc_iface.realloc a 128 in
+  checkb "grow moves" true (b <> a)
+
+let galloc_realloc_migrates_from_fallback () =
+  (* Start ungrouped (classify None), then grouped: realloc migrates the
+     block into the pool. *)
+  let grouped = ref false in
+  let classify ~size:_ = if !grouped then Some 0 else None in
+  let g, iface, fallback = mk_galloc ~classify () in
+  let a = iface.Alloc_iface.malloc 64 in
+  grouped := true;
+  let b = iface.Alloc_iface.realloc a 80 in
+  checkb "now grouped" true (Group_alloc.grouped_mallocs g = 1);
+  checkb "fallback block freed" true
+    (fallback.Alloc_iface.usable_size a = None || a = b)
+
+let galloc_validates_config () =
+  let vmem = Vmem.create () in
+  let fallback = Jemalloc_sim.create vmem in
+  checkb "non-pow2 chunk rejected" true
+    (try
+       ignore
+         (Group_alloc.create
+            ~config:{ Group_alloc.default_config with Group_alloc.chunk_size = 3000 }
+            ~classify:(fun ~size:_ -> None)
+            ~fallback vmem);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Clustering alternatives ---------------- *)
+
+let clustering_min_cut () =
+  (* Two triangles joined by a single light edge: min cut = that edge. *)
+  let g =
+    mk_graph
+      [ (1, 2, 5); (2, 3, 5); (1, 3, 5); (4, 5, 5); (5, 6, 5); (4, 6, 5); (3, 4, 1) ]
+  in
+  let cut, side = Clustering.min_cut g [ 1; 2; 3; 4; 5; 6 ] in
+  checki "cut weight" 1 cut;
+  let side = List.sort compare side in
+  checkb "one triangle on a side" true (side = [ 1; 2; 3 ] || side = [ 4; 5; 6 ])
+
+let clustering_modularity_two_cliques () =
+  let g =
+    mk_graph
+      [ (1, 2, 10); (2, 3, 10); (1, 3, 10); (4, 5, 10); (5, 6, 10); (4, 6, 10); (3, 4, 1) ]
+  in
+  let parts = Clustering.modularity g in
+  let sets = List.map (List.sort compare) parts |> List.sort compare in
+  checkb "cliques separated" true
+    (List.mem [ 1; 2; 3 ] sets && List.mem [ 4; 5; 6 ] sets)
+
+let clustering_hcs_splits () =
+  let g =
+    mk_graph
+      [ (1, 2, 10); (2, 3, 10); (1, 3, 10); (4, 5, 10); (5, 6, 10); (4, 6, 10); (3, 4, 1) ]
+  in
+  let parts = Clustering.hcs g in
+  let sets = List.map (List.sort compare) parts |> List.sort compare in
+  checkb "triangles are highly connected" true
+    (List.mem [ 1; 2; 3 ] sets && List.mem [ 4; 5; 6 ] sets)
+
+let clustering_threshold_components () =
+  let g = mk_graph [ (1, 2, 10); (2, 3, 1); (4, 5, 10) ] in
+  let parts = Clustering.threshold_components ~min_weight:5 g in
+  let sets = List.map (List.sort compare) parts |> List.sort compare in
+  checkb "light edge cut" true (List.mem [ 1; 2 ] sets && List.mem [ 4; 5 ] sets);
+  checkb "isolated node own component" true (List.mem [ 3 ] sets)
+
+let clustering_as_grouping () =
+  let g =
+    mk_graph ~accesses:[ (1, 50); (2, 40); (3, 1) ] [ (1, 2, 10); (3, 3, 1) ]
+  in
+  let r =
+    Clustering.as_grouping g
+      { Grouping.default_params with Grouping.gthresh = 0.0; min_edge_weight = 1 }
+      [ [ 1; 2 ]; [ 3 ] ]
+  in
+  checkb "groups ordered by popularity" true
+    (Array.length r.Grouping.groups >= 1 && List.mem 1 r.Grouping.groups.(0))
+
+(* ---------------- Pipeline (integration) ---------------- *)
+
+let figure2_program scale =
+  match Workloads.find "povray" with
+  | Some w -> w.Workload.make scale
+  | None -> Alcotest.fail "povray workload missing"
+
+let pipeline_end_to_end () =
+  let plan = Pipeline.plan (figure2_program Workload.Test) in
+  checkb "formed a group" true (Array.length plan.Pipeline.grouping.Grouping.groups >= 1);
+  checkb "selectors built" true (plan.Pipeline.selectors <> []);
+  checkb "sites monitored" true (plan.Pipeline.rewrite.Rewrite.nbits >= 1);
+  (* The A and B contexts are grouped together; C is not in their group. *)
+  let contexts = plan.Pipeline.profile.Profiler.contexts in
+  let g0 = plan.Pipeline.grouping.Grouping.groups.(0) in
+  checkb "group has two contexts (A and B)" true (List.length g0 >= 2);
+  ignore contexts
+
+let pipeline_reduces_misses () =
+  let plan = Pipeline.plan (figure2_program Workload.Test) in
+  let measure mk =
+    let program = figure2_program Workload.Ref in
+    let hier = Hierarchy.create () in
+    let hooks =
+      {
+        Interp.no_hooks with
+        Interp.on_access = (fun a s _ -> Hierarchy.access hier a s);
+      }
+    in
+    let vmem = Vmem.create () in
+    let alloc, patches, env = mk vmem in
+    let t = Interp.create ~seed:3 ~hooks ~patches ?env ~program ~alloc () in
+    ignore (Interp.run t : int);
+    (Hierarchy.counters hier).Hierarchy.l1_misses
+  in
+  let base = measure (fun vmem -> (Jemalloc_sim.create vmem, [], None)) in
+  let halo =
+    measure (fun vmem ->
+        let fallback = Jemalloc_sim.create vmem in
+        let rt = Pipeline.instantiate plan ~fallback vmem in
+        (Group_alloc.iface rt.Pipeline.galloc, rt.Pipeline.patches, Some rt.Pipeline.env))
+  in
+  checkb "halo reduces L1 misses" true (halo < base)
+
+let pipeline_grouped_allocations_contiguous () =
+  (* Run the quickstart program under the instantiated allocator and check
+     that consecutive grouped allocations are bump-contiguous. *)
+  let plan = Pipeline.plan (figure2_program Workload.Test) in
+  let vmem = Vmem.create () in
+  let fallback = Jemalloc_sim.create vmem in
+  let rt = Pipeline.instantiate plan ~fallback vmem in
+  let iface = Group_alloc.iface rt.Pipeline.galloc in
+  let program = figure2_program Workload.Ref in
+  let grouped = ref [] in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_alloc =
+        (fun addr size _ _ ->
+          (* grouped iff the group allocator owns it *)
+          if Option.is_some (iface.Alloc_iface.usable_size addr)
+             && (iface.Alloc_iface.stats ()).Alloc_iface.mallocs > 0
+          then grouped := (addr, size) :: !grouped);
+    }
+  in
+  let t =
+    Interp.create ~seed:3 ~hooks ~patches:rt.Pipeline.patches ~env:rt.Pipeline.env
+      ~program ~alloc:iface ()
+  in
+  ignore (Interp.run t : int);
+  let grouped = List.rev !grouped in
+  checkb "many grouped allocations" true (List.length grouped > 100);
+  (* successive grouped allocations in the same chunk are adjacent *)
+  let csize = plan.Pipeline.config.Pipeline.allocator.Group_alloc.chunk_size in
+  let rec adjacent_ok = function
+    | (a, sa) :: ((b, _) :: _ as rest) ->
+        (if a / csize = b / csize then
+           if b - a <> Addr.align_up (max sa 1) 8 then
+             Alcotest.failf "gap between grouped allocations: %d" (b - a));
+        adjacent_ok rest
+    | _ -> ()
+  in
+  adjacent_ok grouped
+
+let pipeline_runtime_matches_static () =
+  (* On every allocation of a full measurement run, the runtime decision
+     (selector over the live group-state bits) must agree with the static
+     decision (selector over the allocation's reduced chain): the chain is
+     exactly the set of sites live on the stack. *)
+  let plan = Pipeline.plan (figure2_program Workload.Test) in
+  let vmem = Vmem.create () in
+  let fallback = Jemalloc_sim.create vmem in
+  let rt = Pipeline.instantiate plan ~fallback vmem in
+  let galloc = rt.Pipeline.galloc in
+  let max_grouped =
+    plan.Pipeline.config.Pipeline.allocator.Group_alloc.max_grouped_size
+  in
+  let prev_grouped = ref 0 in
+  let mismatches = ref 0 in
+  let checked = ref 0 in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_alloc =
+        (fun _addr size _site ctx ->
+          let now = Group_alloc.grouped_mallocs galloc in
+          let runtime_grouped = now > !prev_grouped in
+          prev_grouped := now;
+          let static_grouped =
+            size <= min max_grouped (Vmem.page_size - 1)
+            && Option.is_some
+                 (Identify.classify_chain plan.Pipeline.selectors ctx)
+          in
+          incr checked;
+          if runtime_grouped <> static_grouped then incr mismatches);
+    }
+  in
+  let t =
+    Interp.create ~seed:3 ~hooks ~patches:rt.Pipeline.patches ~env:rt.Pipeline.env
+      ~program:(figure2_program Workload.Ref)
+      ~alloc:(Group_alloc.iface galloc) ()
+  in
+  ignore (Interp.run t : int);
+  checkb "allocations observed" true (!checked > 1000);
+  checki "runtime/static agreement" 0 !mismatches
+
+let pipeline_describe_and_dot () =
+  let program = figure2_program Workload.Test in
+  let plan = Pipeline.plan program in
+  let text = Pipeline.describe plan ~site_label:(Ir.site_label program) in
+  checkb "describe mentions groups" true (String.length text > 50);
+  let dot = Pipeline.graph_dot plan ~site_label:(Ir.site_label program) in
+  checkb "dot text" true (String.length dot > 20 && String.sub dot 0 5 = "graph")
+
+(* ---------------- Name_ident (identification granularity) -------- *)
+
+let name_ident_window1_is_alloc_site () =
+  checki "window 1 = innermost" 0x30 (Name_ident.name_of_ctx ~window:1 [| 0x10; 0x20; 0x30 |])
+
+let name_ident_window4_xors () =
+  checki "xor of last 4" (0x20 lxor 0x30 lxor 0x40 lxor 0x50)
+    (Name_ident.name_of_ctx ~window:4 [| 0x10; 0x20; 0x30; 0x40; 0x50 |]);
+  checki "short contexts take all" (0x10 lxor 0x20)
+    (Name_ident.name_of_ctx ~window:4 [| 0x10; 0x20 |])
+
+let name_ident_plan_and_classify () =
+  let w = Option.get (Workloads.find "povray") in
+  let profile = Profiler.profile (w.Workload.make Workload.Test) in
+  (* Window 1: one shared malloc site -> at most one name -> grouping over
+     a single node cannot separate anything. *)
+  let p1 = Name_ident.plan ~window:1 profile in
+  checkb "site window sees at most one name group" true (Name_ident.groups p1 <= 1);
+  (* Window 4 distinguishes create_a/create_b/create_c. *)
+  let p4 = Name_ident.plan ~window:4 profile in
+  checkb "xor-4 forms a group" true (Name_ident.groups p4 >= 1);
+  let env = Exec_env.create () in
+  env.Exec_env.cur_name4 <- 12345678;
+  checkb "unknown name unclassified" true
+    (Name_ident.classifier p4 ~env ~size:32 = None)
+
+let name_ident_rejects_other_windows () =
+  let w = Option.get (Workloads.find "ft") in
+  let profile = Profiler.profile (w.Workload.make Workload.Test) in
+  checkb "raises" true
+    (try
+       ignore (Name_ident.plan ~window:2 profile);
+       false
+     with Invalid_argument _ -> true)
+
+(* qcheck: grouping always yields disjoint groups whose members come from
+   the graph. *)
+let prop_grouping_partition =
+  QCheck2.Test.make ~name:"grouping: groups disjoint and drawn from the graph"
+    ~count:60
+    QCheck2.Gen.(
+      list_size (int_range 0 40)
+        (triple (int_range 0 9) (int_range 0 9) (int_range 1 20)))
+    (fun edges ->
+      let g = Affinity_graph.create () in
+      List.iter
+        (fun (x, y, w) ->
+          for _ = 1 to w do
+            Affinity_graph.add_affinity g x y
+          done;
+          Affinity_graph.add_access g x;
+          Affinity_graph.add_access g y)
+        edges;
+      let r =
+        Grouping.group g
+          { Grouping.default_params with Grouping.gthresh = 0.0; min_edge_weight = 1 }
+      in
+      let all = Array.to_list r.Grouping.groups |> List.concat in
+      let nodes = Affinity_graph.nodes g in
+      List.length all = List.length (List.sort_uniq compare all)
+      && List.for_all (fun x -> List.mem x nodes) all)
+
+(* qcheck: selectors always accept the chains of their own group
+   members. *)
+let prop_selector_soundness =
+  QCheck2.Test.make ~name:"identify: selectors accept their members' chains"
+    ~count:60
+    QCheck2.Gen.(
+      list_size (int_range 1 8)
+        (list_size (int_range 1 5) (int_range 0 6)))
+    (fun raw_chains ->
+      let chains =
+        List.filter (fun c -> c <> []) raw_chains |> List.map (List.map (fun s -> 16 * (s + 1)))
+      in
+      if chains = [] then true
+      else begin
+        let contexts = Context.create () in
+        let ids = List.map (fun c -> Context.intern contexts (Array.of_list c)) chains in
+        let ids = List.sort_uniq compare ids in
+        (* put the first half in a group *)
+        let n = max 1 (List.length ids / 2) in
+        let members = List.filteri (fun i _ -> i < n) ids in
+        let grouping = mk_grouping [ members ] in
+        let sels = Identify.build ~contexts ~grouping in
+        List.for_all
+          (fun m ->
+            Identify.classify_chain sels (Context.sites contexts m) = Some 0)
+          members
+      end)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "score: pair" score_pair;
+    tc "score: singleton without loop" score_singleton_no_loop;
+    tc "score: singleton with loop" score_singleton_with_loop;
+    tc "score: loops in denominator" score_loops_in_denominator;
+    tc "score: triangle" score_triangle;
+    tc "score: outside edges ignored" score_ignores_outside_edges;
+    tc "merge: clique candidate accepted" merge_benefit_positive_for_clique;
+    tc "merge: stranger rejected" merge_benefit_negative_for_stranger;
+    tc "merge: tolerance slack" merge_benefit_tolerance_allows_slack;
+    tc "merge: member rejected" merge_benefit_rejects_member;
+    tc "grouping: two cliques" grouping_two_cliques;
+    tc "grouping: hotter endpoint seeds" grouping_seed_is_hotter_endpoint;
+    tc "grouping: disjoint" grouping_disjoint;
+    tc "grouping: member cap" grouping_max_members;
+    tc "grouping: gthresh drops but consumes" grouping_gthresh_drops_but_consumes;
+    tc "grouping: edge threshold" grouping_min_edge_weight_filters;
+    tc "grouping: max_groups cap" grouping_max_groups_cap;
+    tc "grouping: group_of" grouping_group_of;
+    tc "identify: selector soundness and conflicts" identify_selector_accepts_members;
+    tc "identify: minimal sites without conflicts" identify_minimises_sites;
+    tc "identify: popularity order" identify_popularity_order_permits_earlier_overlap;
+    tc "identify: conflict-driven site choice" identify_conflict_counting_reduces;
+    tc "identify: unresolvable conflicts tolerated" identify_unresolvable_conflict_tolerated;
+    tc "rewrite: bit assignment" rewrite_bits_assigned;
+    tc "rewrite: first-match classify" rewrite_classify_first_match;
+    tc "rewrite: conjunction semantics" rewrite_conjunction_requires_all;
+    tc "rewrite: site budget enforced" rewrite_too_many_sites_rejected;
+    tc "group_alloc: bump contiguity" galloc_bump_contiguity;
+    tc "group_alloc: group separation" galloc_groups_separated;
+    tc "group_alloc: ungrouped forwarded" galloc_forwards_ungrouped;
+    tc "group_alloc: large forwarded" galloc_forwards_large;
+    tc "group_alloc: chunk masking and reuse" galloc_chunk_header_masking;
+    tc "group_alloc: current chunk rewinds" galloc_current_chunk_rewinds;
+    tc "group_alloc: spare policy" galloc_spare_policy_purges;
+    tc "group_alloc: frag stats" galloc_frag_stats;
+    tc "group_alloc: realloc within group" galloc_realloc_within_group;
+    tc "group_alloc: realloc migrates from fallback" galloc_realloc_migrates_from_fallback;
+    tc "group_alloc: config validation" galloc_validates_config;
+    tc "clustering: stoer-wagner min cut" clustering_min_cut;
+    tc "clustering: modularity cliques" clustering_modularity_two_cliques;
+    tc "clustering: hcs splits at weak cut" clustering_hcs_splits;
+    tc "clustering: threshold components" clustering_threshold_components;
+    tc "clustering: as_grouping ordering" clustering_as_grouping;
+    tc "pipeline: end to end plan" pipeline_end_to_end;
+    tc "pipeline: reduces misses on Figure 2" pipeline_reduces_misses;
+    tc "pipeline: grouped allocations contiguous" pipeline_grouped_allocations_contiguous;
+    tc "pipeline: describe and dot" pipeline_describe_and_dot;
+    tc "pipeline: runtime matches static classification" pipeline_runtime_matches_static;
+    tc "name_ident: window 1 is the allocation site" name_ident_window1_is_alloc_site;
+    tc "name_ident: xor of last four" name_ident_window4_xors;
+    tc "name_ident: plan and classify" name_ident_plan_and_classify;
+    tc "name_ident: only windows 1 and 4" name_ident_rejects_other_windows;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_grouping_partition; prop_selector_soundness ]

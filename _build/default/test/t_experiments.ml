@@ -1,0 +1,165 @@
+(* Integration tests for the experiment harness: the headline result
+   shapes that EXPERIMENTS.md reports must hold for the committed
+   workloads, so a regression in any pipeline stage shows up here. These
+   run the real measurement machinery on test-friendly subsets. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+let w name = Option.get (Workloads.find name)
+
+let health_ordering () =
+  (* health: HALO > HDS > 0 on both metrics, per Figures 13/14. *)
+  let hw = w "health" in
+  let base = Runner.run hw Runner.Jemalloc in
+  let halo = Runner.run hw Runner.Halo in
+  let hds = Runner.run hw Runner.Hds in
+  let mr m = Runner.miss_reduction_vs ~baseline:base m in
+  checkb "halo reduces misses" true (mr halo > 0.05);
+  checkb "hds reduces misses" true (mr hds > 0.02);
+  checkb "halo beats hds" true (mr halo > mr hds);
+  checkb "halo speeds up" true (Runner.speedup_vs ~baseline:base halo > 0.05)
+
+let povray_wrapper_defeats_hds () =
+  let pw = w "povray" in
+  let base = Runner.run pw Runner.Jemalloc in
+  let halo = Runner.run pw Runner.Halo in
+  let hds = Runner.run pw Runner.Hds in
+  checkb "halo reduces misses" true
+    (Runner.miss_reduction_vs ~baseline:base halo > 0.05);
+  checkb "hds achieves nothing" true
+    (Float.abs (Runner.miss_reduction_vs ~baseline:base hds) < 0.05)
+
+let roms_hds_degrades () =
+  let rw = w "roms" in
+  let base = Runner.run rw Runner.Jemalloc in
+  let halo = Runner.run rw Runner.Halo in
+  let hds = Runner.run rw Runner.Hds in
+  checkb "hds increases misses" true
+    (Runner.miss_reduction_vs ~baseline:base hds < 0.0);
+  checkb "halo does not degrade" true
+    (Runner.miss_reduction_vs ~baseline:base halo >= -0.01)
+
+let instrumentation_overhead_noise () =
+  (* §5.2: the BOLT-instrumented binary without the allocator is noise. *)
+  let hw = w "health" in
+  let base = Runner.run hw Runner.Jemalloc in
+  let ctrl = Runner.run hw Runner.Halo_no_alloc in
+  checkb "overhead within 1%" true
+    (Float.abs (Runner.speedup_vs ~baseline:base ctrl) < 0.01)
+
+let jemalloc_beats_ptmalloc () =
+  let hw = w "health" in
+  let je = Runner.run hw Runner.Jemalloc in
+  let pt = Runner.run hw Runner.Ptmalloc in
+  checkb "jemalloc fewer misses" true
+    (je.Runner.counters.Hierarchy.l1_misses
+    < pt.Runner.counters.Hierarchy.l1_misses)
+
+let measurements_deterministic () =
+  let hw = w "ft" in
+  let a = Runner.run hw Runner.Halo in
+  let b = Runner.run hw Runner.Halo in
+  Alcotest.check Alcotest.int "same misses"
+    a.Runner.counters.Hierarchy.l1_misses b.Runner.counters.Hierarchy.l1_misses;
+  Alcotest.check Alcotest.int "same instructions" a.Runner.instructions
+    b.Runner.instructions
+
+let halo_details_populated () =
+  let m = Runner.run (w "ft") Runner.Halo in
+  match m.Runner.halo with
+  | None -> Alcotest.fail "halo details missing"
+  | Some h ->
+      checkb "groups" true (h.Runner.groups >= 1);
+      checkb "sites monitored" true (h.Runner.monitored_sites >= 1);
+      checkb "grouped traffic" true (h.Runner.grouped_mallocs > 100)
+
+let hds_details_populated () =
+  let m = Runner.run (w "ft") Runner.Hds in
+  match m.Runner.hds with
+  | None -> Alcotest.fail "hds details missing"
+  | Some h ->
+      checkb "trace collected" true (h.Runner.trace_length > 1000);
+      checkb "streams counted" true (h.Runner.stream_count > 0)
+
+let fig12_sweep_runs () =
+  let t = Figures.fig12 ~distances:[ 8; 128 ] () in
+  let s = Table.render t in
+  checkb "two data rows rendered" true
+    (List.length (String.split_on_char '\n' s) >= 7)
+
+let suite_tables_render () =
+  let suite = Figures.run_suite ~workloads:[ w "ft" ] () in
+  List.iter
+    (fun t -> checkb "renders" true (String.length (Table.render t) > 100))
+    [ Figures.fig13 suite; Figures.fig14 suite; Figures.fig15 suite;
+      Figures.hds_diagnostics suite ]
+
+let tab1_renders_for_frag_workload () =
+  let suite = Figures.run_suite ~workloads:[ w "ft" ] () in
+  let s = Table.render (Figures.tab1 suite) in
+  checkb "ft appears" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun l ->
+           String.length l > 2 && String.index_opt l 'f' <> None
+           && String.index_opt l 't' <> None))
+
+let identification_granularity_ordering () =
+  (* §2.2.3 / §3: immediate site < xor-4 < full context, with xor-4 dying
+     exactly on deep call chains (xalanc). *)
+  let xw = w "xalanc" in
+  let base = Runner.run xw Runner.Jemalloc in
+  let site = Runner.run xw (Runner.Ident_window 1) in
+  let xor4 = Runner.run xw (Runner.Ident_window 4) in
+  let halo = Runner.run xw Runner.Halo in
+  let mr m = Runner.miss_reduction_vs ~baseline:base m in
+  checkb "site fails on xalanc" true (Float.abs (mr site) < 0.05);
+  checkb "xor-4 fails on deep chains" true (Float.abs (mr xor4) < 0.05);
+  checkb "full context wins" true (mr halo > 0.1);
+  let pw = w "povray" in
+  let pbase = Runner.run pw Runner.Jemalloc in
+  checkb "xor-4 recovers shallow contexts (povray)" true
+    (Runner.miss_reduction_vs ~baseline:pbase
+       (Runner.run pw (Runner.Ident_window 4))
+    > 0.05)
+
+let sharded_backend_shapes () =
+  (* §6 future work: sharding must preserve the miss reduction and
+     dramatically cut leela's fragmentation. *)
+  let lw = w "leela" in
+  let base = Runner.run lw Runner.Jemalloc in
+  let frag_of m =
+    match m.Runner.halo with
+    | Some h -> h.Runner.frag.Group_alloc.frag_pct
+    | None -> Alcotest.fail "missing halo details"
+  in
+  let bump = Runner.run lw Runner.Halo in
+  let cfg =
+    { Pipeline.default_config with
+      Pipeline.allocator =
+        { Pipeline.default_config.Pipeline.allocator with
+          Group_alloc.backend = Group_alloc.Sharded_free_lists } }
+  in
+  let sharded = Runner.run ~pipeline_config:cfg lw Runner.Halo in
+  checkb "sharding keeps the miss reduction" true
+    (Runner.miss_reduction_vs ~baseline:base sharded
+    >= Runner.miss_reduction_vs ~baseline:base bump -. 0.02);
+  checkb "sharding slashes fragmentation" true
+    (frag_of sharded < 0.5 *. frag_of bump)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Slow f in
+  [
+    tc "health: HALO > HDS > baseline" health_ordering;
+    tc "povray: wrapper defeats HDS, not HALO" povray_wrapper_defeats_hds;
+    tc "roms: HDS degrades, HALO neutral" roms_hds_degrades;
+    tc "instrumentation overhead is noise" instrumentation_overhead_noise;
+    tc "jemalloc beats ptmalloc" jemalloc_beats_ptmalloc;
+    tc "measurements deterministic" measurements_deterministic;
+    tc "halo run details populated" halo_details_populated;
+    tc "hds run details populated" hds_details_populated;
+    tc "figure 12 sweep runs" fig12_sweep_runs;
+    tc "suite tables render" suite_tables_render;
+    tc "table 1 renders" tab1_renders_for_frag_workload;
+    tc "identification granularity ordering" identification_granularity_ordering;
+    tc "sharded backend shapes" sharded_backend_shapes;
+  ]

@@ -1,0 +1,405 @@
+(* Tests for halo_profile: Context interning, the Heap_model, the
+   Affinity_queue (including the paper's Figure 5 example and each of the
+   four constraints), the Affinity_graph and the Profiler. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---------------- Context ---------------- *)
+
+let context_intern_dedup () =
+  let t = Context.create () in
+  let a = Context.intern t [| 1; 2; 3 |] in
+  let b = Context.intern t [| 1; 2; 3 |] in
+  let c = Context.intern t [| 1; 2 |] in
+  checki "same sites same id" a b;
+  checkb "different sites differ" true (a <> c);
+  checki "count" 2 (Context.count t)
+
+let context_alloc_site () =
+  let t = Context.create () in
+  let id = Context.intern t [| 10; 20; 30 |] in
+  checki "innermost" 30 (Context.alloc_site t id)
+
+let context_label () =
+  let t = Context.create () in
+  let id = Context.intern t [| 1; 2 |] in
+  Alcotest.check Alcotest.string "rendered" "s1 -> s2"
+    (Context.label t (fun s -> "s" ^ string_of_int s) id)
+
+let context_ids_dense () =
+  let t = Context.create () in
+  for k = 0 to 99 do
+    checki "dense ids" k (Context.intern t [| k |])
+  done
+
+let context_empty_rejected () =
+  let t = Context.create () in
+  checkb "raises" true
+    (try
+       ignore (Context.intern t [||]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Heap_model ---------------- *)
+
+let heap_find_containing () =
+  let h = Heap_model.create () in
+  let o = Heap_model.on_alloc h ~addr:1000 ~size:64 ~ctx:0 in
+  checkb "base" true ((Option.get (Heap_model.find h 1000)).Heap_model.oid = o.Heap_model.oid);
+  checkb "interior" true ((Option.get (Heap_model.find h 1063)).Heap_model.oid = o.Heap_model.oid);
+  checkb "one past end" true (Heap_model.find h 1064 = None);
+  checkb "before" true (Heap_model.find h 999 = None)
+
+let heap_free_untracks () =
+  let h = Heap_model.create () in
+  ignore (Heap_model.on_alloc h ~addr:1000 ~size:16 ~ctx:0);
+  checkb "freed returns obj" true (Heap_model.on_free h ~addr:1000 <> None);
+  checkb "gone" true (Heap_model.find h 1000 = None);
+  checkb "double free returns None" true (Heap_model.on_free h ~addr:1000 = None)
+
+let heap_seq_monotone () =
+  let h = Heap_model.create () in
+  let a = Heap_model.on_alloc h ~addr:0x100 ~size:8 ~ctx:0 in
+  let b = Heap_model.on_alloc h ~addr:0x200 ~size:8 ~ctx:1 in
+  checkb "seq increases" true (b.Heap_model.seq > a.Heap_model.seq);
+  checkb "oids distinct" true (a.Heap_model.oid <> b.Heap_model.oid)
+
+let heap_addr_reuse_new_identity () =
+  let h = Heap_model.create () in
+  let a = Heap_model.on_alloc h ~addr:0x100 ~size:8 ~ctx:0 in
+  ignore (Heap_model.on_free h ~addr:0x100);
+  let b = Heap_model.on_alloc h ~addr:0x100 ~size:8 ~ctx:1 in
+  checkb "fresh oid at reused address" true (a.Heap_model.oid <> b.Heap_model.oid);
+  checki "resolves to new owner" b.Heap_model.oid
+    (Option.get (Heap_model.find h 0x104)).Heap_model.oid
+
+let heap_ctx_allocs_in_range () =
+  let h = Heap_model.create () in
+  (* ctx 0 at seqs 0, 2, 4; ctx 1 at seqs 1, 3 *)
+  for k = 0 to 4 do
+    ignore (Heap_model.on_alloc h ~addr:(0x1000 + (k * 16)) ~size:8 ~ctx:(k mod 2))
+  done;
+  checkb "ctx0 in (0,4)" true (Heap_model.ctx_allocs_in_range h ~ctx:0 ~lo:0 ~hi:4);
+  checkb "ctx0 in (0,2) is empty" false
+    (Heap_model.ctx_allocs_in_range h ~ctx:0 ~lo:0 ~hi:2);
+  checkb "ctx1 in (1,3) is empty" false
+    (Heap_model.ctx_allocs_in_range h ~ctx:1 ~lo:1 ~hi:3);
+  checkb "ctx1 in (0,3)" true (Heap_model.ctx_allocs_in_range h ~ctx:1 ~lo:0 ~hi:3);
+  checkb "unknown ctx" false (Heap_model.ctx_allocs_in_range h ~ctx:9 ~lo:0 ~hi:100)
+
+(* ---------------- Affinity_queue ---------------- *)
+
+(* Harness: a heap with [n] objects of one size allocated round-robin
+   across contexts, and a queue recording reported pairs. *)
+let mk_queue ?(affinity_distance = 32) ?(nctx = 10) ?(n = 10) () =
+  let heap = Heap_model.create () in
+  let objs =
+    Array.init n (fun k ->
+        Heap_model.on_alloc heap ~addr:(0x1000 + (k * 64)) ~size:8 ~ctx:(k mod nctx))
+  in
+  let pairs = ref [] in
+  let q =
+    Affinity_queue.create ~affinity_distance ~heap
+      ~on_affinity:(fun x y -> pairs := (x, y) :: !pairs)
+      ()
+  in
+  (heap, objs, pairs, q)
+
+let queue_figure5 () =
+  (* Figure 5: 10 objects, 4-byte accesses, A = 32: the newest element is
+     affinitive to exactly the seven others to its left. *)
+  let _, objs, pairs, q = mk_queue ~affinity_distance:32 ~nctx:10 ~n:10 () in
+  for k = 0 to 8 do
+    ignore (Affinity_queue.add q objs.(k) ~bytes:4 : bool)
+  done;
+  pairs := [];
+  ignore (Affinity_queue.add q objs.(9) ~bytes:4 : bool);
+  checki "seven affinitive relationships" 7 (List.length !pairs);
+  (* they are objects 2..8, i.e. contexts 2..8 *)
+  let ys = List.map snd !pairs |> List.sort compare in
+  Alcotest.check (Alcotest.list Alcotest.int) "partners" [ 2; 3; 4; 5; 6; 7; 8 ] ys
+
+let queue_dedup_constraint () =
+  (* Consecutive accesses to one object are a single macro access. *)
+  let _, objs, pairs, q = mk_queue () in
+  checkb "first recorded" true (Affinity_queue.add q objs.(0) ~bytes:8);
+  checkb "repeat deduplicated" false (Affinity_queue.add q objs.(0) ~bytes:8);
+  checki "accesses" 1 (Affinity_queue.accesses q);
+  checki "no pairs" 0 (List.length !pairs)
+
+let queue_no_self_affinity () =
+  (* The same object re-accessed later (non-consecutively) must not pair
+     with itself. *)
+  let _, objs, pairs, q = mk_queue () in
+  ignore (Affinity_queue.add q objs.(0) ~bytes:8 : bool);
+  ignore (Affinity_queue.add q objs.(1) ~bytes:8 : bool);
+  pairs := [];
+  ignore (Affinity_queue.add q objs.(0) ~bytes:8 : bool);
+  (* pairs with obj1 only, not with its own older entry *)
+  checki "one pair" 1 (List.length !pairs);
+  checkb "partner is obj1" true (snd (List.hd !pairs) = 1)
+
+let queue_no_double_counting () =
+  (* An object appearing twice in the window counts once per traversal. *)
+  let _, objs, pairs, q = mk_queue ~affinity_distance:64 () in
+  ignore (Affinity_queue.add q objs.(0) ~bytes:8 : bool);
+  ignore (Affinity_queue.add q objs.(1) ~bytes:8 : bool);
+  ignore (Affinity_queue.add q objs.(0) ~bytes:8 : bool);
+  (* window: [0;1;0] *)
+  pairs := [];
+  ignore (Affinity_queue.add q objs.(2) ~bytes:8 : bool);
+  let partners = List.map snd !pairs |> List.sort compare in
+  Alcotest.check (Alcotest.list Alcotest.int) "0 counted once" [ 0; 1 ] partners
+
+let queue_co_allocatability () =
+  (* Objects u (ctx x) and v (ctx y) with an intervening allocation from x
+     are not co-allocatable. *)
+  let heap = Heap_model.create () in
+  let v = Heap_model.on_alloc heap ~addr:0x1000 ~size:8 ~ctx:7 in
+  (* intervening allocation from ctx 5 *)
+  ignore (Heap_model.on_alloc heap ~addr:0x2000 ~size:8 ~ctx:5);
+  let u = Heap_model.on_alloc heap ~addr:0x3000 ~size:8 ~ctx:5 in
+  let pairs = ref [] in
+  let q =
+    Affinity_queue.create ~affinity_distance:64 ~heap
+      ~on_affinity:(fun x y -> pairs := (x, y) :: !pairs)
+      ()
+  in
+  ignore (Affinity_queue.add q v ~bytes:8 : bool);
+  ignore (Affinity_queue.add q u ~bytes:8 : bool);
+  checki "not co-allocatable" 0 (List.length !pairs)
+
+let queue_co_allocatable_adjacent () =
+  (* Chronologically adjacent allocations are co-allocatable. *)
+  let heap = Heap_model.create () in
+  let v = Heap_model.on_alloc heap ~addr:0x1000 ~size:8 ~ctx:7 in
+  let u = Heap_model.on_alloc heap ~addr:0x3000 ~size:8 ~ctx:5 in
+  let pairs = ref [] in
+  let q =
+    Affinity_queue.create ~affinity_distance:64 ~heap
+      ~on_affinity:(fun x y -> pairs := (x, y) :: !pairs)
+      ()
+  in
+  ignore (Affinity_queue.add q v ~bytes:8 : bool);
+  ignore (Affinity_queue.add q u ~bytes:8 : bool);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "pair reported with newest first" [ (5, 7) ] !pairs
+
+let queue_loop_edges_possible () =
+  (* Distinct objects from one context produce (x, x). *)
+  let heap = Heap_model.create () in
+  let a = Heap_model.on_alloc heap ~addr:0x1000 ~size:8 ~ctx:3 in
+  let b = Heap_model.on_alloc heap ~addr:0x2000 ~size:8 ~ctx:3 in
+  let pairs = ref [] in
+  let q =
+    Affinity_queue.create ~affinity_distance:64 ~heap
+      ~on_affinity:(fun x y -> pairs := (x, y) :: !pairs)
+      ()
+  in
+  ignore (Affinity_queue.add q a ~bytes:8 : bool);
+  ignore (Affinity_queue.add q b ~bytes:8 : bool);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "loop pair" [ (3, 3) ] !pairs
+
+let queue_window_trim () =
+  let _, objs, _, q = mk_queue ~affinity_distance:32 () in
+  for k = 0 to 9 do
+    ignore (Affinity_queue.add q objs.(k) ~bytes:8 : bool)
+  done;
+  (* window is 32 bytes of 8-byte entries: at most ~4 live entries + the
+     newest *)
+  checkb "bounded" true (Affinity_queue.length q <= 6)
+
+let queue_rejects_bad_args () =
+  checkb "bad distance" true
+    (try
+       ignore
+         (Affinity_queue.create ~affinity_distance:0 ~heap:(Heap_model.create ())
+            ~on_affinity:(fun _ _ -> ())
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Affinity_graph ---------------- *)
+
+let graph_weights_accumulate () =
+  let gr = Affinity_graph.create () in
+  Affinity_graph.add_affinity gr 1 2;
+  Affinity_graph.add_affinity gr 2 1;
+  checki "undirected accumulation" 2 (Affinity_graph.weight gr 1 2);
+  Affinity_graph.add_affinity gr 3 3;
+  checki "loop edge" 1 (Affinity_graph.weight gr 3 3)
+
+let graph_access_counts () =
+  let gr = Affinity_graph.create () in
+  Affinity_graph.add_access gr 1;
+  Affinity_graph.add_access gr 1;
+  Affinity_graph.add_access gr 2;
+  checki "node accesses" 2 (Affinity_graph.node_accesses gr 1);
+  checki "total" 3 (Affinity_graph.total_accesses gr);
+  checki "absent node" 0 (Affinity_graph.node_accesses gr 99)
+
+let graph_filter_top () =
+  let gr = Affinity_graph.create () in
+  (* node 0: 90 accesses, node 1: 9, node 2: 1 *)
+  for _ = 1 to 90 do Affinity_graph.add_access gr 0 done;
+  for _ = 1 to 9 do Affinity_graph.add_access gr 1 done;
+  Affinity_graph.add_access gr 2;
+  Affinity_graph.add_affinity gr 0 1;
+  Affinity_graph.add_affinity gr 0 2;
+  let f = Affinity_graph.filter_top gr ~coverage:0.9 in
+  Alcotest.check (Alcotest.list Alcotest.int) "hottest kept" [ 0 ]
+    (Affinity_graph.nodes f);
+  checki "edges to dropped nodes gone" 0 (Affinity_graph.weight f 0 1);
+  checki "reported total preserved" 100 (Affinity_graph.total_accesses f)
+
+let graph_filter_keeps_enough () =
+  let gr = Affinity_graph.create () in
+  for _ = 1 to 50 do Affinity_graph.add_access gr 0 done;
+  for _ = 1 to 30 do Affinity_graph.add_access gr 1 done;
+  for _ = 1 to 20 do Affinity_graph.add_access gr 2 done;
+  let f = Affinity_graph.filter_top gr ~coverage:0.9 in
+  (* 50 + 30 = 80 < 90: node 2 must also be kept *)
+  checki "three nodes" 3 (List.length (Affinity_graph.nodes f))
+
+let graph_prune_edges () =
+  let gr = Affinity_graph.create () in
+  Affinity_graph.add_access gr 1;
+  Affinity_graph.add_access gr 2;
+  for _ = 1 to 5 do Affinity_graph.add_affinity gr 1 2 done;
+  Affinity_graph.add_affinity gr 1 1;
+  let p = Affinity_graph.prune_edges gr ~min_weight:3 in
+  checki "heavy edge kept" 5 (Affinity_graph.weight p 1 2);
+  checki "light loop dropped" 0 (Affinity_graph.weight p 1 1)
+
+let graph_subgraph_weight () =
+  let gr = Affinity_graph.create () in
+  Affinity_graph.add_affinity gr 1 2;
+  Affinity_graph.add_affinity gr 2 3;
+  Affinity_graph.add_affinity gr 1 1;
+  checki "subgraph 1,2 includes loop" 2 (Affinity_graph.subgraph_weight gr [ 1; 2 ]);
+  checki "all" 3 (Affinity_graph.subgraph_weight gr [ 1; 2; 3 ])
+
+(* ---------------- Profiler (integration) ---------------- *)
+
+let profiled_pair_program () =
+  let open Dsl in
+  program ~main:"main"
+    [
+      func "mk_a" [] [ malloc "p" (i 16); return_ (v "p") ];
+      func "mk_b" [] [ malloc "p" (i 16); return_ (v "p") ];
+      func "main" []
+        ([
+           call ~dst:"a0" "mk_a" [];
+           call ~dst:"b0" "mk_b" [];
+           call ~dst:"a1" "mk_a" [];
+           call ~dst:"b1" "mk_b" [];
+         ]
+        @ for_ "t" ~from:(i 0) ~below:(i 50)
+            [
+              load "x" (v "a0") (i 0);
+              load "y" (v "b0") (i 0);
+              load "x2" (v "a1") (i 0);
+              load "y2" (v "b1") (i 0);
+            ]);
+    ]
+
+let profiler_finds_affinity () =
+  let p = profiled_pair_program () in
+  let r = Profiler.profile p in
+  (* Four contexts: each of main's call sites yields a distinct full
+     context, even though mk_a/mk_b each have one malloc site — exactly
+     the full-context discrimination the paper relies on. *)
+  checki "four graph nodes" 4 (List.length (Affinity_graph.nodes r.Profiler.graph));
+  let edges = Affinity_graph.edges r.Profiler.graph in
+  checkb "cross edge exists" true
+    (List.exists (fun (x, y, w) -> x <> y && w > 10) edges);
+  checkb "accesses recorded" true (r.Profiler.total_accesses > 100);
+  checki "four tracked allocs" 4 r.Profiler.tracked_allocs
+
+let profiler_ignores_large_objects () =
+  let open Dsl in
+  let p =
+    program ~main:"main"
+      [
+        func "main" []
+          [
+            malloc "big" (i 100_000);
+            load "x" (v "big") (i 0);
+            load "y" (v "big") (i 64);
+          ];
+      ]
+  in
+  let r = Profiler.profile p in
+  checki "nothing tracked" 0 r.Profiler.tracked_allocs;
+  checki "no accesses attributed" 0 r.Profiler.total_accesses
+
+let profiler_deterministic () =
+  let p1 = Profiler.profile (profiled_pair_program ()) in
+  let p2 = Profiler.profile (profiled_pair_program ()) in
+  checki "same totals" p1.Profiler.total_accesses p2.Profiler.total_accesses;
+  checki "same node count"
+    (List.length (Affinity_graph.nodes p1.Profiler.graph))
+    (List.length (Affinity_graph.nodes p2.Profiler.graph))
+
+(* qcheck: queue window invariant — the sum of live entry sizes behind the
+   newest never exceeds A + one entry. *)
+let prop_queue_window =
+  QCheck2.Test.make ~name:"affinity queue: window stays bounded by A" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 8 256) (list_size (int_range 1 200) (int_range 0 19)))
+    (fun (a, accesses) ->
+      let heap = Heap_model.create () in
+      let objs =
+        Array.init 20 (fun k ->
+            Heap_model.on_alloc heap ~addr:(0x1000 + (k * 64)) ~size:8 ~ctx:k)
+      in
+      let q =
+        Affinity_queue.create ~affinity_distance:a ~heap
+          ~on_affinity:(fun _ _ -> ())
+          ()
+      in
+      List.for_all
+        (fun k ->
+          ignore (Affinity_queue.add q objs.(k) ~bytes:8 : bool);
+          (* every entry is 8 bytes; the window holds at most A/8 entries
+             beyond the newest, plus the boundary entry *)
+          Affinity_queue.length q <= (a / 8) + 2)
+        accesses)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "context: intern dedup" context_intern_dedup;
+    tc "context: alloc site" context_alloc_site;
+    tc "context: label" context_label;
+    tc "context: dense ids" context_ids_dense;
+    tc "context: empty rejected" context_empty_rejected;
+    tc "heap: find containing object" heap_find_containing;
+    tc "heap: free untracks" heap_free_untracks;
+    tc "heap: sequence numbers monotone" heap_seq_monotone;
+    tc "heap: address reuse gets fresh identity" heap_addr_reuse_new_identity;
+    tc "heap: ctx_allocs_in_range" heap_ctx_allocs_in_range;
+    tc "queue: Figure 5 example" queue_figure5;
+    tc "queue: deduplication constraint" queue_dedup_constraint;
+    tc "queue: no self-affinity" queue_no_self_affinity;
+    tc "queue: no double counting" queue_no_double_counting;
+    tc "queue: co-allocatability veto" queue_co_allocatability;
+    tc "queue: adjacent allocations co-allocatable" queue_co_allocatable_adjacent;
+    tc "queue: loop pairs for same context" queue_loop_edges_possible;
+    tc "queue: window trimming" queue_window_trim;
+    tc "queue: argument validation" queue_rejects_bad_args;
+    tc "graph: weights accumulate undirected" graph_weights_accumulate;
+    tc "graph: access counts" graph_access_counts;
+    tc "graph: 90% node filter" graph_filter_top;
+    tc "graph: filter keeps enough coverage" graph_filter_keeps_enough;
+    tc "graph: edge pruning" graph_prune_edges;
+    tc "graph: subgraph weight with loops" graph_subgraph_weight;
+    tc "profiler: finds cross-context affinity" profiler_finds_affinity;
+    tc "profiler: ignores objects over 4KiB" profiler_ignores_large_objects;
+    tc "profiler: deterministic" profiler_deterministic;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_queue_window ]

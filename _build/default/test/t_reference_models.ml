@@ -1,0 +1,203 @@
+(* Differential testing against brute-force reference models.
+
+   The optimised implementations (the ring-buffer affinity queue, the
+   set-associative cache with stamp-based LRU) are checked against naive,
+   obviously-correct re-implementations of their specifications on random
+   inputs. These oracles are written independently from the production
+   code, directly off the paper text / textbook definition. *)
+
+(* ------------------------------------------------------------------ *)
+(* Reference affinity queue: a plain list of all past accesses, scanned *)
+(* in full on every add, applying the four constraints literally.       *)
+(* ------------------------------------------------------------------ *)
+
+module Ref_queue = struct
+  type entry = { oid : int; ctx : int; bytes : int; seq : int }
+
+  type t = {
+    a : int;
+    mutable entries : entry list; (* newest first; never trimmed *)
+    mutable pairs : (int * int) list; (* reported (x, y), newest first *)
+    mutable accesses : int;
+    allocs : (int * int) list; (* (seq, ctx) for every allocation, any order *)
+  }
+
+  let create ~a ~allocs = { a; entries = []; pairs = []; accesses = 0; allocs }
+
+  let co_allocatable t u v =
+    let lo = min u.seq v.seq and hi = max u.seq v.seq in
+    not
+      (List.exists
+         (fun (seq, ctx) ->
+           seq > lo && seq < hi && (ctx = u.ctx || ctx = v.ctx))
+         t.allocs)
+
+  let add t ~oid ~ctx ~bytes ~seq =
+    match t.entries with
+    | e :: _ when e.oid = oid -> () (* dedup: same macro access *)
+    | _ ->
+        t.accesses <- t.accesses + 1;
+        let u = { oid; ctx; bytes; seq } in
+        (* Walk older entries, accumulating sizes from the entry next to u
+           (inclusive of the candidate). *)
+        let acc = ref 0 in
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun v ->
+            acc := !acc + v.bytes;
+            if !acc < t.a then
+              if v.oid <> u.oid && not (Hashtbl.mem seen v.oid) then begin
+                Hashtbl.replace seen v.oid ();
+                if co_allocatable t u v then t.pairs <- (u.ctx, v.ctx) :: t.pairs
+              end)
+          t.entries;
+        t.entries <- u :: t.entries
+end
+
+let prop_affinity_queue_matches_reference =
+  QCheck2.Test.make
+    ~name:"affinity queue: matches the brute-force reference on random traces"
+    ~count:200
+    QCheck2.Gen.(
+      triple (int_range 8 128)
+        (list_size (int_range 1 25) (int_range 0 7)) (* allocation ctxs *)
+        (list_size (int_range 0 120) (pair (int_range 0 24) (int_range 0 2))))
+    (fun (a, alloc_ctxs, accesses) ->
+      (* Allocate objects 0..n-1 with the given contexts (in order), then
+         replay accesses of sizes 4/8/16. *)
+      let heap = Heap_model.create () in
+      let objs =
+        List.mapi
+          (fun k ctx ->
+            Heap_model.on_alloc heap ~addr:(0x1000 + (k * 64)) ~size:8 ~ctx)
+          alloc_ctxs
+      in
+      let objs = Array.of_list objs in
+      if Array.length objs = 0 then true
+      else begin
+        let got = ref [] in
+        let q =
+          Affinity_queue.create ~affinity_distance:a ~heap
+            ~on_affinity:(fun x y -> got := (x, y) :: !got)
+            ()
+        in
+        let refq =
+          Ref_queue.create ~a
+            ~allocs:(List.mapi (fun k ctx -> (k, ctx)) alloc_ctxs)
+        in
+        List.iter
+          (fun (obj_idx, size_k) ->
+            let o = objs.(obj_idx mod Array.length objs) in
+            let bytes = [| 4; 8; 16 |].(size_k) in
+            ignore (Affinity_queue.add q o ~bytes : bool);
+            Ref_queue.add refq ~oid:o.Heap_model.oid ~ctx:o.Heap_model.ctx
+              ~bytes ~seq:o.Heap_model.seq)
+          accesses;
+        !got = refq.Ref_queue.pairs
+        && Affinity_queue.accesses q = refq.Ref_queue.accesses
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Reference cache: sets as explicit MRU-ordered lists.                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ref_cache = struct
+  type t = { sets : int list array; assoc : int; nsets : int; line : int }
+
+  let create ~sets ~assoc ~line = { sets = Array.make sets []; assoc; nsets = sets; line }
+
+  let access t addr =
+    let lineno = addr / t.line in
+    let set = lineno mod t.nsets in
+    let tag = lineno / t.nsets in
+    let cur = t.sets.(set) in
+    let hit = List.mem tag cur in
+    let without = List.filter (fun x -> x <> tag) cur in
+    let updated = tag :: without in
+    t.sets.(set) <-
+      (if List.length updated > t.assoc then
+         List.filteri (fun i _ -> i < t.assoc) updated
+       else updated);
+    hit
+end
+
+let prop_cache_matches_reference =
+  QCheck2.Test.make
+    ~name:"cache: matches an MRU-list reference on random access streams"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 400) (int_range 0 8191))
+    (fun addrs ->
+      let c = Cache.create ~name:"dut" ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+      let r = Ref_cache.create ~sets:8 ~assoc:2 ~line:64 in
+      List.for_all (fun a -> Cache.access c a = Ref_cache.access r a) addrs)
+
+(* ------------------------------------------------------------------ *)
+(* Reference score function: Figure 7 computed from the edge list.      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_score_matches_reference =
+  QCheck2.Test.make ~name:"score: matches Figure 7 computed naively" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 15)
+           (triple (int_range 0 5) (int_range 0 5) (int_range 1 20)))
+        (list_size (int_range 1 6) (int_range 0 5)))
+    (fun (edges, members) ->
+      let g = Affinity_graph.create () in
+      List.iter
+        (fun (x, y, w) ->
+          for _ = 1 to w do
+            Affinity_graph.add_affinity g x y
+          done)
+        edges;
+      let members = List.sort_uniq compare members in
+      (* Naive Figure 7 over the member set. *)
+      let inside x = List.mem x members in
+      let edge_weights = Hashtbl.create 16 in
+      List.iter
+        (fun (x, y, w) ->
+          let k = (min x y, max x y) in
+          Hashtbl.replace edge_weights k
+            (w + try Hashtbl.find edge_weights k with Not_found -> 0))
+        edges;
+      let sum = ref 0 and loops = ref 0 in
+      Hashtbl.iter
+        (fun (x, y) w ->
+          if inside x && inside y && w > 0 then begin
+            sum := !sum + w;
+            if x = y then incr loops
+          end)
+        edge_weights;
+      let n = List.length members in
+      let denom = float_of_int !loops +. (float_of_int (n * (n - 1)) /. 2.0) in
+      let expected = if denom <= 0.0 then 0.0 else float_of_int !sum /. denom in
+      Float.abs (Score.score g members -. expected) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Selector evaluation: Identify.eval against literal DNF semantics.    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_selector_eval_is_dnf =
+  QCheck2.Test.make ~name:"identify: eval implements DNF over site membership"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 4) (list_size (int_range 1 4) (int_range 0 9)))
+        (list_size (int_range 0 6) (int_range 0 9)))
+    (fun (disjuncts, live_sites) ->
+      let sel = { Identify.group = 0; disjuncts } in
+      let live s = List.mem s live_sites in
+      let expected =
+        List.exists (fun conj -> List.for_all (fun s -> List.mem s live_sites) conj)
+          disjuncts
+      in
+      Identify.eval live sel = expected)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_affinity_queue_matches_reference;
+      prop_cache_matches_reference;
+      prop_score_matches_reference;
+      prop_selector_eval_is_dnf;
+    ]

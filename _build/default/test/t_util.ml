@@ -1,0 +1,267 @@
+(* Tests for halo_util: Rng, Stats, Bitset, Table, Dot. *)
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+(* ---------------- Rng ---------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  checkb "different seeds differ" false (Rng.next a = Rng.next b)
+
+let rng_int_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 13 in
+    checkb "in range" true (v >= 0 && v < 13)
+  done
+
+let rng_int_in_bounds () =
+  let r = Rng.create ~seed:8 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in r (-5) 5 in
+    checkb "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let rng_int_rejects_nonpositive () =
+  let r = Rng.create ~seed:1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let rng_float_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 1_000 do
+    let v = Rng.float r 2.5 in
+    checkb "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let rng_split_independent () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  checkb "split differs from parent" false (Rng.next a = Rng.next b)
+
+let rng_shuffle_permutation () =
+  let r = Rng.create ~seed:11 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let rng_choose_uniform_support () =
+  let r = Rng.create ~seed:13 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.choose r [| 0; 1; 2; 3 |]) <- true
+  done;
+  checkb "all elements reachable" true (Array.for_all Fun.id seen)
+
+let rng_geometric_mean () =
+  let r = Rng.create ~seed:17 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric r ~p:0.5
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* mean of Geom(0.5) failures = 1.0 *)
+  checkb "geometric mean plausible" true (mean > 0.8 && mean < 1.2)
+
+(* ---------------- Stats ---------------- *)
+
+let stats_median_odd () = checkf "median odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |])
+
+let stats_median_even () =
+  checkf "median even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let stats_percentiles () =
+  let xs = Array.init 101 float_of_int in
+  checkf "p25" 25.0 (Stats.percentile xs 25.0);
+  checkf "p75" 75.0 (Stats.percentile xs 75.0);
+  checkf "p0" 0.0 (Stats.percentile xs 0.0);
+  checkf "p100" 100.0 (Stats.percentile xs 100.0)
+
+let stats_mean_stddev () =
+  checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |])
+
+let stats_geomean () = checkf "geomean" 2.0 (Stats.geomean [| 1.0; 4.0 |])
+
+let stats_empty_rejected () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]))
+
+let stats_summary_consistent () =
+  let s = Stats.summarize [| 3.0; 1.0; 2.0; 4.0 |] in
+  checkf "min" 1.0 s.Stats.min;
+  checkf "max" 4.0 s.Stats.max;
+  checkb "p25 <= median" true (s.Stats.p25 <= s.Stats.median);
+  checkb "median <= p75" true (s.Stats.median <= s.Stats.p75)
+
+(* ---------------- Bitset ---------------- *)
+
+let bitset_set_get_clear () =
+  let b = Bitset.create 70 in
+  checkb "initially clear" false (Bitset.get b 69);
+  Bitset.set b 69;
+  checkb "set" true (Bitset.get b 69);
+  checkb "neighbour untouched" false (Bitset.get b 68);
+  Bitset.clear b 69;
+  checkb "cleared" false (Bitset.get b 69)
+
+let bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: index 8 out of bounds [0,8)")
+    (fun () -> Bitset.set b 8)
+
+let bitset_cardinal_tolist () =
+  let b = Bitset.create 16 in
+  List.iter (Bitset.set b) [ 0; 3; 7; 15 ];
+  checki "cardinal" 4 (Bitset.cardinal b);
+  check (Alcotest.list Alcotest.int) "to_list" [ 0; 3; 7; 15 ] (Bitset.to_list b)
+
+let bitset_copy_independent () =
+  let b = Bitset.create 8 in
+  Bitset.set b 1;
+  let c = Bitset.copy b in
+  Bitset.clear b 1;
+  checkb "copy unaffected" true (Bitset.get c 1)
+
+let bitset_clear_all () =
+  let b = Bitset.create 32 in
+  List.iter (Bitset.set b) [ 1; 2; 30 ];
+  Bitset.clear_all b;
+  checki "empty" 0 (Bitset.cardinal b)
+
+(* ---------------- Table ---------------- *)
+
+let table_renders () =
+  let t = Table.create ~title:"T" ~headers:[ "a"; "bb" ] () in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yyyy"; "22" ];
+  let s = Table.render t in
+  checkb "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  checkb "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0 && String.contains l 'y'))
+
+let table_arity_checked () =
+  let t = Table.create ~headers:[ "a"; "b" ] () in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let table_fmt_pct () =
+  check Alcotest.string "pct" "+4.23%" (Table.fmt_pct 0.0423);
+  check Alcotest.string "neg pct" "-10.00%" (Table.fmt_pct (-0.1))
+
+let table_fmt_bytes () =
+  check Alcotest.string "bytes" "512B" (Table.fmt_bytes 512);
+  check Alcotest.string "kib" "2.00KiB" (Table.fmt_bytes 2048);
+  check Alcotest.string "mib" "2.05MiB" (Table.fmt_bytes 2149581)
+
+(* ---------------- Dot ---------------- *)
+
+let dot_renders () =
+  let nodes =
+    [
+      { Dot.id = 0; label = "a"; group = Some 0; accesses = 10 };
+      { Dot.id = 1; label = "b\"q"; group = None; accesses = 5 };
+    ]
+  in
+  let edges = [ { Dot.src = 0; dst = 1; weight = 3 } ] in
+  let s = Dot.render nodes edges in
+  checkb "graph header" true (String.length s >= 5 && String.sub s 0 5 = "graph");
+  checkb "escapes quotes" true
+    (let ok = ref false in
+     String.iteri (fun k c -> if c = '\\' && s.[k + 1] = '"' then ok := true) s;
+     !ok)
+
+let dot_min_weight_hides () =
+  let nodes = [ { Dot.id = 0; label = "a"; group = None; accesses = 1 } ] in
+  let edges = [ { Dot.src = 0; dst = 0; weight = 1 } ] in
+  let s = Dot.render ~min_weight:10 nodes edges in
+  checkb "edge hidden" false
+    (String.split_on_char '\n' s
+    |> List.exists (fun l ->
+           let has_dashdash = ref false in
+           String.iteri
+             (fun k c -> if c = '-' && k + 1 < String.length l && l.[k + 1] = '-' then has_dashdash := true)
+             l;
+           !has_dashdash))
+
+let dot_group_color_stable () =
+  check Alcotest.string "same group same color" (Dot.group_color 3) (Dot.group_color 3)
+
+(* ---------------- qcheck properties ---------------- *)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"stats: percentile is monotone in p" ~count:200
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 20) (float_range (-100.) 100.))
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let xs = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let prop_bitset_roundtrip =
+  QCheck2.Test.make ~name:"bitset: to_list after sets = sorted distinct sets"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 50) (int_range 0 63))
+    (fun idxs ->
+      let b = Bitset.create 64 in
+      List.iter (Bitset.set b) idxs;
+      Bitset.to_list b = List.sort_uniq compare idxs)
+
+let prop_rng_int_range =
+  QCheck2.Test.make ~name:"rng: int in [0, bound)" ~count:500
+    QCheck2.Gen.(pair (int_range 1 1_000_000) int)
+    (fun (bound, seed) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_percentile_monotone; prop_bitset_roundtrip; prop_rng_int_range ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "rng: deterministic" rng_deterministic;
+    tc "rng: seed sensitivity" rng_seed_sensitivity;
+    tc "rng: int bounds" rng_int_bounds;
+    tc "rng: int_in bounds" rng_int_in_bounds;
+    tc "rng: int rejects non-positive bound" rng_int_rejects_nonpositive;
+    tc "rng: float bounds" rng_float_bounds;
+    tc "rng: split independence" rng_split_independent;
+    tc "rng: shuffle is a permutation" rng_shuffle_permutation;
+    tc "rng: choose covers support" rng_choose_uniform_support;
+    tc "rng: geometric mean" rng_geometric_mean;
+    tc "stats: median odd" stats_median_odd;
+    tc "stats: median even" stats_median_even;
+    tc "stats: percentiles" stats_percentiles;
+    tc "stats: mean and stddev" stats_mean_stddev;
+    tc "stats: geomean" stats_geomean;
+    tc "stats: empty input rejected" stats_empty_rejected;
+    tc "stats: summary consistent" stats_summary_consistent;
+    tc "bitset: set/get/clear" bitset_set_get_clear;
+    tc "bitset: bounds checked" bitset_bounds;
+    tc "bitset: cardinal and to_list" bitset_cardinal_tolist;
+    tc "bitset: copy independent" bitset_copy_independent;
+    tc "bitset: clear_all" bitset_clear_all;
+    tc "table: renders" table_renders;
+    tc "table: arity checked" table_arity_checked;
+    tc "table: fmt_pct" table_fmt_pct;
+    tc "table: fmt_bytes" table_fmt_bytes;
+    tc "dot: renders with escaping" dot_renders;
+    tc "dot: min_weight hides edges" dot_min_weight_hides;
+    tc "dot: stable group colours" dot_group_color_stable;
+  ]
+  @ qsuite

@@ -1,0 +1,129 @@
+(* Tests for the 11 evaluation workloads: structural invariants (the test
+   and ref programs must share call-site sets so profile-on-test plans
+   apply to ref runs), determinism, and the per-benchmark structural
+   claims that the evaluation narrative depends on. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let registry_complete () =
+  Alcotest.check (Alcotest.list Alcotest.string) "the paper's 11 benchmarks"
+    [ "health"; "ft"; "analyzer"; "ammp"; "art"; "equake"; "povray"; "omnetpp";
+      "xalanc"; "leela"; "roms" ]
+    Workloads.names
+
+let find_works () =
+  checkb "find" true (Workloads.find "health" <> None);
+  checkb "missing" true (Workloads.find "nope" = None)
+
+let run_ok w scale seed =
+  let program = w.Workload.make scale in
+  let vmem = Vmem.create () in
+  let alloc = Jemalloc_sim.create vmem in
+  let t = Interp.create ~seed ~program ~alloc () in
+  ignore (Interp.run t : int);
+  Interp.instructions t
+
+(* Per-workload: builds, runs, and test/ref share sites. *)
+let per_workload w =
+  let name = w.Workload.name in
+  [
+    Alcotest.test_case (name ^ ": test-scale program runs") `Quick (fun () ->
+        checkb "instructions retired" true (run_ok w Workload.Test 1 > 1000));
+    Alcotest.test_case (name ^ ": deterministic per seed") `Quick (fun () ->
+        checki "same instruction count" (run_ok w Workload.Test 1)
+          (run_ok w Workload.Test 1));
+    Alcotest.test_case (name ^ ": test and ref share call sites") `Quick
+      (fun () ->
+        let st = Ir.sites (w.Workload.make Workload.Test) in
+        let sr = Ir.sites (w.Workload.make Workload.Ref) in
+        Alcotest.check (Alcotest.list Alcotest.int) "site sets equal" st sr);
+    Alcotest.test_case (name ^ ": ref is larger than test") `Quick (fun () ->
+        checkb "more work at ref scale" true
+          (run_ok w Workload.Ref 1 > run_ok w Workload.Test 1));
+  ]
+
+(* Structural claims. *)
+
+let povray_single_alloc_path () =
+  (* Figure 2/§3: all of povray's heap allocation flows through the
+     pov_malloc wrapper — exactly one malloc site in the program. *)
+  let w = Option.get (Workloads.find "povray") in
+  let p = w.Workload.make Workload.Test in
+  checki "one allocation site" 1 (List.length (Ir.alloc_sites p))
+
+let leela_single_alloc_path () =
+  (* §5.2: leela allocates exclusively through operator new — one malloc
+     site; the only other allocation is the board-pattern table's calloc
+     (a large, never-grouped array). *)
+  let w = Option.get (Workloads.find "leela") in
+  let p = w.Workload.make Workload.Test in
+  checki "operator new + pattern table" 2 (List.length (Ir.alloc_sites p))
+
+let omnetpp_single_alloc_path () =
+  let w = Option.get (Workloads.find "omnetpp") in
+  let p = w.Workload.make Workload.Test in
+  (* sim_alloc's malloc plus the forwarded queue/table callocs *)
+  checkb "small-object path is one site" true
+    (List.length (Ir.alloc_sites p) <= 5)
+
+let health_direct_sites () =
+  (* The prior-work suite exposes multiple direct allocation sites. *)
+  let w = Option.get (Workloads.find "health") in
+  let p = w.Workload.make Workload.Test in
+  checkb "several distinct sites" true (List.length (Ir.alloc_sites p) >= 3)
+
+let xalanc_deep_chain () =
+  (* Allocation contexts must be deep (tens of frames in the paper; >= 7
+     here): check via a profile that some context has many sites. *)
+  let w = Option.get (Workloads.find "xalanc") in
+  let r = Profiler.profile (w.Workload.make Workload.Test) in
+  let deep =
+    Context.fold r.Profiler.contexts ~init:0 ~f:(fun acc _ sites ->
+        max acc (Array.length sites))
+  in
+  checkb "deep contexts" true (deep >= 7)
+
+let workload_overrides_applied () =
+  let omnetpp = Option.get (Workloads.find "omnetpp") in
+  let cfg = omnetpp.Workload.halo_allocator Group_alloc.default_config in
+  checki "128KiB chunks" (128 * 1024) cfg.Group_alloc.chunk_size;
+  checkb "always reuse" true (cfg.Group_alloc.spare_policy = Group_alloc.Always_reuse);
+  let roms = Option.get (Workloads.find "roms") in
+  let gp = roms.Workload.halo_grouping Grouping.default_params in
+  checkb "roms max-groups 4" true (gp.Grouping.max_groups = Some 4)
+
+let frag_table_membership () =
+  (* Table 1 lists 9 benchmarks; omnetpp and xalanc are excluded. *)
+  let in_table =
+    List.filter (fun w -> w.Workload.in_frag_table) Workloads.all
+    |> List.map (fun w -> w.Workload.name)
+  in
+  checki "nine benchmarks" 9 (List.length in_table);
+  checkb "omnetpp excluded" true (not (List.mem "omnetpp" in_table));
+  checkb "xalanc excluded" true (not (List.mem "xalanc" in_table))
+
+let roms_has_large_ungroupable_data () =
+  (* roms' grids must be too large to track/group. *)
+  let w = Option.get (Workloads.find "roms") in
+  let r = Profiler.profile (w.Workload.make Workload.Test) in
+  (* the grids (and pointer tables) are untracked; the pair records are *)
+  checkb "pairs tracked" true (r.Profiler.tracked_allocs > 1000);
+  (* affinity graph stays tiny (paper: 31 nodes for roms) *)
+  checkb "few context nodes" true
+    (List.length (Affinity_graph.nodes r.Profiler.graph) <= 31)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ tc "registry: all 11 benchmarks" registry_complete; tc "registry: find" find_works ]
+  @ List.concat_map per_workload Workloads.all
+  @ [
+      tc "povray: single allocation path" povray_single_alloc_path;
+      tc "leela: single allocation path" leela_single_alloc_path;
+      tc "omnetpp: factory allocation path" omnetpp_single_alloc_path;
+      tc "health: direct sites" health_direct_sites;
+      tc "xalanc: deep call chains" xalanc_deep_chain;
+      tc "overrides: A.8 flags wired" workload_overrides_applied;
+      tc "table 1: membership" frag_table_membership;
+      tc "roms: large data untracked, graph small" roms_has_large_ungroupable_data;
+    ]
