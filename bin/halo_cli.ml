@@ -7,7 +7,12 @@
    (--chunk-size, --max-spare-chunks, --max-groups) are accepted by
    `halo run`. `halo plan` additionally exposes the optimisation plan
    itself — groups, selectors, monitored sites, and the Figure 9 affinity
-   graph as graphviz dot. *)
+   graph as graphviz dot.
+
+   Observability: `halo run --trace-out FILE` exports the run's telemetry
+   (pipeline-stage spans, allocator/cache metric series) as JSONL, and
+   `halo telemetry` runs a workload/configuration pair and pretty-prints
+   the span tree and the top-N metrics. *)
 
 open Cmdliner
 
@@ -61,7 +66,7 @@ let kind_arg =
   Arg.(
     value
     & opt kind_conv Runner.Halo
-    & info [ "c"; "config" ] ~docv:"CONFIG"
+    & info [ "c"; "config"; "kind" ] ~docv:"CONFIG"
         ~doc:
           "Allocator configuration: jemalloc, ptmalloc, halo, noalloc, hds, \
            hds-merged, or random.")
@@ -117,52 +122,105 @@ let pipeline_config ~chunk_size ~spare ~max_groups ~affinity =
   in
   { c with Pipeline.allocator; grouping; profiler }
 
-let print_measurement ?baseline (m : Runner.measurement) =
-  Printf.printf "workload:      %s\nconfiguration: %s\n" m.Runner.workload
-    (Runner.kind_name m.Runner.kind);
-  Printf.printf "instructions:  %d\n" m.Runner.instructions;
-  Printf.printf "accesses:      %d\n" m.Runner.counters.Hierarchy.accesses;
-  Printf.printf "L1D misses:    %d\n" m.Runner.counters.Hierarchy.l1_misses;
-  Printf.printf "L2 misses:     %d\n" m.Runner.counters.Hierarchy.l2_misses;
-  Printf.printf "L3 misses:     %d\n" m.Runner.counters.Hierarchy.l3_misses;
-  Printf.printf "DTLB misses:   %d\n" m.Runner.counters.Hierarchy.tlb_misses;
-  Printf.printf "cycles:        %.0f\n" m.Runner.cycles;
-  Printf.printf "sim time:      %.3f ms\n" (m.Runner.seconds *. 1e3);
+(* The one measurement formatter, shared by `run`, `baseline` and
+   `telemetry`: a two-column Util.Table rather than ad-hoc printf. *)
+let measurement_table ?baseline (m : Runner.measurement) =
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "%s / %s" m.Runner.workload (Runner.kind_name m.Runner.kind))
+      ~headers:[ "metric"; "value" ] ()
+  in
+  Table.set_aligns t [ Table.Left; Table.Right ];
+  let row k v = Table.add_row t [ k; v ] in
+  row "workload" m.Runner.workload;
+  row "configuration" (Runner.kind_name m.Runner.kind);
+  row "instructions" (string_of_int m.Runner.instructions);
+  row "accesses" (string_of_int m.Runner.counters.Hierarchy.accesses);
+  row "L1D misses" (string_of_int m.Runner.counters.Hierarchy.l1_misses);
+  row "L2 misses" (string_of_int m.Runner.counters.Hierarchy.l2_misses);
+  row "L3 misses" (string_of_int m.Runner.counters.Hierarchy.l3_misses);
+  row "DTLB misses" (string_of_int m.Runner.counters.Hierarchy.tlb_misses);
+  row "cycles" (Printf.sprintf "%.0f" m.Runner.cycles);
+  row "sim time" (Printf.sprintf "%.3f ms" (m.Runner.seconds *. 1e3));
   (match baseline with
   | Some b when b != m ->
-      Printf.printf "vs jemalloc:   %s misses, %s time\n"
-        (Table.fmt_pct (Runner.miss_reduction_vs ~baseline:b m))
-        (Table.fmt_pct (Runner.speedup_vs ~baseline:b m))
+      Table.add_rule t;
+      row "vs jemalloc misses" (Table.fmt_pct (Runner.miss_reduction_vs ~baseline:b m));
+      row "vs jemalloc time" (Table.fmt_pct (Runner.speedup_vs ~baseline:b m))
   | _ -> ());
   (match m.Runner.halo with
   | Some h ->
-      Printf.printf
-        "halo:          %d groups, %d monitored sites, %d graph nodes\n"
-        h.Runner.groups h.Runner.monitored_sites h.Runner.graph_nodes;
-      Printf.printf
-        "allocator:     %d grouped mallocs, %d chunks carved, %d reuses\n"
-        h.Runner.grouped_mallocs h.Runner.chunks_carved h.Runner.chunk_reuses;
-      Printf.printf "fragmentation: %.2f%% (%s at peak)\n"
-        (100.0 *. h.Runner.frag.Group_alloc.frag_pct)
-        (Table.fmt_bytes h.Runner.frag.Group_alloc.frag_bytes)
+      Table.add_rule t;
+      row "halo groups" (string_of_int h.Runner.groups);
+      row "monitored sites" (string_of_int h.Runner.monitored_sites);
+      row "graph nodes" (string_of_int h.Runner.graph_nodes);
+      row "grouped mallocs" (string_of_int h.Runner.grouped_mallocs);
+      row "chunks carved" (string_of_int h.Runner.chunks_carved);
+      row "chunk reuses" (string_of_int h.Runner.chunk_reuses);
+      row "fragmentation"
+        (Printf.sprintf "%.2f%% (%s at peak)"
+           (100.0 *. h.Runner.frag.Group_alloc.frag_pct)
+           (Table.fmt_bytes h.Runner.frag.Group_alloc.frag_bytes))
   | None -> ());
-  match m.Runner.hds with
+  (match m.Runner.hds with
   | Some h ->
-      Printf.printf
-        "hds:           %d pools from %d candidate streams (%d selected, %.0f%% \
-         coverage, trace %d)\n"
-        h.Runner.pools h.Runner.stream_count h.Runner.selected_streams
-        (100.0 *. h.Runner.hds_coverage)
-        h.Runner.trace_length
-  | None -> ()
+      Table.add_rule t;
+      row "hds pools" (string_of_int h.Runner.pools);
+      row "candidate streams" (string_of_int h.Runner.stream_count);
+      row "selected streams" (string_of_int h.Runner.selected_streams);
+      row "stream coverage" (Printf.sprintf "%.0f%%" (100.0 *. h.Runner.hds_coverage));
+      row "trace length" (string_of_int h.Runner.trace_length)
+  | None -> ());
+  t
+
+let print_measurement ?baseline m = Table.print (measurement_table ?baseline m)
+
+(* Shared by `run --trace-out` and `telemetry`: an Obs context whose JSONL
+   sink is the given file (when any). *)
+let with_obs trace_out f =
+  match trace_out with
+  | None ->
+      let obs = Obs.create () in
+      let r = f obs in
+      Obs.finish obs;
+      r
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "halo: cannot open trace file: %s\n" msg;
+          exit 1
+      in
+      let obs = Obs.create ~sink:(Trace.to_channel oc) () in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let r = f obs in
+          Obs.finish obs;
+          Printf.printf "trace written to %s\n" path;
+          r)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's telemetry (span + metric events) as JSONL to \
+           $(docv).")
 
 let run_cmd =
-  let run w kind seed chunk_size spare max_groups affinity json_out =
+  let run w kind seed chunk_size spare max_groups affinity json_out trace_out =
     let pc = pipeline_config ~chunk_size ~spare ~max_groups ~affinity in
     let baseline = Runner.run ~seed w Runner.Jemalloc in
+    let measured obs =
+      if kind = Runner.Jemalloc then Runner.run ?obs ~seed w kind
+      else Runner.run ?obs ~seed ~pipeline_config:pc w kind
+    in
     let m =
-      if kind = Runner.Jemalloc then baseline
-      else Runner.run ~seed ~pipeline_config:pc w kind
+      match trace_out with
+      | None -> if kind = Runner.Jemalloc then baseline else measured None
+      | Some _ -> with_obs trace_out (fun obs -> measured (Some obs))
     in
     print_measurement ~baseline m;
     match json_out with
@@ -184,7 +242,35 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Measure a workload under a configuration.")
     Term.(
       const run $ workload_arg $ kind_arg $ seed_arg $ chunk_size_arg $ spare_arg
-      $ max_groups_arg $ affinity_arg $ json_arg)
+      $ max_groups_arg $ affinity_arg $ json_arg $ trace_out_arg)
+
+let telemetry_cmd =
+  let run w kind seed chunk_size spare max_groups affinity trace_out top =
+    let pc = pipeline_config ~chunk_size ~spare ~max_groups ~affinity in
+    with_obs trace_out (fun obs ->
+        let m = Runner.run ~obs ~seed ~pipeline_config:pc w kind in
+        print_measurement m;
+        print_newline ();
+        print_endline "span tree (wall clock; retired instructions where measured):";
+        print_string (Obs.span_tree_string obs);
+        print_newline ();
+        Printf.printf "top %d metrics by volume:\n" top;
+        print_string (Obs.top_metrics_string ~n:top obs))
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Metrics to show (by sample volume).")
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Run a workload/configuration pair with full observability: print \
+          the pipeline span tree and the hottest metrics, optionally \
+          exporting the JSONL trace.")
+    Term.(
+      const run $ workload_arg $ kind_arg $ seed_arg $ chunk_size_arg $ spare_arg
+      $ max_groups_arg $ affinity_arg $ trace_out_arg $ top_arg)
 
 let baseline_cmd =
   let run w seed =
@@ -349,6 +435,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; baseline_cmd; plan_cmd; sweep_cmd; figures_cmd; disasm_cmd;
-            contexts_cmd; list_cmd;
+            run_cmd; baseline_cmd; telemetry_cmd; plan_cmd; sweep_cmd;
+            figures_cmd; disasm_cmd; contexts_cmd; list_cmd;
           ]))

@@ -34,19 +34,28 @@ type counters = {
   prefetches : int;
 }
 
+(* Miss-stream sampling state; [None] when observability is disabled. *)
+type hobs = { o : Obs.t option; sample_every : int; mutable until_sample : int }
+
 type t = {
   cfg : config;
   l1 : Cache.t;
   l2 : Cache.t;
   l3 : Cache.t;
   tlb : Tlb.t;
+  obs : hobs option;
   mutable accesses : int;
   mutable prefetches : int;
 }
 
-let create ?(config = xeon_w2195) () =
+let create ?(config = xeon_w2195) ?obs ?(sample_every = 4096) () =
+  if sample_every < 1 then invalid_arg "Hierarchy.create: sample_every must be >= 1";
   {
     cfg = config;
+    obs =
+      Option.map
+        (fun o -> { o = Some o; sample_every; until_sample = sample_every })
+        obs;
     l1 =
       Cache.create ~name:"L1D" ~size_bytes:config.l1_size ~assoc:config.l1_assoc
         ~line_bytes:config.line_bytes;
@@ -61,9 +70,30 @@ let create ?(config = xeon_w2195) () =
     prefetches = 0;
   }
 
+(* One cumulative sample per level: the consumer differentiates the series
+   to recover per-window miss rates. *)
+let emit_samples t ho =
+  let point name v =
+    Obs.event ho.o ~name
+      ~attrs:[ ("accesses", Json.Int t.accesses) ]
+      (float_of_int v)
+  in
+  point "cache.l1.misses" (Cache.misses t.l1);
+  point "cache.l2.misses" (Cache.misses t.l2);
+  point "cache.l3.misses" (Cache.misses t.l3);
+  point "cache.tlb.misses" (Tlb.misses t.tlb)
+
 let access t addr size =
   if size <= 0 then invalid_arg "Hierarchy.access: non-positive size";
   t.accesses <- t.accesses + 1;
+  (match t.obs with
+  | None -> ()
+  | Some ho ->
+      ho.until_sample <- ho.until_sample - 1;
+      if ho.until_sample = 0 then begin
+        ho.until_sample <- ho.sample_every;
+        emit_samples t ho
+      end);
   let line = t.cfg.line_bytes in
   let first = Addr.align_down addr line in
   let last = Addr.align_down (addr + size - 1) line in

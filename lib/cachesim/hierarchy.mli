@@ -39,7 +39,13 @@ type counters = {
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?obs:Obs.t -> ?sample_every:int -> unit -> t
+(** [obs] enables the per-level miss streams: every [sample_every]
+    (default 4096) program accesses, one [{"type":"metric"}] trace event
+    per level ([cache.l1.misses], [cache.l2.misses], [cache.l3.misses],
+    [cache.tlb.misses]) carrying the {e cumulative} miss count and the
+    access index — differentiate to recover windowed miss rates. Without
+    [obs] the access path is the uninstrumented seed code. *)
 
 val access : t -> Addr.t -> int -> unit
 (** [access t addr size] simulates one program-level load or store of

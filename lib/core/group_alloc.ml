@@ -34,6 +34,21 @@ type chunk = {
   mutable hw_pages : int; (* pages made resident by the bump high-water *)
 }
 
+(* Pre-resolved telemetry handles; [None] when observability is disabled. *)
+type gobs = {
+  o : Obs.t option; (* always [Some]; kept as option for Obs.event *)
+  m_grouped : Metrics.counter; (* alloc.grouped_mallocs *)
+  m_forwarded : Metrics.counter; (* alloc.fallback_mallocs *)
+  m_carved : Metrics.counter; (* alloc.chunks.carved *)
+  m_reused : Metrics.counter; (* alloc.chunks.reused *)
+  m_purged : Metrics.counter; (* alloc.chunks.purged *)
+  m_freelist : Metrics.counter; (* alloc.freelist.reuses *)
+  g_spare : Metrics.gauge; (* alloc.chunks.spare *)
+  h_occupancy : Metrics.histogram; (* alloc.pool.occupancy *)
+  sample_every : int;
+  mutable until_sample : int;
+}
+
 type state = {
   vmem : Vmem.t;
   cfg : config;
@@ -49,6 +64,7 @@ type state = {
   mutable slab_limit : Addr.t;
   (* Sharded free lists: (group, reserved size) -> freed region stack. *)
   shards : (int * int, Addr.t list ref) Hashtbl.t;
+  gobs : gobs option;
   mutable carved : int;
   mutable reuses : int;
   mutable freelist_reuses : int;
@@ -88,6 +104,11 @@ let reset_chunk st chunk group =
   chunk.live_regions <- 0;
   grow_residency st chunk
 
+let spare_gauge st =
+  match st.gobs with
+  | None -> ()
+  | Some g -> Metrics.set g.g_spare (float_of_int st.spare_count)
+
 let acquire_chunk st group =
   let chunk =
     match st.spare with
@@ -95,12 +116,15 @@ let acquire_chunk st group =
         st.spare <- rest;
         st.spare_count <- st.spare_count - 1;
         st.reuses <- st.reuses + 1;
+        (match st.gobs with None -> () | Some g -> Metrics.incr g.m_reused);
+        spare_gauge st;
         c
     | [] -> (
         match st.purged with
         | c :: rest ->
             st.purged <- rest;
             st.reuses <- st.reuses + 1;
+            (match st.gobs with None -> () | Some g -> Metrics.incr g.m_reused);
             c
         | [] ->
             if st.slab_cursor + st.cfg.chunk_size > st.slab_limit then begin
@@ -113,6 +137,7 @@ let acquire_chunk st group =
             let base = st.slab_cursor in
             st.slab_cursor <- base + st.cfg.chunk_size;
             st.carved <- st.carved + 1;
+            (match st.gobs with None -> () | Some g -> Metrics.incr g.m_carved);
             let c = { base; group; bump = 0; live_regions = 0; hw_pages = 0 } in
             Hashtbl.replace st.chunks base c;
             c)
@@ -129,6 +154,36 @@ let shard st group reserved =
       let l = ref [] in
       Hashtbl.replace st.shards key l;
       l
+
+(* One series point per group's current chunk: live regions, bump
+   utilisation. Sampled every [sample_every] grouped mallocs so trace
+   volume stays bounded on allocation-heavy runs. *)
+let sample_pools st g =
+  Hashtbl.iter
+    (fun group chunk ->
+      Metrics.observe g.h_occupancy (float_of_int chunk.live_regions);
+      Obs.event g.o ~name:"alloc.pool.occupancy"
+        ~attrs:
+          [
+            ("group", Json.Int group);
+            ( "bump_util",
+              Json.Float
+                (float_of_int chunk.bump /. float_of_int st.cfg.chunk_size) );
+          ]
+        (float_of_int chunk.live_regions))
+    st.current;
+  Obs.event g.o ~name:"alloc.chunks.spare" (float_of_int st.spare_count)
+
+let gobs_on_malloc st =
+  match st.gobs with
+  | None -> ()
+  | Some g ->
+      Metrics.incr g.m_grouped;
+      g.until_sample <- g.until_sample - 1;
+      if g.until_sample = 0 then begin
+        g.until_sample <- g.sample_every;
+        sample_pools st g
+      end
 
 let group_malloc st group n =
   let reserved = Addr.align_up (max n 1) 8 in
@@ -150,6 +205,8 @@ let group_malloc st group n =
       | None -> failwith "Group_alloc: freed region lost its chunk");
       st.grouped_mallocs <- st.grouped_mallocs + 1;
       st.freelist_reuses <- st.freelist_reuses + 1;
+      (match st.gobs with None -> () | Some g -> Metrics.incr g.m_freelist);
+      gobs_on_malloc st;
       Alloc_iface.Live_table.on_malloc st.table addr ~requested:n ~reserved;
       addr
   | None ->
@@ -164,6 +221,7 @@ let group_malloc st group n =
   chunk.bump <- chunk.bump + reserved;
   chunk.live_regions <- chunk.live_regions + 1;
   st.grouped_mallocs <- st.grouped_mallocs + 1;
+  gobs_on_malloc st;
   Alloc_iface.Live_table.on_malloc st.table addr ~requested:n ~reserved;
   grow_residency st chunk;
   addr
@@ -184,18 +242,21 @@ let recycle_chunk st chunk =
   match st.cfg.spare_policy with
   | Always_reuse ->
       st.spare <- chunk :: st.spare;
-      st.spare_count <- st.spare_count + 1
+      st.spare_count <- st.spare_count + 1;
+      spare_gauge st
   | Keep_spare k ->
       if st.spare_count < k then begin
         st.spare <- chunk :: st.spare;
-        st.spare_count <- st.spare_count + 1
+        st.spare_count <- st.spare_count + 1;
+        spare_gauge st
       end
       else begin
         (* Purge the chunk's dirty pages back to the OS. *)
         Vmem.purge st.vmem chunk.base st.cfg.chunk_size;
         st.resident <- st.resident - (chunk.hw_pages * page);
         chunk.hw_pages <- 0;
-        st.purged <- chunk :: st.purged
+        st.purged <- chunk :: st.purged;
+        match st.gobs with None -> () | Some g -> Metrics.incr g.m_purged
       end
 
 let grouped_free st addr =
@@ -233,6 +294,7 @@ let malloc st n =
   | Some g -> group_malloc st g n
   | None ->
       Alloc_iface.Live_table.count_forwarded st.table;
+      (match st.gobs with None -> () | Some g -> Metrics.incr g.m_forwarded);
       st.fallback.Alloc_iface.malloc n
 
 let free st addr =
@@ -273,7 +335,10 @@ type frag_stats = {
   frag_pct : float;
 }
 
-let create ?(config = default_config) ~classify ~fallback vmem =
+let create ?(config = default_config) ?obs ?(sample_every = 256) ~classify
+    ~fallback vmem =
+  if sample_every < 1 then
+    invalid_arg "Group_alloc.create: sample_every must be >= 1";
   if not (Addr.is_power_of_two config.chunk_size) then
     invalid_arg "Group_alloc.create: chunk_size must be a power of two";
   if config.chunk_size < 2 * header_bytes then
@@ -292,6 +357,24 @@ let create ?(config = default_config) ~classify ~fallback vmem =
       chunks = Hashtbl.create 64;
       current = Hashtbl.create 16;
       shards = Hashtbl.create 64;
+      gobs =
+        Option.map
+          (fun o ->
+            let m = Obs.metrics o in
+            {
+              o = Some o;
+              m_grouped = Metrics.counter m "alloc.grouped_mallocs";
+              m_forwarded = Metrics.counter m "alloc.fallback_mallocs";
+              m_carved = Metrics.counter m "alloc.chunks.carved";
+              m_reused = Metrics.counter m "alloc.chunks.reused";
+              m_purged = Metrics.counter m "alloc.chunks.purged";
+              m_freelist = Metrics.counter m "alloc.freelist.reuses";
+              g_spare = Metrics.gauge m "alloc.chunks.spare";
+              h_occupancy = Metrics.histogram m "alloc.pool.occupancy";
+              sample_every;
+              until_sample = sample_every;
+            })
+          obs;
       spare = [];
       spare_count = 0;
       purged = [];

@@ -62,12 +62,24 @@ type t
 
 val create :
   ?config:config ->
+  ?obs:Obs.t ->
+  ?sample_every:int ->
   classify:(size:int -> int option) ->
   fallback:Alloc_iface.t ->
   Vmem.t ->
   t
 (** [classify ~size] decides group membership at allocation time (it runs
-    only for requests within the grouped size bound). *)
+    only for requests within the grouped size bound).
+
+    [obs] enables allocator telemetry: counters
+    [alloc.grouped_mallocs] / [alloc.fallback_mallocs] /
+    [alloc.chunks.carved] / [alloc.chunks.reused] / [alloc.chunks.purged] /
+    [alloc.freelist.reuses], the [alloc.chunks.spare] gauge, the
+    [alloc.pool.occupancy] histogram, and — every [sample_every]
+    (default 256) grouped mallocs — one [alloc.pool.occupancy] trace
+    series point per active pool (live regions, bump utilisation) plus an
+    [alloc.chunks.spare] point. Handles are resolved once here; without
+    [obs] the malloc/free paths match the seed allocator exactly. *)
 
 val iface : t -> Alloc_iface.t
 (** The POSIX surface to hand to the interpreter. Its [stats] cover only

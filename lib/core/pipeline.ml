@@ -21,19 +21,45 @@ type plan = {
   rewrite : Rewrite.t;
 }
 
-let plan ?(config = default_config) ?(group_fn = Grouping.group) program =
-  let profile = Profiler.profile ~config:config.profiler program in
+let plan ?obs ?(config = default_config) ?(group_fn = Grouping.group) program =
+  let profile = Profiler.profile ?obs ~config:config.profiler program in
   let min_edge_weight =
     max config.grouping.Grouping.min_edge_weight
       (int_of_float
          (config.min_edge_frac *. float_of_int profile.Profiler.total_accesses))
   in
   let gparams = { config.grouping with Grouping.min_edge_weight } in
-  let grouping = group_fn profile.Profiler.graph gparams in
-  let selectors =
-    Identify.build ~contexts:profile.Profiler.contexts ~grouping
+  let grouping =
+    Obs.span obs "grouping" (fun () ->
+        let g = group_fn profile.Profiler.graph gparams in
+        Obs.add_attrs obs
+          [
+            ("groups", Json.Int (Array.length g.Grouping.groups));
+            ("min_edge_weight", Json.Int min_edge_weight);
+          ];
+        g)
   in
-  let rewrite = Rewrite.plan selectors in
+  let selectors =
+    Obs.span obs "identification" (fun () ->
+        let sels = Identify.build ~contexts:profile.Profiler.contexts ~grouping in
+        Obs.add_attrs obs
+          [
+            ("selectors", Json.Int (List.length sels));
+            ( "monitored_sites",
+              Json.Int (List.length (Identify.monitored_sites sels)) );
+          ];
+        sels)
+  in
+  let rewrite =
+    Obs.span obs "rewrite" (fun () ->
+        let r = Rewrite.plan selectors in
+        Obs.add_attrs obs
+          [
+            ("bits", Json.Int r.Rewrite.nbits);
+            ("patches", Json.Int (List.length r.Rewrite.patches));
+          ];
+        r)
+  in
   { config; profile; grouping; selectors; rewrite }
 
 type runtime = {
@@ -42,14 +68,24 @@ type runtime = {
   patches : (Ir.site * int) list;
 }
 
-let instantiate ?allocator plan ~fallback vmem =
-  let alloc_cfg = Option.value allocator ~default:plan.config.allocator in
-  let env = Exec_env.create ~group_bits:(max plan.rewrite.Rewrite.nbits 1) () in
-  let classify ~size:_ =
-    Rewrite.classify plan.rewrite env.Exec_env.group_state
-  in
-  let galloc = Group_alloc.create ~config:alloc_cfg ~classify ~fallback vmem in
-  { env; galloc; patches = plan.rewrite.Rewrite.patches }
+let instantiate ?obs ?allocator plan ~fallback vmem =
+  Obs.span obs "allocator-synthesis" (fun () ->
+      let alloc_cfg = Option.value allocator ~default:plan.config.allocator in
+      let env =
+        Exec_env.create ~group_bits:(max plan.rewrite.Rewrite.nbits 1) ()
+      in
+      let classify ~size:_ =
+        Rewrite.classify plan.rewrite env.Exec_env.group_state
+      in
+      let galloc =
+        Group_alloc.create ~config:alloc_cfg ?obs ~classify ~fallback vmem
+      in
+      Obs.add_attrs obs
+        [
+          ("groups", Json.Int (Array.length plan.grouping.Grouping.groups));
+          ("chunk_size", Json.Int alloc_cfg.Group_alloc.chunk_size);
+        ];
+      { env; galloc; patches = plan.rewrite.Rewrite.patches })
 
 let graph_dot plan ~site_label =
   let g = plan.profile.Profiler.graph in

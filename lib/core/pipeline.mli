@@ -31,6 +31,7 @@ type plan = {
 }
 
 val plan :
+  ?obs:Obs.t ->
   ?config:config ->
   ?group_fn:(Affinity_graph.t -> Grouping.params -> Grouping.t) ->
   Ir.program ->
@@ -38,7 +39,9 @@ val plan :
 (** Profile the (test-scale) program and derive groups, selectors and the
     rewriting plan. [group_fn] substitutes an alternative clustering
     algorithm (see {!Clustering}) for Figure 6's — the grouping-ablation
-    hook; default is {!Grouping.group}. *)
+    hook; default is {!Grouping.group}. [obs] records one span per stage
+    ([profile] and [affinity-graph] inside the profiler, then [grouping],
+    [identification], [rewrite]) with stage-shape attributes. *)
 
 type runtime = {
   env : Exec_env.t;  (** Share between allocator and interpreter. *)
@@ -47,10 +50,18 @@ type runtime = {
 }
 
 val instantiate :
-  ?allocator:Group_alloc.config -> plan -> fallback:Alloc_iface.t -> Vmem.t -> runtime
+  ?obs:Obs.t ->
+  ?allocator:Group_alloc.config ->
+  plan ->
+  fallback:Alloc_iface.t ->
+  Vmem.t ->
+  runtime
 (** Synthesise the specialised allocator and runtime environment for a
     measurement run. [allocator] overrides the plan's allocator config
-    (per-benchmark flags like chunk size or spare policy). *)
+    (per-benchmark flags like chunk size or spare policy). [obs] records
+    the [allocator-synthesis] span and threads allocator telemetry
+    (pool occupancy, spare-chunk churn) into the synthesised
+    {!Group_alloc}. *)
 
 val graph_dot : plan -> site_label:(Ir.site -> string) -> string
 (** Figure 9 analog: the filtered affinity graph with nodes coloured by

@@ -49,17 +49,33 @@ type measurement = {
   hds : hds_details option;
 }
 
-let measure ~w ~kind ~seed ~alloc ~patches ?env ~halo ~hds () =
+let measure ?obs ~w ~kind ~seed ~alloc ~patches ?env ~halo ~hds () =
   let program = w.Workload.make Workload.Ref in
-  let hier = Hierarchy.create () in
+  let hier = Hierarchy.create ?obs () in
   let hooks =
     {
       Interp.no_hooks with
       Interp.on_access = (fun addr size _write -> Hierarchy.access hier addr size);
     }
   in
-  let interp = Interp.create ~seed ~hooks ~patches ?env ~program ~alloc () in
-  ignore (Interp.run interp : int);
+  let interp = Interp.create ~seed ~hooks ~patches ?env ?obs ~program ~alloc () in
+  Obs.span obs "measurement"
+    ~instructions:(fun () -> Interp.instructions interp)
+    (fun () ->
+      ignore (Interp.run interp : int);
+      let c = Hierarchy.counters hier in
+      Obs.add_attrs obs
+        [
+          ("accesses", Json.Int c.Hierarchy.accesses);
+          ("l1_misses", Json.Int c.Hierarchy.l1_misses);
+        ];
+      (* Final cumulative counters, so the registry summary carries the
+         hierarchy's end state alongside the sampled miss streams. *)
+      Obs.count obs "cache.accesses" c.Hierarchy.accesses;
+      Obs.count obs "cache.l1.misses" c.Hierarchy.l1_misses;
+      Obs.count obs "cache.l2.misses" c.Hierarchy.l2_misses;
+      Obs.count obs "cache.l3.misses" c.Hierarchy.l3_misses;
+      Obs.count obs "cache.tlb.misses" c.Hierarchy.tlb_misses);
   let counters = Hierarchy.counters hier in
   let instructions = Interp.instructions interp in
   let model = Timing.skylake_sp in
@@ -85,16 +101,16 @@ let halo_pipeline_config pipeline_config w =
     allocator = w.Workload.halo_allocator base.Pipeline.allocator;
   }
 
-let run ?(seed = 2) ?pipeline_config ?group_fn w kind =
+let run_kind ?obs ~seed ?pipeline_config ?group_fn w kind =
   let no_halo () = None in
   match kind with
   | Jemalloc ->
       let vmem = Vmem.create () in
-      measure ~w ~kind ~seed ~alloc:(Jemalloc_sim.create vmem) ~patches:[]
+      measure ?obs ~w ~kind ~seed ~alloc:(Jemalloc_sim.create vmem) ~patches:[]
         ~halo:no_halo ~hds:None ()
   | Ptmalloc ->
       let vmem = Vmem.create () in
-      measure ~w ~kind ~seed ~alloc:(Ptmalloc_sim.create vmem) ~patches:[]
+      measure ?obs ~w ~kind ~seed ~alloc:(Ptmalloc_sim.create vmem) ~patches:[]
         ~halo:no_halo ~hds:None ()
   | Random_pools pools ->
       (* Figure 15's strawman is "a variant of HALO with an extremely poor
@@ -105,23 +121,27 @@ let run ?(seed = 2) ?pipeline_config ?group_fn w kind =
       let rng = Rng.create ~seed:(seed * 7919) in
       let classify ~size:_ = Some (Rng.int rng pools) in
       let alloc_cfg = w.Workload.halo_allocator Group_alloc.default_config in
-      let galloc = Group_alloc.create ~config:alloc_cfg ~classify ~fallback vmem in
-      measure ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc) ~patches:[]
+      let galloc =
+        Group_alloc.create ~config:alloc_cfg ?obs ~classify ~fallback vmem
+      in
+      measure ?obs ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc) ~patches:[]
         ~halo:no_halo ~hds:None ()
   | Halo | Halo_no_alloc ->
       let config = halo_pipeline_config pipeline_config w in
-      let plan = Pipeline.plan ~config ?group_fn (w.Workload.make Workload.Test) in
+      let plan =
+        Pipeline.plan ?obs ~config ?group_fn (w.Workload.make Workload.Test)
+      in
       let vmem = Vmem.create () in
       let fallback = Jemalloc_sim.create vmem in
       if kind = Halo_no_alloc then
         (* Instrumented binary, default allocator: measures the overhead of
            the inserted set/unset-bit instructions alone. *)
         let env = Exec_env.create ~group_bits:(max plan.Pipeline.rewrite.Rewrite.nbits 1) () in
-        measure ~w ~kind ~seed ~alloc:fallback
+        measure ?obs ~w ~kind ~seed ~alloc:fallback
           ~patches:plan.Pipeline.rewrite.Rewrite.patches ~env ~halo:no_halo
           ~hds:None ()
       else begin
-        let rt = Pipeline.instantiate plan ~fallback vmem in
+        let rt = Pipeline.instantiate ?obs plan ~fallback vmem in
         let galloc = rt.Pipeline.galloc in
         let halo () =
           Some
@@ -137,13 +157,13 @@ let run ?(seed = 2) ?pipeline_config ?group_fn w kind =
               chunk_reuses = Group_alloc.reuses galloc;
             }
         in
-        measure ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc)
+        measure ?obs ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc)
           ~patches:rt.Pipeline.patches ~env:rt.Pipeline.env ~halo ~hds:None ()
       end
   | Ident_window window ->
       let config = halo_pipeline_config pipeline_config w in
       let profile =
-        Profiler.profile ~config:config.Pipeline.profiler
+        Profiler.profile ?obs ~config:config.Pipeline.profiler
           (w.Workload.make Workload.Test)
       in
       let min_edge_weight =
@@ -159,11 +179,11 @@ let run ?(seed = 2) ?pipeline_config ?group_fn w kind =
       let env = Exec_env.create () in
       let classify = Name_ident.classifier nplan ~env in
       let galloc =
-        Group_alloc.create ~config:config.Pipeline.allocator ~classify ~fallback
-          vmem
+        Group_alloc.create ~config:config.Pipeline.allocator ?obs ~classify
+          ~fallback vmem
       in
-      measure ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc) ~patches:[] ~env
-        ~halo:(fun () -> None) ~hds:None ()
+      measure ?obs ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc) ~patches:[]
+        ~env ~halo:(fun () -> None) ~hds:None ()
   | Hds | Hds_merged_packing ->
       let hconfig =
         if kind = Hds_merged_packing then
@@ -181,7 +201,9 @@ let run ?(seed = 2) ?pipeline_config ?group_fn w kind =
       let env = Exec_env.create () in
       let classify = Hds_pipeline.classifier hplan ~env in
       let alloc_cfg = w.Workload.halo_allocator Group_alloc.default_config in
-      let galloc = Group_alloc.create ~config:alloc_cfg ~classify ~fallback vmem in
+      let galloc =
+        Group_alloc.create ~config:alloc_cfg ?obs ~classify ~fallback vmem
+      in
       let hds =
         Some
           {
@@ -192,8 +214,18 @@ let run ?(seed = 2) ?pipeline_config ?group_fn w kind =
             hds_coverage = hplan.Hds_pipeline.coverage;
           }
       in
-      measure ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc) ~patches:[] ~env
-        ~halo:no_halo ~hds ()
+      measure ?obs ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc) ~patches:[]
+        ~env ~halo:no_halo ~hds ()
+
+let run ?obs ?(seed = 2) ?pipeline_config ?group_fn w kind =
+  Obs.span obs "run"
+    ~attrs:
+      [
+        ("workload", Json.String w.Workload.name);
+        ("configuration", Json.String (kind_name kind));
+        ("seed", Json.Int seed);
+      ]
+    (fun () -> run_kind ?obs ~seed ?pipeline_config ?group_fn w kind)
 
 let to_json ?baseline m =
   let counters c =

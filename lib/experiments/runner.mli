@@ -59,6 +59,7 @@ type measurement = {
 }
 
 val run :
+  ?obs:Obs.t ->
   ?seed:int ->
   ?pipeline_config:Pipeline.config ->
   ?group_fn:(Affinity_graph.t -> Grouping.params -> Grouping.t) ->
@@ -71,7 +72,14 @@ val run :
     (the Figure 12 sweep varies the affinity distance through it);
     workload-specific overrides from the registry are applied on top.
     [group_fn] swaps the clustering algorithm (grouping ablation; HALO
-    kinds only). *)
+    kinds only).
+
+    [obs] records the full telemetry of the run under a root [run] span:
+    for HALO kinds the span tree covers all seven pipeline stages
+    ([profile], [affinity-graph], [grouping], [identification], [rewrite],
+    [allocator-synthesis], [measurement]); baseline kinds record the
+    stages they execute (at least [measurement]). Call {!Obs.finish}
+    after the run to flush summaries to the trace sink. *)
 
 val to_json : ?baseline:measurement -> measurement -> Json.t
 (** The per-run data points the artefact's halo scripts emit (A.6), with

@@ -1,0 +1,173 @@
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = {
+  g_name : string;
+  mutable g_last : float;
+  mutable g_max : float;
+  mutable g_samples : int;
+}
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array; (* upper bounds, strictly increasing *)
+  h_counts : int array; (* length = Array.length h_bounds + 1; last = +inf *)
+  mutable h_sum : float;
+  mutable h_count : int;
+  mutable h_max : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type registry = { tbl : (string, metric) Hashtbl.t; mutable order : string list }
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let register r name m =
+  if Hashtbl.mem r.tbl name then
+    invalid_arg (Printf.sprintf "Metrics: %S registered twice with different kinds" name);
+  Hashtbl.replace r.tbl name m;
+  r.order <- name :: r.order
+
+let counter r name =
+  match Hashtbl.find_opt r.tbl name with
+  | Some (C c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      register r name (C c);
+      c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+let counter_name c = c.c_name
+
+let gauge r name =
+  match Hashtbl.find_opt r.tbl name with
+  | Some (G g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+  | None ->
+      let g = { g_name = name; g_last = 0.0; g_max = neg_infinity; g_samples = 0 } in
+      register r name (G g);
+      g
+
+let set g v =
+  g.g_last <- v;
+  if v > g.g_max then g.g_max <- v;
+  g.g_samples <- g.g_samples + 1
+
+let gauge_value g = g.g_last
+let gauge_name g = g.g_name
+
+(* 1, 2, 4, ... 2^15: a size/depth-friendly exponential ladder. *)
+let default_buckets = Array.init 16 (fun k -> float_of_int (1 lsl k))
+
+let histogram ?(buckets = default_buckets) r name =
+  match Hashtbl.find_opt r.tbl name with
+  | Some (H h) -> h
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+  | None ->
+      let n = Array.length buckets in
+      if n = 0 then invalid_arg "Metrics.histogram: empty bucket list";
+      for k = 1 to n - 1 do
+        if buckets.(k) <= buckets.(k - 1) then
+          invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+      done;
+      let h =
+        {
+          h_name = name;
+          h_bounds = Array.copy buckets;
+          h_counts = Array.make (n + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+          h_max = neg_infinity;
+        }
+      in
+      register r name (H h);
+      h
+
+let bucket_index h v =
+  (* First bound >= v; the overflow bucket catches the rest. *)
+  let n = Array.length h.h_bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= h.h_bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h v =
+  let k = bucket_index h v in
+  h.h_counts.(k) <- h.h_counts.(k) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+let histogram_name h = h.h_name
+
+let histogram_buckets h =
+  List.init
+    (Array.length h.h_counts)
+    (fun k ->
+      let bound =
+        if k < Array.length h.h_bounds then h.h_bounds.(k) else infinity
+      in
+      (bound, h.h_counts.(k)))
+
+type value =
+  | Counter of int
+  | Gauge of { last : float; max : float; samples : int }
+  | Histogram of {
+      count : int;
+      sum : float;
+      max : float;
+      buckets : (float * int) list;
+    }
+
+let value_of = function
+  | C c -> Counter c.c_value
+  | G g -> Gauge { last = g.g_last; max = g.g_max; samples = g.g_samples }
+  | H h ->
+      Histogram
+        {
+          count = h.h_count;
+          sum = h.h_sum;
+          max = h.h_max;
+          buckets = histogram_buckets h;
+        }
+
+let snapshot r =
+  List.rev_map (fun name -> (name, value_of (Hashtbl.find r.tbl name))) r.order
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let float_json f = if Float.is_finite f then Json.Float f else Json.Null
+
+let value_to_json = function
+  | Counter n -> Json.Obj [ ("kind", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge { last; max; samples } ->
+      Json.Obj
+        [
+          ("kind", Json.String "gauge");
+          ("value", float_json last);
+          ("max", float_json max);
+          ("samples", Json.Int samples);
+        ]
+  | Histogram { count; sum; max; buckets } ->
+      Json.Obj
+        [
+          ("kind", Json.String "histogram");
+          ("count", Json.Int count);
+          ("sum", float_json sum);
+          ("max", float_json max);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (bound, n) ->
+                   Json.Obj [ ("le", float_json bound); ("count", Json.Int n) ])
+                 buckets) );
+        ]
+
+let to_json r =
+  Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot r))

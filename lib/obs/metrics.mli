@@ -1,0 +1,69 @@
+(** The metric registry: counters, gauges and histograms.
+
+    Instrumented modules resolve handles once at construction time
+    ({!counter}/{!gauge}/{!histogram} are idempotent per name) and update
+    them through the handle on the hot path — no per-event name lookup.
+    Registration is keyed by name; re-registering a name with a different
+    kind raises [Invalid_argument].
+
+    Metric names are dot-separated, lowest-level component first, e.g.
+    [alloc.chunks.carved] or [profile.affinity_queue.depth] — the span
+    taxonomy table in DESIGN.md lists every name the stack emits. *)
+
+type counter
+type gauge
+type histogram
+type registry
+
+val create : unit -> registry
+
+val counter : registry -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val gauge : registry -> string -> gauge
+
+val set : gauge -> float -> unit
+(** Record the gauge's current level; the running max and sample count are
+    kept alongside the last value. *)
+
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val default_buckets : float array
+(** Exponential ladder 1, 2, 4, ... 32768 — suits depths and sizes. *)
+
+val histogram : ?buckets:float array -> registry -> string -> histogram
+(** [buckets] are upper bounds, strictly increasing; an implicit overflow
+    bucket covers everything above the last bound. Default
+    {!default_buckets}. *)
+
+val observe : histogram -> float -> unit
+(** An observation lands in the first bucket whose bound is [>=] it. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_name : histogram -> string
+
+val histogram_buckets : histogram -> (float * int) list
+(** [(upper_bound, count)] per bucket, in bound order; the final bucket's
+    bound is [infinity]. Counts are per-bucket, not cumulative. *)
+
+type value =
+  | Counter of int
+  | Gauge of { last : float; max : float; samples : int }
+  | Histogram of {
+      count : int;
+      sum : float;
+      max : float;
+      buckets : (float * int) list;
+    }
+
+val snapshot : registry -> (string * value) list
+(** Every registered metric with its current value, sorted by name. *)
+
+val value_to_json : value -> Json.t
+
+val to_json : registry -> Json.t
+(** One object field per metric, sorted by name. *)

@@ -1,0 +1,243 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  depth : int;
+  start_s : float; (* relative to ctx creation *)
+  mutable dur_s : float;
+  mutable sp_instructions : int option;
+  mutable attrs : (string * Json.t) list;
+  mutable closed : bool;
+}
+
+type t = {
+  metrics : Metrics.registry;
+  sink : Trace.t option;
+  clock : unit -> float;
+  epoch : float;
+  mutable stack : span list; (* innermost open span first *)
+  mutable recorded : span list; (* every span, most recently started first *)
+  mutable next_id : int;
+  mutable seq : int;
+}
+
+let default_clock = Unix.gettimeofday
+
+let create ?(clock = default_clock) ?sink () =
+  {
+    metrics = Metrics.create ();
+    sink;
+    clock;
+    epoch = clock ();
+    stack = [];
+    recorded = [];
+    next_id = 0;
+    seq = 0;
+  }
+
+let enabled = Option.is_some
+let metrics t = t.metrics
+let sink t = t.sink
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let emit_event t fields =
+  match t.sink with
+  | None -> ()
+  | Some sink -> Trace.emit sink (Json.Obj (fields @ [ ("seq", Json.Int (next_seq t)) ]))
+
+let float_json f = if Float.is_finite f then Json.Float f else Json.Null
+
+let span_event sp =
+  [
+    ("type", Json.String "span");
+    ("id", Json.Int sp.id);
+    ("parent", match sp.parent with None -> Json.Null | Some p -> Json.Int p);
+    ("name", Json.String sp.name);
+    ("depth", Json.Int sp.depth);
+    ("start_s", float_json sp.start_s);
+    ("dur_s", float_json sp.dur_s);
+    ( "instructions",
+      match sp.sp_instructions with None -> Json.Null | Some n -> Json.Int n );
+    ("attrs", Json.Obj sp.attrs);
+  ]
+
+let span_begin t name =
+  let parent, depth =
+    match t.stack with
+    | [] -> (None, 0)
+    | p :: _ -> (Some p.id, p.depth + 1)
+  in
+  let sp =
+    {
+      id = t.next_id;
+      parent;
+      name;
+      depth;
+      start_s = t.clock () -. t.epoch;
+      dur_s = 0.0;
+      sp_instructions = None;
+      attrs = [];
+      closed = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.stack <- sp :: t.stack;
+  t.recorded <- sp :: t.recorded;
+  sp
+
+let span_end t sp ~instructions =
+  (match t.stack with
+  | top :: rest when top == sp -> t.stack <- rest
+  | _ -> invalid_arg (Printf.sprintf "Obs: span %S closed out of order" sp.name));
+  sp.dur_s <- t.clock () -. t.epoch -. sp.start_s;
+  sp.sp_instructions <- instructions;
+  sp.closed <- true;
+  emit_event t (span_event sp)
+
+let span ?(attrs = []) ?instructions obs name f =
+  match obs with
+  | None -> f ()
+  | Some t ->
+      let sp = span_begin t name in
+      sp.attrs <- attrs;
+      let instr0 = match instructions with None -> 0 | Some g -> g () in
+      let finish () =
+        let delta =
+          match instructions with None -> None | Some g -> Some (g () - instr0)
+        in
+        span_end t sp ~instructions:delta
+      in
+      Fun.protect ~finally:finish f
+
+let add_attrs obs attrs =
+  match obs with
+  | None -> ()
+  | Some t -> (
+      match t.stack with
+      | [] -> ()
+      | sp :: _ -> sp.attrs <- sp.attrs @ attrs)
+
+let count obs name by =
+  match obs with
+  | None -> ()
+  | Some t -> Metrics.incr ~by (Metrics.counter t.metrics name)
+
+let set_gauge obs name v =
+  match obs with
+  | None -> ()
+  | Some t -> Metrics.set (Metrics.gauge t.metrics name) v
+
+let observe obs name v =
+  match obs with
+  | None -> ()
+  | Some t -> Metrics.observe (Metrics.histogram t.metrics name) v
+
+let event obs ~name ?(attrs = []) v =
+  match obs with
+  | None -> ()
+  | Some t ->
+      emit_event t
+        [
+          ("type", Json.String "metric");
+          ("name", Json.String name);
+          ("value", float_json v);
+          ("attrs", Json.Obj attrs);
+        ]
+
+let spans t = List.rev t.recorded
+
+let finish t =
+  (match t.stack with
+  | [] -> ()
+  | open_spans ->
+      (* Close any spans left open (a failed run): innermost first. *)
+      List.iter (fun sp -> span_end t sp ~instructions:None) open_spans);
+  List.iter
+    (fun (name, v) ->
+      emit_event t
+        (("type", Json.String "summary")
+        :: ("name", Json.String name)
+        :: (match Metrics.value_to_json v with
+           | Json.Obj fields -> fields
+           | other -> [ ("value", other) ])))
+    (Metrics.snapshot t.metrics);
+  Option.iter Trace.flush t.sink
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_duration s =
+  if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let span_tree_string t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun sp ->
+      let instr =
+        match sp.sp_instructions with
+        | None -> ""
+        | Some n -> Printf.sprintf "  %d instrs" n
+      in
+      let attrs =
+        match sp.attrs with
+        | [] -> ""
+        | l ->
+            "  ["
+            ^ String.concat ", "
+                (List.map
+                   (fun (k, v) -> k ^ "=" ^ Json.to_string ~pretty:false v)
+                   l)
+            ^ "]"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s  %s%s%s\n"
+           (String.make (2 * sp.depth) ' ')
+           sp.name (fmt_duration sp.dur_s) instr attrs))
+    (spans t);
+  Buffer.contents buf
+
+let metric_weight = function
+  | Metrics.Counter n -> float_of_int n
+  | Metrics.Gauge { samples; _ } -> float_of_int samples
+  | Metrics.Histogram { count; _ } -> float_of_int count
+
+let top_metrics_string ?(n = 10) t =
+  let all = Metrics.snapshot t.metrics in
+  let ranked =
+    List.stable_sort
+      (fun (_, a) (_, b) -> compare (metric_weight b) (metric_weight a))
+      all
+  in
+  let take =
+    let rec go k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: go (k - 1) rest
+    in
+    go n ranked
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      let line =
+        match v with
+        | Metrics.Counter c -> Printf.sprintf "%-36s counter    %d" name c
+        | Metrics.Gauge { last; max; samples } ->
+            Printf.sprintf "%-36s gauge      last=%g max=%g (%d samples)" name
+              last max samples
+        | Metrics.Histogram { count; sum; max; _ } ->
+            let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+            Printf.sprintf "%-36s histogram  n=%d mean=%.2f max=%g" name count
+              mean max
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    take;
+  Buffer.contents buf

@@ -1,0 +1,92 @@
+(** Telemetry context: hierarchical spans + metric registry + JSONL trace.
+
+    The paper's artefact emits per-run JSON data points (A.6); this module
+    generalises that into a first-class observability layer for the whole
+    pipeline. One {!t} covers one logical run (plan + instantiate +
+    measure); every instrumented module takes an [Obs.t option] and treats
+    [None] as "observability disabled".
+
+    {b Zero-cost discipline}: every instrumentation hook in the stack
+    pattern-matches the option once — on the hot paths (interpreter
+    access/call hooks, allocator malloc) the match happens at
+    construction/compile time, so the disabled path executes the exact
+    seed code with no per-event branch, lookup or allocation. The
+    [bench obs] comparison verifies throughput parity.
+
+    Thread the {e same} context through the stages you want correlated:
+    span ids are unique per context and events carry a monotonic [seq], so
+    a JSONL trace reconstructs the full interleaving. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> ?sink:Trace.t -> unit -> t
+(** [clock] defaults to [Unix.gettimeofday]; inject a fake for
+    deterministic tests. Without a [sink], spans and metrics are still
+    recorded in memory (for {!span_tree_string} etc.) but nothing is
+    written. *)
+
+val enabled : t option -> bool
+val metrics : t -> Metrics.registry
+val sink : t -> Trace.t option
+
+(** {1 Spans} *)
+
+val span :
+  ?attrs:(string * Json.t) list ->
+  ?instructions:(unit -> int) ->
+  t option ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span obs name f] runs [f] inside a span nested under the innermost
+    open span. Wall-clock duration is always recorded; [instructions]
+    (typically [fun () -> Interp.instructions i]) is sampled at entry and
+    exit and the delta recorded — the retired-instruction dimension. The
+    span is closed (and emitted to the sink) even if [f] raises. With
+    [obs = None] this is exactly [f ()]. *)
+
+val add_attrs : t option -> (string * Json.t) list -> unit
+(** Append attributes to the innermost open span (no-op when none). *)
+
+(** {1 Name-based metric helpers (cold paths)}
+
+    Convenience wrappers that look the metric up by name per call. Hot
+    paths should resolve a {!Metrics} handle once instead. *)
+
+val count : t option -> string -> int -> unit
+val set_gauge : t option -> string -> float -> unit
+val observe : t option -> string -> float -> unit
+
+(** {1 Series events} *)
+
+val event : t option -> name:string -> ?attrs:(string * Json.t) list -> float -> unit
+(** Emit one [{"type":"metric"}] sample to the sink (no-op without one).
+    This is the time-series channel — allocator pool occupancy, cache miss
+    streams — sampled by the instrumentation site, not aggregated. *)
+
+(** {1 Completion and reporting} *)
+
+val finish : t -> unit
+(** Force-close any spans still open, emit one [{"type":"summary"}] line
+    per registered metric, and flush the sink. Call once, at the end. *)
+
+type span = private {
+  id : int;
+  parent : int option;
+  name : string;
+  depth : int;
+  start_s : float;  (** Seconds since the context was created. *)
+  mutable dur_s : float;
+  mutable sp_instructions : int option;
+  mutable attrs : (string * Json.t) list;
+  mutable closed : bool;
+}
+
+val spans : t -> span list
+(** All spans in start order (parents precede children). *)
+
+val span_tree_string : t -> string
+(** Indented tree: name, duration, retired instructions, attributes. *)
+
+val top_metrics_string : ?n:int -> t -> string
+(** The [n] (default 10) highest-volume metrics, one line each. *)

@@ -1,0 +1,21 @@
+type target = Channel of out_channel | Buffer of Buffer.t
+
+type t = { target : target; mutable emitted : int }
+
+let to_channel oc = { target = Channel oc; emitted = 0 }
+let to_buffer b = { target = Buffer b; emitted = 0 }
+
+let emit t json =
+  let line = Json.to_string ~pretty:false json in
+  (match t.target with
+  | Channel oc ->
+      output_string oc line;
+      output_char oc '\n'
+  | Buffer b ->
+      Buffer.add_string b line;
+      Buffer.add_char b '\n');
+  t.emitted <- t.emitted + 1
+
+let emitted t = t.emitted
+
+let flush t = match t.target with Channel oc -> flush oc | Buffer _ -> ()

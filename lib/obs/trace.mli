@@ -1,0 +1,24 @@
+(** JSONL trace sink.
+
+    One compact JSON object per line ({!Json.to_string} with
+    [pretty:false]), so traces are greppable and parse line-by-line. Event
+    shapes are produced by {!Obs}: [{"type":"span",...}] when a span ends,
+    [{"type":"metric",...}] for sampled metric series points, and
+    [{"type":"summary",...}] per registered metric at {!Obs.finish}. *)
+
+type t
+
+val to_channel : out_channel -> t
+(** The caller retains ownership of the channel (close it after
+    {!Obs.finish}). *)
+
+val to_buffer : Buffer.t -> t
+
+val emit : t -> Json.t -> unit
+(** Serialise compactly and append one line. *)
+
+val emitted : t -> int
+(** Lines written so far. *)
+
+val flush : t -> unit
+(** Flush the underlying channel (no-op for buffers). *)

@@ -24,7 +24,13 @@ type result = {
   instructions : int;
 }
 
-let profile ?(config = default_config) program =
+(* Affinity-queue pressure: depth histogram every [depth_sample] macro
+   accesses, one trace series point every [series_sample]. Powers of two so
+   the sampling test is a land. *)
+let depth_sample = 64
+let series_sample = 4096
+
+let profile ?obs ?(config = default_config) program =
   let vmem = Vmem.create () in
   let alloc = Jemalloc_sim.create vmem in
   let contexts = Context.create () in
@@ -46,17 +52,38 @@ let profile ?(config = default_config) program =
       incr tracked_allocs
     end
   in
+  let record_access addr size =
+    incr tick;
+    if !tick mod config.sample_period = 0 then
+      match Heap_model.find heap addr with
+      | None -> ()
+      | Some o ->
+          if Affinity_queue.add queue o ~bytes:size then
+            Affinity_graph.add_access graph o.Heap_model.ctx
+  in
+  let on_access =
+    (* Specialised at construction: with [obs = None] the hook is exactly
+       the seed profiling hook. *)
+    match obs with
+    | None -> fun addr size _write -> record_access addr size
+    | Some o ->
+        let h_depth =
+          Metrics.histogram (Obs.metrics o) "profile.affinity_queue.depth"
+        in
+        fun addr size _write ->
+          record_access addr size;
+          if !tick land (depth_sample - 1) = 0 then begin
+            let d = float_of_int (Affinity_queue.length queue) in
+            Metrics.observe h_depth d;
+            if !tick land (series_sample - 1) = 0 then
+              Obs.event obs ~name:"profile.affinity_queue.depth"
+                ~attrs:[ ("tick", Json.Int !tick) ]
+                d
+          end
+  in
   let hooks =
     {
-      Interp.on_access =
-        (fun addr size _write ->
-          incr tick;
-          if !tick mod config.sample_period = 0 then
-            match Heap_model.find heap addr with
-            | None -> ()
-            | Some o ->
-                if Affinity_queue.add queue o ~bytes:size then
-                  Affinity_graph.add_access graph o.Heap_model.ctx);
+      Interp.on_access;
       on_alloc = (fun addr size _site ctx -> track addr size ctx);
       on_realloc =
         (fun old_addr addr size _site ctx ->
@@ -66,9 +93,30 @@ let profile ?(config = default_config) program =
         (fun addr -> ignore (Heap_model.on_free heap ~addr : Heap_model.obj option));
     }
   in
-  let interp = Interp.create ~seed:config.seed ~hooks ~program ~alloc () in
-  ignore (Interp.run interp : int);
-  let filtered = Affinity_graph.filter_top graph ~coverage:config.node_coverage in
+  let interp = Interp.create ~seed:config.seed ~hooks ?obs ~program ~alloc () in
+  Obs.span obs "profile"
+    ~instructions:(fun () -> Interp.instructions interp)
+    (fun () ->
+      ignore (Interp.run interp : int);
+      Obs.add_attrs obs
+        [
+          ("tracked_allocs", Json.Int !tracked_allocs);
+          ("contexts", Json.Int (Context.count contexts));
+          ("macro_accesses", Json.Int (Affinity_queue.accesses queue));
+        ]);
+  let filtered =
+    Obs.span obs "affinity-graph" (fun () ->
+        let filtered =
+          Affinity_graph.filter_top graph ~coverage:config.node_coverage
+        in
+        Obs.add_attrs obs
+          [
+            ("raw_nodes", Json.Int (List.length (Affinity_graph.nodes graph)));
+            ("nodes", Json.Int (List.length (Affinity_graph.nodes filtered)));
+            ("edges", Json.Int (List.length (Affinity_graph.edges filtered)));
+          ];
+        filtered)
+  in
   {
     graph = filtered;
     raw_graph = graph;

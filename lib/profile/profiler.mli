@@ -42,5 +42,9 @@ type result = {
   instructions : int;  (** Instructions retired by the profiling run. *)
 }
 
-val profile : ?config:config -> Ir.program -> result
-(** Profile one complete run of the program. *)
+val profile : ?obs:Obs.t -> ?config:config -> Ir.program -> result
+(** Profile one complete run of the program. [obs] opens the [profile] and
+    [affinity-graph] spans, threads telemetry into the interpreter, and
+    samples the [profile.affinity_queue.depth] histogram (every 64 macro
+    accesses) plus a trace series point every 4096; omitted, the profiling
+    hooks are the uninstrumented seed hooks. *)

@@ -21,6 +21,14 @@ let cost_free = 20
 let cost_realloc = 40
 let cost_call = 2
 
+(* Pre-resolved metric handles; [None] when observability is disabled, in
+   which case compilation emits the exact uninstrumented closures. *)
+type rt_obs = {
+  h_shadow_depth : Metrics.histogram; (* vm.shadow_stack.depth *)
+  m_calls : Metrics.counter; (* vm.calls *)
+  m_allocs : Metrics.counter; (* vm.allocs *)
+}
+
 type rt = {
   alloc : Alloc_iface.t;
   hooks : hooks;
@@ -31,6 +39,7 @@ type rt = {
   rng : Rng.t;
   patch_depth : int array;
   globals : int array;
+  obs : rt_obs option;
   mutable instructions : int;
   mutable loads : int;
   mutable stores : int;
@@ -174,6 +183,7 @@ let bit_of_site cc site = Hashtbl.find_opt cc.patches site
 
 let do_alloc rt ~site ~bit ~size =
   rt.instructions <- rt.instructions + cost_malloc;
+  (match rt.obs with None -> () | Some o -> Metrics.incr o.m_allocs);
   (match bit with Some b -> enter_bit rt b | None -> ());
   let ctx = ctx_of rt site in
   rt.env.Exec_env.cur_alloc_site <- site;
@@ -276,7 +286,7 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
       let args = Array.of_list (List.map (compile_expr cc) args) in
       let bit = bit_of_site cc site in
       let callee_fn = ref None in
-      fun slots ->
+      let base slots =
         rt.instructions <- rt.instructions + cost_call + Array.length args;
         let f =
           match !callee_fn with
@@ -301,6 +311,17 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
             (fun () -> f argv)
         in
         (match dst with Some s -> slots.(s) <- result | None -> ())
+      in
+      (* Shadow-stack depth distribution: observed per call, specialised at
+         compile time so the disabled path is the bare closure above. *)
+      (match rt.obs with
+      | None -> base
+      | Some o ->
+          fun slots ->
+            Metrics.incr o.m_calls;
+            Metrics.observe o.h_shadow_depth
+              (float_of_int (Shadow_stack.depth rt.shadow + 1));
+            base slots)
   | If (c, a, b) ->
       let c = compile_expr cc c
       and a = compile_block cc a
@@ -356,8 +377,8 @@ let compile_func rt c_globals patches cfuncs (f : Ir.func) =
       0
     with Ret v -> v
 
-let create ?(seed = 1) ?(hooks = no_hooks) ?(patches = []) ?env ?memcheck ~program
-    ~alloc () =
+let create ?(seed = 1) ?(hooks = no_hooks) ?(patches = []) ?env ?memcheck ?obs
+    ~program ~alloc () =
   let env = match env with Some e -> e | None -> Exec_env.create () in
   let patch_tbl = Hashtbl.create 16 in
   let all_sites = Ir.sites program in
@@ -399,6 +420,16 @@ let create ?(seed = 1) ?(hooks = no_hooks) ?(patches = []) ?env ?memcheck ~progr
       rng = Rng.create ~seed;
       patch_depth = Array.make (Bitset.length env.Exec_env.group_state) 0;
       globals = Array.make (max (Hashtbl.length c_globals) 1) 0;
+      obs =
+        Option.map
+          (fun o ->
+            let m = Obs.metrics o in
+            {
+              h_shadow_depth = Metrics.histogram m "vm.shadow_stack.depth";
+              m_calls = Metrics.counter m "vm.calls";
+              m_allocs = Metrics.counter m "vm.allocs";
+            })
+          obs;
       instructions = 0;
       loads = 0;
       stores = 0;

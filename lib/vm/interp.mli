@@ -40,6 +40,7 @@ val create :
   ?patches:(Ir.site * int) list ->
   ?env:Exec_env.t ->
   ?memcheck:Vmem.t ->
+  ?obs:Obs.t ->
   program:Ir.program ->
   alloc:Alloc_iface.t ->
   unit ->
@@ -48,7 +49,11 @@ val create :
     slots, patch bits resolved per site) ready to run. [seed] feeds the
     program's own [Rand] stream (default 1). [patches] maps call sites to
     bit indices in [env]'s group-state vector; sites must exist in the
-    program and bits must be within capacity. *)
+    program and bits must be within capacity. [obs] enables telemetry:
+    [vm.calls] / [vm.allocs] counters and the [vm.shadow_stack.depth]
+    histogram. Metric handles are resolved here and the instrumented
+    closures compiled only when [obs] is given — omitting it compiles the
+    exact uninstrumented interpreter. *)
 
 val run : t -> int
 (** Execute [main] (no arguments); returns its return value. Can only be

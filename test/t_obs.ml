@@ -1,0 +1,262 @@
+(* Tests for halo_obs: Metrics, Trace, Obs. *)
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+(* A deterministic clock for span timing tests. *)
+let fake_clock () =
+  let now = ref 0.0 in
+  ((fun () -> !now), fun dt -> now := !now +. dt)
+
+(* ---------------- Metrics ---------------- *)
+
+let metrics_counter () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "c" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  checki "accumulates" 42 (Metrics.counter_value c);
+  checks "name" "c" (Metrics.counter_name c);
+  checkb "registration is idempotent" true (c == Metrics.counter reg "c")
+
+let metrics_kind_mismatch () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "c" : Metrics.counter);
+  let raised =
+    try
+      ignore (Metrics.gauge reg "c" : Metrics.gauge);
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "re-registering as another kind raises" true raised
+
+let metrics_gauge () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "g" in
+  List.iter (Metrics.set g) [ 1.0; 5.0; 2.0 ];
+  checkf "last wins" 2.0 (Metrics.gauge_value g);
+  match List.assoc "g" (Metrics.snapshot reg) with
+  | Metrics.Gauge { last; max; samples } ->
+      checkf "last" 2.0 last;
+      checkf "running max" 5.0 max;
+      checki "sample count" 3 samples
+  | _ -> Alcotest.fail "expected a gauge"
+
+let metrics_histogram_bucketing () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |] reg "h" in
+  (* An observation lands in the first bucket whose bound is >= it. *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 4.0; 100.0 ];
+  checki "count" 5 (Metrics.histogram_count h);
+  checkf "sum" 107.0 (Metrics.histogram_sum h);
+  match Metrics.histogram_buckets h with
+  | [ (b0, c0); (b1, c1); (b2, c2); (b3, c3) ] ->
+      checkf "bound 0" 1.0 b0;
+      checki "0.5 and 1.0 land at <=1" 2 c0;
+      checkf "bound 1" 2.0 b1;
+      checki "1.5 lands at <=2" 1 c1;
+      checkf "bound 2" 4.0 b2;
+      checki "4.0 lands at <=4 (inclusive)" 1 c2;
+      checkb "overflow bound is +inf" true (b3 = infinity);
+      checki "100 overflows" 1 c3
+  | l -> Alcotest.fail (Printf.sprintf "expected 4 buckets, got %d" (List.length l))
+
+let metrics_default_buckets () =
+  (* Exponential ladder 1, 2, 4, ..., 2^15. *)
+  checki "16 bounds" 16 (Array.length Metrics.default_buckets);
+  Array.iteri
+    (fun k b -> checkf "power of two" (float_of_int (1 lsl k)) b)
+    Metrics.default_buckets
+
+(* ---------------- Obs spans ---------------- *)
+
+let span_nesting () =
+  let clock, advance = fake_clock () in
+  let obs = Obs.create ~clock () in
+  let o = Some obs in
+  let instr = ref 100 in
+  Obs.span o "outer"
+    ~instructions:(fun () -> !instr)
+    (fun () ->
+      advance 0.5;
+      Obs.span o "inner-1" (fun () ->
+          advance 0.25;
+          instr := !instr + 7);
+      Obs.span o "inner-2" ~attrs:[ ("k", Json.Int 3) ] (fun () -> advance 0.125));
+  match Obs.spans obs with
+  | [ outer; i1; i2 ] ->
+      checks "start order" "outer" outer.Obs.name;
+      checks "then inner-1" "inner-1" i1.Obs.name;
+      checks "then inner-2" "inner-2" i2.Obs.name;
+      checkb "root has no parent" true (outer.Obs.parent = None);
+      checkb "inner-1 under outer" true (i1.Obs.parent = Some outer.Obs.id);
+      checkb "inner-2 under outer" true (i2.Obs.parent = Some outer.Obs.id);
+      checki "root depth" 0 outer.Obs.depth;
+      checki "child depth" 1 i1.Obs.depth;
+      checkf "outer start" 0.0 outer.Obs.start_s;
+      checkf "inner-1 start" 0.5 i1.Obs.start_s;
+      checkf "inner-2 start" 0.75 i2.Obs.start_s;
+      checkf "inner-1 duration" 0.25 i1.Obs.dur_s;
+      checkf "inner-2 duration" 0.125 i2.Obs.dur_s;
+      checkf "outer duration covers children" 0.875 outer.Obs.dur_s;
+      checkb "instruction delta" true (outer.Obs.sp_instructions = Some 7);
+      checkb "attrs kept" true (i2.Obs.attrs = [ ("k", Json.Int 3) ]);
+      checkb "all closed" true
+        (List.for_all (fun sp -> sp.Obs.closed) (Obs.spans obs))
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 spans, got %d" (List.length l))
+
+let span_closes_on_exception () =
+  let clock, advance = fake_clock () in
+  let obs = Obs.create ~clock () in
+  let o = Some obs in
+  (try
+     Obs.span o "boom" (fun () ->
+         advance 1.0;
+         failwith "inner failure")
+   with Failure _ -> ());
+  match Obs.spans obs with
+  | [ sp ] ->
+      checkb "closed despite raise" true sp.Obs.closed;
+      checkf "duration recorded" 1.0 sp.Obs.dur_s
+  | _ -> Alcotest.fail "expected exactly one span"
+
+let span_add_attrs_innermost () =
+  let clock, _ = fake_clock () in
+  let obs = Obs.create ~clock () in
+  let o = Some obs in
+  Obs.span o "outer" (fun () ->
+      Obs.span o "inner" (fun () -> Obs.add_attrs o [ ("x", Json.Int 1) ]));
+  let inner =
+    List.find (fun sp -> sp.Obs.name = "inner") (Obs.spans obs)
+  and outer =
+    List.find (fun sp -> sp.Obs.name = "outer") (Obs.spans obs)
+  in
+  checkb "attrs land on the innermost open span" true
+    (inner.Obs.attrs = [ ("x", Json.Int 1) ]);
+  checkb "not on the parent" true (outer.Obs.attrs = [])
+
+(* ---------------- Disabled path ---------------- *)
+
+let disabled_is_free () =
+  (* With obs = None every entry point must be a no-op: no event objects,
+     no closures, no boxing on the minor heap. One warm-up pass absorbs
+     any one-time allocation, then a measured pass of 10k iterations must
+     stay within noise (a strictly per-event allocation would cost >=20k
+     words). *)
+  let f = fun () -> 7 in
+  let work () =
+    for k = 1 to 10_000 do
+      Obs.count None "vm.calls" k;
+      Obs.observe None "vm.shadow_stack.depth" 3.0;
+      Obs.set_gauge None "alloc.chunks.spare" 2.0;
+      Obs.event None ~name:"cache.l1.misses" 4.0;
+      Obs.add_attrs None [];
+      ignore (Obs.span None "s" f : int)
+    done
+  in
+  work ();
+  let before = Gc.minor_words () in
+  work ();
+  let delta = Gc.minor_words () -. before in
+  checkb
+    (Printf.sprintf "no per-event allocation when disabled (%.0f words)" delta)
+    true
+    (delta < 256.0)
+
+(* ---------------- JSONL trace ---------------- *)
+
+let count_substring needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go from acc =
+    if from + n > h then acc
+    else if String.sub hay from n = needle then go (from + n) (acc + 1)
+    else go (from + 1) acc
+  in
+  go 0 0
+
+let jsonl_trace () =
+  let clock, advance = fake_clock () in
+  let buf = Buffer.create 512 in
+  let obs = Obs.create ~clock ~sink:(Trace.to_buffer buf) () in
+  let o = Some obs in
+  Obs.span o "run" (fun () ->
+      Obs.count o "events.total" 3;
+      Obs.event o ~name:"series.x" ~attrs:[ ("k", Json.Int 1) ] 42.0;
+      Obs.span o "inner" (fun () -> advance 1.0));
+  Obs.finish obs;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  checki "one JSONL line per emitted event"
+    (Trace.emitted (Option.get (Obs.sink obs)))
+    (List.length lines);
+  (* Each line is one compact JSON object with a type tag; no pretty
+     newlines may leak inside a record. *)
+  List.iteri
+    (fun k l ->
+      checkb "object per line" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      checkb "typed" true
+        (count_substring "\"type\":\"" l = 1);
+      checkb "sequenced" true (count_substring "\"seq\":" l = 1);
+      (* The monotonic seq matches the line's position in the file. *)
+      checkb "seq matches line order" true
+        (count_substring (Printf.sprintf "\"seq\":%d}" k) l = 1))
+    lines;
+  let whole = Buffer.contents buf in
+  checki "two span events" 2 (count_substring "\"type\":\"span\"" whole);
+  checki "one metric series point" 1 (count_substring "\"type\":\"metric\"" whole);
+  checki "one summary per registered metric" 1
+    (count_substring "\"type\":\"summary\"" whole);
+  (* Span events reference their parent by id. *)
+  checki "inner span names its parent" 1
+    (count_substring "\"name\":\"inner\"" whole)
+
+let finish_closes_open_spans () =
+  let clock, _ = fake_clock () in
+  let buf = Buffer.create 256 in
+  let obs = Obs.create ~clock ~sink:(Trace.to_buffer buf) () in
+  (* Simulate a failed run: enter spans without unwinding. *)
+  (try
+     Obs.span (Some obs) "outer" (fun () ->
+         Obs.span (Some obs) "inner" (fun () -> raise Exit))
+   with Exit -> ());
+  Obs.finish obs;
+  checkb "all spans closed after finish" true
+    (List.for_all (fun sp -> sp.Obs.closed) (Obs.spans obs))
+
+let reporting_strings () =
+  let clock, advance = fake_clock () in
+  let obs = Obs.create ~clock () in
+  let o = Some obs in
+  Obs.span o "outer" (fun () ->
+      advance 0.002;
+      Obs.count o "hits" 12;
+      Obs.observe o "depth" 3.0);
+  let tree = Obs.span_tree_string obs in
+  checkb "tree names the span" true (count_substring "outer" tree = 1);
+  let top = Obs.top_metrics_string ~n:1 obs in
+  checkb "top-1 keeps the counter" true (count_substring "hits" top = 1);
+  checkb "top-1 drops the rest" true (count_substring "depth" top = 0)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    tc "metrics: counter" metrics_counter;
+    tc "metrics: kind mismatch raises" metrics_kind_mismatch;
+    tc "metrics: gauge last/max/samples" metrics_gauge;
+    tc "metrics: histogram bucketing" metrics_histogram_bucketing;
+    tc "metrics: default buckets ladder" metrics_default_buckets;
+    tc "obs: span nesting and ordering" span_nesting;
+    tc "obs: span closes on exception" span_closes_on_exception;
+    tc "obs: add_attrs targets innermost" span_add_attrs_innermost;
+    tc "obs: disabled path allocates nothing" disabled_is_free;
+    tc "obs: JSONL trace parses line-by-line" jsonl_trace;
+    tc "obs: finish closes open spans" finish_closes_open_spans;
+    tc "obs: reporting strings" reporting_strings;
+  ]

@@ -228,6 +228,58 @@ let prop_rng_int_range =
       let v = Rng.int r bound in
       v >= 0 && v < bound)
 
+(* ---------------- Json ---------------- *)
+
+let checks = check Alcotest.string
+
+let json_escapes_specials () =
+  checks "quote and backslash" "\"a\\\"b\\\\c\""
+    (Json.to_string ~pretty:false (Json.String "a\"b\\c"));
+  checks "named control escapes" "\"l1\\nl2\\rl3\\tend\""
+    (Json.to_string ~pretty:false (Json.String "l1\nl2\rl3\tend"));
+  (* Control chars without a short escape use \u00XX (RFC 8259 §7). *)
+  checks "u-escaped control chars" "\"\\u0001\\u0000\\u001f\""
+    (Json.to_string ~pretty:false (Json.String "\x01\x00\x1f"));
+  (* 0x20 and above pass through untouched. *)
+  checks "printable untouched" "\"hello, world!\""
+    (Json.to_string ~pretty:false (Json.String "hello, world!"))
+
+let json_escapes_keys () =
+  checks "object keys escaped" "{\"a\\\"b\":1}"
+    (Json.to_string ~pretty:false (Json.Obj [ ("a\"b", Json.Int 1) ]))
+
+let json_nonfinite_floats () =
+  checks "nan" "null" (Json.to_string ~pretty:false (Json.Float Float.nan));
+  checks "+inf" "null" (Json.to_string ~pretty:false (Json.Float Float.infinity));
+  checks "-inf" "null"
+    (Json.to_string ~pretty:false (Json.Float Float.neg_infinity));
+  checks "finite floats survive" "1.5"
+    (Json.to_string ~pretty:false (Json.Float 1.5));
+  checks "integral floats keep a decimal" "2.0"
+    (Json.to_string ~pretty:false (Json.Float 2.0))
+
+let sample =
+  Json.Obj
+    [
+      ("name", Json.String "x");
+      ("xs", Json.List [ Json.Int 1; Json.Bool false; Json.Null ]);
+      ("empty", Json.Obj []);
+    ]
+
+let json_compact () =
+  checks "compact: single line, no padding"
+    "{\"name\":\"x\",\"xs\":[1,false,null],\"empty\":{}}"
+    (Json.to_string ~pretty:false sample)
+
+let json_pretty () =
+  checks "pretty: 2-space indent"
+    "{\n  \"name\": \"x\",\n  \"xs\": [\n    1,\n    false,\n    null\n  ],\n\
+    \  \"empty\": {}\n}"
+    (Json.to_string ~pretty:true sample);
+  checks "pretty is the default"
+    (Json.to_string ~pretty:true sample)
+    (Json.to_string sample)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_percentile_monotone; prop_bitset_roundtrip; prop_rng_int_range ]
 
@@ -263,5 +315,10 @@ let suite =
     tc "dot: renders with escaping" dot_renders;
     tc "dot: min_weight hides edges" dot_min_weight_hides;
     tc "dot: stable group colours" dot_group_color_stable;
+    tc "json: escapes specials" json_escapes_specials;
+    tc "json: escapes object keys" json_escapes_keys;
+    tc "json: non-finite floats are null" json_nonfinite_floats;
+    tc "json: compact output" json_compact;
+    tc "json: pretty output" json_pretty;
   ]
   @ qsuite

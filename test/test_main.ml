@@ -8,6 +8,7 @@ let () =
   Alcotest.run "halo"
     [
       ("util", T_util.suite);
+      ("obs", T_obs.suite);
       ("mem", T_mem.suite);
       ("alloc", T_alloc.suite);
       ("cachesim", T_cachesim.suite);
