@@ -18,7 +18,13 @@
      dune exec bench/main.exe -- micro        # micro-benches only
      dune exec bench/main.exe -- obs          # telemetry-overhead comparison
      dune exec bench/main.exe -- fig12 | fig13 | fig14 | fig15 | tab1
-                               | sec51 | overhead | diag | ablation *)
+                               | sec51 | overhead | diag | ablation
+
+   `--seed N` (anywhere on the command line) pins the measurement input
+   seed for the suite-backed figures (fig13/14/15, tab1, diag) and sets
+   the base seed for `trials N`, making benchmark runs reproducible. *)
+
+let seed_override = ref None
 
 let suite_memo = ref None
 
@@ -27,7 +33,8 @@ let suite () =
   | Some s -> s
   | None ->
       let progress line = Printf.eprintf "  [suite] %s\n%!" line in
-      let s = Figures.run_suite ~progress () in
+      let seeds = Option.map (fun s -> [ s ]) !seed_override in
+      let s = Figures.run_suite ?seeds ~progress () in
       suite_memo := Some s;
       s
 
@@ -238,6 +245,21 @@ let run_experiments () = Figures.print_all ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec strip_seed acc = function
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> seed_override := Some s
+        | None ->
+            Printf.eprintf "--seed: not an integer: %S\n" n;
+            exit 2);
+        strip_seed acc rest
+    | [ "--seed" ] ->
+        prerr_endline "--seed: missing value";
+        exit 2
+    | a :: rest -> strip_seed (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_seed [] args in
   match args with
   | [] ->
       run_experiments ();
@@ -248,7 +270,8 @@ let () =
       (* §5.1-style multi-trial run: distinct input seeds, medians with
          25th/75th-percentile error bars in Figures 13-15. *)
       let n = int_of_string n in
-      let seeds = List.init n (fun k -> 2 + (3 * k)) in
+      let base = Option.value !seed_override ~default:2 in
+      let seeds = List.init n (fun k -> base + (3 * k)) in
       let progress line = Printf.eprintf "  [suite] %s\n%!" line in
       let suite = Figures.run_suite ~seeds ~progress () in
       Table.print (Figures.fig13 suite);
@@ -279,5 +302,6 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [experiments|trials N|micro|obs|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation]";
+         [experiments|trials N|micro|obs|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
+         [--seed N]";
       exit 2

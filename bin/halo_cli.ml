@@ -418,6 +418,124 @@ let disasm_cmd =
     (Cmd.info "disasm" ~doc:"Pretty-print a workload's IR with site addresses.")
     Term.(const run $ workload_arg $ scale_arg $ stats_arg)
 
+let fuzz_cmd =
+  let run seeds seed_base ref_scale time_budget replay corpus shrink_steps
+      trace_out =
+    match replay with
+    | Some seed ->
+        let case, result = Fuzz_harness.replay ~ref_scale seed in
+        Printf.printf "seed %d: %d trace decisions, %d IR statements (ref)\n"
+          seed
+          (Array.length case.Fuzz_gen.trace)
+          (Fuzz_gen.stmt_count case.Fuzz_gen.ref_);
+        let s = result.Fuzz_oracle.stats in
+        Printf.printf
+          "%d configurations, %d allocations, %d accesses, %d groups, %d \
+           monitored sites\n"
+          s.Fuzz_oracle.configs s.Fuzz_oracle.allocs s.Fuzz_oracle.accesses
+          s.Fuzz_oracle.groups s.Fuzz_oracle.monitored;
+        (match result.Fuzz_oracle.failures with
+        | [] -> print_endline "oracle: pass"
+        | fs ->
+            List.iter
+              (fun (f : Fuzz_oracle.failure) ->
+                Printf.printf "FAIL [%s] %s\n" f.Fuzz_oracle.config
+                  f.Fuzz_oracle.reason)
+              fs;
+            exit 1)
+    | None ->
+        let summary =
+          with_obs trace_out (fun obs ->
+              Fuzz_harness.run
+                {
+                  Fuzz_harness.default with
+                  Fuzz_harness.seeds;
+                  seed_base;
+                  ref_scale;
+                  time_budget;
+                  corpus_dir = corpus;
+                  shrink_steps;
+                  obs = Some obs;
+                  log = Some print_endline;
+                })
+        in
+        Printf.printf
+          "%d cases in %.1fs: %d oracle violations (%d allocations, %d \
+           accesses checked)\n"
+          summary.Fuzz_harness.cases summary.Fuzz_harness.elapsed_s
+          summary.Fuzz_harness.violations summary.Fuzz_harness.allocs
+          summary.Fuzz_harness.accesses;
+        (match summary.Fuzz_harness.failing_seeds with
+        | [] -> ()
+        | l ->
+            Printf.printf "failing seeds: %s\n"
+              (String.concat ", " (List.map string_of_int l));
+            List.iter
+              (fun r ->
+                Printf.printf
+                  "\nseed %d shrunk to %d statements (replay with --replay \
+                   %d):\n%s"
+                  r.Fuzz_harness.seed r.Fuzz_harness.shrunk_stmts
+                  r.Fuzz_harness.seed r.Fuzz_harness.shrunk_program)
+              summary.Fuzz_harness.reports;
+            exit 1)
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  let seed_base_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed-base" ] ~docv:"N" ~doc:"First seed of the campaign.")
+  in
+  let ref_scale_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "ref-scale" ] ~docv:"N"
+          ~doc:"Loop-scale multiplier for measurement programs.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Stop starting new cases after $(docv).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Rebuild one seed's case, run the oracle once and exit — \
+             bit-for-bit the campaign's view of that seed.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Save failing cases (seed, trace, minimal program) as JSON.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "shrink-steps" ] ~docv:"N"
+          ~doc:"Shrink budget (oracle replays) per failing case.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generative differential testing: sweep seeds through the full \
+          pipeline, checking semantic equivalence across allocator \
+          configurations, heap invariants and plan well-formedness; shrink \
+          and report any failure.")
+    Term.(
+      const run $ seeds_arg $ seed_base_arg $ ref_scale_arg $ budget_arg
+      $ replay_arg $ corpus_arg $ shrink_arg $ trace_out_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -436,5 +554,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; baseline_cmd; telemetry_cmd; plan_cmd; sweep_cmd;
-            figures_cmd; disasm_cmd; contexts_cmd; list_cmd;
+            figures_cmd; fuzz_cmd; disasm_cmd; contexts_cmd; list_cmd;
           ]))

@@ -1,0 +1,406 @@
+open Dsl
+
+type case = {
+  seed : int;
+  trace : int array;
+  test : Ir.program;
+  ref_ : Ir.program;
+}
+
+(* A pointer variable in [main] whose object the generator may still
+   access, realloc or free. [prefix] is the statically-known initialised
+   byte count: loads only target offsets below it, so results never depend
+   on stale heap contents (which vary with placement). *)
+type slot = {
+  var : string;
+  mutable size : int;
+  mutable prefix : int;
+  mutable live : bool;
+}
+
+type bctx = {
+  src : Dsource.t;
+  scale : int;
+  mutable fresh : int;
+  mutable funcs : Ir.func list; (* helpers, reverse definition order *)
+  mutable wrappers : string list; (* alloc-wrapper names, arity [sz] *)
+  mutable chain_heads : string list; (* chain entry points, arity [sz] *)
+  mutable rec_funcs : string list; (* recursive entry points, arity [d; sz] *)
+  mutable slots : slot list; (* main's pointer variables, newest first *)
+}
+
+let fresh b prefix =
+  let n = b.fresh in
+  b.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+(* Fold an expression into the program's observable output. The modulus
+   keeps values small so overflow never makes outputs platform-shaped. *)
+let emit_out e = gassign "out" ((((g "out" *: i 31) +: e) %: i 1000003))
+
+(* Sizes are always multiples of 8 and at least 8; the classes straddle
+   the boundaries the allocators care about: small grouped objects, the
+   4 KiB grouped-size bound, and beyond-page-size fallback requests. *)
+let pick_size b =
+  match Dsource.weighted b.src [| 6; 3; 2; 1; 1 |] with
+  | 0 -> 8 * Dsource.draw_in b.src 1 8 (* 8 .. 64 *)
+  | 1 -> 8 * Dsource.draw_in b.src 9 32 (* 72 .. 256 *)
+  | 2 -> 8 * Dsource.draw_in b.src 33 128 (* 264 .. 1 KiB *)
+  | 3 -> 8 * Dsource.draw_in b.src 129 512 (* 1032 .. 4 KiB *)
+  | _ -> 8 * Dsource.draw_in b.src 513 1536 (* 4104 .. 12 KiB *)
+
+let pick_small_size b = 8 * Dsource.draw_in b.src 1 16
+
+let nth_of b l =
+  match l with
+  | [] -> invalid_arg "Fuzz_gen: empty choice list"
+  | _ -> List.nth l (Dsource.draw b.src (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Helper-function generators (structure phase).                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A malloc/calloc wrapper: one shared allocation site reached from many
+   calling contexts — the shape context-sensitive identification exists
+   for. Initialises its first word so callers inherit prefix = 8. *)
+let gen_wrapper b =
+  let name = fresh b "alloc_w" in
+  let alloc_stmt =
+    match Dsource.weighted b.src [| 3; 2 |] with
+    | 0 -> malloc "p" (v "sz")
+    | _ -> calloc "p" (v "sz" /: i 8) (i 8)
+  in
+  let body =
+    [ alloc_stmt; store (v "p") (i 0) (v "sz"); return_ (v "p") ]
+  in
+  b.funcs <- func name [ "sz" ] body :: b.funcs;
+  b.wrappers <- name :: b.wrappers
+
+(* A call chain of depth 1..3 ending in a wrapper; intermediate frames may
+   do their own short-lived allocation, so the chain contributes several
+   distinct reduced contexts over the same allocation sites. *)
+let gen_chain b =
+  let depth = Dsource.draw_in b.src 1 3 in
+  let callee = ref (nth_of b b.wrappers) in
+  for k = 1 to depth do
+    let name = fresh b (Printf.sprintf "chain%d_" k) in
+    let extra =
+      if Dsource.draw b.src 2 = 0 then []
+      else
+        [
+          call ~dst:"q" (nth_of b b.wrappers) [ i (pick_small_size b) ];
+          store (v "q") (i 0) (i 7);
+          load "tq" (v "q") (i 0);
+          emit_out (v "tq");
+          free_ (v "q");
+        ]
+    in
+    let body = extra @ [ call ~dst:"r" !callee [ v "sz" ]; return_ (v "r") ] in
+    b.funcs <- func name [ "sz" ] body :: b.funcs;
+    callee := name
+  done;
+  b.chain_heads <- !callee :: b.chain_heads
+
+(* Self-recursion with a strictly decreasing depth parameter: reduced
+   contexts stay bounded while the raw stack grows. *)
+let gen_rec b =
+  let name = fresh b "rec" in
+  let w = nth_of b b.wrappers in
+  let frees = Dsource.draw b.src 2 = 1 in
+  let body =
+    [
+      if_
+        (v "d" <=: i 0)
+        [ return_ (i 0) ]
+        ([
+           call ~dst:"p" w [ v "sz" ];
+           store (v "p") (i 0) (v "d");
+           load "t" (v "p") (i 0);
+           emit_out (v "t");
+         ]
+        @ (if frees then [ free_ (v "p") ] else [])
+        @ [ call ~dst:"r" name [ v "d" -: i 1; v "sz" ]; return_ (v "r" +: i 1) ]
+        );
+    ]
+  in
+  b.funcs <- func name [ "d"; "sz" ] body :: b.funcs;
+  b.rec_funcs <- name :: b.rec_funcs
+
+(* A mutually-recursive pair, alternating frames; one side allocates. *)
+let gen_mutual b =
+  let na = fresh b "mua" and nb = fresh b "mub" in
+  let w = nth_of b b.wrappers in
+  let frees = Dsource.draw b.src 2 = 1 in
+  let body_a =
+    [
+      if_
+        (v "d" <=: i 0)
+        [ return_ (i 0) ]
+        ([
+           call ~dst:"p" w [ v "sz" ];
+           load "t" (v "p") (i 0);
+           emit_out (v "t");
+         ]
+        @ (if frees then [ free_ (v "p") ] else [])
+        @ [ call ~dst:"r" nb [ v "d" -: i 1; v "sz" ]; return_ (v "r") ]);
+    ]
+  in
+  let body_b =
+    [
+      if_
+        (v "d" <=: i 0)
+        [ return_ (i 1) ]
+        [ call ~dst:"r" na [ v "d" -: i 1; v "sz" ]; return_ (v "r" +: i 2) ];
+    ]
+  in
+  b.funcs <- func na [ "d"; "sz" ] body_a :: b.funcs;
+  b.funcs <- func nb [ "d"; "sz" ] body_b :: b.funcs;
+  b.rec_funcs <- na :: b.rec_funcs
+
+(* ------------------------------------------------------------------ *)
+(* Main-body blocks.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let live_slots b = List.filter (fun s -> s.live) b.slots
+let readable_slots b = List.filter (fun s -> s.live && s.prefix >= 8) b.slots
+
+let block_compute b = [ compute (1 + Dsource.draw b.src 32) ]
+
+(* Allocate into a fresh slot with a direct intrinsic, then initialise a
+   prefix (unrolled stores or a counted loop, scale-independent). *)
+let block_direct_alloc b =
+  let var = fresh b "p" in
+  let size = pick_size b in
+  let alloc_stmt =
+    match Dsource.weighted b.src [| 3; 2 |] with
+    | 0 -> malloc var (i size)
+    | _ -> calloc var (i (size / 8)) (i 8)
+  in
+  let max_words = min (size / 8) 16 in
+  let nwords = min max_words (1 + Dsource.draw b.src 4) in
+  let init =
+    match Dsource.weighted b.src [| 2; 1 |] with
+    | 0 ->
+        List.init nwords (fun k ->
+            store (v var) (i (8 * k)) (i (Dsource.draw b.src 256)))
+    | _ ->
+        let iv = fresh b "iv" in
+        for_ iv ~from:(i 0) ~below:(i nwords)
+          [ store (v var) (v iv *: i 8) (v iv +: i 1) ]
+  in
+  b.slots <- { var; size; prefix = 8 * nwords; live = true } :: b.slots;
+  (alloc_stmt :: init)
+
+(* Allocate through a wrapper or chain head — deep-context allocation. *)
+let block_call_alloc b =
+  let var = fresh b "p" in
+  let size = pick_small_size b in
+  let callee = nth_of b (b.wrappers @ b.chain_heads) in
+  b.slots <- { var; size; prefix = 8; live = true } :: b.slots;
+  [ call ~dst:var callee [ i size ] ]
+
+let block_access b =
+  match readable_slots b with
+  | [] -> block_compute b
+  | slots ->
+      let s = nth_of b slots in
+      let off = 8 * Dsource.draw b.src (s.prefix / 8) in
+      let tmp = fresh b "t" in
+      let tail =
+        if Dsource.draw b.src 2 = 0 then []
+        else
+          let off' = 8 * Dsource.draw b.src (s.prefix / 8) in
+          [ store (v s.var) (i off') ((g "out") %: i 65536) ]
+      in
+      load tmp (v s.var) (i off) :: emit_out (v tmp) :: tail
+
+let block_free b =
+  match live_slots b with
+  | [] -> block_compute b
+  | slots ->
+      let s = nth_of b slots in
+      s.live <- false;
+      [ free_ (v s.var) ]
+
+let block_realloc b =
+  match live_slots b with
+  | [] -> block_compute b
+  | slots ->
+      let s = nth_of b slots in
+      let size = pick_size b in
+      s.prefix <- min s.prefix size;
+      s.size <- size;
+      [ realloc_ s.var (v s.var) (i size) ]
+
+(* A loop carrying one or two allocations per iteration. The dual-alloc
+   variant interleaves accesses to both objects, creating the strong
+   affinity edges grouping feeds on; the trip count is what [ref_] scale
+   multiplies. *)
+let block_loop b =
+  let trip = (1 + Dsource.draw b.src 8) * b.scale in
+  let lv = fresh b "li" in
+  let p1 = fresh b "lp" in
+  let alloc1 =
+    match Dsource.weighted b.src [| 2; 2 |] with
+    | 0 -> [ malloc p1 (i (pick_small_size b)); store (v p1) (i 0) (v lv) ]
+    | _ ->
+        [
+          call ~dst:p1 (nth_of b (b.wrappers @ b.chain_heads))
+            [ i (pick_small_size b) ];
+          store (v p1) (i 0) (v lv);
+        ]
+  in
+  let t1 = fresh b "t" in
+  let dual = Dsource.draw b.src 2 = 1 in
+  let body =
+    if dual then begin
+      let p2 = fresh b "lq" in
+      let t2 = fresh b "t" in
+      alloc1
+      @ [
+          call ~dst:p2 (nth_of b b.wrappers) [ i (pick_small_size b) ];
+          store (v p2) (i 0) (v lv +: i 3);
+          load t1 (v p1) (i 0);
+          load t2 (v p2) (i 0);
+          emit_out (v t1 +: v t2);
+        ]
+      @ (match Dsource.weighted b.src [| 2; 1; 1 |] with
+        | 0 -> [ free_ (v p1); free_ (v p2) ] (* paired lifetimes *)
+        | 1 -> [ free_ (v p2) ] (* one side leaks *)
+        | _ -> []) (* both leak *)
+    end
+    else
+      alloc1
+      @ [ load t1 (v p1) (i 0); emit_out (v t1) ]
+      @ (if Dsource.draw b.src 2 = 0 then [ free_ (v p1) ] else [])
+  in
+  for_ lv ~from:(i 0) ~below:(i trip) body
+
+let block_rec_call b =
+  match b.rec_funcs with
+  | [] -> block_compute b
+  | rl ->
+      let f = nth_of b rl in
+      let depth = 1 + Dsource.draw b.src 6 in
+      let tmp = fresh b "t" in
+      [ call ~dst:tmp f [ i depth; i (pick_small_size b) ]; emit_out (v tmp) ]
+
+(* A fully self-contained alloc/use/free sequence, safe inside a branch
+   arm: it never changes the liveness of outer slots. *)
+let mini_block b =
+  match Dsource.weighted b.src [| 1; 3 |] with
+  | 0 -> block_compute b
+  | _ ->
+      let var = fresh b "bp" in
+      let tmp = fresh b "t" in
+      let size = pick_small_size b in
+      [
+        malloc var (i size);
+        store (v var) (i 0) (i (Dsource.draw b.src 256));
+        load tmp (v var) (i 0);
+        emit_out (v tmp);
+        free_ (v var);
+      ]
+
+(* Input-dependent control flow: both interpreter runs share the program
+   seed, so baseline and optimised runs take the same arm. *)
+let block_branch b =
+  let arms = Dsource.draw_in b.src 2 4 in
+  let then_ = mini_block b and else_ = mini_block b in
+  [ if_ ((rand (i arms)) =: i 0) then_ else_ ]
+
+let block_zero_alloc b =
+  let var = fresh b "z" in
+  b.slots <- { var; size = 0; prefix = 0; live = true } :: b.slots;
+  let stmts = [ malloc var (i 0) ] in
+  if Dsource.draw b.src 2 = 1 then begin
+    (List.hd b.slots).live <- false;
+    stmts @ [ free_ (v var) ]
+  end
+  else stmts
+
+let gen_block b =
+  match
+    Dsource.weighted b.src [| 1; 4; 4; 4; 3; 1; 3; 2; 2; 1 |]
+  with
+  | 0 -> block_compute b
+  | 1 -> block_direct_alloc b
+  | 2 -> block_call_alloc b
+  | 3 -> block_access b
+  | 4 -> block_free b
+  | 5 -> block_realloc b
+  | 6 -> block_loop b
+  | 7 -> block_rec_call b
+  | 8 -> block_branch b
+  | _ -> block_zero_alloc b
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program assembly.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let build src ~scale =
+  let b =
+    {
+      src;
+      scale;
+      fresh = 0;
+      funcs = [];
+      wrappers = [];
+      chain_heads = [];
+      rec_funcs = [];
+      slots = [];
+    }
+  in
+  let n_wrappers = 1 + Dsource.draw b.src 2 in
+  for _ = 1 to n_wrappers do
+    gen_wrapper b
+  done;
+  let n_chains = Dsource.draw b.src 3 in
+  for _ = 1 to n_chains do
+    gen_chain b
+  done;
+  if Dsource.draw b.src 2 = 1 then gen_rec b;
+  if Dsource.draw b.src 2 = 1 then gen_mutual b;
+  let n_blocks = Dsource.draw_in b.src 3 10 in
+  let body = ref [ gassign "out" (i (1 + Dsource.draw b.src 256)) ] in
+  for _ = 1 to n_blocks do
+    body := !body @ gen_block b
+  done;
+  (* Epilogue: free a drawn subset of what is still live; the rest leaks
+     (a behaviour allocators must also survive). *)
+  List.iter
+    (fun s ->
+      if s.live && Dsource.draw b.src 2 = 1 then begin
+        s.live <- false;
+        body := !body @ [ free_ (v s.var) ]
+      end)
+    b.slots;
+  body := !body @ [ return_ ((g "out") %: i 1000003) ];
+  let main = func "main" [] !body in
+  program ~main:"main" (List.rev b.funcs @ [ main ])
+
+let of_trace ?(ref_scale = 3) ~seed trace =
+  let src = Dsource.replaying trace in
+  let test = build src ~scale:1 in
+  let normalized = Dsource.trace src in
+  let ref_ = build (Dsource.replaying normalized) ~scale:ref_scale in
+  { seed; trace = normalized; test; ref_ }
+
+let generate ?(ref_scale = 3) ~seed () =
+  let src = Dsource.recording (Rng.create ~seed) in
+  let test = build src ~scale:1 in
+  let trace = Dsource.trace src in
+  let ref_ = build (Dsource.replaying trace) ~scale:ref_scale in
+  { seed; trace; test; ref_ }
+
+let stmt_count p =
+  let rec count acc (st : Ir.stmt) =
+    match st with
+    | Ir.If (_, a, b) ->
+        List.fold_left count (List.fold_left count (acc + 1) a) b
+    | Ir.While (_, a) -> List.fold_left count (acc + 1) a
+    | _ -> acc + 1
+  in
+  List.fold_left
+    (fun acc f -> List.fold_left count acc f.Ir.body)
+    0 (Ir.funcs p)

@@ -1,0 +1,50 @@
+(** Seeded random generation of structurally-paired workload programs.
+
+    One case is a pair of {!Ir} programs built from the {e same} decision
+    trace: a [test]-scale program (profiled by the pipeline) and a
+    [ref_]-scale program (measured), differing only in loop trip counts —
+    so {!Ir.finalize} assigns identical site addresses to both, exactly
+    the structural pairing the paper's test-profile/ref-measure split
+    assumes and the hand-written workloads guarantee by construction.
+
+    The grammar covers the shapes HALO's analyses key on: allocation
+    wrapper functions, deep call chains ending in a shared wrapper,
+    self- and mutual recursion with bounded depth, interleaved
+    alloc/access/free/realloc over multiple live pointers, loops carrying
+    paired allocations (affinity-edge generators), input-dependent
+    branches via [Rand], and size classes straddling the grouped-size and
+    page-size boundaries (including 0-byte mallocs).
+
+    Every generated program obeys two disciplines that make runs
+    {e observably deterministic across allocators}:
+
+    - heap cells are written before they are read (no dependence on stale
+      contents, which differ with placement), and
+    - pointer values never flow into arithmetic, memory, or the program's
+      output — pointers are only ever dereferenced, reallocated or freed —
+      so addresses cannot influence control flow or results.
+
+    All randomness flows through a {!Dsource}, so a case is rebuilt
+    bit-for-bit from its seed (or its decision trace alone), and the
+    shrinker can reduce cases by mutating the trace. *)
+
+type case = {
+  seed : int;  (** The campaign seed the case was first built from. *)
+  trace : int array;  (** Normalized decision trace — the case's genotype. *)
+  test : Ir.program;  (** Profile-scale program. *)
+  ref_ : Ir.program;  (** Measurement-scale program (same sites). *)
+}
+
+val generate : ?ref_scale:int -> seed:int -> unit -> case
+(** Build a fresh case from a seed. [ref_scale] (default 3) multiplies
+    loop trip counts in the [ref_] program. Equal seeds yield equal cases,
+    bit for bit. *)
+
+val of_trace : ?ref_scale:int -> seed:int -> int array -> case
+(** Rebuild a case from an explicit (possibly mutated or truncated)
+    decision trace; any int array is valid (see {!Dsource.replaying}).
+    The returned [trace] is the normalized form actually consumed. *)
+
+val stmt_count : Ir.program -> int
+(** IR statements in the program, nested blocks included — the size
+    metric shrinking minimises and reports. *)

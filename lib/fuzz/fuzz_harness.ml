@@ -1,0 +1,166 @@
+type config = {
+  seeds : int;
+  seed_base : int;
+  ref_scale : int;
+  time_budget : float option;
+  corpus_dir : string option;
+  shrink_steps : int;
+  extra : (string * (Vmem.t -> Alloc_iface.t)) list;
+  obs : Obs.t option;
+  log : (string -> unit) option;
+}
+
+let default =
+  {
+    seeds = 200;
+    seed_base = 1;
+    ref_scale = 3;
+    time_budget = None;
+    corpus_dir = None;
+    shrink_steps = 2000;
+    extra = [];
+    obs = None;
+    log = None;
+  }
+
+type case_report = {
+  seed : int;
+  failures : Fuzz_oracle.failure list;
+  original_stmts : int;
+  shrunk_stmts : int;
+  shrunk_trace : int array;
+  shrink_steps_used : int;
+  shrunk_program : string;
+  saved_to : string option;
+}
+
+type summary = {
+  cases : int;
+  violations : int;
+  failing_seeds : int list;
+  reports : case_report list;
+  allocs : int;
+  accesses : int;
+  elapsed_s : float;
+}
+
+let report_json r =
+  Json.Obj
+    [
+      ("seed", Json.Int r.seed);
+      ( "failures",
+        Json.List
+          (List.map
+             (fun (f : Fuzz_oracle.failure) ->
+               Json.Obj
+                 [
+                   ("config", Json.String f.Fuzz_oracle.config);
+                   ("reason", Json.String f.Fuzz_oracle.reason);
+                 ])
+             r.failures) );
+      ("original_stmts", Json.Int r.original_stmts);
+      ("shrunk_stmts", Json.Int r.shrunk_stmts);
+      ("shrink_steps", Json.Int r.shrink_steps_used);
+      ( "shrunk_trace",
+        Json.List (Array.to_list (Array.map (fun v -> Json.Int v) r.shrunk_trace))
+      );
+      ("shrunk_program", Json.String r.shrunk_program);
+    ]
+
+let save_corpus ~dir r =
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir (Printf.sprintf "seed_%d.json" r.seed) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (report_json r));
+  path
+
+let replay ?(ref_scale = 3) ?(extra = []) seed =
+  let case = Fuzz_gen.generate ~ref_scale ~seed () in
+  (case, Fuzz_oracle.run_case ~extra case)
+
+let logf cfg fmt =
+  Printf.ksprintf (fun s -> match cfg.log with Some f -> f s | None -> ()) fmt
+
+let run cfg =
+  let t0 = Unix.gettimeofday () in
+  let over_budget () =
+    match cfg.time_budget with
+    | None -> false
+    | Some b -> Unix.gettimeofday () -. t0 >= b
+  in
+  let cases = ref 0 in
+  let violations = ref 0 in
+  let allocs = ref 0 in
+  let accesses = ref 0 in
+  let reports = ref [] in
+  let seed = ref cfg.seed_base in
+  let last = cfg.seed_base + cfg.seeds - 1 in
+  while !seed <= last && not (over_budget ()) do
+    let s = !seed in
+    Obs.span cfg.obs "fuzz.case" (fun () ->
+        incr cases;
+        Obs.count cfg.obs "fuzz.cases" 1;
+        let case = Fuzz_gen.generate ~ref_scale:cfg.ref_scale ~seed:s () in
+        let result = Fuzz_oracle.run_case ~extra:cfg.extra case in
+        allocs := !allocs + result.Fuzz_oracle.stats.Fuzz_oracle.allocs;
+        accesses := !accesses + result.Fuzz_oracle.stats.Fuzz_oracle.accesses;
+        match result.Fuzz_oracle.failures with
+        | [] -> ()
+        | fs ->
+            violations := !violations + List.length fs;
+            Obs.count cfg.obs "fuzz.oracle.violations" (List.length fs);
+            List.iter
+              (fun (f : Fuzz_oracle.failure) ->
+                logf cfg "seed %d: [%s] %s" s f.Fuzz_oracle.config
+                  f.Fuzz_oracle.reason)
+              fs;
+            (* Shrink while preserving *some* oracle failure — the exact
+               reason may shift as the program shrinks, which is fine:
+               any failing case is a bug to report. *)
+            let failing c =
+              (Fuzz_oracle.run_case ~extra:cfg.extra c).Fuzz_oracle.failures
+              <> []
+            in
+            let sh =
+              Fuzz_shrink.shrink ~max_steps:cfg.shrink_steps ~failing case
+            in
+            Obs.count cfg.obs "fuzz.shrink.steps" sh.Fuzz_shrink.steps;
+            let small = sh.Fuzz_shrink.case in
+            let r =
+              {
+                seed = s;
+                failures = fs;
+                original_stmts = Fuzz_gen.stmt_count case.Fuzz_gen.ref_;
+                shrunk_stmts = Fuzz_gen.stmt_count small.Fuzz_gen.ref_;
+                shrunk_trace = small.Fuzz_gen.trace;
+                shrink_steps_used = sh.Fuzz_shrink.steps;
+                shrunk_program = Ir_print.program_to_string small.Fuzz_gen.ref_;
+                saved_to = None;
+              }
+            in
+            let r =
+              match cfg.corpus_dir with
+              | None -> r
+              | Some dir ->
+                  let path = save_corpus ~dir r in
+                  logf cfg "seed %d: saved %s" s path;
+                  { r with saved_to = Some path }
+            in
+            logf cfg "seed %d: shrunk %d -> %d stmts in %d steps" s
+              r.original_stmts r.shrunk_stmts r.shrink_steps_used;
+            reports := r :: !reports);
+    incr seed
+  done;
+  let reports = List.rev !reports in
+  {
+    cases = !cases;
+    violations = !violations;
+    failing_seeds = List.map (fun r -> r.seed) reports;
+    reports;
+    allocs = !allocs;
+    accesses = !accesses;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,112 @@
+module IMap = Map.Make (Int)
+
+type t = {
+  mutable live : (int * int) IMap.t; (* base address -> (object id, size) *)
+  mutable next_id : int;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable accesses : int;
+  mutable site_digest : int;
+  mutable access_digest : int;
+  mutable free_digest : int;
+}
+
+type digest = {
+  allocs : int;
+  frees : int;
+  accesses : int;
+  site_digest : int;
+  access_digest : int;
+  free_digest : int;
+}
+
+let create () =
+  {
+    live = IMap.empty;
+    next_id = 0;
+    allocs = 0;
+    frees = 0;
+    accesses = 0;
+    site_digest = 0x811c9dc5;
+    access_digest = 0x811c9dc5;
+    free_digest = 0x811c9dc5;
+  }
+
+(* FNV-1a-style fold over native ints; wraparound is deterministic. *)
+let mix h v = (h lxor v) * 0x100000001b3 land max_int
+
+(* The object id (and intra-object offset) for a raw address: the live
+   block with the greatest base <= addr. Accesses outside any live block
+   fold a sentinel — a divergence signal of its own. *)
+let resolve (t : t) addr =
+  match IMap.find_last_opt (fun b -> b <= addr) t.live with
+  | Some (base, (id, size)) when addr < base + max size 1 -> (id, addr - base)
+  | _ -> (-1, addr land 0xfff)
+
+let register (t : t) addr size =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.live <- IMap.add addr (id, size) t.live
+
+let on_alloc (t : t) addr size site _ctx =
+  t.allocs <- t.allocs + 1;
+  t.site_digest <- mix (mix t.site_digest site) size;
+  register t addr size
+
+let on_realloc (t : t) old_addr new_addr size site _ctx =
+  t.allocs <- t.allocs + 1;
+  t.site_digest <- mix (mix (mix t.site_digest site) size) 0x7e;
+  if old_addr <> Addr.null then t.live <- IMap.remove old_addr t.live;
+  register t new_addr size
+
+let on_free (t : t) addr =
+  t.frees <- t.frees + 1;
+  (match IMap.find_opt addr t.live with
+  | Some (id, _) -> t.free_digest <- mix t.free_digest id
+  | None -> t.free_digest <- mix t.free_digest (-1));
+  t.live <- IMap.remove addr t.live
+
+let on_access (t : t) addr size is_write =
+  t.accesses <- t.accesses + 1;
+  let id, off = resolve t addr in
+  let w = if is_write then 1 else 0 in
+  t.access_digest <-
+    mix t.access_digest ((id * 1048573) + (off * 131) + (size * 2) + w)
+
+let hooks t =
+  {
+    Interp.on_access = (fun addr size w -> on_access t addr size w);
+    on_alloc = (fun addr size site ctx -> on_alloc t addr size site ctx);
+    on_realloc =
+      (fun old_a new_a size site ctx -> on_realloc t old_a new_a size site ctx);
+    on_free = (fun addr -> on_free t addr);
+  }
+
+let digest (t : t) =
+  {
+    allocs = t.allocs;
+    frees = t.frees;
+    accesses = t.accesses;
+    site_digest = t.site_digest;
+    access_digest = t.access_digest;
+    free_digest = t.free_digest;
+  }
+
+let equal a b = a = b
+
+let describe_mismatch ~expected ~got =
+  let fields =
+    [
+      ("allocs", expected.allocs, got.allocs);
+      ("frees", expected.frees, got.frees);
+      ("accesses", expected.accesses, got.accesses);
+      ("site_digest", expected.site_digest, got.site_digest);
+      ("access_digest", expected.access_digest, got.access_digest);
+      ("free_digest", expected.free_digest, got.free_digest);
+    ]
+  in
+  fields
+  |> List.filter_map (fun (name, e, g) ->
+         if e = g then None
+         else Some (Printf.sprintf "%s: expected %d, got %d" name e g))
+  |> String.concat "; "

@@ -1,0 +1,43 @@
+(** Address-independent observable-behaviour digests of a program run.
+
+    The differential oracle needs to compare two executions of the same
+    program under {e different allocators}, whose placement decisions make
+    raw addresses incomparable. This recorder canonicalises the run into
+    placement-independent observables, folded into rolling FNV-style
+    digests:
+
+    - the {b allocation-event sequence}: every malloc/calloc/realloc's
+      site and requested size, in program order, with each event numbered
+      by a deterministic ordinal (its {e object id});
+    - the {b access sequence}: every load/store mapped from its raw
+      address to (object id, offset within object, width, direction) via
+      an interval map of live objects;
+    - the {b free sequence}: the object ids freed, in order.
+
+    Two runs of a well-behaved pipeline configuration must produce equal
+    digests (and equal return values); any divergence means the rewritten
+    or re-allocated execution changed program behaviour. *)
+
+type t
+
+val create : unit -> t
+
+val hooks : t -> Interp.hooks
+(** Interpreter hooks that feed the recorder. To also drive other hooks
+    (e.g. a cache hierarchy), compose manually. *)
+
+type digest = {
+  allocs : int;  (** malloc + calloc + realloc events. *)
+  frees : int;
+  accesses : int;
+  site_digest : int;  (** Over (site, size) allocation events, in order. *)
+  access_digest : int;  (** Over (object id, offset, width, is_write). *)
+  free_digest : int;  (** Over freed object ids, in order. *)
+}
+
+val digest : t -> digest
+
+val equal : digest -> digest -> bool
+
+val describe_mismatch : expected:digest -> got:digest -> string
+(** One line per differing field; [""] when equal. *)

@@ -1,0 +1,45 @@
+(** The differential oracle: one generated case, every configuration.
+
+    Runs a case's [ref_] program under a battery of allocator
+    configurations and checks three families of invariants:
+
+    - {b semantic equivalence}: return value and the
+      {!Fuzz_observe.digest} observables (allocation-site sequence,
+      object-relative access trace, free order) must match the jemalloc
+      reference run bit for bit — rewriting and pool allocation must be
+      behaviour-preserving (the paper's central §4 claim);
+    - {b heap invariants}: every run is wrapped in {!Heap_check}
+      (alignment, no overlapping live blocks, matched frees, usable-size
+      bounds) and in the {!Vmem} segfault trap;
+    - {b plan well-formedness}: the HALO plan derived from the paired
+      [test] program passes {!Plan_check} before being instantiated.
+
+    The standard battery: [jemalloc] (reference), [bump], [ptmalloc],
+    [random-4] pools, [halo-noalloc] (patched binary, default allocator)
+    and [halo] (patched binary + synthesised group allocator). [extra]
+    adds externally supplied configurations — the hook fault-injection
+    tests and local allocator experiments use to prove the oracle bites. *)
+
+type failure = {
+  config : string;  (** Configuration name, or ["plan"]. *)
+  reason : string;
+}
+
+type stats = {
+  configs : int;  (** Configurations executed. *)
+  allocs : int;  (** Allocation events checked, summed over configs. *)
+  accesses : int;  (** Accesses digested, summed over configs. *)
+  groups : int;  (** Groups in the HALO plan. *)
+  monitored : int;  (** Monitored sites (group-state bits) in the plan. *)
+}
+
+type result = { failures : failure list; stats : stats }
+(** [failures = []] is a pass. *)
+
+val run_case :
+  ?extra:(string * (Vmem.t -> Alloc_iface.t)) list ->
+  Fuzz_gen.case ->
+  result
+(** Deterministic: equal cases yield equal results. Never raises on
+    misbehaving allocators or pipelines — crashes (simulated segfaults,
+    allocator [Failure]s, pipeline exceptions) become failures. *)

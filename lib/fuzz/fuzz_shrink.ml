@@ -1,0 +1,112 @@
+type report = { case : Fuzz_gen.case; steps : int; accepted : int }
+
+(* Strict shortlex order on normalized traces: shorter is simpler; at
+   equal length, lexicographically smaller is simpler (choice lists are
+   ordered simplest-first, so smaller draws mean simpler programs).
+   Accepting only strictly-simpler candidates makes shrinking monotone
+   and terminating. *)
+let simpler a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then la < lb
+  else
+    let rec go i =
+      i < la && (a.(i) < b.(i) || (a.(i) = b.(i) && go (i + 1)))
+    in
+    go 0
+
+let shrink ?(max_steps = 2000) ~failing (case : Fuzz_gen.case) =
+  let steps = ref 0 in
+  let accepted = ref 0 in
+  let best = ref case in
+  let budget_left () = !steps < max_steps in
+  (* Rebuild a candidate from a mutated trace; keep it only if it still
+     fails AND its normalized trace is strictly simpler than the current
+     best (of_trace normalizes, which can shorten or clamp the proposal). *)
+  let try_trace trace =
+    budget_left ()
+    && begin
+         incr steps;
+         match Fuzz_gen.of_trace ~seed:!best.Fuzz_gen.seed trace with
+         | exception _ -> false
+         | cand ->
+             simpler cand.Fuzz_gen.trace !best.Fuzz_gen.trace
+             && failing cand
+             && begin
+                  incr accepted;
+                  best := cand;
+                  true
+                end
+       end
+  in
+  let trace () = !best.Fuzz_gen.trace in
+
+  (* Tail truncation: repeatedly drop the biggest suffix that keeps the
+     failure, halving the cut until one sticks or none can. *)
+  let rec truncate () =
+    let t = trace () in
+    let n = Array.length t in
+    let rec cut k =
+      k >= 1 && (try_trace (Array.sub t 0 (n - k)) || cut (k / 2))
+    in
+    if n > 0 && budget_left () && cut (n / 2) then truncate ()
+  in
+
+  (* Sliding windows of halving width, applying [mutate] to each window.
+     On acceptance the window stays put — the trace changed under it. *)
+  let windows mutate =
+    let win = ref (max 1 (Array.length (trace ()) / 2)) in
+    while !win >= 1 do
+      let i = ref 0 in
+      while budget_left () && !i < Array.length (trace ()) do
+        let t = trace () in
+        let w = min !win (Array.length t - !i) in
+        match mutate t !i w with
+        | Some cand when try_trace cand -> ()
+        | _ -> i := !i + w
+      done;
+      win := !win / 2
+    done
+  in
+
+  (* Chunk deletion: remove the window outright. *)
+  let delete t i w =
+    let n = Array.length t in
+    Some (Array.append (Array.sub t 0 i) (Array.sub t (i + w) (n - i - w)))
+  in
+
+  (* Window zeroing: replace the window with the simplest choices without
+     disturbing the positions of later draws — far gentler than deletion
+     when the failure lives downstream of the window. *)
+  let zero t i w =
+    let all_zero = ref true in
+    for k = i to i + w - 1 do
+      if t.(k) <> 0 then all_zero := false
+    done;
+    if !all_zero then None
+    else begin
+      let c = Array.copy t in
+      Array.fill c i w 0;
+      Some c
+    end
+  in
+
+  (* Value simplification: halve single entries toward zero. Window
+     zeroing already covers the jump straight to 0. *)
+  let halve t i _w = if t.(i) > 1 then begin
+      let c = Array.copy t in
+      c.(i) <- t.(i) / 2;
+      Some c
+    end
+    else None
+  in
+
+  let rec rounds () =
+    let before = !accepted in
+    truncate ();
+    windows zero;
+    windows delete;
+    windows (fun t i w -> if w = 1 then halve t i w else None);
+    if !accepted > before && budget_left () then rounds ()
+  in
+  rounds ();
+  { case = !best; steps = !steps; accepted = !accepted }

@@ -1,0 +1,38 @@
+(** Greedy delta-debugging of a failing case's decision trace.
+
+    Because the generator draws every decision from a {!Dsource}, a case
+    is fully determined by its integer trace — so shrinking is trace
+    surgery, not program surgery ("internal shrinking" in the
+    Hypothesis sense). Any mutated trace still replays to a
+    {e structurally valid} program: replay clamps each value to the bound
+    live at its draw and substitutes 0 once the trace is exhausted, and
+    choice lists are ordered simplest-first so zeroing simplifies.
+
+    Three pass families run to fixpoint (or step budget), greedily
+    keeping any mutation whose rebuilt case still satisfies [failing]:
+
+    - {b tail truncation} — drop the last half / quarter / ... of the
+      trace (exhaustion turns the tail into the simplest choices);
+    - {b chunk deletion} — delete windows of halving width anywhere in
+      the trace (removes whole decisions and their subtrees);
+    - {b value simplification} — set single entries to 0, else halve
+      them (picks simpler grammar alternatives, smaller sizes/counts).
+
+    After every accepted mutation the case is rebuilt via
+    {!Fuzz_gen.of_trace}, so the kept trace is always normalized. *)
+
+type report = {
+  case : Fuzz_gen.case;  (** Smallest failing case found. *)
+  steps : int;  (** Candidate rebuilds attempted. *)
+  accepted : int;  (** Mutations that preserved the failure. *)
+}
+
+val shrink :
+  ?max_steps:int ->
+  failing:(Fuzz_gen.case -> bool) ->
+  Fuzz_gen.case ->
+  report
+(** [shrink ~failing case] assumes [failing case = true] and returns a
+    case no larger (in trace length) for which [failing] still holds.
+    [max_steps] (default 2000) bounds total predicate evaluations —
+    each one replays the full oracle, so this is the cost knob. *)

@@ -1,0 +1,93 @@
+module IMap = Map.Make (Int)
+
+type t = {
+  mutable live : int IMap.t; (* base address -> requested size *)
+  mutable viol : string list; (* reversed *)
+  mutable nviol : int;
+}
+
+(* Cap the recorded list: one systematic allocator bug can otherwise
+   produce a violation per allocation. The count keeps climbing. *)
+let max_recorded = 100
+
+let record t msg =
+  t.nviol <- t.nviol + 1;
+  if t.nviol <= max_recorded then t.viol <- msg :: t.viol
+
+(* Validate a freshly returned block and enter it into the live map.
+   [what] names the operation for messages; [usable] is the underlying
+   allocator's usable_size answer for the block. *)
+let admit t ~what addr n usable =
+  if addr = Addr.null then
+    record t (Printf.sprintf "%s(%d): returned null" what n);
+  if addr land 7 <> 0 then
+    record t
+      (Printf.sprintf "%s(%d): address 0x%x not 8-byte aligned" what n addr);
+  if IMap.mem addr t.live then
+    record t
+      (Printf.sprintf "%s(%d): address 0x%x already holds a live block" what n
+         addr);
+  (match IMap.find_last_opt (fun b -> b < addr) t.live with
+  | Some (b, sz) when b + max sz 1 > addr ->
+      record t
+        (Printf.sprintf
+           "%s(%d): block at 0x%x overlaps live block [0x%x, 0x%x)" what n
+           addr b (b + max sz 1))
+  | _ -> ());
+  (match IMap.find_first_opt (fun b -> b > addr) t.live with
+  | Some (b, _) when addr + max n 1 > b ->
+      record t
+        (Printf.sprintf
+           "%s(%d): block [0x%x, 0x%x) overlaps live block at 0x%x" what n
+           addr
+           (addr + max n 1)
+           b)
+  | _ -> ());
+  (match usable with
+  | Some u when u < n ->
+      record t
+        (Printf.sprintf "%s(%d): usable_size %d below requested size" what n u)
+  | None ->
+      record t
+        (Printf.sprintf "%s(%d): usable_size unknown for fresh block 0x%x"
+           what n addr)
+  | Some _ -> ());
+  t.live <- IMap.add addr n t.live
+
+let wrap (alloc : Alloc_iface.t) =
+  let t = { live = IMap.empty; viol = []; nviol = 0 } in
+  let malloc n =
+    let addr = alloc.Alloc_iface.malloc n in
+    admit t ~what:"malloc" addr n (alloc.Alloc_iface.usable_size addr);
+    addr
+  in
+  let free addr =
+    if addr <> Addr.null then begin
+      if not (IMap.mem addr t.live) then
+        record t
+          (Printf.sprintf "free(0x%x): no live block at this address" addr)
+      else t.live <- IMap.remove addr t.live
+    end;
+    alloc.Alloc_iface.free addr
+  in
+  let realloc old n =
+    if old <> Addr.null && not (IMap.mem old t.live) then
+      record t
+        (Printf.sprintf "realloc(0x%x, %d): old pointer is not live" old n);
+    let addr = alloc.Alloc_iface.realloc old n in
+    t.live <- IMap.remove old t.live;
+    admit t ~what:"realloc" addr n (alloc.Alloc_iface.usable_size addr);
+    addr
+  in
+  let iface =
+    {
+      alloc with
+      Alloc_iface.malloc;
+      free;
+      realloc;
+    }
+  in
+  (t, iface)
+
+let violations t = List.rev t.viol
+let live_blocks t = IMap.cardinal t.live

@@ -1,0 +1,30 @@
+(** Heap-invariant checking as a transparent allocator wrapper.
+
+    Wraps any {!Alloc_iface.t} and validates, on every call, the
+    invariants every allocator in the reproduction must uphold
+    (alloc_iface.mli's contract, §4.4's alignment guarantee):
+
+    - malloc/calloc/realloc return non-null addresses aligned to at least
+      8 bytes;
+    - no two live blocks overlap (requested extents; 0-byte blocks must
+      still have unique addresses);
+    - [usable_size] of a fresh block is at least the requested size;
+    - every free matches a live block of this allocator (no double or
+      foreign frees), and realloc's old pointer is live or null.
+
+    Violations are {e recorded}, not raised — the call is still forwarded
+    so the run continues and one case can surface several violations. The
+    underlying allocator may itself raise [Failure] (its simulated heap
+    corruption); that propagates to the harness as a crash. *)
+
+type t
+
+val wrap : Alloc_iface.t -> t * Alloc_iface.t
+(** [wrap alloc] returns the checker and the checked interface to hand to
+    the interpreter in [alloc]'s place. *)
+
+val violations : t -> string list
+(** Violations recorded so far, in detection order. *)
+
+val live_blocks : t -> int
+(** Live (not yet freed) blocks currently tracked — leak accounting. *)

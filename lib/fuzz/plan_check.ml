@@ -1,0 +1,106 @@
+let check ~program (plan : Pipeline.plan) =
+  let viol = ref [] in
+  let record fmt = Printf.ksprintf (fun s -> viol := s :: !viol) fmt in
+  let site_ok =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun s -> Hashtbl.replace tbl s ()) (Ir.sites program);
+    Hashtbl.mem tbl
+  in
+  let grouping = plan.Pipeline.grouping in
+  let ngroups = Array.length grouping.Grouping.groups in
+  let nctx = Context.count plan.Pipeline.profile.Profiler.contexts in
+
+  (* Grouping: disjoint groups over interned contexts. *)
+  let seen_ctx = Hashtbl.create 64 in
+  Array.iteri
+    (fun gi members ->
+      List.iter
+        (fun ctx ->
+          if ctx < 0 || ctx >= nctx then
+            record "group %d references unknown context id %d" gi ctx;
+          (match Hashtbl.find_opt seen_ctx ctx with
+          | Some gj ->
+              record "context %d appears in groups %d and %d" ctx gj gi
+          | None -> Hashtbl.replace seen_ctx ctx gi))
+        members)
+    grouping.Grouping.groups;
+
+  (* Selectors: live sites, valid group indices. *)
+  List.iter
+    (fun (sel : Identify.selector) ->
+      if sel.Identify.group < 0 || sel.Identify.group >= ngroups then
+        record "selector targets group %d of %d" sel.Identify.group ngroups;
+      List.iter
+        (fun conj ->
+          List.iter
+            (fun site ->
+              if not (site_ok site) then
+                record "selector for group %d references dead site 0x%x"
+                  sel.Identify.group site)
+            conj)
+        sel.Identify.disjuncts)
+    plan.Pipeline.selectors;
+
+  (* Rewrite: bit-vector width, patch assignment. *)
+  let rw = plan.Pipeline.rewrite in
+  let nbits = rw.Rewrite.nbits in
+  if nbits < 0 || nbits > Rewrite.max_bits then
+    record "rewrite uses %d bits (capacity %d)" nbits Rewrite.max_bits;
+  let bit_of = Hashtbl.create 32 in
+  let seen_bits = Hashtbl.create 32 in
+  List.iter
+    (fun (site, bit) ->
+      if not (site_ok site) then record "patch at dead site 0x%x" site;
+      if bit < 0 || bit >= nbits then
+        record "patch at 0x%x uses out-of-range bit %d (nbits %d)" site bit
+          nbits;
+      if Hashtbl.mem bit_of site then record "site 0x%x patched twice" site;
+      if Hashtbl.mem seen_bits bit then
+        record "bit %d assigned to two sites" bit;
+      Hashtbl.replace bit_of site bit;
+      Hashtbl.replace seen_bits bit ())
+    rw.Rewrite.patches;
+  let monitored = Identify.monitored_sites plan.Pipeline.selectors in
+  List.iter
+    (fun site ->
+      if not (Hashtbl.mem bit_of site) then
+        record "monitored site 0x%x has no patch" site)
+    monitored;
+  if List.length rw.Rewrite.patches <> List.length monitored then
+    record "%d patches for %d monitored sites"
+      (List.length rw.Rewrite.patches)
+      (List.length monitored);
+
+  (* Compiled selectors must mirror the site-level ones bit for bit. *)
+  if List.length rw.Rewrite.selectors <> List.length plan.Pipeline.selectors
+  then
+    record "%d compiled selectors for %d selectors"
+      (List.length rw.Rewrite.selectors)
+      (List.length plan.Pipeline.selectors)
+  else
+    List.iter2
+      (fun (sel : Identify.selector) (comp : Rewrite.compiled) ->
+        if comp.Rewrite.group <> sel.Identify.group then
+          record "compiled selector group %d mismatches selector group %d"
+            comp.Rewrite.group sel.Identify.group;
+        if
+          List.length comp.Rewrite.conjs
+          <> List.length sel.Identify.disjuncts
+        then
+          record "group %d: %d compiled conjunctions for %d disjuncts"
+            sel.Identify.group
+            (List.length comp.Rewrite.conjs)
+            (List.length sel.Identify.disjuncts)
+        else
+          List.iter2
+            (fun conj bits ->
+              let mapped =
+                List.filter_map (Hashtbl.find_opt bit_of) conj
+                |> List.sort compare
+              in
+              if mapped <> List.sort compare bits then
+                record "group %d: compiled conjunction diverges from sites"
+                  sel.Identify.group)
+            sel.Identify.disjuncts comp.Rewrite.conjs)
+      plan.Pipeline.selectors rw.Rewrite.selectors;
+  List.rev !viol

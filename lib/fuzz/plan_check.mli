@@ -1,0 +1,19 @@
+(** Well-formedness oracle for a pipeline optimisation plan.
+
+    A {!Pipeline.plan} is the contract between the analysis stages and the
+    rewritten runtime; this module validates it structurally before the
+    measurement run, independently of whether the run then behaves:
+
+    - every selector conjunction references sites that exist in the
+      profiled program (selectors over dead sites can never match);
+    - selector group indices point into the grouping;
+    - grouping groups are disjoint and reference interned contexts only;
+    - the rewrite uses at most {!Rewrite.max_bits} group-state bits, its
+      patch list assigns each monitored site exactly one in-range bit, and
+      the patch sites are exactly the selectors' monitored sites;
+    - the compiled (bit-level) selectors mirror the site-level selectors
+      through the patch assignment, disjunct for disjunct.
+
+    Returns human-readable violation strings; [[]] means well-formed. *)
+
+val check : program:Ir.program -> Pipeline.plan -> string list

@@ -26,8 +26,21 @@ let int t bound =
   v mod bound
 
 let int_in t lo hi =
-  if hi < lo then invalid_arg "Rng.int_in: empty range";
-  lo + int t (hi - lo + 1)
+  if hi < lo then
+    invalid_arg (Printf.sprintf "Rng.int_in: empty range [%d, %d]" lo hi);
+  let span = hi - lo in
+  (* [span] wraps negative when the range is wider than [max_int], and
+     [span + 1] wraps when it is exactly [max_int] wide (e.g. [0, max_int]).
+     Either way [int] cannot be used; rejection-sample raw 63-bit draws
+     instead — the range covers at least half the int domain, so the
+     expected number of draws is at most 2. *)
+  if span < 0 || span + 1 < 1 then
+    let rec draw () =
+      let v = Int64.to_int (next t) in
+      if lo <= v && v <= hi then v else draw ()
+    in
+    draw ()
+  else lo + int t (span + 1)
 
 let float t bound =
   let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in

@@ -25,7 +25,10 @@ val int : t -> int -> int
     [bound <= 0]. *)
 
 val int_in : t -> int -> int -> int
-(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. Raises
+    [Invalid_argument] if [lo > hi]. Ranges wider than [max_int]
+    (e.g. [int_in t min_int max_int]) are handled without overflow by
+    rejection sampling. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in \[0, bound). *)

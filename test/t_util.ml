@@ -31,6 +31,50 @@ let rng_int_in_bounds () =
     checkb "in closed range" true (v >= -5 && v <= 5)
   done
 
+let rng_int_in_singleton () =
+  let r = Rng.create ~seed:9 in
+  for _ = 1 to 100 do
+    checki "collapsed range" 5 (Rng.int_in r 5 5)
+  done
+
+let rng_int_in_empty_range_rejected () =
+  let r = Rng.create ~seed:1 in
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Rng.int_in: empty range [3, 2]") (fun () ->
+      ignore (Rng.int_in r 3 2))
+
+let rng_int_in_full_domain () =
+  (* [min_int, max_int] makes [hi - lo] wrap; the draw must neither raise
+     nor loop, and over a few hundred draws both signs appear. *)
+  let r = Rng.create ~seed:10 in
+  let neg = ref false and pos = ref false in
+  for _ = 1 to 200 do
+    if Rng.int_in r min_int max_int < 0 then neg := true else pos := true
+  done;
+  checkb "both signs seen" true (!neg && !pos)
+
+let rng_int_in_wide_positive () =
+  (* [0, max_int] holds max_int + 1 values, so span + 1 overflows. *)
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 200 do
+    checkb "non-negative" true (Rng.int_in r 0 max_int >= 0)
+  done
+
+let rng_int_in_wide_negative () =
+  let r = Rng.create ~seed:12 in
+  for _ = 1 to 200 do
+    checkb "non-positive" true (Rng.int_in r min_int 0 <= 0)
+  done
+
+let rng_int_in_near_max_int () =
+  let r = Rng.create ~seed:13 in
+  for _ = 1 to 200 do
+    let v = Rng.int_in r (max_int - 3) max_int in
+    checkb "no wraparound" true (v >= max_int - 3)
+  done;
+  let v = Rng.int_in r min_int (min_int + 2) in
+  checkb "bottom of domain" true (v <= min_int + 2)
+
 let rng_int_rejects_nonpositive () =
   let r = Rng.create ~seed:1 in
   Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
@@ -290,6 +334,12 @@ let suite =
     tc "rng: seed sensitivity" rng_seed_sensitivity;
     tc "rng: int bounds" rng_int_bounds;
     tc "rng: int_in bounds" rng_int_in_bounds;
+    tc "rng: int_in collapsed range" rng_int_in_singleton;
+    tc "rng: int_in empty range rejected" rng_int_in_empty_range_rejected;
+    tc "rng: int_in full domain" rng_int_in_full_domain;
+    tc "rng: int_in wide positive range" rng_int_in_wide_positive;
+    tc "rng: int_in wide negative range" rng_int_in_wide_negative;
+    tc "rng: int_in near-extreme ranges" rng_int_in_near_max_int;
     tc "rng: int rejects non-positive bound" rng_int_rejects_nonpositive;
     tc "rng: float bounds" rng_float_bounds;
     tc "rng: split independence" rng_split_independent;

@@ -480,6 +480,65 @@ let shadow_distinct_sites_same_function () =
   let r = Shadow_stack.reduce_sites [| ("f", 1); ("f", 2) |] in
   Alcotest.check (Alcotest.array Alcotest.int) "both kept" [| 1; 2 |] r
 
+let shadow_mutual_deep_chain () =
+  (* a <-> b alternating 20 frames deep through two fixed call sites:
+     the canonical form is just the most recent frame of each pair, in
+     stack order — depth-independent, as §4.1 requires. *)
+  let frames =
+    Array.init 20 (fun k -> if k mod 2 = 0 then ("a", 11) else ("b", 22))
+  in
+  Alcotest.check (Alcotest.array Alcotest.int) "two frames" [| 11; 22 |]
+    (Shadow_stack.reduce_sites frames)
+
+let shadow_mutual_reentry_two_sites () =
+  (* Mutual recursion re-entering f from two distinct sites: both frames
+     survive, positioned at the most recent occurrence of each pair. *)
+  let r =
+    Shadow_stack.reduce_sites
+      [| ("f", 1); ("g", 2); ("f", 3); ("g", 2); ("f", 1) |]
+  in
+  Alcotest.check (Alcotest.array Alcotest.int) "pinned canonical form"
+    [| 3; 2; 1 |] r
+
+let shadow_deep_distinct_chain_identity () =
+  (* A deep non-recursive call chain is already canonical: identity. *)
+  let frames = Array.init 12 (fun k -> ("f" ^ string_of_int k, 100 + k)) in
+  Alcotest.check (Alcotest.array Alcotest.int) "identity"
+    (Array.init 12 (fun k -> 100 + k))
+    (Shadow_stack.reduce_sites frames)
+
+let shadow_recursive_band_in_chain () =
+  (* Self-recursion sandwiched inside a wrapper chain: the recursive band
+     collapses to one frame, the surrounding chain is untouched. *)
+  let frames =
+    Array.concat
+      [
+        [| ("main", 1); ("w1", 2) |];
+        Array.make 5 ("rec", 3);
+        [| ("w2", 4) |];
+      ]
+  in
+  Alcotest.check (Alcotest.array Alcotest.int) "band collapsed"
+    [| 1; 2; 3; 4 |]
+    (Shadow_stack.reduce_sites frames)
+
+let shadow_deep_mutual_via_live_stack () =
+  (* Same canonicalisation through the stateful push/pop interface. *)
+  let s = Shadow_stack.create () in
+  Shadow_stack.push s ~func:"main" ~site:1;
+  for _ = 1 to 8 do
+    Shadow_stack.push s ~func:"a" ~site:11;
+    Shadow_stack.push s ~func:"b" ~site:22
+  done;
+  checki "raw depth keeps growing" 17 (Shadow_stack.depth s);
+  Alcotest.check (Alcotest.array Alcotest.int) "reduced stays bounded"
+    [| 1; 11; 22 |] (Shadow_stack.reduced s);
+  for _ = 1 to 16 do
+    Shadow_stack.pop s
+  done;
+  Alcotest.check (Alcotest.array Alcotest.int) "unwound" [| 1 |]
+    (Shadow_stack.reduced s)
+
 let prop_shadow_reduced_distinct =
   QCheck2.Test.make
     ~name:"shadow stack: reduced contexts have distinct (func,site) pairs"
@@ -538,5 +597,10 @@ let suite =
     tc "shadow: recursion collapsed" shadow_recursion_reduced;
     tc "shadow: most recent pair kept" shadow_keeps_most_recent;
     tc "shadow: same function, distinct sites kept" shadow_distinct_sites_same_function;
+    tc "shadow: deep mutual recursion canonical form" shadow_mutual_deep_chain;
+    tc "shadow: mutual re-entry via two sites" shadow_mutual_reentry_two_sites;
+    tc "shadow: deep distinct chain is identity" shadow_deep_distinct_chain_identity;
+    tc "shadow: recursive band inside chain" shadow_recursive_band_in_chain;
+    tc "shadow: live stack stays bounded under recursion" shadow_deep_mutual_via_live_stack;
   ]
   @ [ QCheck_alcotest.to_alcotest prop_shadow_reduced_distinct ]

@@ -15,6 +15,7 @@ let () =
       ("vm", T_vm.suite);
       ("profile", T_profile.suite);
       ("core", T_core.suite);
+      ("fuzz", T_fuzz.suite);
       ("hds", T_hds.suite);
       ("workloads", T_workloads.suite);
       ("extensions", T_extensions.suite);
