@@ -22,9 +22,21 @@
 
    `--seed N` (anywhere on the command line) pins the measurement input
    seed for the suite-backed figures (fig13/14/15, tab1, diag) and sets
-   the base seed for `trials N`, making benchmark runs reproducible. *)
+   the base seed for `trials N`, making benchmark runs reproducible.
+
+   `--jobs N` (anywhere on the command line) fans the suite's
+   workload×config×seed cells out over N worker domains (default: the
+   runtime's recommended domain count). Every cell simulates its own
+   machine, so tables are bit-identical at any N; the Bechamel
+   micro-benches and the obs-overhead comparison stay sequential because
+   they measure wall-clock throughput of this host. *)
 
 let seed_override = ref None
+
+let jobs_override = ref None
+
+let jobs () =
+  match !jobs_override with Some j -> max 1 j | None -> Par.default_jobs ()
 
 let suite_memo = ref None
 
@@ -34,7 +46,7 @@ let suite () =
   | None ->
       let progress line = Printf.eprintf "  [suite] %s\n%!" line in
       let seeds = Option.map (fun s -> [ s ]) !seed_override in
-      let s = Figures.run_suite ?seeds ~progress () in
+      let s = Figures.run_suite ?seeds ~progress ~jobs:(jobs ()) () in
       suite_memo := Some s;
       s
 
@@ -241,25 +253,32 @@ let run_obs_overhead () =
 (* Dispatch.                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments () = Figures.print_all ()
+let run_experiments () = Figures.print_all ~jobs:(jobs ()) ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec strip_seed acc = function
+  let rec strip_flags acc = function
     | "--seed" :: n :: rest ->
         (match int_of_string_opt n with
         | Some s -> seed_override := Some s
         | None ->
             Printf.eprintf "--seed: not an integer: %S\n" n;
             exit 2);
-        strip_seed acc rest
-    | [ "--seed" ] ->
-        prerr_endline "--seed: missing value";
+        strip_flags acc rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j -> jobs_override := Some j
+        | None ->
+            Printf.eprintf "--jobs: not an integer: %S\n" n;
+            exit 2);
+        strip_flags acc rest
+    | [ ("--seed" | "--jobs") as flag ] ->
+        Printf.eprintf "%s: missing value\n" flag;
         exit 2
-    | a :: rest -> strip_seed (a :: acc) rest
+    | a :: rest -> strip_flags (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = strip_seed [] args in
+  let args = strip_flags [] args in
   match args with
   | [] ->
       run_experiments ();
@@ -273,7 +292,7 @@ let () =
       let base = Option.value !seed_override ~default:2 in
       let seeds = List.init n (fun k -> base + (3 * k)) in
       let progress line = Printf.eprintf "  [suite] %s\n%!" line in
-      let suite = Figures.run_suite ~seeds ~progress () in
+      let suite = Figures.run_suite ~seeds ~progress ~jobs:(jobs ()) () in
       Table.print (Figures.fig13 suite);
       print_newline ();
       Table.print (Figures.fig14 suite);
@@ -303,5 +322,5 @@ let () =
       prerr_endline
         "usage: main.exe \
          [experiments|trials N|micro|obs|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
-         [--seed N]";
+         [--seed N] [--jobs N]";
       exit 2

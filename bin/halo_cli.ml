@@ -200,6 +200,22 @@ let with_obs trace_out f =
           Printf.printf "trace written to %s\n" path;
           r)
 
+(* Suites and fuzz campaigns fan out over a Par domain pool; measurement
+   tables and oracle verdicts are bit-identical at any worker count. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the fan-out (default: the runtime's \
+           recommended domain count). Output is bit-identical at any \
+           $(docv).")
+
+let effective_jobs = function
+  | Some n -> max 1 n
+  | None -> Par.default_jobs ()
+
 let trace_out_arg =
   Arg.(
     value
@@ -332,9 +348,10 @@ let sweep_cmd =
     Term.(const run $ distances_arg)
 
 let figures_cmd =
-  let run which =
+  let run which jobs =
+    let jobs = effective_jobs jobs in
     match which with
-    | "all" -> Figures.print_all ()
+    | "all" -> Figures.print_all ~jobs ()
     | "fig12" -> Table.print (Figures.fig12 ())
     | "sec51" -> Table.print (Figures.sec51_baseline ())
     | "overhead" -> Table.print (Figures.overhead_control ())
@@ -345,7 +362,7 @@ let figures_cmd =
         Table.print (Figures.ablation_backend ());
         Table.print (Figures.ablation_sampling ())
     | "fig13" | "fig14" | "fig15" | "tab1" | "diag" ->
-        let suite = Figures.run_suite () in
+        let suite = Figures.run_suite ~jobs () in
         let t =
           match which with
           | "fig13" -> Figures.fig13 suite
@@ -369,7 +386,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ which_arg)
+    Term.(const run $ which_arg $ jobs_arg)
 
 let contexts_cmd =
   let run w =
@@ -420,7 +437,7 @@ let disasm_cmd =
 
 let fuzz_cmd =
   let run seeds seed_base ref_scale time_budget replay corpus shrink_steps
-      trace_out =
+      jobs trace_out =
     match replay with
     | Some seed ->
         let case, result = Fuzz_harness.replay ~ref_scale seed in
@@ -455,6 +472,7 @@ let fuzz_cmd =
                   time_budget;
                   corpus_dir = corpus;
                   shrink_steps;
+                  jobs = effective_jobs jobs;
                   obs = Some obs;
                   log = Some print_endline;
                 })
@@ -534,7 +552,7 @@ let fuzz_cmd =
           and report any failure.")
     Term.(
       const run $ seeds_arg $ seed_base_arg $ ref_scale_arg $ budget_arg
-      $ replay_arg $ corpus_arg $ shrink_arg $ trace_out_arg)
+      $ replay_arg $ corpus_arg $ shrink_arg $ jobs_arg $ trace_out_arg)
 
 let list_cmd =
   let run () =

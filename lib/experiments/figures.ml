@@ -8,26 +8,48 @@ type suite = {
 
 let suite_kinds = [ Runner.Jemalloc; Runner.Halo; Runner.Hds; Runner.Random_pools 4 ]
 
-let run_suite ?(seeds = [ 2 ]) ?workloads ?(progress = fun _ -> ()) () =
+let run_suite ?(seeds = [ 2 ]) ?workloads ?(progress = fun _ -> ()) ?jobs ?obs () =
   let workloads = Option.value workloads ~default:Workloads.all in
+  (* One task per workload×kind×seed cell. Each cell builds its own Vmem,
+     allocator and interpreter, so cells are independent; Par.map returns
+     results in submission order, making the suite's contents identical at
+     any worker count. *)
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.concat_map
+          (fun kind -> List.map (fun seed -> (w, kind, seed)) seeds)
+          suite_kinds)
+      workloads
+  in
+  let progress =
+    (* Workers report completion concurrently; serialise the callback. *)
+    let mu = Mutex.create () in
+    fun line -> Mutex.protect mu (fun () -> progress line)
+  in
+  let measurements =
+    Par.map_obs ?obs ~name:"suite" ?jobs
+      (fun wobs (w, kind, seed) ->
+        let m = Runner.run ?obs:wobs ~seed w kind in
+        progress
+          (Printf.sprintf "%s/%s (seed %d) done" w.Workload.name
+             (Runner.kind_name kind) seed);
+        m)
+      cells
+  in
+  (* Reassemble in the cell-generation order: measurements.(i) is cell i. *)
+  let arr = Array.of_list measurements in
+  let idx = ref 0 in
+  let next () =
+    let m = arr.(!idx) in
+    incr idx;
+    m
+  in
   let data =
     List.map
       (fun w ->
         let per_kind =
-          List.map
-            (fun kind ->
-              let runs =
-                List.map
-                  (fun seed ->
-                    let m = Runner.run ~seed w kind in
-                    progress
-                      (Printf.sprintf "%s/%s (seed %d) done" w.Workload.name
-                         (Runner.kind_name kind) seed);
-                    m)
-                  seeds
-              in
-              (kind, runs))
-            suite_kinds
+          List.map (fun kind -> (kind, List.map (fun _ -> next ()) seeds)) suite_kinds
         in
         (w.Workload.name, per_kind))
       workloads
@@ -40,11 +62,19 @@ let runs_of suite bench kind =
   | Some per_kind -> Option.value (List.assoc_opt kind per_kind) ~default:[]
 
 (* Median across seeds of a per-seed metric derived from (baseline, run)
-   pairs. *)
+   pairs. Dynamically composed suites can lack a kind entirely or carry
+   per-kind seed lists of different lengths; zip only the common prefix
+   (List.map2 would raise) so metric_cell degrades to "-" instead of
+   crashing the whole table. *)
 let metric_values suite bench kind metric =
   let baselines = runs_of suite bench Runner.Jemalloc in
   let runs = runs_of suite bench kind in
-  List.map2 (fun b m -> metric ~baseline:b m) baselines runs |> Array.of_list
+  let rec zip acc bs ms =
+    match (bs, ms) with
+    | b :: bs, m :: ms -> zip (metric ~baseline:b m :: acc) bs ms
+    | _, _ -> List.rev acc
+  in
+  zip [] baselines runs |> Array.of_list
 
 (* §5.1 measurement style: median with 25th/75th-percentile error bars when
    several input seeds were run. *)
@@ -525,10 +555,10 @@ let ablation_sampling ?workloads ?(periods = [ 1; 10; 100; 1000 ]) () =
     periods;
   t
 
-let print_all () =
+let print_all ?jobs () =
   let progress line = Printf.eprintf "  [suite] %s\n%!" line in
   print_endline "Running the full measurement suite (11 workloads x 4 configs)...";
-  let suite = run_suite ~progress () in
+  let suite = run_suite ~progress ?jobs () in
   Table.print (fig13 suite);
   print_newline ();
   Table.print (fig14 suite);

@@ -7,18 +7,60 @@
     per configuration suffices — {!run_suite} optionally takes several
     seeds to exercise input variation, reporting medians as §5.1 does. *)
 
-type suite
+type suite = {
+  workloads : Workload.t list;
+  seeds : int list;
+  data : (string * (Runner.kind * Runner.measurement list) list) list;
+      (** workload name → kind → one measurement per seed (same order as
+          [seeds]). Exposed so suites can be composed or filtered
+          dynamically; the table renderers degrade gracefully (printing
+          ["-"]) when a bench/kind cell is missing or short. *)
+}
 (** All per-benchmark measurements needed by Figures 13–15 and Table 1. *)
+
+val suite_kinds : Runner.kind list
+(** The four configurations a suite measures: jemalloc, HALO, HDS and the
+    random 4-pool strawman. *)
 
 val run_suite :
   ?seeds:int list ->
   ?workloads:Workload.t list ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
+  ?obs:Obs.t ->
   unit ->
   suite
 (** Run jemalloc / HALO / HDS / random-4 over the workloads (default: all
     11) for each seed (default [[2]]). [progress] is called with a line
-    per configuration as it completes. *)
+    per configuration as it completes (from worker domains when parallel,
+    serialised). [jobs] fans the workload×kind×seed cells out over a
+    {!Par} domain pool (default {!Par.default_jobs}); every cell is an
+    independent simulation, so the suite's measurements are bit-for-bit
+    identical at any [jobs] value. [obs] receives per-worker metric
+    registries merged after the join plus [suite.tasks]/[suite.workers]
+    accounting. *)
+
+val runs_of : suite -> string -> Runner.kind -> Runner.measurement list
+(** [runs_of suite bench kind] is the per-seed measurement list, or [[]]
+    when the suite holds no such cell. *)
+
+val metric_values :
+  suite ->
+  string ->
+  Runner.kind ->
+  (baseline:Runner.measurement -> Runner.measurement -> float) ->
+  float array
+(** Per-seed metric derived from (jemalloc baseline, run) pairs, zipping
+    only the common prefix when the lists differ in length. *)
+
+val metric_cell :
+  suite ->
+  string ->
+  Runner.kind ->
+  (baseline:Runner.measurement -> Runner.measurement -> float) ->
+  string
+(** §5.1 presentation of {!metric_values}: ["-"] when empty, the value
+    for one seed, median with \[p25, p75\] error bars for several. *)
 
 val fig13 : suite -> Table.t
 (** Fig. 13: L1 D-cache miss reduction, HDS and HALO vs jemalloc. *)
@@ -79,6 +121,7 @@ val ablation_sampling : ?workloads:Workload.t list -> ?periods:int list -> unit 
     (§4.1 applies no sampling). Plans derived from sampled profiles are
     measured end to end at several sampling periods. *)
 
-val print_all : unit -> unit
+val print_all : ?jobs:int -> unit -> unit
 (** Run everything in order and print each table — the body of
-    [bench/main.exe]'s experiment mode. *)
+    [bench/main.exe]'s experiment mode. [jobs] parallelises the
+    suite-backed tables; the sweeps and ablations stay sequential. *)

@@ -6,6 +6,7 @@ type config = {
   corpus_dir : string option;
   shrink_steps : int;
   extra : (string * (Vmem.t -> Alloc_iface.t)) list;
+  jobs : int;
   obs : Obs.t option;
   log : (string -> unit) option;
 }
@@ -19,6 +20,7 @@ let default =
     corpus_dir = None;
     shrink_steps = 2000;
     extra = [];
+    jobs = 1;
     obs = None;
     log = None;
   }
@@ -91,69 +93,92 @@ let run cfg =
     | None -> false
     | Some b -> Unix.gettimeofday () -. t0 >= b
   in
+  (* One task per campaign seed, fanned out over a Par pool. Every case
+     derives all of its decisions from its own seed (Fuzz_gen builds a
+     private Dsource/Rng per case), so cases share no state and verdicts
+     are identical at any worker count. The budget is checked when a
+     worker picks the task up, matching the sequential loop's "stop
+     starting new cases" semantics. *)
+  let run_case wobs s =
+    Obs.span wobs "fuzz.case" (fun () ->
+        Obs.count wobs "fuzz.cases" 1;
+        let case = Fuzz_gen.generate ~ref_scale:cfg.ref_scale ~seed:s () in
+        let result = Fuzz_oracle.run_case ~extra:cfg.extra case in
+        let report =
+          match result.Fuzz_oracle.failures with
+          | [] -> None
+          | fs ->
+              Obs.count wobs "fuzz.oracle.violations" (List.length fs);
+              (* Shrink while preserving *some* oracle failure — the exact
+                 reason may shift as the program shrinks, which is fine:
+                 any failing case is a bug to report. *)
+              let failing c =
+                (Fuzz_oracle.run_case ~extra:cfg.extra c).Fuzz_oracle.failures
+                <> []
+              in
+              let sh =
+                Fuzz_shrink.shrink ~max_steps:cfg.shrink_steps ~failing case
+              in
+              Obs.count wobs "fuzz.shrink.steps" sh.Fuzz_shrink.steps;
+              let small = sh.Fuzz_shrink.case in
+              Some
+                {
+                  seed = s;
+                  failures = fs;
+                  original_stmts = Fuzz_gen.stmt_count case.Fuzz_gen.ref_;
+                  shrunk_stmts = Fuzz_gen.stmt_count small.Fuzz_gen.ref_;
+                  shrunk_trace = small.Fuzz_gen.trace;
+                  shrink_steps_used = sh.Fuzz_shrink.steps;
+                  shrunk_program = Ir_print.program_to_string small.Fuzz_gen.ref_;
+                  saved_to = None;
+                }
+        in
+        (result.Fuzz_oracle.stats, report))
+  in
+  let seed_list = List.init cfg.seeds (fun k -> cfg.seed_base + k) in
+  let outcomes =
+    Par.map_obs ?obs:cfg.obs ~name:"fuzz" ~jobs:cfg.jobs
+      (fun wobs s -> if over_budget () then None else Some (run_case wobs s))
+      seed_list
+  in
+  (* Single-writer epilogue on the calling domain, in seed order: corpus
+     files, per-failure log lines, aggregate counts. This keeps campaign
+     output byte-identical across worker counts and funnels all failures
+     through one corpus writer. *)
   let cases = ref 0 in
   let violations = ref 0 in
   let allocs = ref 0 in
   let accesses = ref 0 in
   let reports = ref [] in
-  let seed = ref cfg.seed_base in
-  let last = cfg.seed_base + cfg.seeds - 1 in
-  while !seed <= last && not (over_budget ()) do
-    let s = !seed in
-    Obs.span cfg.obs "fuzz.case" (fun () ->
-        incr cases;
-        Obs.count cfg.obs "fuzz.cases" 1;
-        let case = Fuzz_gen.generate ~ref_scale:cfg.ref_scale ~seed:s () in
-        let result = Fuzz_oracle.run_case ~extra:cfg.extra case in
-        allocs := !allocs + result.Fuzz_oracle.stats.Fuzz_oracle.allocs;
-        accesses := !accesses + result.Fuzz_oracle.stats.Fuzz_oracle.accesses;
-        match result.Fuzz_oracle.failures with
-        | [] -> ()
-        | fs ->
-            violations := !violations + List.length fs;
-            Obs.count cfg.obs "fuzz.oracle.violations" (List.length fs);
-            List.iter
-              (fun (f : Fuzz_oracle.failure) ->
-                logf cfg "seed %d: [%s] %s" s f.Fuzz_oracle.config
-                  f.Fuzz_oracle.reason)
-              fs;
-            (* Shrink while preserving *some* oracle failure — the exact
-               reason may shift as the program shrinks, which is fine:
-               any failing case is a bug to report. *)
-            let failing c =
-              (Fuzz_oracle.run_case ~extra:cfg.extra c).Fuzz_oracle.failures
-              <> []
-            in
-            let sh =
-              Fuzz_shrink.shrink ~max_steps:cfg.shrink_steps ~failing case
-            in
-            Obs.count cfg.obs "fuzz.shrink.steps" sh.Fuzz_shrink.steps;
-            let small = sh.Fuzz_shrink.case in
-            let r =
-              {
-                seed = s;
-                failures = fs;
-                original_stmts = Fuzz_gen.stmt_count case.Fuzz_gen.ref_;
-                shrunk_stmts = Fuzz_gen.stmt_count small.Fuzz_gen.ref_;
-                shrunk_trace = small.Fuzz_gen.trace;
-                shrink_steps_used = sh.Fuzz_shrink.steps;
-                shrunk_program = Ir_print.program_to_string small.Fuzz_gen.ref_;
-                saved_to = None;
-              }
-            in
-            let r =
-              match cfg.corpus_dir with
-              | None -> r
-              | Some dir ->
-                  let path = save_corpus ~dir r in
-                  logf cfg "seed %d: saved %s" s path;
-                  { r with saved_to = Some path }
-            in
-            logf cfg "seed %d: shrunk %d -> %d stmts in %d steps" s
-              r.original_stmts r.shrunk_stmts r.shrink_steps_used;
-            reports := r :: !reports);
-    incr seed
-  done;
+  List.iter2
+    (fun s outcome ->
+      match outcome with
+      | None -> () (* budget ran out before this seed started *)
+      | Some ((stats : Fuzz_oracle.stats), report) -> (
+          incr cases;
+          allocs := !allocs + stats.Fuzz_oracle.allocs;
+          accesses := !accesses + stats.Fuzz_oracle.accesses;
+          match report with
+          | None -> ()
+          | Some r ->
+              violations := !violations + List.length r.failures;
+              List.iter
+                (fun (f : Fuzz_oracle.failure) ->
+                  logf cfg "seed %d: [%s] %s" s f.Fuzz_oracle.config
+                    f.Fuzz_oracle.reason)
+                r.failures;
+              let r =
+                match cfg.corpus_dir with
+                | None -> r
+                | Some dir ->
+                    let path = save_corpus ~dir r in
+                    logf cfg "seed %d: saved %s" s path;
+                    { r with saved_to = Some path }
+              in
+              logf cfg "seed %d: shrunk %d -> %d stmts in %d steps" s
+                r.original_stmts r.shrunk_stmts r.shrink_steps_used;
+              reports := r :: !reports))
+    seed_list outcomes;
   let reports = List.rev !reports in
   {
     cases = !cases;

@@ -12,7 +12,11 @@
 
     Instrumented through {!Obs} when a context is supplied:
     [fuzz.cases], [fuzz.oracle.violations] and [fuzz.shrink.steps]
-    counters, plus a [fuzz.case] span per seed. *)
+    counters, plus a [fuzz.case] span per seed. Under [jobs > 1] the
+    per-case instrumentation lands on worker-private contexts that are
+    merged into the supplied one after the join ({!Metrics.merge}),
+    alongside [fuzz.tasks]/[fuzz.workers] accounting and one
+    [fuzz.worker] event per worker. *)
 
 type config = {
   seeds : int;  (** Number of seeds to sweep. *)
@@ -24,13 +28,21 @@ type config = {
   extra : (string * (Vmem.t -> Alloc_iface.t)) list;
       (** Extra allocator configurations for the oracle battery —
           the fault-injection hook. *)
+  jobs : int;
+      (** Worker domains for the sweep (see {!Par}). Each case is
+          self-contained — its own decision stream, RNG, heaps and
+          interpreters — so the campaign partitions freely: verdicts,
+          reports and log/corpus output are byte-identical at any
+          [jobs]; failures funnel through a single corpus writer on the
+          calling domain after the join. [1] (the default) never spawns
+          a domain. *)
   obs : Obs.t option;
   log : (string -> unit) option;  (** Per-failure progress lines. *)
 }
 
 val default : config
-(** 200 seeds from base 1, ref-scale 3, no budget/corpus/extra/obs,
-    shrink budget 2000. *)
+(** 200 seeds from base 1, ref-scale 3, 1 job, no
+    budget/corpus/extra/obs, shrink budget 2000. *)
 
 type case_report = {
   seed : int;

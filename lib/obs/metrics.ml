@@ -138,14 +138,43 @@ let value_of = function
           buckets = histogram_buckets h;
         }
 
+let merge ~into src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find src.tbl name with
+      | C c -> incr ~by:c.c_value (counter into name)
+      | G g ->
+          let d = gauge into name in
+          if g.g_samples > 0 then begin
+            if g.g_max > d.g_max then d.g_max <- g.g_max;
+            d.g_last <- g.g_last;
+            d.g_samples <- d.g_samples + g.g_samples
+          end
+      | H h ->
+          let d = histogram ~buckets:h.h_bounds into name in
+          if d.h_bounds <> h.h_bounds then
+            invalid_arg
+              (Printf.sprintf "Metrics.merge: %S bucket bounds differ" name);
+          Array.iteri (fun k n -> d.h_counts.(k) <- d.h_counts.(k) + n) h.h_counts;
+          d.h_sum <- d.h_sum +. h.h_sum;
+          d.h_count <- d.h_count + h.h_count;
+          if h.h_max > d.h_max then d.h_max <- h.h_max)
+    (List.rev src.order)
+
 let snapshot r =
   List.rev_map (fun name -> (name, value_of (Hashtbl.find r.tbl name))) r.order
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let float_json f = if Float.is_finite f then Json.Float f else Json.Null
 
+(* Registered-but-never-updated gauges and histograms carry sentinel
+   [neg_infinity] maxima, which [float_json] would serialise as JSON
+   [null]; emit [samples = 0] / [count = 0] and omit the value fields
+   entirely so trace consumers never see a null statistic. *)
 let value_to_json = function
   | Counter n -> Json.Obj [ ("kind", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge { samples = 0; _ } ->
+      Json.Obj [ ("kind", Json.String "gauge"); ("samples", Json.Int 0) ]
   | Gauge { last; max; samples } ->
       Json.Obj
         [
@@ -156,18 +185,26 @@ let value_to_json = function
         ]
   | Histogram { count; sum; max; buckets } ->
       Json.Obj
-        [
-          ("kind", Json.String "histogram");
-          ("count", Json.Int count);
-          ("sum", float_json sum);
-          ("max", float_json max);
-          ( "buckets",
-            Json.List
-              (List.map
-                 (fun (bound, n) ->
-                   Json.Obj [ ("le", float_json bound); ("count", Json.Int n) ])
-                 buckets) );
-        ]
+        ([
+           ("kind", Json.String "histogram");
+           ("count", Json.Int count);
+           ("sum", float_json sum);
+         ]
+        @ (if count = 0 then [] else [ ("max", float_json max) ])
+        @ [
+            ( "buckets",
+              Json.List
+                (List.map
+                   (fun (bound, n) ->
+                     (* The overflow bucket's bound is +inf; spell it the
+                        Prometheus way rather than leak a JSON null. *)
+                     let le =
+                       if Float.is_finite bound then Json.Float bound
+                       else Json.String "+Inf"
+                     in
+                     Json.Obj [ ("le", le); ("count", Json.Int n) ])
+                   buckets) );
+          ])
 
 let to_json r =
   Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot r))

@@ -60,6 +60,19 @@ type value =
       buckets : (float * int) list;
     }
 
+val merge : into:registry -> registry -> unit
+(** [merge ~into src] folds every metric of [src] into [into], creating
+    missing metrics as it goes: counters add, gauges take the max of
+    maxes and sum sample counts (the merged [last] is the source's last
+    when the source recorded any sample — merge sources in a fixed order
+    for a deterministic result), histograms add per-bucket counts, sums
+    and counts. The registries' mutable records are not safe for
+    concurrent mutation, so this is the join-side half of domain-parallel
+    observability: give each worker a private registry and merge after
+    the join (see {!Par}). Raises [Invalid_argument] when a name is
+    registered with different kinds in the two registries, or when
+    histogram bucket bounds differ. *)
+
 val snapshot : registry -> (string * value) list
 (** Every registered metric with its current value, sorted by name. *)
 

@@ -1,17 +1,25 @@
 let check_nonempty name xs =
   if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
 
+(* Quantiles of data containing NaN are garbage whatever the sort does
+   with it; reject loudly rather than return a number. *)
+let check_no_nan name xs =
+  Array.iter (fun x -> if Float.is_nan x then invalid_arg (name ^ ": NaN input")) xs
+
 let mean xs =
   check_nonempty "Stats.mean" xs;
   Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
 
 let sorted_copy xs =
   let c = Array.copy xs in
-  Array.sort compare c;
+  (* Float.compare, not polymorphic compare: no NaN-ordering surprises,
+     and no boxed generic comparison per element. *)
+  Array.sort Float.compare c;
   c
 
 let percentile xs p =
   check_nonempty "Stats.percentile" xs;
+  check_no_nan "Stats.percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let s = sorted_copy xs in
   let n = Array.length s in
@@ -53,6 +61,7 @@ type summary = {
 
 let summarize xs =
   check_nonempty "Stats.summarize" xs;
+  check_no_nan "Stats.summarize" xs;
   {
     median = median xs;
     p25 = percentile xs 25.0;

@@ -13,7 +13,10 @@ val median : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in \[0,100\], using linear interpolation
-    between closest ranks. The input is not modified. *)
+    between closest ranks. The input is not modified. Raises
+    [Invalid_argument] on an empty array, on [p] outside the range, and
+    on any NaN element — a NaN-contaminated quantile is garbage, so it is
+    rejected rather than returned. *)
 
 val stddev : float array -> float
 (** Sample standard deviation (n-1 denominator); 0 for singleton input. *)
@@ -32,6 +35,7 @@ type summary = {
 (** The summary shape reported for every measured characteristic. *)
 
 val summarize : float array -> summary
-(** Five-number-ish summary used when printing experiment rows. *)
+(** Five-number-ish summary used when printing experiment rows. Raises
+    [Invalid_argument] on empty or NaN-containing input. *)
 
 val pp_summary : Format.formatter -> summary -> unit

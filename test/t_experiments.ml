@@ -146,6 +146,68 @@ let sharded_backend_shapes () =
   checkb "sharding slashes fragmentation" true
     (frag_of sharded < 0.5 *. frag_of bump)
 
+let suite_parallel_equivalence () =
+  (* The tentpole invariant: every suite cell is an independent
+     simulation, so fanning the workload×kind×seed grid over a domain
+     pool must not perturb a single measurement. *)
+  let workloads = [ w "ft"; w "health" ] in
+  let seq = Figures.run_suite ~workloads ~jobs:1 () in
+  let par = Figures.run_suite ~workloads ~jobs:4 () in
+  List.iter
+    (fun (wl : Workload.t) ->
+      List.iter
+        (fun kind ->
+          let json s =
+            List.map
+              (fun m -> Json.to_string (Runner.to_json m))
+              (Figures.runs_of s wl.Workload.name kind)
+          in
+          Alcotest.check
+            (Alcotest.list Alcotest.string)
+            (wl.Workload.name ^ " cell identical across jobs")
+            (json seq) (json par))
+        Figures.suite_kinds)
+    workloads
+
+let degenerate_suite_degrades_gracefully () =
+  (* Regression for the List.map2 crash: a suite whose kind cells differ
+     in length (fewer HALO runs than baseline seeds) must zip the common
+     prefix, and a missing kind must render as "-", not raise. *)
+  let hw = w "ft" in
+  let base1 = Runner.run ~seed:2 hw Runner.Jemalloc in
+  let base2 = Runner.run ~seed:3 hw Runner.Jemalloc in
+  let halo1 = Runner.run ~seed:2 hw Runner.Halo in
+  let degenerate =
+    {
+      Figures.workloads = [ hw ];
+      seeds = [ 2; 3 ];
+      data =
+        [
+          ( "ft",
+            [ (Runner.Jemalloc, [ base1; base2 ]); (Runner.Halo, [ halo1 ]) ]
+          );
+        ];
+    }
+  in
+  let vals =
+    Figures.metric_values degenerate "ft" Runner.Halo
+      (fun ~baseline m -> Runner.miss_reduction_vs ~baseline m)
+  in
+  Alcotest.check Alcotest.int "common prefix only" 1 (Array.length vals);
+  let cell =
+    Figures.metric_cell degenerate "ft" Runner.Halo (fun ~baseline m ->
+        Runner.miss_reduction_vs ~baseline m)
+  in
+  checkb "short cell still renders a value" true (cell <> "-");
+  Alcotest.check Alcotest.string "missing kind renders as dash" "-"
+    (Figures.metric_cell degenerate "ft" Runner.Hds (fun ~baseline m ->
+         Runner.miss_reduction_vs ~baseline m));
+  (* The table renderers must survive the ragged suite end to end. *)
+  List.iter
+    (fun t -> checkb "renders" true (String.length (Table.render t) > 0))
+    [ Figures.fig13 degenerate; Figures.fig14 degenerate;
+      Figures.fig15 degenerate; Figures.tab1 degenerate ]
+
 let suite =
   let tc name f = Alcotest.test_case name `Slow f in
   [
@@ -162,4 +224,6 @@ let suite =
     tc "table 1 renders" tab1_renders_for_frag_workload;
     tc "identification granularity ordering" identification_granularity_ordering;
     tc "sharded backend shapes" sharded_backend_shapes;
+    tc "suite parallel equivalence" suite_parallel_equivalence;
+    tc "degenerate suite degrades gracefully" degenerate_suite_degrades_gracefully;
   ]

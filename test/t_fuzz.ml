@@ -331,6 +331,43 @@ let harness_evil_campaign_saves_corpus () =
     (Sys.readdir dir);
   Unix.rmdir dir
 
+let harness_jobs_equivalence () =
+  (* Campaign verdicts must be independent of the worker-domain count:
+     every case carries its own decision stream, RNG and heaps, and the
+     epilogue aggregates in seed order. *)
+  let campaign jobs extra =
+    Fuzz_harness.run
+      {
+        Fuzz_harness.default with
+        Fuzz_harness.seeds = 20;
+        shrink_steps = 400;
+        jobs;
+        extra;
+      }
+  in
+  let a = campaign 1 [] and b = campaign 4 [] in
+  checki "cases" a.Fuzz_harness.cases b.Fuzz_harness.cases;
+  checki "violations" a.Fuzz_harness.violations b.Fuzz_harness.violations;
+  checki "allocs" a.Fuzz_harness.allocs b.Fuzz_harness.allocs;
+  checki "accesses" a.Fuzz_harness.accesses b.Fuzz_harness.accesses;
+  check (Alcotest.list Alcotest.int) "failing seeds" a.Fuzz_harness.failing_seeds
+    b.Fuzz_harness.failing_seeds;
+  (* And with failures in play: identical reports, in seed order. *)
+  let evil = [ ("evil", evil_overlap_alloc) ] in
+  let a = campaign 1 evil and b = campaign 3 evil in
+  checkb "evil campaign fails" true (a.Fuzz_harness.violations > 0);
+  checki "violations" a.Fuzz_harness.violations b.Fuzz_harness.violations;
+  check (Alcotest.list Alcotest.int) "failing seeds" a.Fuzz_harness.failing_seeds
+    b.Fuzz_harness.failing_seeds;
+  List.iter2
+    (fun (ra : Fuzz_harness.case_report) (rb : Fuzz_harness.case_report) ->
+      checki "report seed" ra.Fuzz_harness.seed rb.Fuzz_harness.seed;
+      check (Alcotest.array Alcotest.int) "shrunk trace"
+        ra.Fuzz_harness.shrunk_trace rb.Fuzz_harness.shrunk_trace;
+      check Alcotest.string "shrunk program" ra.Fuzz_harness.shrunk_program
+        rb.Fuzz_harness.shrunk_program)
+    a.Fuzz_harness.reports b.Fuzz_harness.reports
+
 let harness_time_budget_stops () =
   let s =
     Fuzz_harness.run
@@ -376,5 +413,6 @@ let suite =
     tc "harness: replay deterministic" harness_replay_deterministic;
     tc "harness: evil campaign shrinks and saves corpus"
       harness_evil_campaign_saves_corpus;
+    tc "harness: verdicts independent of jobs" harness_jobs_equivalence;
     tc "harness: time budget stops campaign" harness_time_budget_stops;
   ]

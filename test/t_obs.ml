@@ -229,6 +229,38 @@ let finish_closes_open_spans () =
   checkb "all spans closed after finish" true
     (List.for_all (fun sp -> sp.Obs.closed) (Obs.spans obs))
 
+let empty_metrics_export_no_nulls () =
+  (* Gauges/histograms that were registered but never updated carry
+     [neg_infinity] maxima internally; the JSONL summary must report
+     [samples = 0] / [count = 0] and omit max/last rather than emit JSON
+     nulls that choke downstream trace consumers. *)
+  let buf = Buffer.create 512 in
+  let obs = Obs.create ~sink:(Trace.to_buffer buf) () in
+  let reg = Obs.metrics obs in
+  ignore (Metrics.gauge reg "g.empty" : Metrics.gauge);
+  ignore (Metrics.histogram reg "h.empty" : Metrics.histogram);
+  Metrics.set (Metrics.gauge reg "g.live") 2.5;
+  Obs.finish obs;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  let line_of name =
+    List.find (fun l -> count_substring (Printf.sprintf "%S" name) l = 1) lines
+  in
+  let g = line_of "g.empty" in
+  checki "empty gauge: no null" 0 (count_substring "null" g);
+  checki "empty gauge: samples 0" 1 (count_substring "\"samples\":0" g);
+  checki "empty gauge: no max" 0 (count_substring "\"max\"" g);
+  checki "empty gauge: no last value" 0 (count_substring "\"value\"" g);
+  let h = line_of "h.empty" in
+  checki "empty histogram: no null" 0 (count_substring "null" h);
+  checki "empty histogram: count 0" 1 (count_substring "\"count\":0,\"sum\"" h);
+  checki "empty histogram: no max" 0 (count_substring "\"max\"" h);
+  let live = line_of "g.live" in
+  checki "updated gauge still carries max" 1 (count_substring "\"max\"" live);
+  checki "updated gauge still carries value" 1 (count_substring "\"value\"" live)
+
 let reporting_strings () =
   let clock, advance = fake_clock () in
   let obs = Obs.create ~clock () in
@@ -258,5 +290,6 @@ let suite =
     tc "obs: disabled path allocates nothing" disabled_is_free;
     tc "obs: JSONL trace parses line-by-line" jsonl_trace;
     tc "obs: finish closes open spans" finish_closes_open_spans;
+    tc "obs: empty metrics export without nulls" empty_metrics_export_no_nulls;
     tc "obs: reporting strings" reporting_strings;
   ]

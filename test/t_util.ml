@@ -150,6 +150,29 @@ let stats_summary_consistent () =
   checkb "p25 <= median" true (s.Stats.p25 <= s.Stats.median);
   checkb "median <= p75" true (s.Stats.median <= s.Stats.p75)
 
+let stats_nan_rejected () =
+  (* NaN-contaminated quantiles are garbage under any sort order; the
+     helpers must refuse rather than return a number. *)
+  Alcotest.check_raises "percentile NaN"
+    (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan; 2.0 |] 50.0));
+  Alcotest.check_raises "median NaN"
+    (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+      ignore (Stats.median [| Float.nan |]));
+  Alcotest.check_raises "summarize NaN"
+    (Invalid_argument "Stats.summarize: NaN input") (fun () ->
+      ignore (Stats.summarize [| 0.0; Float.nan |]))
+
+let stats_float_total_order () =
+  (* Float.compare (not polymorphic compare) must order signed zeros and
+     infinities numerically for quantile purposes. *)
+  checkf "median around zero" 0.0
+    (Stats.median [| Float.infinity; Float.neg_infinity; 0.0; -1.0; 1.0 |]);
+  checkf "p0 is the min" Float.neg_infinity
+    (Stats.percentile [| 1.0; Float.neg_infinity; 0.0 |] 0.0);
+  checkf "p100 is the max" Float.infinity
+    (Stats.percentile [| Float.infinity; 0.0; -3.5 |] 100.0)
+
 (* ---------------- Bitset ---------------- *)
 
 let bitset_set_get_clear () =
@@ -353,6 +376,8 @@ let suite =
     tc "stats: geomean" stats_geomean;
     tc "stats: empty input rejected" stats_empty_rejected;
     tc "stats: summary consistent" stats_summary_consistent;
+    tc "stats: NaN input rejected" stats_nan_rejected;
+    tc "stats: numeric float ordering" stats_float_total_order;
     tc "bitset: set/get/clear" bitset_set_get_clear;
     tc "bitset: bounds checked" bitset_bounds;
     tc "bitset: cardinal and to_list" bitset_cardinal_tolist;
