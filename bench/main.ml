@@ -29,7 +29,16 @@
    runtime's recommended domain count). Every cell simulates its own
    machine, so tables are bit-identical at any N; the Bechamel
    micro-benches and the obs-overhead comparison stay sequential because
-   they measure wall-clock throughput of this host. *)
+   they measure wall-clock throughput of this host.
+
+   `--plan-cache DIR` (anywhere on the command line) routes suite-backed
+   runs through the persistent plan cache: a warmed cache answers every
+   Pipeline.plan call from disk, so no run re-profiles.
+
+   Every invocation appends a machine-readable record of what it ran to
+   `BENCH_<date>.json` in the working directory (per-suite wall time,
+   plan-cache hit rate, worker count) — CI uploads it as an artifact so
+   cache effectiveness is visible per run. *)
 
 let seed_override = ref None
 
@@ -37,6 +46,111 @@ let jobs_override = ref None
 
 let jobs () =
   match !jobs_override with Some j -> max 1 j | None -> Par.default_jobs ()
+
+let plan_cache_dir = ref None
+
+let plan_cache_memo = ref None
+
+let plan_cache () =
+  match !plan_cache_dir with
+  | None -> None
+  | Some dir -> (
+      match !plan_cache_memo with
+      | Some c -> Some c
+      | None ->
+          let c = Plan_cache.create dir in
+          plan_cache_memo := Some c;
+          Some c)
+
+let plan_source () = Option.map Plan_cache.source (plan_cache ())
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_<date>.json: per-suite wall time and cache effectiveness.     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_records : (string * float * Plan_cache.stats) list ref = ref []
+
+let cache_snapshot () =
+  match plan_cache () with
+  | Some c -> Plan_cache.stats c
+  | None -> { Plan_cache.hits = 0; misses = 0; stores = 0; evictions = 0 }
+
+let timed name f =
+  let before = cache_snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let after = cache_snapshot () in
+  let delta =
+    {
+      Plan_cache.hits = after.Plan_cache.hits - before.Plan_cache.hits;
+      misses = after.Plan_cache.misses - before.Plan_cache.misses;
+      stores = after.Plan_cache.stores - before.Plan_cache.stores;
+      evictions = after.Plan_cache.evictions - before.Plan_cache.evictions;
+    }
+  in
+  bench_records := (name, dt, delta) :: !bench_records;
+  r
+
+let bench_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let write_bench_report () =
+  match !bench_records with
+  | [] -> ()
+  | records ->
+      let path = Printf.sprintf "BENCH_%s.json" (bench_date ()) in
+      (* Same-day invocations accumulate: a cold run followed by a warmed
+         --plan-cache run leaves both wall times side by side in one
+         artifact. *)
+      let earlier =
+        if not (Sys.file_exists path) then []
+        else
+          match Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
+          | Ok (Json.Obj fields) -> (
+              match List.assoc_opt "suites" fields with
+              | Some (Json.List l) -> l
+              | _ -> [])
+          | _ -> []
+      in
+      let suites =
+        List.rev_map
+          (fun (name, wall, s) ->
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("wall_s", Json.Float wall);
+                ( "cache",
+                  Json.Obj
+                    [
+                      ("hits", Json.Int s.Plan_cache.hits);
+                      ("misses", Json.Int s.Plan_cache.misses);
+                      ("stores", Json.Int s.Plan_cache.stores);
+                      ("evictions", Json.Int s.Plan_cache.evictions);
+                      ("hit_rate", Json.Float (Plan_cache.hit_rate s));
+                    ] );
+              ])
+          records
+      in
+      let j =
+        Json.Obj
+          [
+            ("date", Json.String (bench_date ()));
+            ("jobs", Json.Int (jobs ()));
+            ( "plan_cache_dir",
+              match !plan_cache_dir with
+              | Some d -> Json.String d
+              | None -> Json.Null );
+            ("suites", Json.List (earlier @ suites));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string ~pretty:true j);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "  [bench] wrote %s\n%!" path
 
 let suite_memo = ref None
 
@@ -46,7 +160,11 @@ let suite () =
   | None ->
       let progress line = Printf.eprintf "  [suite] %s\n%!" line in
       let seeds = Option.map (fun s -> [ s ]) !seed_override in
-      let s = Figures.run_suite ?seeds ~progress ~jobs:(jobs ()) () in
+      let s =
+        timed "suite" (fun () ->
+            Figures.run_suite ?seeds ~progress ~jobs:(jobs ())
+              ?plan_source:(plan_source ()) ())
+      in
       suite_memo := Some s;
       s
 
@@ -253,7 +371,9 @@ let run_obs_overhead () =
 (* Dispatch.                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments () = Figures.print_all ~jobs:(jobs ()) ()
+let run_experiments () =
+  timed "experiments" (fun () ->
+      Figures.print_all ~jobs:(jobs ()) ?plan_source:(plan_source ()) ())
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -272,18 +392,21 @@ let () =
             Printf.eprintf "--jobs: not an integer: %S\n" n;
             exit 2);
         strip_flags acc rest
-    | [ ("--seed" | "--jobs") as flag ] ->
+    | "--plan-cache" :: dir :: rest ->
+        plan_cache_dir := Some dir;
+        strip_flags acc rest
+    | [ ("--seed" | "--jobs" | "--plan-cache") as flag ] ->
         Printf.eprintf "%s: missing value\n" flag;
         exit 2
     | a :: rest -> strip_flags (a :: acc) rest
     | [] -> List.rev acc
   in
   let args = strip_flags [] args in
-  match args with
+  (match args with
   | [] ->
       run_experiments ();
       print_newline ();
-      run_micro ()
+      timed "micro" run_micro
   | [ "experiments" ] -> run_experiments ()
   | [ "trials"; n ] ->
       (* §5.1-style multi-trial run: distinct input seeds, medians with
@@ -292,35 +415,43 @@ let () =
       let base = Option.value !seed_override ~default:2 in
       let seeds = List.init n (fun k -> base + (3 * k)) in
       let progress line = Printf.eprintf "  [suite] %s\n%!" line in
-      let suite = Figures.run_suite ~seeds ~progress ~jobs:(jobs ()) () in
+      let suite =
+        timed
+          (Printf.sprintf "trials-%d" n)
+          (fun () ->
+            Figures.run_suite ~seeds ~progress ~jobs:(jobs ())
+              ?plan_source:(plan_source ()) ())
+      in
       Table.print (Figures.fig13 suite);
       print_newline ();
       Table.print (Figures.fig14 suite);
       print_newline ();
       Table.print (Figures.fig15 suite)
-  | [ "micro" ] -> run_micro ()
-  | [ "obs" ] -> run_obs_overhead ()
-  | [ "fig12" ] -> Table.print (Figures.fig12 ())
+  | [ "micro" ] -> timed "micro" run_micro
+  | [ "obs" ] -> timed "obs" run_obs_overhead
+  | [ "fig12" ] -> Table.print (timed "fig12" Figures.fig12)
   | [ "fig13" ] -> Table.print (Figures.fig13 (suite ()))
   | [ "fig14" ] -> Table.print (Figures.fig14 (suite ()))
   | [ "fig15" ] -> Table.print (Figures.fig15 (suite ()))
   | [ "tab1" ] -> Table.print (Figures.tab1 (suite ()))
-  | [ "sec51" ] -> Table.print (Figures.sec51_baseline ())
-  | [ "overhead" ] -> Table.print (Figures.overhead_control ())
+  | [ "sec51" ] -> Table.print (timed "sec51" Figures.sec51_baseline)
+  | [ "overhead" ] -> Table.print (timed "overhead" Figures.overhead_control)
   | [ "diag" ] -> Table.print (Figures.hds_diagnostics (suite ()))
   | [ "ablation" ] ->
-      Table.print (Figures.ablation_grouping ());
-      print_newline ();
-      Table.print (Figures.ablation_packing ());
-      print_newline ();
-      Table.print (Figures.ablation_identification ());
-      print_newline ();
-      Table.print (Figures.ablation_backend ());
-      print_newline ();
-      Table.print (Figures.ablation_sampling ())
+      timed "ablation" (fun () ->
+          Table.print (Figures.ablation_grouping ());
+          print_newline ();
+          Table.print (Figures.ablation_packing ());
+          print_newline ();
+          Table.print (Figures.ablation_identification ());
+          print_newline ();
+          Table.print (Figures.ablation_backend ());
+          print_newline ();
+          Table.print (Figures.ablation_sampling ()))
   | _ ->
       prerr_endline
         "usage: main.exe \
          [experiments|trials N|micro|obs|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
-         [--seed N] [--jobs N]";
-      exit 2
+         [--seed N] [--jobs N] [--plan-cache DIR]";
+      exit 2);
+  write_bench_report ()

@@ -225,6 +225,287 @@ let trace_out_arg =
           "Write the run's telemetry (span + metric events) as JSONL to \
            $(docv).")
 
+(* ---------------- persistent profile/plan store ---------------- *)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "halo: %s\n" (Store.error_to_string e);
+      exit 1
+
+let fmt_time t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let plan_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed plan cache: HALO plans are stored under \
+           $(docv) keyed by program and config digest, and warmed entries \
+           answer repeat runs without re-profiling.")
+
+let plan_cache_of = Option.map (fun dir -> Plan_cache.create dir)
+
+let report_cache = function
+  | None -> ()
+  | Some cache ->
+      let s = Plan_cache.stats cache in
+      Printf.printf
+        "plan cache (%s): %d hits, %d misses, %d stores (hit rate %.0f%%)\n"
+        (Plan_cache.dir cache) s.Plan_cache.hits s.Plan_cache.misses
+        s.Plan_cache.stores
+        (100.0 *. Plan_cache.hit_rate s)
+
+let profile_out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Artifact file to write.")
+
+let profile_record_cmd =
+  let run w prof_seed affinity out =
+    let config =
+      {
+        Profiler.default_config with
+        Profiler.seed = prof_seed;
+        affinity_distance =
+          Option.value affinity
+            ~default:Profiler.default_config.Profiler.affinity_distance;
+      }
+    in
+    let program = w.Workload.make Workload.Test in
+    let result = Profiler.profile ~config program in
+    or_die
+      (Store.write_profile ~path:out
+         ~program_digest:(Ir_digest.program program)
+         ~config ~producer:"halo_cli"
+         ~extra_meta:[ ("workload", Json.String w.Workload.name) ]
+         result);
+    Printf.printf
+      "recorded %s (seed %d) to %s: %d contexts, %d tracked allocs, %d macro \
+       accesses, %d graph nodes\n"
+      w.Workload.name config.Profiler.seed out
+      (Context.count result.Profiler.contexts)
+      result.Profiler.tracked_allocs result.Profiler.total_accesses
+      (List.length (Affinity_graph.nodes result.Profiler.graph))
+  in
+  let prof_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Profiling input seed (default 1).")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Profile a workload's test-scale program and persist the result \
+          as a versioned artifact (the pipeline's record phase).")
+    Term.(const run $ workload_arg $ prof_seed_arg $ affinity_arg $ profile_out_arg)
+
+let profile_files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"ARTIFACT" ~doc:"Recorded profile artifacts.")
+
+let profile_merge_cmd =
+  let run files weights out =
+    let artifacts = List.map (fun f -> or_die (Store.read_profile f)) files in
+    let weights =
+      match weights with
+      | None -> List.map (fun _ -> 1.0) artifacts
+      | Some ws when List.length ws = List.length artifacts -> ws
+      | Some ws ->
+          Printf.eprintf "halo: %d weights for %d artifacts\n" (List.length ws)
+            (List.length artifacts);
+          exit 1
+    in
+    let config, merged =
+      or_die (Store.merge_profiles (List.combine artifacts weights))
+    in
+    let first = List.hd artifacts in
+    or_die
+      (Store.write_profile ~path:out
+         ~program_digest:first.Store.header.Store.program_digest ~config
+         ~producer:"halo_cli"
+         ~extra_meta:
+           [
+             ("merged_inputs", Json.Int (List.length artifacts));
+             ("weights", Json.List (List.map (fun w -> Json.Float w) weights));
+           ]
+         merged);
+    Printf.printf
+      "merged %d runs into %s: %d contexts, %d macro accesses, %d graph nodes\n"
+      (List.length artifacts) out
+      (Context.count merged.Profiler.contexts)
+      merged.Profiler.total_accesses
+      (List.length (Affinity_graph.nodes merged.Profiler.graph))
+  in
+  let weights_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "weights" ] ~docv:"W1,W2,..."
+          ~doc:
+            "Per-run weights, in artifact order (default: 1 each). Counts \
+             are scaled before the merged noise filter runs.")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Combine several recorded runs of one program/config pair into a \
+          single weighted profile artifact.")
+    Term.(const run $ profile_files_arg $ weights_arg $ profile_out_arg)
+
+let profile_inspect_cmd =
+  let run file top =
+    let header = or_die (Store.read_header file) in
+    let result =
+      match header.Store.kind with
+      | "profile" -> (or_die (Store.read_profile file)).Store.result
+      | "plan" -> (snd (or_die (Store.read_plan file))).Pipeline.profile
+      | k ->
+          Printf.eprintf "halo: unknown artifact kind %S\n" k;
+          exit 1
+    in
+    let t =
+      Table.create ~title:(Filename.basename file)
+        ~headers:[ "field"; "value" ] ()
+    in
+    Table.set_aligns t [ Table.Left; Table.Left ];
+    let row k v = Table.add_row t [ k; v ] in
+    row "format"
+      (Printf.sprintf "%s v%d" Store.format_name header.Store.version);
+    row "kind" header.Store.kind;
+    row "program digest" header.Store.program_digest;
+    row "config digest" header.Store.config_digest;
+    row "created" (fmt_time header.Store.created);
+    row "producer" header.Store.producer;
+    List.iter
+      (fun (k, v) -> row k (Json.to_string ~pretty:false v))
+      header.Store.meta;
+    Table.add_rule t;
+    row "contexts" (string_of_int (Context.count result.Profiler.contexts));
+    row "tracked allocs" (string_of_int result.Profiler.tracked_allocs);
+    row "macro accesses" (string_of_int result.Profiler.total_accesses);
+    let g = result.Profiler.graph in
+    row "graph nodes" (string_of_int (List.length (Affinity_graph.nodes g)));
+    row "graph edges" (string_of_int (List.length (Affinity_graph.edges g)));
+    Table.print t;
+    print_newline ();
+    let edges =
+      List.sort
+        (fun (_, _, a) (_, _, b) -> compare b a)
+        (Affinity_graph.edges g)
+    in
+    let e =
+      Table.create
+        ~title:(Printf.sprintf "top %d affinity edges" top)
+        ~headers:[ "weight"; "ctx"; "accesses"; "ctx"; "accesses"; "sites" ]
+        ()
+    in
+    Table.set_aligns e
+      [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Left ];
+    let chain id =
+      Context.sites result.Profiler.contexts id
+      |> Array.to_list
+      |> List.map (Printf.sprintf "0x%x")
+      |> String.concat ">"
+    in
+    List.iteri
+      (fun i (x, y, w) ->
+        if i < top then
+          Table.add_row e
+            [
+              string_of_int w;
+              string_of_int x;
+              string_of_int (Affinity_graph.node_accesses g x);
+              string_of_int y;
+              string_of_int (Affinity_graph.node_accesses g y);
+              Printf.sprintf "%s | %s" (chain x) (chain y);
+            ])
+      edges;
+    Table.print e
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"ARTIFACT" ~doc:"Artifact to inspect (profile or plan).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Affinity edges to show (by weight).")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Render an artifact's header and hottest affinity edges.")
+    Term.(const run $ file_arg $ top_arg)
+
+let profile_apply_cmd =
+  let run w file seed chunk_size spare max_groups json_out =
+    let program = w.Workload.make Workload.Test in
+    let artifact =
+      or_die
+        (Store.read_profile ~expect_program:(Ir_digest.program program) file)
+    in
+    let pc =
+      pipeline_config ~chunk_size ~spare ~max_groups ~affinity:None
+    in
+    let config =
+      {
+        pc with
+        Pipeline.profiler = artifact.Store.config;
+        grouping = w.Workload.halo_grouping pc.Pipeline.grouping;
+        allocator = w.Workload.halo_allocator pc.Pipeline.allocator;
+      }
+    in
+    let plan = Pipeline.derive ~config artifact.Store.result in
+    let plan_source = Pipeline.constant_source plan in
+    let baseline = Runner.run ~seed w Runner.Jemalloc in
+    let m = Runner.run ~seed ~plan_source w Runner.Halo in
+    print_measurement ~baseline m;
+    match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Json.to_channel oc (Runner.to_json ~baseline m);
+        close_out oc;
+        Printf.printf "data points written to %s\n" path
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"ARTIFACT"
+          ~doc:"Recorded (or merged) profile artifact to apply.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the run's data points as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "apply"
+       ~doc:
+         "Derive a plan from a recorded profile artifact and measure the \
+          workload under it (the pipeline's apply phase) — no profiler run \
+          involved.")
+    Term.(
+      const run $ workload_arg $ file_arg $ seed_arg $ chunk_size_arg
+      $ spare_arg $ max_groups_arg $ json_arg)
+
+let profile_cmd =
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:
+         "Persistent profiling artifacts: record runs, merge them across \
+          inputs, inspect them, and apply them without re-profiling.")
+    [ profile_record_cmd; profile_merge_cmd; profile_inspect_cmd; profile_apply_cmd ]
+
 let run_cmd =
   let run w kind seed chunk_size spare max_groups affinity json_out trace_out =
     let pc = pipeline_config ~chunk_size ~spare ~max_groups ~affinity in
@@ -348,10 +629,12 @@ let sweep_cmd =
     Term.(const run $ distances_arg)
 
 let figures_cmd =
-  let run which jobs =
+  let run which jobs plan_cache =
     let jobs = effective_jobs jobs in
-    match which with
-    | "all" -> Figures.print_all ~jobs ()
+    let cache = plan_cache_of plan_cache in
+    let plan_source = Option.map Plan_cache.source cache in
+    (match which with
+    | "all" -> Figures.print_all ~jobs ?plan_source ()
     | "fig12" -> Table.print (Figures.fig12 ())
     | "sec51" -> Table.print (Figures.sec51_baseline ())
     | "overhead" -> Table.print (Figures.overhead_control ())
@@ -362,7 +645,7 @@ let figures_cmd =
         Table.print (Figures.ablation_backend ());
         Table.print (Figures.ablation_sampling ())
     | "fig13" | "fig14" | "fig15" | "tab1" | "diag" ->
-        let suite = Figures.run_suite ~jobs () in
+        let suite = Figures.run_suite ~jobs ?plan_source () in
         let t =
           match which with
           | "fig13" -> Figures.fig13 suite
@@ -374,7 +657,8 @@ let figures_cmd =
         Table.print t
     | other ->
         Printf.eprintf "unknown figure %S\n" other;
-        exit 2
+        exit 2);
+    report_cache cache
   in
   let which_arg =
     Arg.(
@@ -386,7 +670,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ which_arg $ jobs_arg)
+    Term.(const run $ which_arg $ jobs_arg $ plan_cache_arg)
 
 let contexts_cmd =
   let run w =
@@ -437,7 +721,8 @@ let disasm_cmd =
 
 let fuzz_cmd =
   let run seeds seed_base ref_scale time_budget replay corpus shrink_steps
-      jobs trace_out =
+      jobs trace_out plan_cache =
+    let cache = plan_cache_of plan_cache in
     match replay with
     | Some seed ->
         let case, result = Fuzz_harness.replay ~ref_scale seed in
@@ -472,6 +757,7 @@ let fuzz_cmd =
                   time_budget;
                   corpus_dir = corpus;
                   shrink_steps;
+                  plan_source = Option.map Plan_cache.source cache;
                   jobs = effective_jobs jobs;
                   obs = Some obs;
                   log = Some print_endline;
@@ -483,6 +769,7 @@ let fuzz_cmd =
           summary.Fuzz_harness.cases summary.Fuzz_harness.elapsed_s
           summary.Fuzz_harness.violations summary.Fuzz_harness.allocs
           summary.Fuzz_harness.accesses;
+        report_cache cache;
         (match summary.Fuzz_harness.failing_seeds with
         | [] -> ()
         | l ->
@@ -552,7 +839,8 @@ let fuzz_cmd =
           and report any failure.")
     Term.(
       const run $ seeds_arg $ seed_base_arg $ ref_scale_arg $ budget_arg
-      $ replay_arg $ corpus_arg $ shrink_arg $ jobs_arg $ trace_out_arg)
+      $ replay_arg $ corpus_arg $ shrink_arg $ jobs_arg $ trace_out_arg
+      $ plan_cache_arg)
 
 let list_cmd =
   let run () =
@@ -571,6 +859,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; baseline_cmd; telemetry_cmd; plan_cmd; sweep_cmd;
-            figures_cmd; fuzz_cmd; disasm_cmd; contexts_cmd; list_cmd;
+            run_cmd; baseline_cmd; telemetry_cmd; plan_cmd; profile_cmd;
+            sweep_cmd; figures_cmd; fuzz_cmd; disasm_cmd; contexts_cmd;
+            list_cmd;
           ]))

@@ -18,8 +18,31 @@ type t = {
 let empty_stats =
   { mallocs = 0; frees = 0; live_bytes = 0; peak_live_bytes = 0; forwarded = 0 }
 
+exception
+  Alloc_error of {
+    allocator : string;
+    op : string;
+    addr : Addr.t option;
+    detail : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Alloc_error { allocator; op; addr; detail } ->
+        Some
+          (Printf.sprintf "Alloc_error(%s.%s%s: %s)" allocator op
+             (match addr with
+             | None -> ""
+             | Some a -> " at " ^ Addr.to_hex a)
+             detail)
+    | _ -> None)
+
+let alloc_error ~allocator ~op ?addr detail =
+  raise (Alloc_error { allocator; op; addr; detail })
+
 module Live_table = struct
   type table = {
+    name : string;
     live : (Addr.t, int * int) Hashtbl.t; (* addr -> requested, reserved *)
     mutable mallocs : int;
     mutable frees : int;
@@ -28,8 +51,9 @@ module Live_table = struct
     mutable forwarded : int;
   }
 
-  let create () =
+  let create ~name () =
     {
+      name;
       live = Hashtbl.create 1024;
       mallocs = 0;
       frees = 0;
@@ -39,11 +63,12 @@ module Live_table = struct
     }
 
   let on_malloc t addr ~requested ~reserved =
-    if addr = Addr.null then failwith "allocator returned the null address";
+    if addr = Addr.null then
+      alloc_error ~allocator:t.name ~op:"malloc"
+        "allocator returned the null address";
     if Hashtbl.mem t.live addr then
-      failwith
-        (Printf.sprintf "allocator returned an already-live address %s"
-           (Addr.to_hex addr));
+      alloc_error ~allocator:t.name ~op:"malloc" ~addr
+        "allocator returned an already-live address";
     Hashtbl.replace t.live addr (requested, reserved);
     t.mallocs <- t.mallocs + 1;
     t.live_bytes <- t.live_bytes + requested;
@@ -52,9 +77,8 @@ module Live_table = struct
   let on_free t addr =
     match Hashtbl.find_opt t.live addr with
     | None ->
-        failwith
-          (Printf.sprintf "free of unknown or already-freed address %s"
-             (Addr.to_hex addr))
+        alloc_error ~allocator:t.name ~op:"free" ~addr
+          "free of unknown or already-freed address"
     | Some (requested, reserved) ->
         Hashtbl.remove t.live addr;
         t.frees <- t.frees + 1;
@@ -83,8 +107,8 @@ let default_realloc self reserved_size old n =
   else
     match reserved_size old with
     | None ->
-        failwith
-          (Printf.sprintf "realloc of unknown address %s" (Addr.to_hex old))
+        alloc_error ~allocator:self.name ~op:"realloc" ~addr:old
+          "realloc of unknown address"
     | Some reserved when n <= reserved && n > 0 ->
         (* Shrinking (or growing within the reserved block) keeps the block
            in place, as real allocators do for same-size-class reallocs. *)

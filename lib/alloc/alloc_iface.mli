@@ -26,8 +26,9 @@ type t = {
           unique non-null address. *)
   free : Addr.t -> unit;
       (** Frees a block previously returned by [malloc]/[realloc] of this
-          allocator. Freeing [Addr.null] is a no-op. Raises [Failure] on
-          double free or foreign pointers (the simulated heap corruption). *)
+          allocator. Freeing [Addr.null] is a no-op. Raises {!Alloc_error}
+          on double free or foreign pointers (the simulated heap
+          corruption). *)
   realloc : Addr.t -> int -> Addr.t;
       (** Standard realloc semantics; [realloc null n] behaves as
           [malloc n]. Content migration is handled by the VM's object store,
@@ -40,6 +41,25 @@ type t = {
 
 val empty_stats : stats
 
+exception
+  Alloc_error of {
+    allocator : string;  (** The reporting allocator's [name]. *)
+    op : string;  (** ["malloc"], ["free"] or ["realloc"]. *)
+    addr : Addr.t option;  (** The offending address, when there is one. *)
+    detail : string;
+  }
+(** Simulated heap corruption or allocator-invariant violation: double or
+    foreign free, corrupt chunk metadata, heap exhaustion, an allocator
+    returning overlapping blocks. Carries enough structure for the fuzz
+    oracle and tests to assert on the failing allocator and operation
+    rather than pattern-matching message strings. A printer is registered,
+    so [Printexc.to_string] renders
+    ["Alloc_error(jemalloc-sim.free at 0xdead0008: ...)"]. *)
+
+val alloc_error : allocator:string -> op:string -> ?addr:Addr.t -> string -> 'a
+(** Raise {!Alloc_error} — the shared raise helper for allocator
+    implementations. *)
+
 module Live_table : sig
   (** Bookkeeping shared by allocator implementations: tracks live blocks
       (requested and reserved sizes), validates frees, and maintains the
@@ -47,15 +67,17 @@ module Live_table : sig
 
   type table
 
-  val create : unit -> table
+  val create : name:string -> unit -> table
+  (** [name] is the owning allocator's name, reported in every
+      {!Alloc_error} this table raises. *)
 
   val on_malloc : table -> Addr.t -> requested:int -> reserved:int -> unit
-  (** Record a new live block. Raises [Failure] if the address is already
-      live (an allocator returned overlapping blocks). *)
+  (** Record a new live block. Raises {!Alloc_error} if the address is
+      already live (an allocator returned overlapping blocks) or null. *)
 
   val on_free : table -> Addr.t -> int * int
   (** Remove a live block, returning [(requested, reserved)].
-      Raises [Failure] for unknown addresses (double/foreign free). *)
+      Raises {!Alloc_error} for unknown addresses (double/foreign free). *)
 
   val find : table -> Addr.t -> (int * int) option
   (** [(requested, reserved)] for a live block. *)

@@ -40,7 +40,7 @@ let create ?(slab_size = 1 lsl 20) ?(min_align = 8) vmem =
       min_align;
       cursor = Addr.null;
       limit = Addr.null;
-      table = Alloc_iface.Live_table.create ();
+      table = Alloc_iface.Live_table.create ~name:"bump" ();
     }
   in
   let reserved_size addr =

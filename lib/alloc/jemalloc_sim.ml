@@ -77,7 +77,9 @@ let free st addr =
         | Some cls ->
             let cs = st.classes.(cls) in
             cs.free_list <- addr :: cs.free_list
-        | None -> failwith "Jemalloc_sim.free: corrupt size metadata")
+        | None ->
+            Alloc_iface.alloc_error ~allocator:"jemalloc-sim" ~op:"free"
+              ~addr "corrupt size metadata")
   end
 
 let create ?(chunk_size = 2 lsl 20) vmem =
@@ -92,7 +94,7 @@ let create ?(chunk_size = 2 lsl 20) vmem =
             { run_cursor = Addr.null; run_limit = Addr.null; free_list = [] });
       chunk_cursor = Addr.null;
       chunk_limit = Addr.null;
-      table = Alloc_iface.Live_table.create ();
+      table = Alloc_iface.Live_table.create ~name:"jemalloc-sim" ();
       large = Hashtbl.create 64;
     }
   in

@@ -49,7 +49,8 @@ let malloc st n =
         base
     | None ->
         if st.top + need > st.heap_limit then
-          failwith "Ptmalloc_sim: simulated heap exhausted";
+          Alloc_iface.alloc_error ~allocator:"ptmalloc-sim" ~op:"malloc"
+            "simulated heap exhausted";
         let base = st.top in
         st.top <- base + need;
         add_used st base need;
@@ -68,9 +69,13 @@ let free st payload =
     let { size; free = was_free } =
       match Chunk_map.find_opt base st.chunks with
       | Some c -> c
-      | None -> failwith "Ptmalloc_sim.free: corrupt chunk header"
+      | None ->
+          Alloc_iface.alloc_error ~allocator:"ptmalloc-sim" ~op:"free"
+            ~addr:payload "corrupt chunk header"
     in
-    if was_free then failwith "Ptmalloc_sim.free: double free";
+    if was_free then
+      Alloc_iface.alloc_error ~allocator:"ptmalloc-sim" ~op:"free"
+        ~addr:payload "double free";
     st.chunks <- Chunk_map.remove base st.chunks;
     (* Coalesce with the following chunk. *)
     let base, size =
@@ -103,7 +108,7 @@ let create ?(heap_size = 256 lsl 20) vmem =
       top = heap_base;
       chunks = Chunk_map.empty;
       free_set = Free_set.empty;
-      table = Alloc_iface.Live_table.create ();
+      table = Alloc_iface.Live_table.create ~name:"ptmalloc-sim" ();
     }
   in
   ignore st.heap_base;

@@ -49,7 +49,8 @@ let create ?(pools = 4) ?(chunk_size = 1 lsl 20) ?max_object ~rng ~fallback vmem
       chunk_size;
       max_object;
       pools = Array.init pools (fun _ -> { cursor = Addr.null; limit = Addr.null });
-      table = Alloc_iface.Live_table.create ();
+      table = Alloc_iface.Live_table.create
+          ~name:(Printf.sprintf "random-pool-%d" pools) ();
     }
   in
   let usable_size addr =
@@ -74,7 +75,9 @@ let create ?(pools = 4) ?(chunk_size = 1 lsl 20) ?max_object ~rng ~fallback vmem
                   let fresh = self.Alloc_iface.malloc n in
                   self.Alloc_iface.free old;
                   fresh
-              | None -> failwith "Random_pool.realloc: unknown address");
+              | None ->
+                  Alloc_iface.alloc_error ~allocator:self.Alloc_iface.name
+                    ~op:"realloc" ~addr:old "realloc of unknown address");
         usable_size;
         stats =
           (fun () ->

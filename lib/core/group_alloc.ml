@@ -353,7 +353,7 @@ let create ?(config = default_config) ?obs ?(sample_every = 256) ~classify
       cfg = config;
       classify;
       fallback;
-      table = Alloc_iface.Live_table.create ();
+      table = Alloc_iface.Live_table.create ~name:"halo-group" ();
       chunks = Hashtbl.create 64;
       current = Hashtbl.create 16;
       shards = Hashtbl.create 64;

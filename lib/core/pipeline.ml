@@ -21,8 +21,8 @@ type plan = {
   rewrite : Rewrite.t;
 }
 
-let plan ?obs ?(config = default_config) ?(group_fn = Grouping.group) program =
-  let profile = Profiler.profile ?obs ~config:config.profiler program in
+let derive ?obs ?(config = default_config) ?(group_fn = Grouping.group)
+    (profile : Profiler.result) =
   let min_edge_weight =
     max config.grouping.Grouping.min_edge_weight
       (int_of_float
@@ -61,6 +61,34 @@ let plan ?obs ?(config = default_config) ?(group_fn = Grouping.group) program =
         r)
   in
   { config; profile; grouping; selectors; rewrite }
+
+type plan_source = {
+  lookup : Obs.t option -> Ir.program -> config -> plan option;
+  store : Obs.t option -> Ir.program -> config -> plan -> unit;
+}
+
+let constant_source plan =
+  { lookup = (fun _ _ _ -> Some plan); store = (fun _ _ _ _ -> ()) }
+
+let plan ?obs ?source ?config ?group_fn program =
+  let compute () =
+    let cfg = Option.value config ~default:default_config in
+    let profile = Profiler.profile ?obs ~config:cfg.profiler program in
+    derive ?obs ~config:cfg ?group_fn profile
+  in
+  match (source, group_fn) with
+  | Some s, None -> (
+      (* A source only answers for the stock grouping algorithm: a custom
+         [group_fn] is not part of the cache key, so ablations that swap
+         the clusterer bypass the source entirely. *)
+      let cfg = Option.value config ~default:default_config in
+      match s.lookup obs program cfg with
+      | Some p -> p
+      | None ->
+          let p = compute () in
+          s.store obs program cfg p;
+          p)
+  | _ -> compute ()
 
 type runtime = {
   env : Exec_env.t;

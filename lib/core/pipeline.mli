@@ -30,18 +30,48 @@ type plan = {
   rewrite : Rewrite.t;
 }
 
+type plan_source = {
+  lookup : Obs.t option -> Ir.program -> config -> plan option;
+  store : Obs.t option -> Ir.program -> config -> plan -> unit;
+}
+(** An external supplier of ready-made plans — the seam the persistent
+    store's content-addressed plan cache plugs into. {!plan} consults
+    [lookup] before profiling and hands freshly computed plans to [store];
+    a source that misses everywhere and stores nothing is the identity. *)
+
+val constant_source : plan -> plan_source
+(** A source that always answers with the given plan (and stores
+    nothing) — the record/apply split's apply side: measure under a plan
+    decoded from an artifact rather than one profiled in-process. *)
+
+val derive :
+  ?obs:Obs.t ->
+  ?config:config ->
+  ?group_fn:(Affinity_graph.t -> Grouping.params -> Grouping.t) ->
+  Profiler.result ->
+  plan
+(** The apply phase alone: derive groups, selectors and the rewriting plan
+    from an existing profile — recorded in an earlier run, merged across
+    runs, or just produced by {!Profiler.profile}. [group_fn] substitutes
+    an alternative clustering algorithm (see {!Clustering}) for Figure
+    6's — the grouping-ablation hook; default is {!Grouping.group}. [obs]
+    records the [grouping], [identification] and [rewrite] spans with
+    stage-shape attributes. *)
+
 val plan :
   ?obs:Obs.t ->
+  ?source:plan_source ->
   ?config:config ->
   ?group_fn:(Affinity_graph.t -> Grouping.params -> Grouping.t) ->
   Ir.program ->
   plan
-(** Profile the (test-scale) program and derive groups, selectors and the
-    rewriting plan. [group_fn] substitutes an alternative clustering
-    algorithm (see {!Clustering}) for Figure 6's — the grouping-ablation
-    hook; default is {!Grouping.group}. [obs] records one span per stage
-    ([profile] and [affinity-graph] inside the profiler, then [grouping],
-    [identification], [rewrite]) with stage-shape attributes. *)
+(** The record phase plus {!derive}: profile the (test-scale) program and
+    derive the plan. [source] short-circuits both phases when it already
+    holds a plan for this program/config pair, and receives the computed
+    plan otherwise; it is consulted only when [group_fn] is not given (a
+    custom clusterer is not part of any cache key). [obs] adds the
+    profiler's [profile] and [affinity-graph] spans ahead of the derive
+    spans. *)
 
 type runtime = {
   env : Exec_env.t;  (** Share between allocator and interpreter. *)

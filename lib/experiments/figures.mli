@@ -28,6 +28,7 @@ val run_suite :
   ?progress:(string -> unit) ->
   ?jobs:int ->
   ?obs:Obs.t ->
+  ?plan_source:Pipeline.plan_source ->
   unit ->
   suite
 (** Run jemalloc / HALO / HDS / random-4 over the workloads (default: all
@@ -38,7 +39,11 @@ val run_suite :
     independent simulation, so the suite's measurements are bit-for-bit
     identical at any [jobs] value. [obs] receives per-worker metric
     registries merged after the join plus [suite.tasks]/[suite.workers]
-    accounting. *)
+    accounting. [plan_source] (typically the persistent store's plan
+    cache) answers the HALO cells' [Pipeline.plan] calls: since a plan
+    depends only on the test program and pipeline config, a warmed cache
+    runs the whole suite — any seeds, any [jobs] — with zero profiler
+    invocations. *)
 
 val runs_of : suite -> string -> Runner.kind -> Runner.measurement list
 (** [runs_of suite bench kind] is the per-seed measurement list, or [[]]
@@ -121,7 +126,7 @@ val ablation_sampling : ?workloads:Workload.t list -> ?periods:int list -> unit 
     (§4.1 applies no sampling). Plans derived from sampled profiles are
     measured end to end at several sampling periods. *)
 
-val print_all : ?jobs:int -> unit -> unit
+val print_all : ?jobs:int -> ?plan_source:Pipeline.plan_source -> unit -> unit
 (** Run everything in order and print each table — the body of
     [bench/main.exe]'s experiment mode. [jobs] parallelises the
     suite-backed tables; the sweeps and ablations stay sequential. *)

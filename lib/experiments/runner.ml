@@ -101,7 +101,7 @@ let halo_pipeline_config pipeline_config w =
     allocator = w.Workload.halo_allocator base.Pipeline.allocator;
   }
 
-let run_kind ?obs ~seed ?pipeline_config ?group_fn w kind =
+let run_kind ?obs ~seed ?pipeline_config ?group_fn ?plan_source w kind =
   let no_halo () = None in
   match kind with
   | Jemalloc ->
@@ -129,7 +129,8 @@ let run_kind ?obs ~seed ?pipeline_config ?group_fn w kind =
   | Halo | Halo_no_alloc ->
       let config = halo_pipeline_config pipeline_config w in
       let plan =
-        Pipeline.plan ?obs ~config ?group_fn (w.Workload.make Workload.Test)
+        Pipeline.plan ?obs ?source:plan_source ~config ?group_fn
+          (w.Workload.make Workload.Test)
       in
       let vmem = Vmem.create () in
       let fallback = Jemalloc_sim.create vmem in
@@ -217,7 +218,7 @@ let run_kind ?obs ~seed ?pipeline_config ?group_fn w kind =
       measure ?obs ~w ~kind ~seed ~alloc:(Group_alloc.iface galloc) ~patches:[]
         ~env ~halo:no_halo ~hds ()
 
-let run ?obs ?(seed = 2) ?pipeline_config ?group_fn w kind =
+let run ?obs ?(seed = 2) ?pipeline_config ?group_fn ?plan_source w kind =
   Obs.span obs "run"
     ~attrs:
       [
@@ -225,7 +226,7 @@ let run ?obs ?(seed = 2) ?pipeline_config ?group_fn w kind =
         ("configuration", Json.String (kind_name kind));
         ("seed", Json.Int seed);
       ]
-    (fun () -> run_kind ?obs ~seed ?pipeline_config ?group_fn w kind)
+    (fun () -> run_kind ?obs ~seed ?pipeline_config ?group_fn ?plan_source w kind)
 
 let to_json ?baseline m =
   let counters c =

@@ -63,6 +63,7 @@ val run :
   ?seed:int ->
   ?pipeline_config:Pipeline.config ->
   ?group_fn:(Affinity_graph.t -> Grouping.params -> Grouping.t) ->
+  ?plan_source:Pipeline.plan_source ->
   Workload.t ->
   kind ->
   measurement
@@ -72,7 +73,9 @@ val run :
     (the Figure 12 sweep varies the affinity distance through it);
     workload-specific overrides from the registry are applied on top.
     [group_fn] swaps the clustering algorithm (grouping ablation; HALO
-    kinds only).
+    kinds only). [plan_source] supplies ready-made plans to the HALO kinds
+    (the persistent store's plan cache, or a decoded artifact via
+    [Pipeline.constant_source]); other kinds ignore it.
 
     [obs] records the full telemetry of the run under a root [run] span:
     for HALO kinds the span tree covers all seven pipeline stages

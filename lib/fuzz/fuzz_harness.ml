@@ -6,6 +6,7 @@ type config = {
   corpus_dir : string option;
   shrink_steps : int;
   extra : (string * (Vmem.t -> Alloc_iface.t)) list;
+  plan_source : Pipeline.plan_source option;
   jobs : int;
   obs : Obs.t option;
   log : (string -> unit) option;
@@ -20,6 +21,7 @@ let default =
     corpus_dir = None;
     shrink_steps = 2000;
     extra = [];
+    plan_source = None;
     jobs = 1;
     obs = None;
     log = None;
@@ -103,7 +105,10 @@ let run cfg =
     Obs.span wobs "fuzz.case" (fun () ->
         Obs.count wobs "fuzz.cases" 1;
         let case = Fuzz_gen.generate ~ref_scale:cfg.ref_scale ~seed:s () in
-        let result = Fuzz_oracle.run_case ~extra:cfg.extra case in
+        let result =
+          Fuzz_oracle.run_case ~extra:cfg.extra ?plan_source:cfg.plan_source
+            case
+        in
         let report =
           match result.Fuzz_oracle.failures with
           | [] -> None

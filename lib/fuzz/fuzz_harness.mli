@@ -28,6 +28,11 @@ type config = {
   extra : (string * (Vmem.t -> Alloc_iface.t)) list;
       (** Extra allocator configurations for the oracle battery —
           the fault-injection hook. *)
+  plan_source : Pipeline.plan_source option;
+      (** Plan supplier for the oracle's HALO configuration (the
+          persistent store's plan cache). Shrinking always re-plans
+          in-process: shrunk programs are throwaway variants that would
+          only pollute a cache. *)
   jobs : int;
       (** Worker domains for the sweep (see {!Par}). Each case is
           self-contained — its own decision stream, RNG, heaps and

@@ -103,7 +103,7 @@ let divergence_failure ~reference run =
         }
   | _ -> None (* crashes are reported separately; nothing to compare *)
 
-let run_case ?(extra = []) (case : Fuzz_gen.case) =
+let run_case ?(extra = []) ?plan_source (case : Fuzz_gen.case) =
   let program = case.Fuzz_gen.ref_ in
   let runs = ref [] in
   let push r = runs := r :: !runs in
@@ -133,7 +133,7 @@ let run_case ?(extra = []) (case : Fuzz_gen.case) =
      pairing guarantees the patch sites exist in both. *)
   let plan_failures = ref [] in
   let groups = ref 0 and monitored = ref 0 in
-  (match Pipeline.plan case.Fuzz_gen.test with
+  (match Pipeline.plan ?source:plan_source case.Fuzz_gen.test with
   | exception e ->
       plan_failures :=
         [ { config = "plan"; reason = "crash: " ^ Printexc.to_string e } ]

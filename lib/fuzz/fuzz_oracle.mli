@@ -38,8 +38,12 @@ type result = { failures : failure list; stats : stats }
 
 val run_case :
   ?extra:(string * (Vmem.t -> Alloc_iface.t)) list ->
+  ?plan_source:Pipeline.plan_source ->
   Fuzz_gen.case ->
   result
 (** Deterministic: equal cases yield equal results. Never raises on
     misbehaving allocators or pipelines — crashes (simulated segfaults,
-    allocator [Failure]s, pipeline exceptions) become failures. *)
+    allocator [Failure]s, pipeline exceptions) become failures.
+    [plan_source] (the persistent store's plan cache) answers the HALO
+    plan call — generated programs are cache-keyed like any other, so a
+    re-run campaign skips re-profiling unchanged cases. *)

@@ -28,6 +28,12 @@ let add_access t x =
   incr (counter t.accesses x);
   t.total <- t.total + 1
 
+let add_access_n t x n =
+  if n < 0 then invalid_arg "Affinity_graph.add_access_n: negative count";
+  let r = counter t.accesses x in
+  r := !r + n;
+  t.total <- t.total + n
+
 let adj_tbl t x =
   match Hashtbl.find_opt t.adj x with
   | Some tbl -> tbl
@@ -36,15 +42,25 @@ let adj_tbl t x =
       Hashtbl.replace t.adj x tbl;
       tbl
 
-let add_affinity t x y =
+let add_affinity_n t x y n =
+  if n < 0 then invalid_arg "Affinity_graph.add_affinity_n: negative weight";
   let a, b = if x <= y then (x, y) else (y, x) in
   (* Ensure both endpoints exist as nodes (with zero accesses until
      [add_access] says otherwise). *)
   ignore (counter t.accesses a : int ref);
   ignore (counter t.accesses b : int ref);
-  incr (counter t.weights (a, b));
-  incr (counter (adj_tbl t a) b);
-  if a <> b then incr (counter (adj_tbl t b) a)
+  let bump tbl key =
+    let r = counter tbl key in
+    r := !r + n
+  in
+  bump t.weights (a, b);
+  bump (adj_tbl t a) b;
+  if a <> b then bump (adj_tbl t b) a
+
+let add_affinity t x y = add_affinity_n t x y 1
+
+let reported_total t = t.reported_total
+let set_reported_total t v = t.reported_total <- v
 
 let node_accesses t x =
   match Hashtbl.find_opt t.accesses x with Some r -> !r | None -> 0

@@ -19,6 +19,26 @@ val add_access : t -> Context.id -> unit
 val add_affinity : t -> Context.id -> Context.id -> unit
 (** Increment the (x, y) edge weight by one (undirected; x = y allowed). *)
 
+(** {2 Bulk construction}
+
+    The persistent store decodes recorded graphs (and merges graphs
+    across runs) with whole counts at a time; incrementing one by one
+    would make decoding quadratic in profile length. *)
+
+val add_access_n : t -> Context.id -> int -> unit
+(** Count [n] accesses at once ([n >= 0]); [add_access] is [n = 1]. *)
+
+val add_affinity_n : t -> Context.id -> Context.id -> int -> unit
+(** Add [n] to the (x, y) edge weight at once ([n >= 0]). *)
+
+val reported_total : t -> int option
+(** The pre-filter access total carried by a {!filter_top} result, if this
+    graph is such a copy — [total_accesses] reports it when present. The
+    store persists it so a decoded graph thresholds like the original. *)
+
+val set_reported_total : t -> int option -> unit
+(** Restore the pre-filter total on a decoded graph. *)
+
 val node_accesses : t -> Context.id -> int
 (** 0 for absent nodes. *)
 

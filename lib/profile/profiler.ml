@@ -31,6 +31,9 @@ let depth_sample = 64
 let series_sample = 4096
 
 let profile ?obs ?(config = default_config) program =
+  (* One count per full-instrumentation run: the plan cache's "a warmed
+     cache re-profiles nothing" guarantee is asserted against it. *)
+  Obs.count obs "profile.runs" 1;
   let vmem = Vmem.create () in
   let alloc = Jemalloc_sim.create vmem in
   let contexts = Context.create () in

@@ -47,4 +47,6 @@ val profile : ?obs:Obs.t -> ?config:config -> Ir.program -> result
     [affinity-graph] spans, threads telemetry into the interpreter, and
     samples the [profile.affinity_queue.depth] histogram (every 64 macro
     accesses) plus a trace series point every 4096; omitted, the profiling
-    hooks are the uninstrumented seed hooks. *)
+    hooks are the uninstrumented seed hooks. Every invocation bumps the
+    [profile.runs] counter (when [obs] is given) — the plan cache's
+    zero-reprofiling guarantee is asserted against it. *)

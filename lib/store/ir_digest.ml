@@ -1,0 +1,150 @@
+(* Canonical serialisation: every constructor gets a distinct tag, every
+   compound is parenthesised, so distinct trees cannot collide textually.
+   Integer literals and Compute counts are masked to "#" — they are where
+   test/ref scale constants live. Sites, names and access widths are
+   structural and are kept. *)
+
+let binop_tag = function
+  | Ir.Add -> "add"
+  | Ir.Sub -> "sub"
+  | Ir.Mul -> "mul"
+  | Ir.Div -> "div"
+  | Ir.Rem -> "rem"
+  | Ir.Lt -> "lt"
+  | Ir.Le -> "le"
+  | Ir.Gt -> "gt"
+  | Ir.Ge -> "ge"
+  | Ir.Eq -> "eq"
+  | Ir.Ne -> "ne"
+  | Ir.And -> "and"
+  | Ir.Or -> "or"
+
+let rec add_expr buf = function
+  | Ir.Int _ -> Buffer.add_string buf "#"
+  | Ir.Var v ->
+      Buffer.add_string buf "v:";
+      Buffer.add_string buf v;
+      Buffer.add_char buf ';'
+  | Ir.Gvar g ->
+      Buffer.add_string buf "g:";
+      Buffer.add_string buf g;
+      Buffer.add_char buf ';'
+  | Ir.Binop (op, a, b) ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (binop_tag op);
+      Buffer.add_char buf ' ';
+      add_expr buf a;
+      add_expr buf b;
+      Buffer.add_char buf ')'
+  | Ir.Not e ->
+      Buffer.add_string buf "(not ";
+      add_expr buf e;
+      Buffer.add_char buf ')'
+  | Ir.Rand e ->
+      Buffer.add_string buf "(rand ";
+      add_expr buf e;
+      Buffer.add_char buf ')'
+
+let add_site buf s = Buffer.add_string buf (Printf.sprintf "@%x" s)
+
+let rec add_stmt buf = function
+  | Ir.Let (v, e) ->
+      Buffer.add_string buf "(let ";
+      Buffer.add_string buf v;
+      Buffer.add_char buf ' ';
+      add_expr buf e;
+      Buffer.add_char buf ')'
+  | Ir.Gassign (g, e) ->
+      Buffer.add_string buf "(gassign ";
+      Buffer.add_string buf g;
+      Buffer.add_char buf ' ';
+      add_expr buf e;
+      Buffer.add_char buf ')'
+  | Ir.Malloc (v, size, site) ->
+      Buffer.add_string buf "(malloc ";
+      Buffer.add_string buf v;
+      Buffer.add_char buf ' ';
+      add_expr buf size;
+      add_site buf site;
+      Buffer.add_char buf ')'
+  | Ir.Calloc (v, n, size, site) ->
+      Buffer.add_string buf "(calloc ";
+      Buffer.add_string buf v;
+      Buffer.add_char buf ' ';
+      add_expr buf n;
+      add_expr buf size;
+      add_site buf site;
+      Buffer.add_char buf ')'
+  | Ir.Realloc (v, ptr, size, site) ->
+      Buffer.add_string buf "(realloc ";
+      Buffer.add_string buf v;
+      Buffer.add_char buf ' ';
+      add_expr buf ptr;
+      add_expr buf size;
+      add_site buf site;
+      Buffer.add_char buf ')'
+  | Ir.Free e ->
+      Buffer.add_string buf "(free ";
+      add_expr buf e;
+      Buffer.add_char buf ')'
+  | Ir.Load (v, ptr, off, bytes) ->
+      Buffer.add_string buf (Printf.sprintf "(load%d " bytes);
+      Buffer.add_string buf v;
+      Buffer.add_char buf ' ';
+      add_expr buf ptr;
+      add_expr buf off;
+      Buffer.add_char buf ')'
+  | Ir.Store (ptr, off, value, bytes) ->
+      Buffer.add_string buf (Printf.sprintf "(store%d " bytes);
+      add_expr buf ptr;
+      add_expr buf off;
+      add_expr buf value;
+      Buffer.add_char buf ')'
+  | Ir.Call (dst, f, args, site) ->
+      Buffer.add_string buf "(call ";
+      Buffer.add_string buf (match dst with None -> "_" | Some d -> d);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf f;
+      Buffer.add_char buf ' ';
+      List.iter (add_expr buf) args;
+      add_site buf site;
+      Buffer.add_char buf ')'
+  | Ir.If (c, t, e) ->
+      Buffer.add_string buf "(if ";
+      add_expr buf c;
+      add_block buf t;
+      add_block buf e;
+      Buffer.add_char buf ')'
+  | Ir.While (c, body) ->
+      Buffer.add_string buf "(while ";
+      add_expr buf c;
+      add_block buf body;
+      Buffer.add_char buf ')'
+  | Ir.Return e ->
+      Buffer.add_string buf "(return ";
+      add_expr buf e;
+      Buffer.add_char buf ')'
+  | Ir.Compute _ -> Buffer.add_string buf "(compute #)"
+
+and add_block buf stmts =
+  Buffer.add_char buf '[';
+  List.iter (add_stmt buf) stmts;
+  Buffer.add_char buf ']'
+
+let program p =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "halo-ir-digest/1\n";
+  Buffer.add_string buf "main:";
+  Buffer.add_string buf (Ir.main p);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (f : Ir.func) ->
+      Buffer.add_string buf "func ";
+      Buffer.add_string buf f.Ir.fname;
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (String.concat "," f.Ir.params);
+      Buffer.add_char buf ')';
+      add_block buf f.Ir.body;
+      Buffer.add_char buf '\n')
+    (Ir.funcs p);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

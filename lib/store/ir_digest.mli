@@ -1,0 +1,15 @@
+(** Stable structural digest of an {!Ir.program}.
+
+    The store keys artifacts by program identity, but the pipeline's whole
+    methodology profiles a {e test}-scale program and measures a
+    {e ref}-scale one that differs only in input-scale constants (§5.1). A
+    byte-level hash would tear those apart, so the digest hashes program
+    {e structure} — function names, parameters, statement shapes, call and
+    allocation sites, load/store widths — while masking the two places
+    scale constants live: integer literals and [Compute] instruction
+    counts. [digest (make Test) = digest (make Ref)] for every workload
+    generator, and any structural edit (a new site, a reordered statement,
+    a changed width) produces a different digest. *)
+
+val program : Ir.program -> string
+(** Hex MD5 of the canonical structural serialisation. *)

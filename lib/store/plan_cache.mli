@@ -1,0 +1,37 @@
+(** Content-addressed, on-disk plan cache.
+
+    Plans are pure functions of (program structure, pipeline config): the
+    cache keys each entry by
+    [{!Ir_digest.program} ^ "-" ^ {!Store.plan_config_digest}] and stores
+    it as a {!Store} plan artifact under that name, so a warmed cache
+    answers every repeat [Pipeline.plan] call without running the
+    profiler. Writes go through a temp file plus atomic rename, so
+    concurrent domains (the figure suite's worker pool) never observe a
+    torn entry; a corrupt or version-skewed entry reads as a miss and is
+    overwritten by the recomputed plan.
+
+    Hits, misses, stores and evictions are counted per cache (thread-safe)
+    and on the per-worker [Obs] stream as [store.cache.hits] /
+    [store.cache.misses] / [store.cache.stores] / [store.cache.evictions];
+    the warmed-cache guarantee is the pair "[store.cache.misses] = 0 and
+    [profile.runs] = 0". *)
+
+type t
+
+type stats = { hits : int; misses : int; stores : int; evictions : int }
+
+val create : ?max_entries:int -> string -> t
+(** Open (creating directories as needed) a cache rooted at the given
+    directory. [max_entries] bounds the entry count: after each store,
+    oldest entries (by modification time) beyond the bound are evicted. *)
+
+val dir : t -> string
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** Hits over lookups, 0 when no lookups happened. *)
+
+val source : t -> Pipeline.plan_source
+(** The cache as a pipeline plan source — pass to [Pipeline.plan],
+    [Runner.run], [Figures.run_suite] or the fuzz harness. Lookups verify
+    both digests and the payload checksum before trusting an entry. *)

@@ -1,0 +1,835 @@
+let format_name = "halo/store"
+let version = 1
+
+type header = {
+  version : int;
+  kind : string;
+  program_digest : string;
+  config_digest : string;
+  created : float;
+  producer : string;
+  meta : (string * Json.t) list;
+}
+
+type error =
+  | Io of string
+  | Malformed of { line : int; reason : string }
+  | Version_skew of { found : int; supported : int }
+  | Wrong_kind of { found : string; expected : string }
+  | Digest_mismatch of { field : string; found : string; expected : string }
+  | Bad_checksum of { stated : string; computed : string }
+  | Truncated
+
+let error_to_string = function
+  | Io m -> "io error: " ^ m
+  | Malformed { line; reason } ->
+      Printf.sprintf "malformed artifact (line %d): %s" line reason
+  | Version_skew { found; supported } ->
+      Printf.sprintf "artifact format version %d; this build supports version %d"
+        found supported
+  | Wrong_kind { found; expected } ->
+      Printf.sprintf "artifact kind %S where %S was expected" found expected
+  | Digest_mismatch { field; found; expected } ->
+      Printf.sprintf "%s digest mismatch: artifact has %s, expected %s" field
+        found expected
+  | Bad_checksum { stated; computed } ->
+      Printf.sprintf "payload checksum mismatch: trailer states %s, payload hashes to %s"
+        stated computed
+  | Truncated -> "truncated artifact: trailer line missing"
+
+exception Decode of error
+
+let fail line reason = raise (Decode (Malformed { line; reason }))
+
+(* Strict per-line field access: a [Json] accessor error becomes a
+   [Malformed] carrying the 1-based artifact line. *)
+let jint ~line k j =
+  match Json.get_int k j with Ok v -> v | Error e -> fail line e
+
+let jfloat ~line k j =
+  match Json.get_float k j with Ok v -> v | Error e -> fail line e
+
+let jstring ~line k j =
+  match Json.get_string k j with Ok v -> v | Error e -> fail line e
+
+let jbool ~line k j =
+  match Json.get_bool k j with Ok v -> v | Error e -> fail line e
+
+let jlist ~line k j =
+  match Json.get_list k j with Ok v -> v | Error e -> fail line e
+
+let jobj ~line k j =
+  match Json.get_obj k j with Ok v -> v | Error e -> fail line e
+
+let jints ~line k j =
+  List.map
+    (function
+      | Json.Int i -> i
+      | _ -> fail line (Printf.sprintf "field %S must hold integers" k))
+    (jlist ~line k j)
+
+(* {1 Config codecs} *)
+
+let json_of_profiler_config (c : Profiler.config) =
+  Json.Obj
+    [
+      ("affinity_distance", Json.Int c.Profiler.affinity_distance);
+      ("max_tracked_size", Json.Int c.Profiler.max_tracked_size);
+      ("node_coverage", Json.Float c.Profiler.node_coverage);
+      ("seed", Json.Int c.Profiler.seed);
+      ("sample_period", Json.Int c.Profiler.sample_period);
+    ]
+
+let profiler_config_of_json ~line j =
+  {
+    Profiler.affinity_distance = jint ~line "affinity_distance" j;
+    max_tracked_size = jint ~line "max_tracked_size" j;
+    node_coverage = jfloat ~line "node_coverage" j;
+    seed = jint ~line "seed" j;
+    sample_period = jint ~line "sample_period" j;
+  }
+
+let json_of_grouping_params (p : Grouping.params) =
+  Json.Obj
+    [
+      ("min_edge_weight", Json.Int p.Grouping.min_edge_weight);
+      ("max_group_members", Json.Int p.Grouping.max_group_members);
+      ("merge_tol", Json.Float p.Grouping.merge_tol);
+      ("gthresh", Json.Float p.Grouping.gthresh);
+      ( "max_groups",
+        match p.Grouping.max_groups with
+        | None -> Json.Null
+        | Some n -> Json.Int n );
+    ]
+
+let grouping_params_of_json ~line j =
+  {
+    Grouping.min_edge_weight = jint ~line "min_edge_weight" j;
+    max_group_members = jint ~line "max_group_members" j;
+    merge_tol = jfloat ~line "merge_tol" j;
+    gthresh = jfloat ~line "gthresh" j;
+    max_groups =
+      (match Json.mem "max_groups" j with
+      | Some Json.Null -> None
+      | Some (Json.Int n) -> Some n
+      | Some _ -> fail line "field \"max_groups\" must be an integer or null"
+      | None -> fail line "missing field \"max_groups\"");
+  }
+
+let json_of_alloc_config (c : Group_alloc.config) =
+  Json.Obj
+    [
+      ("slab_size", Json.Int c.Group_alloc.slab_size);
+      ("chunk_size", Json.Int c.Group_alloc.chunk_size);
+      ("max_grouped_size", Json.Int c.Group_alloc.max_grouped_size);
+      ( "spare_policy",
+        match c.Group_alloc.spare_policy with
+        | Group_alloc.Keep_spare n -> Json.Obj [ ("keep_spare", Json.Int n) ]
+        | Group_alloc.Always_reuse -> Json.String "always_reuse" );
+      ( "backend",
+        Json.String
+          (match c.Group_alloc.backend with
+          | Group_alloc.Bump_only -> "bump_only"
+          | Group_alloc.Sharded_free_lists -> "sharded_free_lists") );
+      ("color_groups", Json.Bool c.Group_alloc.color_groups);
+    ]
+
+let alloc_config_of_json ~line j =
+  {
+    Group_alloc.slab_size = jint ~line "slab_size" j;
+    chunk_size = jint ~line "chunk_size" j;
+    max_grouped_size = jint ~line "max_grouped_size" j;
+    spare_policy =
+      (match Json.mem "spare_policy" j with
+      | Some (Json.String "always_reuse") -> Group_alloc.Always_reuse
+      | Some (Json.Obj _ as o) ->
+          Group_alloc.Keep_spare (jint ~line "keep_spare" o)
+      | Some _ | None ->
+          fail line
+            "field \"spare_policy\" must be \"always_reuse\" or {\"keep_spare\": n}");
+    backend =
+      (match jstring ~line "backend" j with
+      | "bump_only" -> Group_alloc.Bump_only
+      | "sharded_free_lists" -> Group_alloc.Sharded_free_lists
+      | s -> fail line (Printf.sprintf "unknown allocator backend %S" s));
+    color_groups = jbool ~line "color_groups" j;
+  }
+
+let json_of_pipeline_config (c : Pipeline.config) =
+  Json.Obj
+    [
+      ("profiler", json_of_profiler_config c.Pipeline.profiler);
+      ("grouping", json_of_grouping_params c.Pipeline.grouping);
+      ("min_edge_frac", Json.Float c.Pipeline.min_edge_frac);
+      ("allocator", json_of_alloc_config c.Pipeline.allocator);
+    ]
+
+let pipeline_config_of_json ~line j =
+  let field k =
+    match Json.mem k j with
+    | Some v -> v
+    | None -> fail line (Printf.sprintf "missing field %S" k)
+  in
+  {
+    Pipeline.profiler = profiler_config_of_json ~line (field "profiler");
+    grouping = grouping_params_of_json ~line (field "grouping");
+    min_edge_frac = jfloat ~line "min_edge_frac" j;
+    allocator = alloc_config_of_json ~line (field "allocator");
+  }
+
+(* {1 Digests} *)
+
+let md5_json j = Digest.to_hex (Digest.string (Json.to_string ~pretty:false j))
+
+let profile_config_digest c =
+  (* The input seed names the run, not the experiment: recordings that
+     differ only by seed must share a digest so they remain mergeable. *)
+  md5_json (json_of_profiler_config { c with Profiler.seed = 0 })
+
+let plan_config_digest c = md5_json (json_of_pipeline_config c)
+
+(* {1 Payload checksum: FNV-1a 64 over payload bytes}
+
+    Chosen over [Digest] because it feeds incrementally, so both ends
+    stream line by line; this is an integrity check against torn or edited
+    files, not an authenticity measure. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_add h s =
+  let h = ref h in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) fnv_prime)
+    s;
+  !h
+
+let fnv_hex h = Printf.sprintf "%016Lx" h
+
+(* {1 Writer} *)
+
+type writer = { oc : out_channel; mutable hash : int64; mutable lines : int }
+
+let header_json h =
+  Json.Obj
+    [
+      ("format", Json.String format_name);
+      ("version", Json.Int h.version);
+      ("kind", Json.String h.kind);
+      ("program", Json.String h.program_digest);
+      ("config", Json.String h.config_digest);
+      ("created", Json.Float h.created);
+      ("producer", Json.String h.producer);
+      ("meta", Json.Obj h.meta);
+    ]
+
+let start_writer oc h =
+  output_string oc (Json.to_string ~pretty:false (header_json h));
+  output_char oc '\n';
+  { oc; hash = fnv_offset; lines = 0 }
+
+let wline w j =
+  let s = Json.to_string ~pretty:false j in
+  output_string w.oc s;
+  output_char w.oc '\n';
+  w.hash <- fnv_add (fnv_add w.hash s) "\n";
+  w.lines <- w.lines + 1
+
+let finish_writer w =
+  output_string w.oc
+    (Json.to_string ~pretty:false
+       (Json.Obj
+          [
+            ("end", Json.Bool true);
+            ("lines", Json.Int w.lines);
+            ("checksum", Json.String (fnv_hex w.hash));
+          ]));
+  output_char w.oc '\n'
+
+let with_artifact ?obs ~path ~header f =
+  Obs.span obs "store.encode"
+    ~attrs:
+      [ ("kind", Json.String header.kind); ("path", Json.String path) ]
+    (fun () ->
+      try
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            let w = start_writer oc header in
+            f w;
+            finish_writer w;
+            Obs.add_attrs obs [ ("payload_lines", Json.Int w.lines) ]);
+        Ok ()
+      with Sys_error m -> Error (Io m))
+
+(* Canonical payload order: equal values encode to equal bytes. Contexts
+   go in id order (so re-interning reproduces the ids), nodes ascending,
+   edges sorted by endpoint pair. *)
+
+let emit_graph w tag g =
+  (match Affinity_graph.reported_total g with
+  | None -> ()
+  | Some v ->
+      wline w
+        (Json.Obj
+           [ ("p", Json.String "total"); ("g", Json.String tag); ("v", Json.Int v) ]));
+  List.iter
+    (fun id ->
+      wline w
+        (Json.Obj
+           [
+             ("p", Json.String "node");
+             ("g", Json.String tag);
+             ("id", Json.Int id);
+             ("n", Json.Int (Affinity_graph.node_accesses g id));
+           ]))
+    (Affinity_graph.nodes g);
+  List.iter
+    (fun (x, y, wt) ->
+      wline w
+        (Json.Obj
+           [
+             ("p", Json.String "edge");
+             ("g", Json.String tag);
+             ("x", Json.Int x);
+             ("y", Json.Int y);
+             ("w", Json.Int wt);
+           ]))
+    (List.sort compare (Affinity_graph.edges g))
+
+let emit_profile w (r : Profiler.result) =
+  wline w
+    (Json.Obj
+       [
+         ("p", Json.String "meta");
+         ("total_accesses", Json.Int r.Profiler.total_accesses);
+         ("tracked_allocs", Json.Int r.Profiler.tracked_allocs);
+         ("instructions", Json.Int r.Profiler.instructions);
+       ]);
+  let tbl = r.Profiler.contexts in
+  for id = 0 to Context.count tbl - 1 do
+    wline w
+      (Json.Obj
+         [
+           ("p", Json.String "ctx");
+           ("id", Json.Int id);
+           ( "sites",
+             Json.List
+               (Array.to_list
+                  (Array.map (fun s -> Json.Int s) (Context.sites tbl id))) );
+         ])
+  done;
+  emit_graph w "raw" r.Profiler.raw_graph;
+  emit_graph w "graph" r.Profiler.graph
+
+(* {1 Reader core} *)
+
+let parse_header ~line j =
+  let fmt = jstring ~line "format" j in
+  if fmt <> format_name then
+    fail line (Printf.sprintf "not a %s artifact (format %S)" format_name fmt);
+  let v = jint ~line "version" j in
+  if v <> version then raise (Decode (Version_skew { found = v; supported = version }));
+  {
+    version = v;
+    kind = jstring ~line "kind" j;
+    program_digest = jstring ~line "program" j;
+    config_digest = jstring ~line "config" j;
+    created = jfloat ~line "created" j;
+    producer = jstring ~line "producer" j;
+    meta = jobj ~line "meta" j;
+  }
+
+(* Read and verify the whole file: header, payload lines (parsed, counted,
+   checksummed), trailer. Returns the payload as (1-based line, value). *)
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header_line =
+        try input_line ic with End_of_file -> raise (Decode Truncated)
+      in
+      let hj =
+        match Json.of_string header_line with Ok j -> j | Error e -> fail 1 e
+      in
+      let header = parse_header ~line:1 hj in
+      let payload = ref [] in
+      let hash = ref fnv_offset in
+      let count = ref 0 in
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> raise (Decode Truncated)
+        | raw -> (
+            let line = !count + 2 in
+            let j =
+              match Json.of_string raw with Ok j -> j | Error e -> fail line e
+            in
+            match Json.mem "end" j with
+            | Some _ ->
+                let stated_lines = jint ~line "lines" j in
+                if stated_lines <> !count then
+                  fail line
+                    (Printf.sprintf "trailer declares %d payload lines, found %d"
+                       stated_lines !count);
+                let stated = jstring ~line "checksum" j in
+                let computed = fnv_hex !hash in
+                if not (String.equal stated computed) then
+                  raise (Decode (Bad_checksum { stated; computed }));
+                (match input_line ic with
+                | exception End_of_file -> ()
+                | _ -> fail (line + 1) "data after trailer line")
+            | None ->
+                hash := fnv_add (fnv_add !hash raw) "\n";
+                incr count;
+                payload := (line, j) :: !payload;
+                loop ())
+      in
+      loop ();
+      (header, List.rev !payload))
+
+let check_expect ~field ~found = function
+  | Some expected when expected <> found ->
+      raise (Decode (Digest_mismatch { field; found; expected }))
+  | _ -> ()
+
+let wrap f =
+  match f () with
+  | v -> Ok v
+  | exception Decode e -> Error e
+  | exception Sys_error m -> Error (Io m)
+
+(* {1 Profile payload} *)
+
+type profile_state = {
+  ctxs : Context.table;
+  raw : Affinity_graph.t;
+  filtered : Affinity_graph.t;
+  mutable pmeta : (int * int * int) option;
+}
+
+let new_profile_state () =
+  {
+    ctxs = Context.create ();
+    raw = Affinity_graph.create ();
+    filtered = Affinity_graph.create ();
+    pmeta = None;
+  }
+
+let graph_of st ~line = function
+  | "raw" -> st.raw
+  | "graph" -> st.filtered
+  | g -> fail line (Printf.sprintf "unknown graph tag %S" g)
+
+(* Shared between profile and plan decoding; returns [false] on tags it
+   does not own so the plan decoder can layer its own. *)
+let handle_profile_line st ~line tag j =
+  match tag with
+  | "meta" ->
+      if st.pmeta <> None then fail line "duplicate meta line";
+      st.pmeta <-
+        Some
+          ( jint ~line "total_accesses" j,
+            jint ~line "tracked_allocs" j,
+            jint ~line "instructions" j );
+      true
+  | "ctx" ->
+      let id = jint ~line "id" j in
+      let sites = Array.of_list (jints ~line "sites" j) in
+      let got = Context.intern st.ctxs sites in
+      if got <> id then
+        fail line
+          (Printf.sprintf
+             "context %d interned as %d: ids must be dense, in order, distinct"
+             id got);
+      true
+  | "total" ->
+      let g = graph_of st ~line (jstring ~line "g" j) in
+      if Affinity_graph.reported_total g <> None then
+        fail line "duplicate graph total line";
+      Affinity_graph.set_reported_total g (Some (jint ~line "v" j));
+      true
+  | "node" ->
+      let g = graph_of st ~line (jstring ~line "g" j) in
+      Affinity_graph.add_access_n g (jint ~line "id" j) (jint ~line "n" j);
+      true
+  | "edge" ->
+      let g = graph_of st ~line (jstring ~line "g" j) in
+      Affinity_graph.add_affinity_n g (jint ~line "x" j) (jint ~line "y" j)
+        (jint ~line "w" j);
+      true
+  | _ -> false
+
+let finish_profile st =
+  match st.pmeta with
+  | None -> fail 0 "artifact has no meta line"
+  | Some (total_accesses, tracked_allocs, instructions) ->
+      {
+        Profiler.graph = st.filtered;
+        raw_graph = st.raw;
+        contexts = st.ctxs;
+        total_accesses;
+        tracked_allocs;
+        instructions;
+      }
+
+(* {1 Profiles} *)
+
+type profile_artifact = {
+  header : header;
+  config : Profiler.config;
+  result : Profiler.result;
+}
+
+let write_profile ?obs ?created ?(producer = "halo") ?(extra_meta = []) ~path
+    ~program_digest ~config result =
+  let created =
+    match created with Some t -> t | None -> Unix.gettimeofday ()
+  in
+  let header =
+    {
+      version;
+      kind = "profile";
+      program_digest;
+      config_digest = profile_config_digest config;
+      created;
+      producer;
+      meta = ("profiler_config", json_of_profiler_config config) :: extra_meta;
+    }
+  in
+  with_artifact ?obs ~path ~header (fun w -> emit_profile w result)
+
+let read_profile ?obs ?expect_program path =
+  Obs.span obs "store.decode"
+    ~attrs:[ ("kind", Json.String "profile"); ("path", Json.String path) ]
+    (fun () ->
+      wrap (fun () ->
+          let header, payload = read_lines path in
+          if header.kind <> "profile" then
+            raise
+              (Decode (Wrong_kind { found = header.kind; expected = "profile" }));
+          check_expect ~field:"program" ~found:header.program_digest
+            expect_program;
+          let config =
+            match List.assoc_opt "profiler_config" header.meta with
+            | None -> fail 1 "header meta is missing profiler_config"
+            | Some j -> profiler_config_of_json ~line:1 j
+          in
+          let self = profile_config_digest config in
+          if self <> header.config_digest then
+            raise
+              (Decode
+                 (Digest_mismatch
+                    {
+                      field = "config";
+                      found = header.config_digest;
+                      expected = self;
+                    }));
+          let st = new_profile_state () in
+          List.iter
+            (fun (line, j) ->
+              let tag = jstring ~line "p" j in
+              if not (handle_profile_line st ~line tag j) then
+                fail line (Printf.sprintf "unknown payload tag %S" tag))
+            payload;
+          { header; config; result = finish_profile st }))
+
+let merge_profiles inputs =
+  if inputs = [] then invalid_arg "Store.merge_profiles: empty input list";
+  List.iter
+    (fun (_, w) ->
+      if (not (Float.is_finite w)) || w <= 0.0 then
+        invalid_arg "Store.merge_profiles: weights must be positive and finite")
+    inputs;
+  let first, _ = List.hd inputs in
+  wrap (fun () ->
+      List.iter
+        (fun ((a : profile_artifact), _) ->
+          if a.header.program_digest <> first.header.program_digest then
+            raise
+              (Decode
+                 (Digest_mismatch
+                    {
+                      field = "program";
+                      found = a.header.program_digest;
+                      expected = first.header.program_digest;
+                    }));
+          if a.header.config_digest <> first.header.config_digest then
+            raise
+              (Decode
+                 (Digest_mismatch
+                    {
+                      field = "config";
+                      found = a.header.config_digest;
+                      expected = first.header.config_digest;
+                    })))
+        inputs;
+      let config = first.config in
+      let contexts = Context.create () in
+      let raw = Affinity_graph.create () in
+      let scale w n = int_of_float (Float.round (w *. float_of_int n)) in
+      let ta = ref 0 and tr = ref 0 and ins = ref 0 in
+      List.iter
+        (fun ((a : profile_artifact), w) ->
+          let old = a.result.Profiler.contexts in
+          let n = Context.count old in
+          let remap = Array.make n 0 in
+          for id = 0 to n - 1 do
+            remap.(id) <- Context.intern contexts (Context.sites old id)
+          done;
+          let g = a.result.Profiler.raw_graph in
+          List.iter
+            (fun id ->
+              Affinity_graph.add_access_n raw remap.(id)
+                (scale w (Affinity_graph.node_accesses g id)))
+            (Affinity_graph.nodes g);
+          List.iter
+            (fun (x, y, wt) ->
+              Affinity_graph.add_affinity_n raw remap.(x) remap.(y)
+                (scale w wt))
+            (Affinity_graph.edges g);
+          ta := !ta + scale w a.result.Profiler.total_accesses;
+          tr := !tr + scale w a.result.Profiler.tracked_allocs;
+          ins := !ins + scale w a.result.Profiler.instructions)
+        inputs;
+      let filtered =
+        Affinity_graph.filter_top raw ~coverage:config.Profiler.node_coverage
+      in
+      ( config,
+        {
+          Profiler.graph = filtered;
+          raw_graph = raw;
+          contexts;
+          total_accesses = !ta;
+          tracked_allocs = !tr;
+          instructions = !ins;
+        } ))
+
+(* {1 Plans} *)
+
+let emit_plan w (plan : Pipeline.plan) =
+  let cfg = json_of_pipeline_config plan.Pipeline.config in
+  (match cfg with
+  | Json.Obj fields -> wline w (Json.Obj (("p", Json.String "config") :: fields))
+  | _ -> assert false);
+  emit_profile w plan.Pipeline.profile;
+  let g = plan.Pipeline.grouping in
+  wline w
+    (Json.Obj
+       [
+         ("p", Json.String "grouping");
+         ( "groups",
+           Json.List
+             (Array.to_list
+                (Array.map
+                   (fun members ->
+                     Json.List (List.map (fun c -> Json.Int c) members))
+                   g.Grouping.groups)) );
+         ( "accesses",
+           Json.List
+             (Array.to_list
+                (Array.map (fun n -> Json.Int n) g.Grouping.group_accesses)) );
+         ( "weights",
+           Json.List
+             (Array.to_list
+                (Array.map (fun n -> Json.Int n) g.Grouping.group_weights)) );
+         ( "ungrouped",
+           Json.List (List.map (fun c -> Json.Int c) g.Grouping.ungrouped) );
+       ]);
+  List.iter
+    (fun (sel : Identify.selector) ->
+      wline w
+        (Json.Obj
+           [
+             ("p", Json.String "selector");
+             ("group", Json.Int sel.Identify.group);
+             ( "disjuncts",
+               Json.List
+                 (List.map
+                    (fun conj ->
+                      Json.List (List.map (fun s -> Json.Int s) conj))
+                    sel.Identify.disjuncts) );
+           ]))
+    plan.Pipeline.selectors;
+  let r = plan.Pipeline.rewrite in
+  wline w
+    (Json.Obj
+       [
+         ("p", Json.String "rewrite");
+         ("nbits", Json.Int r.Rewrite.nbits);
+         ( "patches",
+           Json.List
+             (List.map
+                (fun (site, bit) -> Json.List [ Json.Int site; Json.Int bit ])
+                r.Rewrite.patches) );
+         ( "selectors",
+           Json.List
+             (List.map
+                (fun (c : Rewrite.compiled) ->
+                  Json.Obj
+                    [
+                      ("group", Json.Int c.Rewrite.group);
+                      ( "conjs",
+                        Json.List
+                          (List.map
+                             (fun conj ->
+                               Json.List
+                                 (List.map (fun b -> Json.Int b) conj))
+                             c.Rewrite.conjs) );
+                    ])
+                r.Rewrite.selectors) );
+       ])
+
+let write_plan ?obs ?created ?(producer = "halo") ?(extra_meta = []) ~path
+    ~program_digest (plan : Pipeline.plan) =
+  let created =
+    match created with Some t -> t | None -> Unix.gettimeofday ()
+  in
+  let header =
+    {
+      version;
+      kind = "plan";
+      program_digest;
+      config_digest = plan_config_digest plan.Pipeline.config;
+      created;
+      producer;
+      meta = extra_meta;
+    }
+  in
+  with_artifact ?obs ~path ~header (fun w -> emit_plan w plan)
+
+let int_lists ~line k j =
+  List.map
+    (function
+      | Json.List l ->
+          List.map
+            (function
+              | Json.Int i -> i
+              | _ -> fail line (Printf.sprintf "field %S must hold integer lists" k))
+            l
+      | _ -> fail line (Printf.sprintf "field %S must hold lists" k))
+    (jlist ~line k j)
+
+let read_plan ?obs ?expect_program ?expect_config path =
+  Obs.span obs "store.decode"
+    ~attrs:[ ("kind", Json.String "plan"); ("path", Json.String path) ]
+    (fun () ->
+      wrap (fun () ->
+          let header, payload = read_lines path in
+          if header.kind <> "plan" then
+            raise
+              (Decode (Wrong_kind { found = header.kind; expected = "plan" }));
+          check_expect ~field:"program" ~found:header.program_digest
+            expect_program;
+          check_expect ~field:"config" ~found:header.config_digest
+            expect_config;
+          let st = new_profile_state () in
+          let config = ref None in
+          let grouping = ref None in
+          let selectors = ref [] in
+          let rewrite = ref None in
+          List.iter
+            (fun (line, j) ->
+              let tag = jstring ~line "p" j in
+              if not (handle_profile_line st ~line tag j) then
+                match tag with
+                | "config" ->
+                    if !config <> None then fail line "duplicate config line";
+                    config := Some (pipeline_config_of_json ~line j)
+                | "grouping" ->
+                    if !grouping <> None then fail line "duplicate grouping line";
+                    let groups =
+                      Array.of_list (int_lists ~line "groups" j)
+                    in
+                    let accesses =
+                      Array.of_list (jints ~line "accesses" j)
+                    in
+                    let weights = Array.of_list (jints ~line "weights" j) in
+                    if
+                      Array.length accesses <> Array.length groups
+                      || Array.length weights <> Array.length groups
+                    then
+                      fail line
+                        "grouping arrays (groups, accesses, weights) differ in length";
+                    grouping :=
+                      Some
+                        {
+                          Grouping.groups;
+                          group_accesses = accesses;
+                          group_weights = weights;
+                          ungrouped = jints ~line "ungrouped" j;
+                        }
+                | "selector" ->
+                    selectors :=
+                      {
+                        Identify.group = jint ~line "group" j;
+                        disjuncts = int_lists ~line "disjuncts" j;
+                      }
+                      :: !selectors
+                | "rewrite" ->
+                    if !rewrite <> None then fail line "duplicate rewrite line";
+                    let patches =
+                      List.map
+                        (function
+                          | [ site; bit ] -> (site, bit)
+                          | _ -> fail line "patches must be [site, bit] pairs")
+                        (int_lists ~line "patches" j)
+                    in
+                    let compiled =
+                      List.map
+                        (fun sj ->
+                          {
+                            Rewrite.group = jint ~line "group" sj;
+                            conjs = int_lists ~line "conjs" sj;
+                          })
+                        (jlist ~line "selectors" j)
+                    in
+                    rewrite :=
+                      Some
+                        {
+                          Rewrite.patches;
+                          selectors = compiled;
+                          nbits = jint ~line "nbits" j;
+                        }
+                | tag -> fail line (Printf.sprintf "unknown payload tag %S" tag))
+            payload;
+          let require what = function
+            | Some v -> v
+            | None -> fail 0 (Printf.sprintf "artifact has no %s line" what)
+          in
+          let config = require "config" !config in
+          let self = plan_config_digest config in
+          if self <> header.config_digest then
+            raise
+              (Decode
+                 (Digest_mismatch
+                    {
+                      field = "config";
+                      found = header.config_digest;
+                      expected = self;
+                    }));
+          ( header,
+            {
+              Pipeline.config;
+              profile = finish_profile st;
+              grouping = require "grouping" !grouping;
+              selectors = List.rev !selectors;
+              rewrite = require "rewrite" !rewrite;
+            } )))
+
+(* {1 Inspection} *)
+
+let read_header path =
+  wrap (fun () ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let line =
+            try input_line ic with End_of_file -> raise (Decode Truncated)
+          in
+          match Json.of_string line with
+          | Ok j -> parse_header ~line:1 j
+          | Error e -> fail 1 e))

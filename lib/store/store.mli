@@ -1,0 +1,148 @@
+(** Persistent, versioned artifact store for profiles and plans.
+
+    The pipeline's record and apply phases communicate through on-disk
+    artifacts in a canonical JSONL format, version {!version}:
+
+    - line 1 is a self-describing {e header} — format name, format
+      version, artifact kind, structural program digest ({!Ir_digest}),
+      configuration digest, creation metadata;
+    - every following line but the last is a {e payload} line, a JSON
+      object tagged with a ["p"] discriminator, emitted in a canonical
+      order (sorted nodes and edges, contexts in id order) so equal values
+      encode to equal bytes;
+    - the last line is a {e trailer} carrying the payload line count and an
+      FNV-1a 64 checksum of the payload bytes, written after the fact so
+      the writer streams.
+
+    Decoding is strict: any unknown tag, missing field, type mismatch,
+    count mismatch, version skew or checksum failure is a typed {!error},
+    never a silent partial artifact. *)
+
+val format_name : string
+(** ["halo/store"], the header's [format] field. *)
+
+val version : int
+(** Current (and only supported) artifact format version: 1. *)
+
+type header = {
+  version : int;
+  kind : string;  (** ["profile"] or ["plan"]. *)
+  program_digest : string;  (** {!Ir_digest.program} of the profiled program. *)
+  config_digest : string;
+      (** {!profile_config_digest} or {!plan_config_digest} of the
+          producing configuration. *)
+  created : float;  (** Unix time of encoding. *)
+  producer : string;  (** Tool identifier, e.g. ["halo_cli"]. *)
+  meta : (string * Json.t) list;  (** Kind-specific extras. *)
+}
+
+type error =
+  | Io of string
+  | Malformed of { line : int; reason : string }
+      (** [line] is 1-based; 0 means the artifact as a whole. *)
+  | Version_skew of { found : int; supported : int }
+  | Wrong_kind of { found : string; expected : string }
+  | Digest_mismatch of { field : string; found : string; expected : string }
+  | Bad_checksum of { stated : string; computed : string }
+  | Truncated  (** EOF before the trailer line. *)
+
+val error_to_string : error -> string
+
+(** {1 Digests} *)
+
+val profile_config_digest : Profiler.config -> string
+(** Hex MD5 of the canonical profiler-config JSON {e with the seed
+    masked}: recordings of the same program under different input seeds
+    are the same experiment observed twice, and must stay mergeable. *)
+
+val plan_config_digest : Pipeline.config -> string
+(** Hex MD5 of the full canonical pipeline-config JSON (profiler seed
+    included — it determines the profile a plan was derived from). One half
+    of the plan cache key. *)
+
+(** {1 Config codecs}
+
+    Canonical JSON for the configuration records — the bytes the digests
+    are computed over, also embedded in artifacts so a reader needs no
+    out-of-band configuration. *)
+
+val json_of_profiler_config : Profiler.config -> Json.t
+val json_of_pipeline_config : Pipeline.config -> Json.t
+
+(** {1 Profiles} *)
+
+type profile_artifact = {
+  header : header;
+  config : Profiler.config;  (** Decoded from the header meta. *)
+  result : Profiler.result;
+}
+
+val write_profile :
+  ?obs:Obs.t ->
+  ?created:float ->
+  ?producer:string ->
+  ?extra_meta:(string * Json.t) list ->
+  path:string ->
+  program_digest:string ->
+  config:Profiler.config ->
+  Profiler.result ->
+  (unit, error) result
+(** Encode one profiling run. [created] and [producer] default to
+    [Unix.gettimeofday ()] and ["halo"]; golden tests pin them. [obs]
+    records the [store.encode] span. *)
+
+val read_profile :
+  ?obs:Obs.t ->
+  ?expect_program:string ->
+  string ->
+  (profile_artifact, error) result
+(** Decode a profile artifact. [expect_program] rejects artifacts recorded
+    from a structurally different program with [Digest_mismatch]. The
+    decoded result round-trips: graphs, contexts (same ids), totals are
+    structurally equal to what was written. [obs] records the
+    [store.decode] span. *)
+
+val merge_profiles :
+  (profile_artifact * float) list ->
+  (Profiler.config * Profiler.result, error) result
+(** Weighted cross-run merge: raw graphs are combined with per-run access
+    and edge counts scaled by the run's weight (rounded to nearest), then
+    the noise filter re-runs over the {e merged} raw graph at the shared
+    config's [node_coverage] — a context hot in one input but cold overall
+    filters the way a single combined run would. All inputs must agree on
+    program and config digests ([Digest_mismatch] otherwise); raises
+    [Invalid_argument] on an empty list or a non-positive weight. Returns
+    the shared config (the first artifact's) and the merged result, ready
+    for {!write_profile}. *)
+
+(** {1 Plans} *)
+
+val write_plan :
+  ?obs:Obs.t ->
+  ?created:float ->
+  ?producer:string ->
+  ?extra_meta:(string * Json.t) list ->
+  path:string ->
+  program_digest:string ->
+  Pipeline.plan ->
+  (unit, error) result
+(** Encode a complete plan: pipeline config, embedded profile, grouping,
+    selectors and rewrite. The header's config digest is
+    [plan_config_digest plan.config]. *)
+
+val read_plan :
+  ?obs:Obs.t ->
+  ?expect_program:string ->
+  ?expect_config:string ->
+  string ->
+  (header * Pipeline.plan, error) result
+(** Decode a plan artifact; [expect_config] compares against the header's
+    config digest (the cache's key check). The decoded plan's config is
+    re-digested and verified against the header — a tampered config body
+    is a [Digest_mismatch], not a silently different plan. *)
+
+(** {1 Inspection} *)
+
+val read_header : string -> (header, error) result
+(** Read and validate the header line only — kind sniffing for
+    [profile inspect] without decoding the payload. *)

@@ -34,7 +34,7 @@ let double_free_detected (alloc : Alloc_iface.t) () =
     (try
        alloc.Alloc_iface.free a;
        false
-     with Failure _ -> true)
+     with Alloc_iface.Alloc_error _ -> true)
 
 let free_null_ok (alloc : Alloc_iface.t) () =
   alloc.Alloc_iface.free Addr.null;
@@ -45,7 +45,25 @@ let foreign_free_detected (alloc : Alloc_iface.t) () =
     (try
        alloc.Alloc_iface.free 0xDEAD_BEE8;
        false
-     with Failure _ -> true)
+     with Alloc_iface.Alloc_error _ -> true)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let double_free_error_payload (alloc : Alloc_iface.t) () =
+  let a = alloc.Alloc_iface.malloc 16 in
+  alloc.Alloc_iface.free a;
+  match alloc.Alloc_iface.free a with
+  | () -> Alcotest.fail "double free not detected"
+  | exception Alloc_iface.Alloc_error { allocator; op; addr; detail } ->
+      Alcotest.check Alcotest.string "allocator name" alloc.Alloc_iface.name
+        allocator;
+      Alcotest.check Alcotest.string "operation" "free" op;
+      checkb "offending address recorded" true (addr = Some a);
+      checkb "detail mentions the freed state" true
+        (contains (String.lowercase_ascii detail) "free")
 
 let malloc_zero_distinct (alloc : Alloc_iface.t) () =
   let a = alloc.Alloc_iface.malloc 0 in
@@ -97,6 +115,8 @@ let per_allocator name mk =
   [
     Alcotest.test_case (name ^ ": malloc/free roundtrip") `Quick (wrap basic_roundtrip);
     Alcotest.test_case (name ^ ": double free detected") `Quick (wrap double_free_detected);
+    Alcotest.test_case (name ^ ": double-free error payload") `Quick
+      (wrap double_free_error_payload);
     Alcotest.test_case (name ^ ": free(NULL) is a no-op") `Quick (wrap free_null_ok);
     Alcotest.test_case (name ^ ": foreign free detected") `Quick (wrap foreign_free_detected);
     Alcotest.test_case (name ^ ": malloc(0) unique") `Quick (wrap malloc_zero_distinct);
@@ -250,6 +270,23 @@ let alloc_trace_prop name mk =
           end)
         ops)
 
+(* The corrupt-chunk-header path cannot be reached through the public
+   surface (it requires live-table and chunk-map disagreement), so the
+   rendering contract is pinned against the shared raise helper: every
+   component an operator needs — allocator, operation, address, detail —
+   must survive into [Printexc.to_string]. *)
+let corrupt_header_message () =
+  let msg =
+    try
+      Alloc_iface.alloc_error ~allocator:"ptmalloc-sim" ~op:"free"
+        ~addr:0xDEAD08 "corrupt chunk header"
+    with e -> Printexc.to_string e
+  in
+  checkb "names the allocator" true (contains msg "ptmalloc-sim");
+  checkb "names the operation" true (contains msg "free");
+  checkb "carries the address" true (contains msg (Addr.to_hex 0xDEAD08));
+  checkb "carries the detail" true (contains msg "corrupt chunk header")
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     (List.map (fun (name, mk) -> alloc_trace_prop name mk) (allocators ()))
@@ -267,5 +304,7 @@ let suite =
       Alcotest.test_case "ptmalloc: top release" `Quick ptmalloc_top_release;
       Alcotest.test_case "bump: monotone" `Quick bump_is_monotone;
       Alcotest.test_case "bump: contiguity" `Quick bump_contiguity;
+      Alcotest.test_case "alloc_error: corrupt-header rendering" `Quick
+        corrupt_header_message;
     ]
   @ qsuite

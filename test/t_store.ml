@@ -1,0 +1,526 @@
+(* Tests for the persistent profile/plan store: canonical round-trips
+   (property-tested over generated programs), a golden pin of the v1
+   header bytes, one test per decode-rejection path, the structural
+   program digest's scale-insensitivity, weighted cross-run merging, and
+   the content-addressed plan cache's record/apply and warmed-run
+   guarantees. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let w name = Option.get (Workloads.find name)
+
+let tmp suffix = Filename.temp_file "halo-store-test" suffix
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "halo-store-test-%d-%d" (Unix.getpid ()) !n)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+let err what = function
+  | Ok _ -> Alcotest.fail ("expected a decode error: " ^ what)
+  | Error e -> e
+
+(* One profiled workload, shared by the codec tests. *)
+let profiled ?(config = Profiler.default_config) name =
+  let prog = (w name).Workload.make Workload.Test in
+  (prog, config, Profiler.profile ~config prog)
+
+let sorted_edges g = List.sort compare (Affinity_graph.edges g)
+
+let graphs_equal a b =
+  List.sort compare (Affinity_graph.nodes a)
+  = List.sort compare (Affinity_graph.nodes b)
+  && List.for_all
+       (fun id -> Affinity_graph.node_accesses a id = Affinity_graph.node_accesses b id)
+       (Affinity_graph.nodes a)
+  && sorted_edges a = sorted_edges b
+
+(* ---------------- round-trips ---------------- *)
+
+let profile_round_trip () =
+  let prog, config, result = profiled "ft" in
+  let path = tmp ".jsonl" in
+  let digest = Ir_digest.program prog in
+  ok
+    (Store.write_profile ~created:1.0 ~producer:"t" ~path ~program_digest:digest
+       ~config result);
+  let a = ok (Store.read_profile ~expect_program:digest path) in
+  checki "total accesses" result.Profiler.total_accesses
+    a.Store.result.Profiler.total_accesses;
+  checki "tracked allocs" result.Profiler.tracked_allocs
+    a.Store.result.Profiler.tracked_allocs;
+  checki "instructions" result.Profiler.instructions
+    a.Store.result.Profiler.instructions;
+  checki "context count"
+    (Context.count result.Profiler.contexts)
+    (Context.count a.Store.result.Profiler.contexts);
+  for id = 0 to Context.count result.Profiler.contexts - 1 do
+    checkb "context sites" true
+      (Context.sites result.Profiler.contexts id
+      = Context.sites a.Store.result.Profiler.contexts id)
+  done;
+  checkb "filtered graph round-trips" true
+    (graphs_equal result.Profiler.graph a.Store.result.Profiler.graph);
+  checkb "raw graph round-trips" true
+    (graphs_equal result.Profiler.raw_graph a.Store.result.Profiler.raw_graph);
+  checkb "reported total survives" true
+    (Affinity_graph.reported_total result.Profiler.graph
+    = Affinity_graph.reported_total a.Store.result.Profiler.graph);
+  (* Canonical form: re-encoding the decoded artifact reproduces the
+     bytes exactly. *)
+  let path2 = tmp ".jsonl" in
+  ok
+    (Store.write_profile ~created:1.0 ~producer:"t" ~path:path2
+       ~program_digest:digest ~config a.Store.result);
+  checks "byte-stable re-encode" (read_file path) (read_file path2);
+  Sys.remove path;
+  Sys.remove path2
+
+let plan_round_trip_prop =
+  QCheck2.Test.make ~name:"store: decode(encode plan) is structurally equal"
+    ~count:8
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let case = Fuzz_gen.generate ~seed () in
+      let plan = Pipeline.plan case.Fuzz_gen.test in
+      let digest = Ir_digest.program case.Fuzz_gen.test in
+      let path = tmp ".jsonl" in
+      ok
+        (Store.write_plan ~created:2.0 ~producer:"t" ~path
+           ~program_digest:digest plan);
+      let _header, decoded = ok (Store.read_plan ~expect_program:digest path) in
+      let structurally_equal =
+        decoded.Pipeline.config = plan.Pipeline.config
+        && decoded.Pipeline.grouping = plan.Pipeline.grouping
+        && decoded.Pipeline.selectors = plan.Pipeline.selectors
+        && decoded.Pipeline.rewrite = plan.Pipeline.rewrite
+        && graphs_equal decoded.Pipeline.profile.Profiler.graph
+             plan.Pipeline.profile.Profiler.graph
+        && graphs_equal decoded.Pipeline.profile.Profiler.raw_graph
+             plan.Pipeline.profile.Profiler.raw_graph
+      in
+      (* And the canonical form is a fixed point of encode∘decode. *)
+      let path2 = tmp ".jsonl" in
+      ok
+        (Store.write_plan ~created:2.0 ~producer:"t" ~path:path2
+           ~program_digest:digest decoded);
+      let byte_stable = String.equal (read_file path) (read_file path2) in
+      Sys.remove path;
+      Sys.remove path2;
+      structurally_equal && byte_stable)
+
+(* ---------------- golden v1 header ---------------- *)
+
+let golden_header () =
+  let prog, config, result = profiled "ft" in
+  let path = tmp ".jsonl" in
+  ok
+    (Store.write_profile ~created:1700000000.0 ~producer:"golden" ~path
+       ~program_digest:(Ir_digest.program prog) ~config result);
+  let header_line =
+    match String.split_on_char '\n' (read_file path) with
+    | l :: _ -> l
+    | [] -> Alcotest.fail "empty artifact"
+  in
+  Sys.remove path;
+  checks "v1 header bytes"
+    ("{\"format\":\"halo/store\",\"version\":1,\"kind\":\"profile\",\
+      \"program\":\"" ^ Ir_digest.program prog
+   ^ "\",\"config\":\"a44f7ef8caf217822d7a520db0a30566\",\
+      \"created\":1700000000.0,\"producer\":\"golden\",\
+      \"meta\":{\"profiler_config\":{\"affinity_distance\":128,\
+      \"max_tracked_size\":4096,\"node_coverage\":0.90000000000000002,\
+      \"seed\":1,\"sample_period\":1}}}")
+    header_line
+
+let golden_digests () =
+  (* Pinned digest values: a change here is a format break and must bump
+     the artifact version. *)
+  checks "default profiler-config digest" "a44f7ef8caf217822d7a520db0a30566"
+    (Store.profile_config_digest Profiler.default_config);
+  checks "default pipeline-config digest" "a81527018dbd6dbea7ec52cefe82937e"
+    (Store.plan_config_digest Pipeline.default_config);
+  checks "ft structural digest" "d200e61eabefa4299a677a021e2c937e"
+    (Ir_digest.program ((w "ft").Workload.make Workload.Test))
+
+(* ---------------- rejection paths ---------------- *)
+
+(* A small recorded artifact to corrupt, one fresh copy per test. *)
+let recorded () =
+  let prog, config, result = profiled "ft" in
+  let path = tmp ".jsonl" in
+  ok
+    (Store.write_profile ~created:1.0 ~producer:"t" ~path
+       ~program_digest:(Ir_digest.program prog) ~config result);
+  path
+
+let lines_of path =
+  (* Content always ends with a newline, so drop the trailing "". *)
+  match List.rev (String.split_on_char '\n' (read_file path)) with
+  | "" :: rev -> List.rev rev
+  | rev -> List.rev rev
+
+let unlines ls = String.concat "\n" ls ^ "\n"
+
+let replace_once ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - (i + m))
+
+let reject_truncated () =
+  let path = recorded () in
+  let ls = lines_of path in
+  write_file path (unlines (List.filteri (fun i _ -> i < List.length ls - 1) ls));
+  (match err "trailer dropped" (Store.read_profile path) with
+  | Store.Truncated -> ()
+  | e -> Alcotest.fail ("wanted Truncated, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+let reject_bad_checksum () =
+  let path = recorded () in
+  let ls = lines_of path in
+  (* Flip one digit inside the first payload line; the line count is
+     unchanged, so the checksum is what must catch it. *)
+  let flipped =
+    List.mapi
+      (fun i l ->
+        if i <> 1 then l
+        else
+          String.map
+            (fun ch -> if ch = '0' then '9' else if ch = '9' then '0' else ch)
+            l)
+      ls
+  in
+  write_file path (unlines flipped);
+  (match err "payload bit-flip" (Store.read_profile path) with
+  | Store.Bad_checksum _ -> ()
+  | e -> Alcotest.fail ("wanted Bad_checksum, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+let reject_version_skew () =
+  let path = recorded () in
+  let ls = lines_of path in
+  let skewed =
+    List.mapi
+      (fun i l ->
+        if i = 0 then
+          replace_once ~sub:"\"version\":1," ~by:"\"version\":99," l
+        else l)
+      ls
+  in
+  write_file path (unlines skewed);
+  (match err "version 99" (Store.read_header path) with
+  | Store.Version_skew { found = 99; supported = 1 } -> ()
+  | e -> Alcotest.fail ("wanted Version_skew, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+let reject_wrong_kind () =
+  let path = recorded () in
+  (match err "profile read as plan" (Store.read_plan path) with
+  | Store.Wrong_kind { found = "profile"; expected = "plan" } -> ()
+  | e -> Alcotest.fail ("wanted Wrong_kind, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+let reject_digest_mismatch () =
+  let path = recorded () in
+  let other = Ir_digest.program ((w "health").Workload.make Workload.Test) in
+  (match
+     err "foreign program" (Store.read_profile ~expect_program:other path)
+   with
+  | Store.Digest_mismatch { field = "program"; _ } -> ()
+  | e -> Alcotest.fail ("wanted Digest_mismatch, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+let reject_malformed_count () =
+  let path = recorded () in
+  let ls = lines_of path in
+  (* Drop one payload line: the trailer's line count no longer matches. *)
+  write_file path (unlines (List.filteri (fun i _ -> i <> 1) ls));
+  (match err "payload line dropped" (Store.read_profile path) with
+  | Store.Malformed _ -> ()
+  | e -> Alcotest.fail ("wanted Malformed, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+let reject_io () =
+  match err "missing file" (Store.read_profile (tmp_dir () ^ "/nope.jsonl")) with
+  | Store.Io _ -> ()
+  | e -> Alcotest.fail ("wanted Io, got " ^ Store.error_to_string e)
+
+(* ---------------- structural digest ---------------- *)
+
+let digest_scale_insensitive () =
+  List.iter
+    (fun (wl : Workload.t) ->
+      checks
+        (wl.Workload.name ^ ": test and ref digests agree")
+        (Ir_digest.program (wl.Workload.make Workload.Test))
+        (Ir_digest.program (wl.Workload.make Workload.Ref)))
+    Workloads.all
+
+let digest_distinguishes_workloads () =
+  let ds =
+    List.map
+      (fun (wl : Workload.t) ->
+        Ir_digest.program (wl.Workload.make Workload.Test))
+      Workloads.all
+  in
+  checki "all workload digests distinct"
+    (List.length ds)
+    (List.length (List.sort_uniq compare ds))
+
+let digest_fuzz_pairs_agree () =
+  for seed = 1 to 10 do
+    let case = Fuzz_gen.generate ~seed () in
+    checks
+      (Printf.sprintf "seed %d: test/ref digests agree" seed)
+      (Ir_digest.program case.Fuzz_gen.test)
+      (Ir_digest.program case.Fuzz_gen.ref_)
+  done
+
+(* ---------------- merging ---------------- *)
+
+let artifact_of ?config name =
+  let prog, config, result =
+    match config with
+    | Some c -> profiled ~config:c name
+    | None -> profiled name
+  in
+  let path = tmp ".jsonl" in
+  ok
+    (Store.write_profile ~created:1.0 ~producer:"t" ~path
+       ~program_digest:(Ir_digest.program prog) ~config result);
+  let a = ok (Store.read_profile path) in
+  Sys.remove path;
+  a
+
+let merge_identity () =
+  let a = artifact_of "ft" in
+  let _config, m = ok (Store.merge_profiles [ (a, 1.0) ]) in
+  checki "total accesses" a.Store.result.Profiler.total_accesses
+    m.Profiler.total_accesses;
+  checki "tracked allocs" a.Store.result.Profiler.tracked_allocs
+    m.Profiler.tracked_allocs;
+  checkb "raw graph unchanged" true
+    (graphs_equal a.Store.result.Profiler.raw_graph m.Profiler.raw_graph);
+  (* The filter re-runs over the merged raw graph; at weight 1 that is
+     the filter of the original raw graph. *)
+  checkb "refiltered like a single run" true
+    (sorted_edges m.Profiler.graph
+    = sorted_edges
+        (Affinity_graph.filter_top a.Store.result.Profiler.raw_graph
+           ~coverage:a.Store.config.Profiler.node_coverage))
+
+let merge_weights_scale () =
+  let a = artifact_of "ft" in
+  let _config, doubled = ok (Store.merge_profiles [ (a, 1.0); (a, 1.0) ]) in
+  checki "equal-weight self-merge doubles accesses"
+    (2 * a.Store.result.Profiler.total_accesses)
+    doubled.Profiler.total_accesses;
+  let node = List.hd (Affinity_graph.nodes a.Store.result.Profiler.raw_graph) in
+  checki "node accesses double"
+    (2 * Affinity_graph.node_accesses a.Store.result.Profiler.raw_graph node)
+    (Affinity_graph.node_accesses doubled.Profiler.raw_graph node);
+  let _config, halved = ok (Store.merge_profiles [ (a, 0.5) ]) in
+  checki "fractional weight rounds to nearest"
+    (int_of_float
+       (Float.round (0.5 *. float_of_int a.Store.result.Profiler.total_accesses)))
+    halved.Profiler.total_accesses
+
+let merge_across_seeds () =
+  (* Same experiment observed under two input seeds: config digests agree
+     (the seed is masked), so the runs merge. *)
+  let a = artifact_of "ft" in
+  let b =
+    artifact_of ~config:{ Profiler.default_config with Profiler.seed = 5 } "ft"
+  in
+  checks "seed-masked config digests agree" a.Store.header.Store.config_digest
+    b.Store.header.Store.config_digest;
+  let _config, m = ok (Store.merge_profiles [ (a, 1.0); (b, 1.0) ]) in
+  checki "totals add"
+    (a.Store.result.Profiler.total_accesses
+    + b.Store.result.Profiler.total_accesses)
+    m.Profiler.total_accesses
+
+let merge_rejects_foreign_program () =
+  let a = artifact_of "ft" in
+  let b = artifact_of "health" in
+  (match
+     err "cross-program merge" (Store.merge_profiles [ (a, 1.0); (b, 1.0) ])
+   with
+  | Store.Digest_mismatch { field = "program"; _ } -> ()
+  | e -> Alcotest.fail ("wanted Digest_mismatch, got " ^ Store.error_to_string e))
+
+let merge_rejects_bad_weights () =
+  let a = artifact_of "ft" in
+  checkb "empty input raises" true
+    (match Store.merge_profiles [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "non-positive weight raises" true
+    (match Store.merge_profiles [ (a, 0.0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------------- plan cache ---------------- *)
+
+let run_json m = Json.to_string (Runner.to_json m)
+
+let profile_runs obs =
+  Metrics.counter_value (Metrics.counter (Obs.metrics obs) "profile.runs")
+
+let cache_record_apply_equivalence () =
+  let hw = w "ft" in
+  let cache = Plan_cache.create (tmp_dir ()) in
+  let src = Plan_cache.source cache in
+  let cold = Runner.run ~plan_source:src hw Runner.Halo in
+  let warm = Runner.run ~plan_source:src hw Runner.Halo in
+  checks "cached plan reproduces the measurement bit for bit" (run_json cold)
+    (run_json warm);
+  let s = Plan_cache.stats cache in
+  checki "one miss" 1 s.Plan_cache.misses;
+  checki "one store" 1 s.Plan_cache.stores;
+  checki "one hit" 1 s.Plan_cache.hits;
+  (* The artifact on disk, decoded and pinned as a constant source, is
+     the apply phase — and must measure identically too. *)
+  let entry =
+    match
+      Sys.readdir (Plan_cache.dir cache)
+      |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".plan.jsonl")
+    with
+    | [ f ] -> Filename.concat (Plan_cache.dir cache) f
+    | l -> Alcotest.fail (Printf.sprintf "expected 1 cache entry, found %d" (List.length l))
+  in
+  let _header, plan = ok (Store.read_plan entry) in
+  let applied =
+    Runner.run ~plan_source:(Pipeline.constant_source plan) hw Runner.Halo
+  in
+  checks "applied artifact measures identically" (run_json cold)
+    (run_json applied)
+
+let cache_warmed_run_never_profiles () =
+  let hw = w "ft" in
+  let cache = Plan_cache.create (tmp_dir ()) in
+  let src = Plan_cache.source cache in
+  let obs_cold = Obs.create () in
+  ignore (Runner.run ~obs:obs_cold ~plan_source:src hw Runner.Halo
+           : Runner.measurement);
+  checki "cold run profiles once" 1 (profile_runs obs_cold);
+  let obs_warm = Obs.create () in
+  ignore (Runner.run ~obs:obs_warm ~plan_source:src hw Runner.Halo
+           : Runner.measurement);
+  checki "warm run never profiles" 0 (profile_runs obs_warm)
+
+let cache_corrupt_entry_is_a_miss () =
+  let hw = w "ft" in
+  let cache = Plan_cache.create (tmp_dir ()) in
+  let src = Plan_cache.source cache in
+  let cold = Runner.run ~plan_source:src hw Runner.Halo in
+  let entry =
+    Filename.concat (Plan_cache.dir cache)
+      (List.find
+         (fun f -> Filename.check_suffix f ".plan.jsonl")
+         (Array.to_list (Sys.readdir (Plan_cache.dir cache))))
+  in
+  let bytes = read_file entry in
+  write_file entry (String.sub bytes 0 (String.length bytes / 2));
+  let recovered = Runner.run ~plan_source:src hw Runner.Halo in
+  checks "recomputed past the torn entry" (run_json cold) (run_json recovered);
+  let s = Plan_cache.stats cache in
+  checki "torn entry read as a miss" 2 s.Plan_cache.misses;
+  checki "and was re-stored" 2 s.Plan_cache.stores;
+  checkb "entry readable again" true
+    (match Store.read_plan entry with Ok _ -> true | Error _ -> false)
+
+let cache_eviction_bounds_entries () =
+  let hw = w "ft" in
+  let cache = Plan_cache.create ~max_entries:1 (tmp_dir ()) in
+  let src = Plan_cache.source cache in
+  ignore (Runner.run ~plan_source:src hw Runner.Halo : Runner.measurement);
+  let cfg2 =
+    { Pipeline.default_config with Pipeline.min_edge_frac = 2e-4 }
+  in
+  ignore
+    (Runner.run ~plan_source:src ~pipeline_config:cfg2 hw Runner.Halo
+      : Runner.measurement);
+  let entries =
+    Sys.readdir (Plan_cache.dir cache)
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".plan.jsonl")
+  in
+  checki "bounded to max_entries" 1 (List.length entries);
+  checkb "eviction counted" true ((Plan_cache.stats cache).Plan_cache.evictions >= 1)
+
+let suite_warmed_equivalence () =
+  (* The acceptance bar: a warmed cache runs the whole figure suite with
+     zero profiler invocations and unchanged measurements. *)
+  let workloads = [ w "ft" ] in
+  let plain = Figures.run_suite ~workloads ~jobs:1 () in
+  let cache = Plan_cache.create (tmp_dir ()) in
+  let plan_source = Plan_cache.source cache in
+  ignore (Figures.run_suite ~workloads ~jobs:1 ~plan_source () : Figures.suite);
+  let obs = Obs.create () in
+  let warmed = Figures.run_suite ~workloads ~jobs:1 ~obs ~plan_source () in
+  checki "warmed suite never profiles" 0 (profile_runs obs);
+  checkb "warmed suite had no misses" true
+    (let s = Plan_cache.stats cache in
+     s.Plan_cache.hits > 0
+     && s.Plan_cache.misses = (* cold pass only *) s.Plan_cache.stores);
+  List.iter
+    (fun kind ->
+      Alcotest.check
+        (Alcotest.list Alcotest.string)
+        (Runner.kind_name kind ^ " cell identical with warmed cache")
+        (List.map run_json (Figures.runs_of plain "ft" kind))
+        (List.map run_json (Figures.runs_of warmed "ft" kind)))
+    Figures.suite_kinds
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  [
+    tc "profile round-trips" profile_round_trip;
+    tc "golden v1 header" golden_header;
+    tc "golden digests" golden_digests;
+    tc "rejects truncated artifact" reject_truncated;
+    tc "rejects checksum mismatch" reject_bad_checksum;
+    tc "rejects version skew" reject_version_skew;
+    tc "rejects wrong kind" reject_wrong_kind;
+    tc "rejects digest mismatch" reject_digest_mismatch;
+    tc "rejects payload count mismatch" reject_malformed_count;
+    tc "missing file is an io error" reject_io;
+    tc "digest ignores input scale" digest_scale_insensitive;
+    tc "digest distinguishes workloads" digest_distinguishes_workloads;
+    tc "digest agrees on fuzz pairs" digest_fuzz_pairs_agree;
+    tc "merge: weight-1 identity" merge_identity;
+    tc "merge: weights scale counts" merge_weights_scale;
+    tc "merge: seed-independent digest" merge_across_seeds;
+    tc "merge: rejects foreign program" merge_rejects_foreign_program;
+    tc "merge: rejects bad weights" merge_rejects_bad_weights;
+    slow "cache: record/apply equivalence" cache_record_apply_equivalence;
+    slow "cache: warmed run never profiles" cache_warmed_run_never_profiles;
+    slow "cache: corrupt entry is a miss" cache_corrupt_entry_is_a_miss;
+    slow "cache: eviction bounds entries" cache_eviction_bounds_entries;
+    slow "suite: warmed-cache equivalence" suite_warmed_equivalence;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ plan_round_trip_prop ]

@@ -246,7 +246,7 @@ let interp_free_forwards_to_allocator () =
        ignore
          (run_main [ malloc "p" (i 16); free_ (v "p"); free_ (v "p") ]);
        false
-     with Failure _ -> true)
+     with Alloc_iface.Alloc_error _ -> true)
 
 (* ---------------- instrumentation: patch points ---------------- *)
 

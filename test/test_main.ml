@@ -16,6 +16,7 @@ let () =
       ("vm", T_vm.suite);
       ("profile", T_profile.suite);
       ("core", T_core.suite);
+      ("store", T_store.suite);
       ("fuzz", T_fuzz.suite);
       ("hds", T_hds.suite);
       ("workloads", T_workloads.suite);
