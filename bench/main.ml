@@ -64,11 +64,19 @@ let plan_cache () =
 
 let plan_source () = Option.map Plan_cache.source (plan_cache ())
 
+(* `--label` names the run in BENCH_<date>.json's hotpath section, so a
+   baseline measurement and a post-optimisation one sit side by side in
+   the same-day artifact. *)
+let bench_label = ref "current"
+
 (* ------------------------------------------------------------------ *)
 (* BENCH_<date>.json: per-suite wall time and cache effectiveness.     *)
 (* ------------------------------------------------------------------ *)
 
 let bench_records : (string * float * Plan_cache.stats) list ref = ref []
+
+(* (workload, config, events, events/s) rows from `--hotpath`. *)
+let hotpath_records : (string * string * int * float) list ref = ref []
 
 let cache_snapshot () =
   match plan_cache () with
@@ -104,16 +112,34 @@ let write_bench_report () =
       let path = Printf.sprintf "BENCH_%s.json" (bench_date ()) in
       (* Same-day invocations accumulate: a cold run followed by a warmed
          --plan-cache run leaves both wall times side by side in one
-         artifact. *)
-      let earlier =
+         artifact — likewise a `--label baseline` hotpath run followed by
+         a `--label optimised` one. *)
+      let earlier_fields =
         if not (Sys.file_exists path) then []
         else
           match Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
-          | Ok (Json.Obj fields) -> (
-              match List.assoc_opt "suites" fields with
-              | Some (Json.List l) -> l
-              | _ -> [])
+          | Ok (Json.Obj fields) -> fields
           | _ -> []
+      in
+      let earlier_list key =
+        match List.assoc_opt key earlier_fields with
+        | Some (Json.List l) -> l
+        | _ -> []
+      in
+      let earlier = earlier_list "suites" in
+      let hotpath =
+        earlier_list "hotpath"
+        @ List.rev_map
+            (fun (workload, config, events, eps) ->
+              Json.Obj
+                [
+                  ("label", Json.String !bench_label);
+                  ("workload", Json.String workload);
+                  ("config", Json.String config);
+                  ("events", Json.Int events);
+                  ("events_per_s", Json.Float eps);
+                ])
+            !hotpath_records
       in
       let suites =
         List.rev_map
@@ -144,6 +170,7 @@ let write_bench_report () =
               | Some d -> Json.String d
               | None -> Json.Null );
             ("suites", Json.List (earlier @ suites));
+            ("hotpath", Json.List hotpath);
           ]
       in
       let oc = open_out path in
@@ -368,6 +395,111 @@ let run_obs_overhead () =
     \ construction, modulo timer noise across the two runs.)"
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path throughput: events/s of the simulate/profile inner loop.   *)
+(*                                                                     *)
+(* One "event" is one executed load or store — the unit every per-     *)
+(* access hook pays for. The count comes from a bare uninstrumented    *)
+(* run: hooks never touch the program's Rand stream, so the interp,    *)
+(* simulate and profile configurations all replay exactly the same     *)
+(* event trace and their wall times are directly comparable.           *)
+(* ------------------------------------------------------------------ *)
+
+let run_hotpath () =
+  let seed = Option.value !seed_override ~default:2 in
+  let trials = 3 in
+  let median l =
+    let a = List.sort compare l in
+    List.nth a (List.length a / 2)
+  in
+  let config_names = [ "interp"; "simulate"; "profile" ] in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "hot-path throughput (label %S, seed %d)" !bench_label
+           seed)
+      ~headers:[ "workload"; "config"; "events"; "Mevents/s" ]
+      ()
+  in
+  let totals = Hashtbl.create 8 in
+  let record workload config events eps =
+    hotpath_records := (workload, config, events, eps) :: !hotpath_records;
+    Table.add_row t
+      [
+        workload; config; string_of_int events; Printf.sprintf "%.2f" (eps /. 1e6);
+      ]
+  in
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      let program = w.Workload.make Workload.Ref in
+      let bare () =
+        let vmem = Vmem.create () in
+        let alloc = Jemalloc_sim.create vmem in
+        Interp.create ~seed ~program ~alloc ()
+      in
+      let events =
+        let interp = bare () in
+        ignore (Interp.run interp : int);
+        let loads, stores = Interp.load_byte_count interp in
+        loads + stores
+      in
+      let configs =
+        [
+          ( "interp",
+            fun () ->
+              let interp = bare () in
+              ignore (Interp.run interp : int) );
+          ( "simulate",
+            fun () ->
+              let vmem = Vmem.create () in
+              let alloc = Jemalloc_sim.create vmem in
+              let hier = Hierarchy.create () in
+              let hooks =
+                {
+                  Interp.no_hooks with
+                  Interp.on_access =
+                    (fun addr size _w -> Hierarchy.access hier addr size);
+                }
+              in
+              let interp = Interp.create ~seed ~hooks ~program ~alloc () in
+              ignore (Interp.run interp : int) );
+          ( "profile",
+            fun () ->
+              ignore
+                (Profiler.profile
+                   ~config:{ Profiler.default_config with Profiler.seed }
+                   program
+                  : Profiler.result) );
+        ]
+      in
+      List.iter
+        (fun (cname, f) ->
+          let dt =
+            median
+              (List.init trials (fun _ ->
+                   let t0 = Unix.gettimeofday () in
+                   f ();
+                   Unix.gettimeofday () -. t0))
+          in
+          let eps = float_of_int events /. dt in
+          record name cname events eps;
+          let e0, d0 =
+            Option.value (Hashtbl.find_opt totals cname) ~default:(0, 0.)
+          in
+          Hashtbl.replace totals cname (e0 + events, d0 +. dt);
+          Printf.eprintf "  [hotpath] %s/%s: %.2f Mevents/s\n%!" name cname
+            (eps /. 1e6))
+        configs)
+    [ "health"; "omnetpp"; "leela" ];
+  List.iter
+    (fun cname ->
+      match Hashtbl.find_opt totals cname with
+      | Some (e, d) -> record "all" cname e (float_of_int e /. d)
+      | None -> ())
+    config_names;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -395,7 +527,10 @@ let () =
     | "--plan-cache" :: dir :: rest ->
         plan_cache_dir := Some dir;
         strip_flags acc rest
-    | [ ("--seed" | "--jobs" | "--plan-cache") as flag ] ->
+    | "--label" :: l :: rest ->
+        bench_label := l;
+        strip_flags acc rest
+    | [ ("--seed" | "--jobs" | "--plan-cache" | "--label") as flag ] ->
         Printf.eprintf "%s: missing value\n" flag;
         exit 2
     | a :: rest -> strip_flags (a :: acc) rest
@@ -429,6 +564,7 @@ let () =
       Table.print (Figures.fig15 suite)
   | [ "micro" ] -> timed "micro" run_micro
   | [ "obs" ] -> timed "obs" run_obs_overhead
+  | [ "--hotpath" ] -> timed "hotpath" run_hotpath
   | [ "fig12" ] -> Table.print (timed "fig12" Figures.fig12)
   | [ "fig13" ] -> Table.print (Figures.fig13 (suite ()))
   | [ "fig14" ] -> Table.print (Figures.fig14 (suite ()))
@@ -451,7 +587,7 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [experiments|trials N|micro|obs|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
-         [--seed N] [--jobs N] [--plan-cache DIR]";
+         [experiments|trials N|micro|obs|--hotpath|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
+         [--seed N] [--jobs N] [--plan-cache DIR] [--label NAME]";
       exit 2);
   write_bench_report ()

@@ -721,10 +721,51 @@ let disasm_cmd =
 
 let fuzz_cmd =
   let run seeds seed_base ref_scale time_budget replay corpus shrink_steps
-      jobs trace_out plan_cache =
+      jobs trace_out plan_cache digests_out digests_check =
     let cache = plan_cache_of plan_cache in
-    match replay with
-    | Some seed ->
+    match (replay, digests_out, digests_check) with
+    | None, Some path, _ ->
+        (* Record the seed set's semantics: reference digests, plan shape
+           and allocator-stat totals, one JSON record per seed. *)
+        let records = Fuzz_harness.digest_sweep ~ref_scale ~seed_base ~seeds () in
+        let failing = List.filter (fun r -> r.Fuzz_harness.d_failures > 0) records in
+        if failing <> [] then begin
+          List.iter
+            (fun r ->
+              Printf.printf "seed %d: %d oracle failures\n" r.Fuzz_harness.d_seed
+                r.Fuzz_harness.d_failures)
+            failing;
+          print_endline "refusing to record a corpus with oracle failures";
+          exit 1
+        end;
+        Fuzz_harness.save_digests ~path ~ref_scale records;
+        Printf.printf "recorded %d case digests to %s\n" (List.length records) path
+    | None, None, Some path -> (
+        match Fuzz_harness.load_digests ~path with
+        | Error e ->
+            Printf.eprintf "halo: %s\n" e;
+            exit 1
+        | Ok (ref_scale, expected) -> (
+            let got =
+              Fuzz_harness.digest_sweep ~ref_scale
+                ~seed_base:
+                  (match expected with
+                  | r :: _ -> r.Fuzz_harness.d_seed
+                  | [] -> 1)
+                ~seeds:(List.length expected) ()
+            in
+            match Fuzz_harness.check_digests ~expected got with
+            | [] ->
+                Printf.printf
+                  "digest check: %d cases identical to %s (access digests, \
+                   contexts, plans, allocator stats)\n"
+                  (List.length expected) path
+            | mismatches ->
+                List.iter print_endline mismatches;
+                Printf.printf "digest check: %d mismatches against %s\n"
+                  (List.length mismatches) path;
+                exit 1))
+    | Some seed, _, _ ->
         let case, result = Fuzz_harness.replay ~ref_scale seed in
         Printf.printf "seed %d: %d trace decisions, %d IR statements (ref)\n"
           seed
@@ -745,7 +786,7 @@ let fuzz_cmd =
                   f.Fuzz_oracle.reason)
               fs;
             exit 1)
-    | None ->
+    | None, None, None ->
         let summary =
           with_obs trace_out (fun obs ->
               Fuzz_harness.run
@@ -830,6 +871,25 @@ let fuzz_cmd =
       & info [ "shrink-steps" ] ~docv:"N"
           ~doc:"Shrink budget (oracle replays) per failing case.")
   in
+  let digests_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "digests-out" ] ~docv:"FILE"
+          ~doc:
+            "Record the seed set's semantics (reference digests, plan \
+             shape, allocator stats) to $(docv) instead of running a \
+             campaign; fails if any seed violates the oracle.")
+  in
+  let digests_check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "digests-check" ] ~docv:"FILE"
+          ~doc:
+            "Re-run the seed set recorded in $(docv) and fail on any \
+             semantic divergence from the recorded digests.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -840,7 +900,7 @@ let fuzz_cmd =
     Term.(
       const run $ seeds_arg $ seed_base_arg $ ref_scale_arg $ budget_arg
       $ replay_arg $ corpus_arg $ shrink_arg $ jobs_arg $ trace_out_arg
-      $ plan_cache_arg)
+      $ plan_cache_arg $ digests_out_arg $ digests_check_arg)
 
 let list_cmd =
   let run () =

@@ -85,6 +85,221 @@ let replay ?(ref_scale = 3) ?(extra = []) seed =
   let case = Fuzz_gen.generate ~ref_scale ~seed () in
   (case, Fuzz_oracle.run_case ~extra case)
 
+(* ------------------------------------------------------------------ *)
+(* Semantic digest corpus: a fixed seed set's oracle observables,      *)
+(* recorded to JSON so that interpreter/profiler changes can be        *)
+(* checked bit-for-bit against previously recorded behaviour.          *)
+(* ------------------------------------------------------------------ *)
+
+type digest_record = {
+  d_seed : int;
+  d_failures : int;
+  d_ret : (int, string) Stdlib.result;
+  d_dig : Fuzz_observe.digest;
+  d_stats : Fuzz_oracle.stats;
+}
+
+let digest_sweep ?(ref_scale = 3) ?(seed_base = 1) ~seeds () =
+  List.init seeds (fun k ->
+      let seed = seed_base + k in
+      let case = Fuzz_gen.generate ~ref_scale ~seed () in
+      let r = Fuzz_oracle.run_case case in
+      {
+        d_seed = seed;
+        d_failures = List.length r.Fuzz_oracle.failures;
+        d_ret = r.Fuzz_oracle.ref_ret;
+        d_dig = r.Fuzz_oracle.ref_dig;
+        d_stats = r.Fuzz_oracle.stats;
+      })
+
+let digest_record_json r =
+  let open Json in
+  let dig = r.d_dig in
+  let stats = r.d_stats in
+  Obj
+    ([ ("seed", Int r.d_seed); ("failures", Int r.d_failures) ]
+    @ (match r.d_ret with
+      | Ok v -> [ ("ret", Int v) ]
+      | Error msg -> [ ("crash", String msg) ])
+    @ [
+        ("allocs", Int dig.Fuzz_observe.allocs);
+        ("frees", Int dig.Fuzz_observe.frees);
+        ("accesses", Int dig.Fuzz_observe.accesses);
+        ("site_digest", Int dig.Fuzz_observe.site_digest);
+        ("access_digest", Int dig.Fuzz_observe.access_digest);
+        ("free_digest", Int dig.Fuzz_observe.free_digest);
+        ("configs", Int stats.Fuzz_oracle.configs);
+        ("oracle_allocs", Int stats.Fuzz_oracle.allocs);
+        ("oracle_accesses", Int stats.Fuzz_oracle.accesses);
+        ("groups", Int stats.Fuzz_oracle.groups);
+        ("monitored", Int stats.Fuzz_oracle.monitored);
+        ("contexts", Int stats.Fuzz_oracle.contexts);
+      ])
+
+let digests_json ~ref_scale records =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("ref_scale", Json.Int ref_scale);
+      ("cases", Json.List (List.map digest_record_json records));
+    ]
+
+let digest_record_of_json j =
+  let open Json in
+  let field name =
+    match j with
+    | Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let int_field name =
+    match field name with
+    | Some (Int v) -> Ok v
+    | _ -> Error (Printf.sprintf "digest corpus: missing int field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* seed = int_field "seed" in
+  let* failures = int_field "failures" in
+  let* ret =
+    match (field "ret", field "crash") with
+    | Some (Int v), _ -> Ok (Ok v)
+    | _, Some (String msg) -> Ok (Error msg)
+    | _ -> Error (Printf.sprintf "seed %d: missing ret/crash" seed)
+  in
+  let* allocs = int_field "allocs" in
+  let* frees = int_field "frees" in
+  let* accesses = int_field "accesses" in
+  let* site_digest = int_field "site_digest" in
+  let* access_digest = int_field "access_digest" in
+  let* free_digest = int_field "free_digest" in
+  let* configs = int_field "configs" in
+  let* oracle_allocs = int_field "oracle_allocs" in
+  let* oracle_accesses = int_field "oracle_accesses" in
+  let* groups = int_field "groups" in
+  let* monitored = int_field "monitored" in
+  let* contexts = int_field "contexts" in
+  Ok
+    {
+      d_seed = seed;
+      d_failures = failures;
+      d_ret = ret;
+      d_dig =
+        {
+          Fuzz_observe.allocs;
+          frees;
+          accesses;
+          site_digest;
+          access_digest;
+          free_digest;
+        };
+      d_stats =
+        {
+          Fuzz_oracle.configs;
+          allocs = oracle_allocs;
+          accesses = oracle_accesses;
+          groups;
+          monitored;
+          contexts;
+        };
+    }
+
+let digests_of_json j =
+  let open Json in
+  match j with
+  | Obj fields -> (
+      match
+        (List.assoc_opt "ref_scale" fields, List.assoc_opt "cases" fields)
+      with
+      | Some (Int ref_scale), Some (List cases) ->
+          let rec go acc = function
+            | [] -> Ok (ref_scale, List.rev acc)
+            | c :: rest -> (
+                match digest_record_of_json c with
+                | Ok r -> go (r :: acc) rest
+                | Error e -> Error e)
+          in
+          go [] cases
+      | _ -> Error "digest corpus: missing ref_scale/cases")
+  | _ -> Error "digest corpus: not a JSON object"
+
+let save_digests ~path ~ref_scale records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true (digests_json ~ref_scale records));
+      output_char oc '\n')
+
+let load_digests ~path =
+  match
+    Json.of_string (In_channel.with_open_bin path In_channel.input_all)
+  with
+  | Error e -> Error e
+  | Ok j -> digests_of_json j
+
+(* Field-by-field mismatch report, so a semantic regression names the
+   exact observable that moved rather than just "digest differs". *)
+let describe_record_mismatch ~expected ~got =
+  let ints =
+    [
+      ("failures", expected.d_failures, got.d_failures);
+      ("allocs", expected.d_dig.Fuzz_observe.allocs, got.d_dig.Fuzz_observe.allocs);
+      ("frees", expected.d_dig.Fuzz_observe.frees, got.d_dig.Fuzz_observe.frees);
+      ( "accesses",
+        expected.d_dig.Fuzz_observe.accesses,
+        got.d_dig.Fuzz_observe.accesses );
+      ( "site_digest",
+        expected.d_dig.Fuzz_observe.site_digest,
+        got.d_dig.Fuzz_observe.site_digest );
+      ( "access_digest",
+        expected.d_dig.Fuzz_observe.access_digest,
+        got.d_dig.Fuzz_observe.access_digest );
+      ( "free_digest",
+        expected.d_dig.Fuzz_observe.free_digest,
+        got.d_dig.Fuzz_observe.free_digest );
+      ("configs", expected.d_stats.Fuzz_oracle.configs, got.d_stats.Fuzz_oracle.configs);
+      ( "oracle_allocs",
+        expected.d_stats.Fuzz_oracle.allocs,
+        got.d_stats.Fuzz_oracle.allocs );
+      ( "oracle_accesses",
+        expected.d_stats.Fuzz_oracle.accesses,
+        got.d_stats.Fuzz_oracle.accesses );
+      ("groups", expected.d_stats.Fuzz_oracle.groups, got.d_stats.Fuzz_oracle.groups);
+      ( "monitored",
+        expected.d_stats.Fuzz_oracle.monitored,
+        got.d_stats.Fuzz_oracle.monitored );
+      ( "contexts",
+        expected.d_stats.Fuzz_oracle.contexts,
+        got.d_stats.Fuzz_oracle.contexts );
+    ]
+  in
+  let ret_part =
+    if expected.d_ret = got.d_ret then []
+    else
+      let show = function
+        | Ok v -> string_of_int v
+        | Error msg -> "crash: " ^ msg
+      in
+      [ Printf.sprintf "ret: expected %s, got %s" (show expected.d_ret) (show got.d_ret) ]
+  in
+  ret_part
+  @ List.filter_map
+      (fun (name, e, g) ->
+        if e = g then None
+        else Some (Printf.sprintf "%s: expected %d, got %d" name e g))
+      ints
+
+let check_digests ~expected got =
+  let by_seed = List.map (fun r -> (r.d_seed, r)) got in
+  List.concat_map
+    (fun exp ->
+      match List.assoc_opt exp.d_seed by_seed with
+      | None -> [ Printf.sprintf "seed %d: missing from re-run" exp.d_seed ]
+      | Some g ->
+          List.map
+            (fun m -> Printf.sprintf "seed %d: %s" exp.d_seed m)
+            (describe_record_mismatch ~expected:exp ~got:g))
+    expected
+
 let logf cfg fmt =
   Printf.ksprintf (fun s -> match cfg.log with Some f -> f s | None -> ()) fmt
 

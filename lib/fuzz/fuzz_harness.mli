@@ -82,3 +82,37 @@ val replay :
 
 val report_json : case_report -> Json.t
 (** The corpus-file shape; stable keys, replayable from [seed]/[trace]. *)
+
+(** {2 Semantic digest corpus}
+
+    A fixed seed set's oracle observables — reference-run digest, return
+    value, plan shape (groups/monitored/contexts) and per-config
+    allocator stats totals — recorded to JSON. Re-running the sweep
+    against a recorded corpus pins the interpreter/profiler semantics:
+    any optimisation that changes an observable shows up as a named
+    field mismatch on a named seed. *)
+
+type digest_record = {
+  d_seed : int;
+  d_failures : int;  (** Oracle failure count (0 for a healthy pipeline). *)
+  d_ret : (int, string) Stdlib.result;  (** Reference run's return value. *)
+  d_dig : Fuzz_observe.digest;  (** Reference run's observable digest. *)
+  d_stats : Fuzz_oracle.stats;
+}
+
+val digest_sweep :
+  ?ref_scale:int -> ?seed_base:int -> seeds:int -> unit -> digest_record list
+(** Run the full oracle battery over consecutive seeds and collect one
+    record per case. Deterministic: equal arguments, equal records. *)
+
+val digests_json : ref_scale:int -> digest_record list -> Json.t
+val digests_of_json : Json.t -> (int * digest_record list, string) Stdlib.result
+(** Returns [(ref_scale, records)]. *)
+
+val save_digests : path:string -> ref_scale:int -> digest_record list -> unit
+val load_digests : path:string -> (int * digest_record list, string) Stdlib.result
+
+val check_digests :
+  expected:digest_record list -> digest_record list -> string list
+(** [check_digests ~expected got] compares record lists seed by seed and
+    returns human-readable mismatch lines ([[]] = semantics identical). *)

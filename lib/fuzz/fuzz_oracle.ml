@@ -6,9 +6,15 @@ type stats = {
   accesses : int;
   groups : int;
   monitored : int;
+  contexts : int;
 }
 
-type result = { failures : failure list; stats : stats }
+type result = {
+  failures : failure list;
+  stats : stats;
+  ref_ret : (int, string) Stdlib.result;
+  ref_dig : Fuzz_observe.digest;
+}
 
 (* Outcome of one configuration's run. *)
 type run = {
@@ -132,7 +138,7 @@ let run_case ?(extra = []) ?plan_source (case : Fuzz_gen.case) =
   (* HALO: plan on the test-scale program, measure on ref — structural
      pairing guarantees the patch sites exist in both. *)
   let plan_failures = ref [] in
-  let groups = ref 0 and monitored = ref 0 in
+  let groups = ref 0 and monitored = ref 0 and contexts = ref 0 in
   (match Pipeline.plan ?source:plan_source case.Fuzz_gen.test with
   | exception e ->
       plan_failures :=
@@ -140,6 +146,7 @@ let run_case ?(extra = []) ?plan_source (case : Fuzz_gen.case) =
   | plan ->
       groups := Array.length plan.Pipeline.grouping.Grouping.groups;
       monitored := plan.Pipeline.rewrite.Rewrite.nbits;
+      contexts := Context.count plan.Pipeline.profile.Profiler.contexts;
       plan_failures :=
         List.map
           (fun v -> { config = "plan"; reason = v })
@@ -183,6 +190,7 @@ let run_case ?(extra = []) ?plan_source (case : Fuzz_gen.case) =
         List.fold_left (fun a r -> a + r.dig.Fuzz_observe.accesses) 0 runs;
       groups = !groups;
       monitored = !monitored;
+      contexts = !contexts;
     }
   in
-  { failures; stats }
+  { failures; stats; ref_ret = reference.ret; ref_dig = reference.dig }

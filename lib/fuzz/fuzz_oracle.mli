@@ -31,9 +31,19 @@ type stats = {
   accesses : int;  (** Accesses digested, summed over configs. *)
   groups : int;  (** Groups in the HALO plan. *)
   monitored : int;  (** Monitored sites (group-state bits) in the plan. *)
+  contexts : int;  (** Interned allocation contexts in the plan's profile. *)
 }
 
-type result = { failures : failure list; stats : stats }
+type result = {
+  failures : failure list;
+  stats : stats;
+  ref_ret : (int, string) Stdlib.result;
+      (** The jemalloc reference run's return value ([Error] = crash). *)
+  ref_dig : Fuzz_observe.digest;
+      (** The jemalloc reference run's observable digest — together with
+          [ref_ret] and [stats] this pins a case's semantics, so recorded
+          values double as a golden corpus for interpreter changes. *)
+}
 (** [failures = []] is a pass. *)
 
 val run_case :

@@ -380,6 +380,107 @@ let harness_time_budget_stops () =
   checkb "stopped early" true (s.Fuzz_harness.cases < 1_000_000);
   checkb "did some work" true (s.Fuzz_harness.cases > 0)
 
+(* ---------------- Semantic digest pinning ---------------- *)
+
+(* Golden observables for seeds 1-3 at ref-scale 8 (same parameters as
+   test/fuzz_digests_golden.json). Hard literals, on purpose: any change
+   to interpreter/profiler/planner semantics — a paged-memory bug, a
+   context-cache invalidation miss, a heap-model fast-path divergence —
+   flips a digest and fails here, inside tier-1, without touching the
+   filesystem. Re-record via
+   `halo_cli fuzz --digests-out ... --seeds 60 --ref-scale 8` only when a
+   semantic change is intended. *)
+let digest_corpus_pinned () =
+  let got = Fuzz_harness.digest_sweep ~ref_scale:8 ~seed_base:1 ~seeds:3 () in
+  let expected =
+    [
+      {
+        Fuzz_harness.d_seed = 1;
+        d_failures = 0;
+        d_ret = Ok 923331;
+        d_dig =
+          {
+            Fuzz_observe.allocs = 9;
+            frees = 4;
+            accesses = 21;
+            site_digest = 2757686650055092693;
+            access_digest = 662406446348581391;
+            free_digest = 1615652273819640566;
+          };
+        d_stats =
+          {
+            Fuzz_oracle.configs = 6;
+            allocs = 54;
+            accesses = 126;
+            groups = 0;
+            monitored = 0;
+            contexts = 8;
+          };
+      };
+      {
+        Fuzz_harness.d_seed = 2;
+        d_failures = 0;
+        d_ret = Ok 165;
+        d_dig =
+          {
+            Fuzz_observe.allocs = 2;
+            frees = 2;
+            accesses = 5;
+            site_digest = 3807125274368679493;
+            access_digest = 3719642374972706499;
+            free_digest = 12650750086017498;
+          };
+        d_stats =
+          {
+            Fuzz_oracle.configs = 6;
+            allocs = 12;
+            accesses = 30;
+            groups = 0;
+            monitored = 0;
+            contexts = 2;
+          };
+      };
+      {
+        Fuzz_harness.d_seed = 3;
+        d_failures = 0;
+        d_ret = Ok 5766;
+        d_dig =
+          {
+            Fuzz_observe.allocs = 3;
+            frees = 2;
+            accesses = 4;
+            site_digest = 4546001803694920757;
+            access_digest = 3525967202767498767;
+            free_digest = 12650750086017498;
+          };
+        d_stats =
+          {
+            Fuzz_oracle.configs = 6;
+            allocs = 18;
+            accesses = 24;
+            groups = 0;
+            monitored = 0;
+            contexts = 3;
+          };
+      };
+    ]
+  in
+  check (Alcotest.list Alcotest.string) "semantics pinned" []
+    (Fuzz_harness.check_digests ~expected got)
+
+let digest_json_roundtrip () =
+  let records = Fuzz_harness.digest_sweep ~ref_scale:4 ~seed_base:7 ~seeds:5 () in
+  match
+    Fuzz_harness.digests_of_json
+      (Fuzz_harness.digests_json ~ref_scale:4 records)
+  with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok (scale, records') ->
+      checki "ref_scale" 4 scale;
+      check (Alcotest.list Alcotest.string) "records roundtrip" []
+        (Fuzz_harness.check_digests ~expected:records records');
+      checki "same count" (List.length records) (List.length records')
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   [
@@ -415,4 +516,6 @@ let suite =
       harness_evil_campaign_saves_corpus;
     tc "harness: verdicts independent of jobs" harness_jobs_equivalence;
     tc "harness: time budget stops campaign" harness_time_budget_stops;
+    tc "digests: corpus semantics pinned" digest_corpus_pinned;
+    tc "digests: json roundtrip" digest_json_roundtrip;
   ]
