@@ -440,7 +440,7 @@ let run_hotpath () =
       let events =
         let interp = bare () in
         ignore (Interp.run interp : int);
-        let loads, stores = Interp.load_byte_count interp in
+        let loads, stores = Interp.load_store_counts interp in
         loads + stores
       in
       let configs =

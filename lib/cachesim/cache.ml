@@ -3,6 +3,11 @@ type t = {
   line_bytes : int;
   line_bits : int;
   sets : int;
+  (* For power-of-two set counts (every level of the modelled Xeon but
+     its 11-way L3), set/tag extraction is a mask and a shift;
+     [set_mask = -1] marks the exact mod/div fallback. *)
+  set_bits : int;
+  set_mask : int;
   assoc : int;
   (* tags.(set * assoc + way); recency.(set * assoc + way) — larger is more
      recently used. A global stamp gives O(assoc) LRU with no list
@@ -26,11 +31,14 @@ let create ~name ~size_bytes ~assoc ~line_bytes =
     invalid_arg "Cache.create: size not divisible by assoc * line";
   let sets = size_bytes / (assoc * line_bytes) in
   if sets <= 0 then invalid_arg "Cache.create: zero sets";
+  let pow2 = Addr.is_power_of_two sets in
   {
     name;
     line_bytes;
     line_bits = log2_exact line_bytes;
     sets;
+    set_bits = (if pow2 then log2_exact sets else 0);
+    set_mask = (if pow2 then sets - 1 else -1);
     assoc;
     tags = Array.make (sets * assoc) 0;
     recency = Array.make (sets * assoc) 0;
@@ -42,8 +50,8 @@ let create ~name ~size_bytes ~assoc ~line_bytes =
 
 let access t addr =
   let line = addr lsr t.line_bits in
-  let set = line mod t.sets in
-  let tag = line / t.sets in
+  let set = if t.set_mask >= 0 then line land t.set_mask else line mod t.sets in
+  let tag = if t.set_mask >= 0 then line lsr t.set_bits else line / t.sets in
   let base = set * t.assoc in
   t.stamp <- t.stamp + 1;
   let found = ref (-1) in
@@ -78,9 +86,8 @@ let access t addr =
 
 let locate t addr =
   let line = addr lsr t.line_bits in
-  let set = line mod t.sets in
-  let tag = line / t.sets in
-  (set, tag)
+  if t.set_mask >= 0 then (line land t.set_mask, line lsr t.set_bits)
+  else (line mod t.sets, line / t.sets)
 
 let contains t addr =
   let set, tag = locate t addr in

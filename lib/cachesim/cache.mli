@@ -12,7 +12,11 @@ type t
 
 val create : name:string -> size_bytes:int -> assoc:int -> line_bytes:int -> t
 (** [create ~name ~size_bytes ~assoc ~line_bytes]. [size_bytes] must be
-    divisible by [assoc * line_bytes] and [line_bytes] a power of two. *)
+    divisible by [assoc * line_bytes] and [line_bytes] a power of two.
+    When the resulting set count is itself a power of two (every level
+    of the modelled Xeon except its 11-way L3), set/tag extraction on
+    the per-access path is a precomputed mask and shift; other set
+    counts use the exact mod/div formula. *)
 
 val access : t -> Addr.t -> bool
 (** [access t addr] looks up (and on miss, fills) the line containing
@@ -40,6 +44,11 @@ val fill : t -> Addr.t -> unit
 
 val contains : t -> Addr.t -> bool
 (** Probe without side effects (no fill, no counter, no LRU update). *)
+
+val locate : t -> Addr.t -> int * int
+(** [(set, tag)] for the line containing [addr] — equal to
+    [(line mod sets, line / sets)] for the power-of-two set counts
+    {!create} enforces; exposed so tests can pin that equivalence. *)
 
 val flush : t -> unit
 (** Invalidate every line and zero the counters. *)

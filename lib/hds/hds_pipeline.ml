@@ -32,11 +32,24 @@ let plan ?(config = default_config) ?(merge_identical = false) program =
   let grammar = Sequitur.create () in
   let site_of_oid = Hashtbl.create 4096 in
   let last_oid = ref (-1) in
+  (* Context arrays arrive physically stable per (stack, site) from the
+     interpreter's cache — memoise interning on identity (see
+     Profiler.track). *)
+  let last_sites = ref [||] in
+  let last_cid = ref (-1) in
   let track addr size site ctx_sites =
     if size <= config.max_tracked_size then begin
       (* The context table is only used for oid bookkeeping here; HDS
          identification sees just the immediate site. *)
-      let cid = Context.intern contexts ctx_sites in
+      let cid =
+        if ctx_sites == !last_sites then !last_cid
+        else begin
+          let cid = Context.intern contexts ctx_sites in
+          last_sites := ctx_sites;
+          last_cid := cid;
+          cid
+        end
+      in
       let o = Heap_model.on_alloc heap ~addr ~size ~ctx:cid in
       Hashtbl.replace site_of_oid o.Heap_model.oid site
     end

@@ -1,3 +1,22 @@
+(* The hashtables remain the single source of truth; the two caches
+   below only hold references INTO them, so every read path is
+   oblivious to caching:
+
+   - [acc_fast] maps dense context ids straight to their access
+     counter, turning the per-macro-access bump into an array index;
+   - [pair_cache] is a small direct-mapped cache of (x, y) -> the three
+     counter refs an affinity bump touches (weight + both adjacency
+     entries), since profiling hammers the same few context pairs. *)
+type pair_slot = {
+  mutable p_x : Context.id; (* normalised x <= y; min_int when empty *)
+  mutable p_y : Context.id;
+  mutable p_w : int ref;
+  mutable p_xy : int ref;
+  mutable p_yx : int ref; (* == p_xy for self-edges *)
+}
+
+let pair_cache_size = 256 (* power of two *)
+
 type t = {
   accesses : (Context.id, int ref) Hashtbl.t;
   weights : (Context.id * Context.id, int ref) Hashtbl.t; (* key normalised x <= y *)
@@ -5,7 +24,11 @@ type t = {
   mutable total : int;
   mutable reported_total : int option;
       (* Set on filtered copies: the pre-filter access total. *)
+  mutable acc_fast : int ref array; (* indexed by context id *)
+  pair_cache : pair_slot array;
 }
+
+let zero = ref 0 (* placeholder for empty cache slots; never bumped *)
 
 let create () =
   {
@@ -14,6 +37,10 @@ let create () =
     adj = Hashtbl.create 256;
     total = 0;
     reported_total = None;
+    acc_fast = [||];
+    pair_cache =
+      Array.init pair_cache_size (fun _ ->
+          { p_x = min_int; p_y = min_int; p_w = zero; p_xy = zero; p_yx = zero });
   }
 
 let counter tbl key =
@@ -24,8 +51,33 @@ let counter tbl key =
       Hashtbl.replace tbl key r;
       r
 
+let acc_ref t x =
+  if x >= 0 && x < Array.length t.acc_fast then begin
+    let r = t.acc_fast.(x) in
+    if r != zero then r
+    else begin
+      (* Slot not wired yet: bind it to the authoritative counter
+         (creating that in the table if needed — [zero] placeholders
+         never create phantom nodes). *)
+      let r = counter t.accesses x in
+      t.acc_fast.(x) <- r;
+      r
+    end
+  end
+  else begin
+    let r = counter t.accesses x in
+    if x >= 0 then begin
+      let cap = max 64 (max (2 * Array.length t.acc_fast) (x + 1)) in
+      let fast = Array.make cap zero in
+      Array.blit t.acc_fast 0 fast 0 (Array.length t.acc_fast);
+      fast.(x) <- r;
+      t.acc_fast <- fast
+    end;
+    r
+  end
+
 let add_access t x =
-  incr (counter t.accesses x);
+  incr (acc_ref t x);
   t.total <- t.total + 1
 
 let add_access_n t x n =
@@ -42,9 +94,7 @@ let adj_tbl t x =
       Hashtbl.replace t.adj x tbl;
       tbl
 
-let add_affinity_n t x y n =
-  if n < 0 then invalid_arg "Affinity_graph.add_affinity_n: negative weight";
-  let a, b = if x <= y then (x, y) else (y, x) in
+let add_affinity_slow t a b n =
   (* Ensure both endpoints exist as nodes (with zero accesses until
      [add_access] says otherwise). *)
   ignore (counter t.accesses a : int ref);
@@ -56,6 +106,24 @@ let add_affinity_n t x y n =
   bump t.weights (a, b);
   bump (adj_tbl t a) b;
   if a <> b then bump (adj_tbl t b) a
+
+let add_affinity_n t x y n =
+  if n < 0 then invalid_arg "Affinity_graph.add_affinity_n: negative weight";
+  let a, b = if x <= y then (x, y) else (y, x) in
+  let slot = t.pair_cache.((a * 31 + b) land (pair_cache_size - 1)) in
+  if slot.p_x = a && slot.p_y = b then begin
+    slot.p_w := !(slot.p_w) + n;
+    slot.p_xy := !(slot.p_xy) + n;
+    if a <> b then slot.p_yx := !(slot.p_yx) + n
+  end
+  else begin
+    add_affinity_slow t a b n;
+    slot.p_x <- a;
+    slot.p_y <- b;
+    slot.p_w <- counter t.weights (a, b);
+    slot.p_xy <- counter (adj_tbl t a) b;
+    slot.p_yx <- (if a <> b then counter (adj_tbl t b) a else slot.p_xy)
+  end
 
 let add_affinity t x y = add_affinity_n t x y 1
 

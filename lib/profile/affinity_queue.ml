@@ -1,30 +1,73 @@
-type entry = { oid : int; ctx : Context.id; bytes : int; seq : int }
+type entry = {
+  oid : int;
+  ctx : Context.id;
+  bytes : int;
+  seq : int;
+  log : Heap_model.log; (* ctx's sequence log, resolved at enqueue time *)
+}
 
+(* The ring capacity is always a power of two, so index arithmetic is a
+   mask, not a division. The per-traversal double-counting guard is an
+   open-addressed table stamped with a generation counter: bumping the
+   generation invalidates every slot at once, where the hashtable it
+   replaces paid a full [Hashtbl.reset] per macro access. Entries with
+   a stale generation read as empty. The window never holds more than
+   [affinity_distance] entries (every entry contributes >= 1 byte), so
+   the table is sized at twice the ring and stays sparse.
+
+   Co-allocatability is memoised per (object, context) rather than per
+   object pair: the test "did context c allocate strictly between the
+   two objects' sequence numbers" only needs c's first allocation
+   after the older object's seq, and that successor is immutable once
+   it exists (logs append ever-larger seqs). With a handful of contexts
+   the memo is a short int row per object — [next_rows.(oid).(c)]:
+
+     -1         not computed yet
+     s >= 0     c's first seq after this object's seq (final)
+     -(w + 2)   no successor as of allocation watermark w: c had not
+                allocated past this object when last probed, so the
+                answer is only valid for interval ends <= w and is
+                recomputed beyond that. *)
 type t = {
   a : int; (* affinity distance, bytes *)
   heap : Heap_model.t;
   on_affinity : Context.id -> Context.id -> unit;
   mutable ring : entry array;
+  mutable mask : int; (* Array.length ring - 1 *)
   mutable start : int; (* index of oldest entry *)
   mutable count : int;
   mutable accesses : int;
-  seen : (int, unit) Hashtbl.t; (* per-traversal double-counting guard *)
+  mutable seen_oid : int array;
+  mutable seen_gen : int array;
+  mutable gen : int;
+  mutable log_ctx : Context.id; (* one-entry ctx -> log memo *)
+  mutable log_memo : Heap_model.log;
+  mutable next_rows : int array array; (* oid -> per-context successor memo *)
 }
 
-let dummy = { oid = -1; ctx = -1; bytes = 0; seq = -1 }
+let no_row = [||] (* shared placeholder for rows not materialised yet *)
 
 let create ~affinity_distance ~heap ~on_affinity () =
   if affinity_distance <= 0 then
     invalid_arg "Affinity_queue.create: affinity distance must be positive";
+  let dummy =
+    { oid = -1; ctx = -1; bytes = 0; seq = -1; log = Heap_model.ctx_log heap (-1) }
+  in
   {
     a = affinity_distance;
     heap;
     on_affinity;
     ring = Array.make 64 dummy;
+    mask = 63;
     start = 0;
     count = 0;
     accesses = 0;
-    seen = Hashtbl.create 64;
+    seen_oid = Array.make 128 0;
+    seen_gen = Array.make 128 0;
+    gen = 0;
+    log_ctx = -1;
+    log_memo = dummy.log;
+    next_rows = Array.make 1024 no_row;
   }
 
 let length t = t.count
@@ -32,31 +75,91 @@ let accesses t = t.accesses
 
 let nth_newest t i =
   (* i = 0 is the newest entry. *)
-  let idx = (t.start + t.count - 1 - i) mod Array.length t.ring in
-  t.ring.(idx)
+  t.ring.((t.start + t.count - 1 - i) land t.mask)
 
 let push t e =
   if t.count = Array.length t.ring then begin
-    let bigger = Array.make (2 * t.count) dummy in
+    let cap = 2 * t.count in
+    let bigger = Array.make cap e in
     for i = 0 to t.count - 1 do
-      bigger.(i) <- t.ring.((t.start + i) mod Array.length t.ring)
+      bigger.(i) <- t.ring.((t.start + i) land t.mask)
     done;
     t.ring <- bigger;
-    t.start <- 0
+    t.mask <- cap - 1;
+    t.start <- 0;
+    (* Keep the guard at twice the ring; fresh arrays start a fresh
+       generation epoch. *)
+    t.seen_oid <- Array.make (2 * cap) 0;
+    t.seen_gen <- Array.make (2 * cap) 0;
+    t.gen <- 0
   end;
-  t.ring.((t.start + t.count) mod Array.length t.ring) <- e;
+  t.ring.((t.start + t.count) land t.mask) <- e;
   t.count <- t.count + 1
 
 let drop_oldest t n =
   let n = min n t.count in
-  t.start <- (t.start + n) mod Array.length t.ring;
+  t.start <- (t.start + n) land t.mask;
   t.count <- t.count - n
 
+(* True iff [oid] was not yet marked this generation; marks it.
+   (Tail-recursive probe: local [ref] cells would heap-allocate on
+   every call of this per-window-entry path.) *)
+let seen_first t oid =
+  let mask = Array.length t.seen_oid - 1 in
+  let rec probe i =
+    if t.seen_gen.(i) <> t.gen then begin
+      t.seen_gen.(i) <- t.gen;
+      t.seen_oid.(i) <- oid;
+      true
+    end
+    else if t.seen_oid.(i) = oid then false
+    else probe ((i + 1) land mask)
+  in
+  probe (oid * 0x9E3779B1 land mask)
+
+(* [w]'s successor-memo row, materialised and wide enough for [c]. *)
+let row_for t oid c =
+  if oid >= Array.length t.next_rows then begin
+    let cap = max (2 * Array.length t.next_rows) (oid + 1) in
+    let rows = Array.make cap no_row in
+    Array.blit t.next_rows 0 rows 0 (Array.length t.next_rows);
+    t.next_rows <- rows
+  end;
+  let row = t.next_rows.(oid) in
+  if c < Array.length row then row
+  else begin
+    let wider = Array.make (max 8 (max (2 * Array.length row) (c + 1))) (-1) in
+    Array.blit row 0 wider 0 (Array.length row);
+    t.next_rows.(oid) <- wider;
+    wider
+  end
+
+(* "Context [c] made no allocation strictly between [w.seq] and [hi]",
+   i.e. c's first seq after w.seq is >= hi. [clog] is c's log. *)
+let no_alloc_between t (w : entry) c clog hi =
+  let row = row_for t w.oid c in
+  let m = row.(c) in
+  if m >= 0 then m >= hi
+  else if m <> -1 && hi + 2 <= -m then true
+  else begin
+    let s = Heap_model.log_next clog ~after:w.seq in
+    if s <> max_int then begin
+      row.(c) <- s;
+      s >= hi
+    end
+    else begin
+      (* No successor yet: sound for interval ends up to the current
+         allocation watermark, revisited past it. *)
+      let watermark = Heap_model.allocs_total t.heap in
+      row.(c) <- -(watermark + 2);
+      hi <= watermark
+    end
+  end
+
 let co_allocatable t (u : entry) (v : entry) =
-  let lo = min u.seq v.seq and hi = max u.seq v.seq in
-  (not (Heap_model.ctx_allocs_in_range t.heap ~ctx:u.ctx ~lo ~hi))
-  && not
-       (u.ctx <> v.ctx && Heap_model.ctx_allocs_in_range t.heap ~ctx:v.ctx ~lo ~hi)
+  let w, hi = if u.seq <= v.seq then (u, v.seq) else (v, u.seq) in
+  no_alloc_between t w u.ctx u.log hi
+  && (v.ctx = u.ctx || no_alloc_between t w v.ctx v.log hi)
 
 let add t (o : Heap_model.obj) ~bytes =
   if bytes <= 0 then invalid_arg "Affinity_queue.add: non-positive access size";
@@ -65,30 +168,38 @@ let add t (o : Heap_model.obj) ~bytes =
   if t.count > 0 && (nth_newest t 0).oid = o.Heap_model.oid then false
   else begin
     t.accesses <- t.accesses + 1;
-    let u = { oid = o.Heap_model.oid; ctx = o.Heap_model.ctx; bytes; seq = o.Heap_model.seq } in
-    Hashtbl.reset t.seen;
-    let acc = ref 0 in
-    let i = ref 0 in
-    let stop = ref false in
-    while (not !stop) && !i < t.count do
-      let v = nth_newest t !i in
-      acc := !acc + v.bytes;
-      if !acc >= t.a then begin
-        stop := true;
-        (* Entries older than this one can never again fall inside the
-           window (future accumulated distances only grow), so trim them.
-           [v] itself stays: a future smaller access pattern could... not
-           reach it either, so it can go too once it has been excluded. *)
-        drop_oldest t (t.count - !i)
+    let ctx = o.Heap_model.ctx in
+    if ctx <> t.log_ctx then begin
+      t.log_memo <- Heap_model.ctx_log t.heap ctx;
+      t.log_ctx <- ctx
+    end;
+    let u =
+      {
+        oid = o.Heap_model.oid;
+        ctx;
+        bytes;
+        seq = o.Heap_model.seq;
+        log = t.log_memo;
+      }
+    in
+    t.gen <- t.gen + 1;
+    let rec walk i acc =
+      if i < t.count then begin
+        let v = nth_newest t i in
+        let acc = acc + v.bytes in
+        if acc >= t.a then
+          (* Entries older than this one can never again fall inside the
+             window (future accumulated distances only grow), so trim
+             them. *)
+          drop_oldest t (t.count - i)
+        else begin
+          if v.oid <> u.oid && seen_first t v.oid then
+            if co_allocatable t u v then t.on_affinity u.ctx v.ctx;
+          walk (i + 1) acc
+        end
       end
-      else begin
-        if v.oid <> u.oid && not (Hashtbl.mem t.seen v.oid) then begin
-          Hashtbl.replace t.seen v.oid ();
-          if co_allocatable t u v then t.on_affinity u.ctx v.ctx
-        end;
-        incr i
-      end
-    done;
+    in
+    walk 0 0;
     push t u;
     true
   end

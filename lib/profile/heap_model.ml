@@ -4,18 +4,52 @@ type obj = { oid : int; addr : Addr.t; size : int; ctx : Context.id; seq : int }
 
 (* Per-context allocation sequence numbers, appended in increasing order
    (seq is global and monotonic), so membership in an open interval is a
-   binary search. *)
+   binary search. Exposed as an abstract [log] so the affinity queue can
+   resolve a context's log once and query it per window entry without
+   re-paying the hashtable lookup. *)
 type seq_log = { mutable data : int array; mutable len : int }
+
+type log = seq_log
+
+(* [find] fast paths, in probe order:
+
+   - a one-entry cache holding the last hit's [Some obj] cell (access
+     streams hammer one object at a time, and reusing the cell keeps
+     repeats allocation-free);
+   - a side table from 16-byte-aligned pages to the live object covering
+     them, maintained for objects spanning at most [side_cap_pages]
+     pages. 16 bytes matches the minimum size class, so under a real
+     allocator distinct live objects never share a page; if callers
+     hand-craft overlapping layouts the entry is merely stale-free
+     best-effort — every hit is containment-checked and misses fall
+     through to the ordered map, which remains the single source of
+     truth. *)
+let side_page_bits = 4
+let side_cap_pages = 64
 
 type t = {
   mutable live : obj Addr_map.t; (* keyed by base address *)
   mutable next_oid : int;
   mutable next_seq : int;
   ctx_seqs : (Context.id, seq_log) Hashtbl.t;
+  mutable last : obj option; (* last [find] hit *)
+  side : (int, obj) Hashtbl.t; (* 16-byte page -> covering live object *)
 }
 
 let create () =
-  { live = Addr_map.empty; next_oid = 0; next_seq = 0; ctx_seqs = Hashtbl.create 64 }
+  {
+    live = Addr_map.empty;
+    next_oid = 0;
+    next_seq = 0;
+    ctx_seqs = Hashtbl.create 64;
+    last = None;
+    side = Hashtbl.create 1024;
+  }
+
+let side_span o =
+  let first = o.addr asr side_page_bits in
+  let last = (o.addr + max o.size 1 - 1) asr side_page_bits in
+  (first, last)
 
 let log_push t ctx seq =
   let log =
@@ -40,6 +74,11 @@ let on_alloc t ~addr ~size ~ctx =
   t.next_seq <- t.next_seq + 1;
   log_push t ctx o.seq;
   t.live <- Addr_map.add addr o t.live;
+  let first, last = side_span o in
+  if last - first < side_cap_pages then
+    for p = first to last do
+      Hashtbl.replace t.side p o
+    done;
   o
 
 let on_free t ~addr =
@@ -47,26 +86,72 @@ let on_free t ~addr =
   | None -> None
   | Some o ->
       t.live <- Addr_map.remove addr t.live;
+      (match t.last with
+      | Some o' when o'.oid = o.oid -> t.last <- None
+      | _ -> ());
+      let first, last = side_span o in
+      if last - first < side_cap_pages then
+        for p = first to last do
+          match Hashtbl.find_opt t.side p with
+          | Some o' when o'.oid = o.oid -> Hashtbl.remove t.side p
+          | _ -> ()
+        done;
       Some o
 
-let find t addr =
+let find_slow t addr =
   match Addr_map.find_last_opt (fun base -> base <= addr) t.live with
   | Some (_, o) when addr < o.addr + max o.size 1 -> Some o
   | _ -> None
 
+let find t addr =
+  match t.last with
+  | Some o when addr - o.addr >= 0 && addr - o.addr < max o.size 1 -> t.last
+  | _ ->
+      let r =
+        match Hashtbl.find t.side (addr asr side_page_bits) with
+        | o when addr - o.addr >= 0 && addr - o.addr < max o.size 1 -> Some o
+        | _ -> find_slow t addr
+        | exception Not_found -> find_slow t addr
+      in
+      (match r with Some _ -> t.last <- r | None -> ());
+      r
+
 let live_count t = Addr_map.cardinal t.live
 let allocs_total t = t.next_seq
 
-let ctx_allocs_in_range t ~ctx ~lo ~hi =
+let ctx_log t ctx =
+  match Hashtbl.find_opt t.ctx_seqs ctx with
+  | Some l -> l
+  | None ->
+      (* Materialise the (empty) log so the handle stays valid when the
+         context allocates later — [log_push] appends into it. *)
+      let l = { data = Array.make 16 0; len = 0 } in
+      Hashtbl.replace t.ctx_seqs ctx l;
+      l
+
+let log_next log ~after =
+  (* First sequence number in [log] strictly greater than [after];
+     [max_int] if none yet. *)
+  let a = ref 0 and b = ref log.len in
+  while !a < !b do
+    let mid = (!a + !b) / 2 in
+    if log.data.(mid) <= after then a := mid + 1 else b := mid
+  done;
+  if !a < log.len then log.data.(!a) else max_int
+
+let log_allocs_in_range log ~lo ~hi =
   if hi - lo <= 1 then false
-  else
-    match Hashtbl.find_opt t.ctx_seqs ctx with
-    | None -> false
-    | Some log ->
-        (* Find the first seq > lo; check whether it is < hi. *)
-        let a = ref 0 and b = ref log.len in
-        while !a < !b do
-          let mid = (!a + !b) / 2 in
-          if log.data.(mid) <= lo then a := mid + 1 else b := mid
-        done;
-        !a < log.len && log.data.(!a) < hi
+  else begin
+    (* Find the first seq > lo; check whether it is < hi. *)
+    let a = ref 0 and b = ref log.len in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      if log.data.(mid) <= lo then a := mid + 1 else b := mid
+    done;
+    !a < log.len && log.data.(!a) < hi
+  end
+
+let ctx_allocs_in_range t ~ctx ~lo ~hi =
+  match Hashtbl.find_opt t.ctx_seqs ctx with
+  | None -> false
+  | Some log -> log_allocs_in_range log ~lo ~hi

@@ -39,3 +39,22 @@ val ctx_allocs_in_range : t -> ctx:Context.id -> lo:int -> hi:int -> bool
 (** Whether any allocation from [ctx] has a sequence number strictly
     between [lo] and [hi] — the co-allocatability test's primitive. Counts
     all allocations ever made (freed or not): chronology is immutable. *)
+
+type log
+(** A context's allocation-sequence log. A live handle: it reflects
+    allocations made after it was obtained. *)
+
+val ctx_log : t -> Context.id -> log
+(** The log for [ctx] (created empty if the context has not allocated
+    yet). The affinity queue resolves this once per queue entry instead
+    of once per co-allocatability test. *)
+
+val log_allocs_in_range : log -> lo:int -> hi:int -> bool
+(** [ctx_allocs_in_range] on a pre-resolved log: a pure binary search,
+    no table lookup. *)
+
+val log_next : log -> after:int -> int
+(** The smallest sequence number in the log strictly greater than
+    [after], or [max_int] if the context has not allocated past [after]
+    {e yet} — logs are append-only, so a finite answer is final but
+    [max_int] can later become finite. *)

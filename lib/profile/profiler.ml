@@ -48,21 +48,42 @@ let profile ?obs ?(config = default_config) program =
     invalid_arg "Profiler.profile: sample_period must be >= 1";
   let tracked_allocs = ref 0 in
   let tick = ref 0 in
+  (* The interpreter serves context arrays from a per-stack-node cache,
+     so the common case — an allocation site looping at a fixed stack —
+     hands us the same physically-equal array every iteration; memoise
+     the interning on that identity and skip hashing the array. *)
+  let last_sites = ref [||] in
+  let last_cid = ref (-1) in
   let track addr size ctx_sites =
     if size <= config.max_tracked_size then begin
-      let cid = Context.intern contexts ctx_sites in
+      let cid =
+        if ctx_sites == !last_sites then !last_cid
+        else begin
+          let cid = Context.intern contexts ctx_sites in
+          last_sites := ctx_sites;
+          last_cid := cid;
+          cid
+        end
+      in
       ignore (Heap_model.on_alloc heap ~addr ~size ~ctx:cid : Heap_model.obj);
       incr tracked_allocs
     end
   in
-  let record_access addr size =
-    incr tick;
-    if !tick mod config.sample_period = 0 then
-      match Heap_model.find heap addr with
-      | None -> ()
-      | Some o ->
-          if Affinity_queue.add queue o ~bytes:size then
-            Affinity_graph.add_access graph o.Heap_model.ctx
+  let record_sample addr size =
+    match Heap_model.find heap addr with
+    | None -> ()
+    | Some o ->
+        if Affinity_queue.add queue o ~bytes:size then
+          Affinity_graph.add_access graph o.Heap_model.ctx
+  in
+  (* The paper's configuration samples nothing (period 1): specialise
+     away the tick bookkeeping on that path. Telemetry keeps its own
+     access counter below. *)
+  let record_access =
+    if config.sample_period = 1 then record_sample
+    else fun addr size ->
+      incr tick;
+      if !tick mod config.sample_period = 0 then record_sample addr size
   in
   let on_access =
     (* Specialised at construction: with [obs = None] the hook is exactly
@@ -73,14 +94,18 @@ let profile ?obs ?(config = default_config) program =
         let h_depth =
           Metrics.histogram (Obs.metrics o) "profile.affinity_queue.depth"
         in
+        (* Own access counter: [tick] is sampling bookkeeping and stays
+           untouched on the period-1 fast path. *)
+        let obs_tick = ref 0 in
         fun addr size _write ->
           record_access addr size;
-          if !tick land (depth_sample - 1) = 0 then begin
+          incr obs_tick;
+          if !obs_tick land (depth_sample - 1) = 0 then begin
             let d = float_of_int (Affinity_queue.length queue) in
             Metrics.observe h_depth d;
-            if !tick land (series_sample - 1) = 0 then
+            if !obs_tick land (series_sample - 1) = 0 then
               Obs.event obs ~name:"profile.affinity_queue.depth"
-                ~attrs:[ ("tick", Json.Int !tick) ]
+                ~attrs:[ ("tick", Json.Int !obs_tick) ]
                 d
           end
   in

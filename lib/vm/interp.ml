@@ -35,7 +35,7 @@ type rt = {
   memcheck : Vmem.t option;
   env : Exec_env.t;
   shadow : Shadow_stack.t;
-  mem : (int, int) Hashtbl.t;
+  mem : Paged_mem.t;
   rng : Rng.t;
   patch_depth : int array;
   globals : int array;
@@ -66,12 +66,10 @@ let exit_bit rt b =
   rt.patch_depth.(b) <- rt.patch_depth.(b) - 1;
   if rt.patch_depth.(b) = 0 then Bitset.clear rt.env.Exec_env.group_state b
 
-let ctx_of rt site =
-  let red = Shadow_stack.reduced rt.shadow in
-  let n = Array.length red in
-  let out = Array.make (n + 1) site in
-  Array.blit red 0 out 0 n;
-  out
+(* Served from the shadow stack's per-node cache: the same stack and
+   site yield the same physically-equal (shared, never-mutated) array,
+   which downstream consumers use to memoise context interning. *)
+let ctx_of rt site = Shadow_stack.context rt.shadow ~site
 
 (* Calder-style name: XOR of the last four context entries. *)
 let name4_of_ctx ctx =
@@ -243,11 +241,8 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
         (match bit with Some b -> exit_bit rt b | None -> ());
         (* memcpy semantics when the block moved. *)
         if addr <> old && old <> Addr.null then
-          for off = 0 to min old_usable size - 1 do
-            match Hashtbl.find_opt rt.mem (old + off) with
-            | Some v -> Hashtbl.replace rt.mem (addr + off) v
-            | None -> ()
-          done;
+          Paged_mem.copy rt.mem ~src:old ~dst:addr
+            ~len:(min old_usable size);
         rt.hooks.on_realloc old addr size site ctx;
         slots.(s) <- addr
   | Free e ->
@@ -269,7 +264,7 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
         let addr = p slots + off slots in
         (match rt.memcheck with Some v -> Vmem.touch v addr bytes | None -> ());
         rt.hooks.on_access addr bytes false;
-        slots.(s) <- (try Hashtbl.find rt.mem addr with Not_found -> 0)
+        slots.(s) <- Paged_mem.load rt.mem addr
   | Store (p, off, value, bytes) ->
       let p = compile_expr cc p
       and off = compile_expr cc off
@@ -280,11 +275,12 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
         let addr = p slots + off slots in
         (match rt.memcheck with Some v -> Vmem.touch v addr bytes | None -> ());
         rt.hooks.on_access addr bytes true;
-        Hashtbl.replace rt.mem addr (value slots)
+        Paged_mem.store rt.mem addr (value slots)
   | Call (dst, callee, args, site) ->
       let dst = Option.map (local_slot cc) dst in
       let args = Array.of_list (List.map (compile_expr cc) args) in
       let bit = bit_of_site cc site in
+      let fid = Shadow_stack.intern_name rt.shadow callee in
       let callee_fn = ref None in
       let base slots =
         rt.instructions <- rt.instructions + cost_call + Array.length args;
@@ -301,16 +297,20 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
               f
         in
         let argv = Array.map (fun a -> a slots) args in
-        Shadow_stack.push rt.shadow ~func:callee ~site;
+        Shadow_stack.push_id rt.shadow ~fid ~site;
         (match bit with Some b -> enter_bit rt b | None -> ());
-        let result =
-          Fun.protect
-            ~finally:(fun () ->
-              (match bit with Some b -> exit_bit rt b | None -> ());
-              Shadow_stack.pop rt.shadow)
-            (fun () -> f argv)
-        in
-        (match dst with Some s -> slots.(s) <- result | None -> ())
+        (* Hand-rolled Fun.protect: the cleanup is two writes, and
+           skipping the two closure allocations per call is measurable
+           on call-heavy workloads. *)
+        match f argv with
+        | result ->
+            (match bit with Some b -> exit_bit rt b | None -> ());
+            Shadow_stack.pop rt.shadow;
+            (match dst with Some s -> slots.(s) <- result | None -> ())
+        | exception e ->
+            (match bit with Some b -> exit_bit rt b | None -> ());
+            Shadow_stack.pop rt.shadow;
+            raise e
       in
       (* Shadow-stack depth distribution: observed per call, specialised at
          compile time so the disabled path is the bare closure above. *)
@@ -416,7 +416,7 @@ let create ?(seed = 1) ?(hooks = no_hooks) ?(patches = []) ?env ?memcheck ?obs
       memcheck;
       env;
       shadow = Shadow_stack.create ();
-      mem = Hashtbl.create (1 lsl 16);
+      mem = Paged_mem.create ();
       rng = Rng.create ~seed;
       patch_depth = Array.make (Bitset.length env.Exec_env.group_state) 0;
       globals = Array.make (max (Hashtbl.length c_globals) 1) 0;
@@ -455,4 +455,4 @@ let run t =
 
 let instructions t = t.rt.instructions
 let env t = t.rt.env
-let load_byte_count t = (t.rt.loads, t.rt.stores)
+let load_store_counts t = (t.rt.loads, t.rt.stores)

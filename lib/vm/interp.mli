@@ -67,5 +67,8 @@ val instructions : t -> int
 
 val env : t -> Exec_env.t
 
-val load_byte_count : t -> int * int
-(** (loads, stores) executed — useful for sanity checks in tests. *)
+val load_store_counts : t -> int * int
+(** [(loads, stores)] — counts of executed load and store {e events}
+    (one per [Load]/[Store] statement retired, regardless of the access
+    width in bytes). Drives the hot-path throughput benchmark and test
+    sanity checks. *)

@@ -1,0 +1,92 @@
+(* Sparse paged memory: a page directory over flat [int array] pages.
+
+   The interpreter's heap image was a single (addr -> value) hashtable;
+   every load and store paid a hash + probe, and realloc's memcpy paid
+   one lookup per cell. Here an address splits into a page index
+   (arithmetic shift, so the full int range including negatives works)
+   and an offset (mask); a one-entry page cache makes the sequential
+   runs that dominate real access streams a single compare + array
+   index. Absent cells read 0 — exactly the old Not_found -> 0
+   behaviour — and pages are created zero-filled on first store. *)
+
+type t = {
+  page_bits : int;
+  mask : int; (* page_size - 1 *)
+  pages : (int, int array) Hashtbl.t;
+  mutable last_idx : int; (* one-entry directory cache *)
+  mutable last_page : int array;
+}
+
+let create ?(page_bits = 12) () =
+  if page_bits < 1 || page_bits > 20 then
+    invalid_arg "Paged_mem.create: page_bits out of range";
+  {
+    page_bits;
+    mask = (1 lsl page_bits) - 1;
+    pages = Hashtbl.create 64;
+    last_idx = min_int; (* no address maps here: min_int asr page_bits <> min_int *)
+    last_page = [||];
+  }
+
+let page_size t = t.mask + 1
+let page_count t = Hashtbl.length t.pages
+
+(* Page holding [addr], creating it zero-filled if absent. *)
+let page_for t idx =
+  match Hashtbl.find t.pages idx with
+  | p ->
+      t.last_idx <- idx;
+      t.last_page <- p;
+      p
+  | exception Not_found ->
+      let p = Array.make (t.mask + 1) 0 in
+      Hashtbl.replace t.pages idx p;
+      t.last_idx <- idx;
+      t.last_page <- p;
+      p
+
+let load t addr =
+  let idx = addr asr t.page_bits in
+  if idx = t.last_idx then t.last_page.(addr land t.mask)
+  else
+    match Hashtbl.find t.pages idx with
+    | p ->
+        t.last_idx <- idx;
+        t.last_page <- p;
+        p.(addr land t.mask)
+    | exception Not_found -> 0
+
+let store t addr v =
+  let idx = addr asr t.page_bits in
+  let p = if idx = t.last_idx then t.last_page else page_for t idx in
+  p.(addr land t.mask) <- v
+
+(* Write [len] cells from [src_page.(src_off ..)] at address [dst],
+   splitting across destination pages as needed. *)
+let rec blit_out t src_page src_off dst len =
+  if len > 0 then begin
+    let idx = dst asr t.page_bits in
+    let off = dst land t.mask in
+    let p = if idx = t.last_idx then t.last_page else page_for t idx in
+    let n = min len (t.mask + 1 - off) in
+    Array.blit src_page src_off p off n;
+    blit_out t src_page (src_off + n) (dst + n) (len - n)
+  end
+
+let copy t ~src ~dst ~len =
+  if len < 0 then invalid_arg "Paged_mem.copy: negative length";
+  let i = ref 0 in
+  while !i < len do
+    let sa = src + !i in
+    let idx = sa asr t.page_bits in
+    let off = sa land t.mask in
+    let chunk = min (t.mask + 1 - off) (len - !i) in
+    (match Hashtbl.find_opt t.pages idx with
+    | Some p -> blit_out t p off (dst + !i) chunk
+    | None ->
+        (* A fully-unwritten source page: the old per-cell copy skipped
+           absent cells, leaving the destination untouched; do the same
+           rather than smearing zeroes over it. *)
+        ());
+    i := !i + chunk
+  done

@@ -1,0 +1,34 @@
+(** Sparse paged memory for the interpreter's heap image.
+
+    A page directory (hashtable of page index -> flat [int array] page)
+    with a one-entry page cache: loads and stores on the hot path are a
+    shift, a compare and an array index. Works over the full [int]
+    address range — page indices come from an arithmetic shift, so
+    negative and very large addresses page correctly.
+
+    Semantics match the hashtable it replaces: cells never stored read
+    [0]; stored values persist until overwritten (memory is never
+    cleared on free — real malloc does not zero). *)
+
+type t
+
+val create : ?page_bits:int -> unit -> t
+(** [page_bits] sets the page size to [2^page_bits] cells (default 12,
+    i.e. 4096). Raises [Invalid_argument] outside [1..20]. *)
+
+val load : t -> Addr.t -> int
+(** O(1); [0] for never-written cells. *)
+
+val store : t -> Addr.t -> int -> unit
+(** O(1) amortised; creates the page zero-filled on first touch. *)
+
+val copy : t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
+(** Realloc's memcpy: copy [len] cells from [src] to [dst], page-wise
+    via [Array.blit]. Source pages never written are skipped, leaving
+    the destination range untouched (the old per-cell copy skipped
+    absent cells the same way). Ranges are assumed disjoint — the
+    allocator hands realloc a fresh block when it moves. *)
+
+val page_size : t -> int
+val page_count : t -> int
+(** Pages materialised so far — for tests and diagnostics. *)

@@ -1,47 +1,191 @@
-type frame = { func : string; site : Ir.site }
-type t = { mutable frames : frame list (* innermost first *); mutable depth : int }
+(* The shadow stack as a calling-context tree.
 
-let create () = { frames = []; depth = 0 }
+   The naive representation (a frame list, re-reduced from scratch at
+   every allocation) makes context capture O(depth) with a hashtable
+   per event. Instead, every distinct stack the program ever reaches is
+   interned as a CCT node keyed by (parent, function, call site);
+   push/pop walk the tree. A loop calling the same wrapper returns to
+   the same node every iteration, so per-node caches hit:
 
-let push t ~func ~site =
-  t.frames <- { func; site } :: t.frames;
-  t.depth <- t.depth + 1
+   - the reduced context is computed at most once per node (derived
+     incrementally from the parent's cached reduction, so the amortised
+     cost is O(1) per new node, not O(depth));
+   - [context] keeps a one-entry (site -> context array) cache per
+     node, so an allocation site inside a loop reuses one physically
+     stable array — callers can in turn memoise interning on physical
+     equality.
+
+   Function names are interned to ints once ([intern_name], done at
+   interpreter compile time), so the hot path never touches a string. *)
+
+type node = {
+  parent : int; (* -1 for the root *)
+  fid : int;
+  site : Ir.site;
+  node_depth : int;
+  mutable children : int array; (* node ids; linear scan, fan-out is small *)
+  mutable nchildren : int;
+  (* Cached canonical reduction of this node's stack, outermost first,
+     with a parallel fid array for (fid, site) dedup during derivation.
+     [r_sites == no_reduction] marks "not yet computed". *)
+  mutable r_sites : Ir.site array;
+  mutable r_fids : int array;
+  (* One-entry context cache: the reduction with [cache_site] appended. *)
+  mutable cache_site : Ir.site;
+  mutable cache_ctx : Ir.site array;
+}
+
+let no_reduction = [| min_int |]
+
+type t = {
+  mutable nodes : node array;
+  mutable nnodes : int;
+  names : (string, int) Hashtbl.t;
+  mutable cur : int;
+}
+
+let mk_node ~parent ~fid ~site ~node_depth =
+  {
+    parent;
+    fid;
+    site;
+    node_depth;
+    children = [||];
+    nchildren = 0;
+    r_sites = no_reduction;
+    r_fids = no_reduction;
+    cache_site = min_int;
+    cache_ctx = [||];
+  }
+
+let create () =
+  let root = mk_node ~parent:(-1) ~fid:(-1) ~site:0 ~node_depth:0 in
+  root.r_sites <- [||];
+  root.r_fids <- [||];
+  { nodes = Array.make 64 root; nnodes = 1; names = Hashtbl.create 64; cur = 0 }
+
+let intern_name t func =
+  match Hashtbl.find_opt t.names func with
+  | Some fid -> fid
+  | None ->
+      let fid = Hashtbl.length t.names in
+      Hashtbl.replace t.names func fid;
+      fid
+
+let add_node t node =
+  if t.nnodes = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.nnodes) node in
+    Array.blit t.nodes 0 bigger 0 t.nnodes;
+    t.nodes <- bigger
+  end;
+  let id = t.nnodes in
+  t.nodes.(id) <- node;
+  t.nnodes <- id + 1;
+  id
+
+let push_id t ~fid ~site =
+  let cur = t.nodes.(t.cur) in
+  let child = ref (-1) in
+  let i = ref 0 in
+  while !child < 0 && !i < cur.nchildren do
+    let c = cur.children.(!i) in
+    let n = t.nodes.(c) in
+    if n.fid = fid && n.site = site then child := c;
+    incr i
+  done;
+  if !child < 0 then begin
+    let node =
+      mk_node ~parent:t.cur ~fid ~site ~node_depth:(cur.node_depth + 1)
+    in
+    let id = add_node t node in
+    if cur.nchildren = Array.length cur.children then begin
+      let bigger = Array.make (max 4 (2 * cur.nchildren)) 0 in
+      Array.blit cur.children 0 bigger 0 cur.nchildren;
+      cur.children <- bigger
+    end;
+    cur.children.(cur.nchildren) <- id;
+    cur.nchildren <- cur.nchildren + 1;
+    child := id
+  end;
+  t.cur <- !child
+
+let push t ~func ~site = push_id t ~fid:(intern_name t func) ~site
 
 let pop t =
-  match t.frames with
-  | [] -> failwith "Shadow_stack.pop: underflow"
-  | _ :: rest ->
-      t.frames <- rest;
-      t.depth <- t.depth - 1
+  let cur = t.nodes.(t.cur) in
+  if cur.parent < 0 then failwith "Shadow_stack.pop: underflow";
+  t.cur <- cur.parent
 
-let depth t = t.depth
+let depth t = t.nodes.(t.cur).node_depth
 
-(* Walk innermost-to-outermost keeping the first (i.e. most recent)
-   occurrence of each (function, site) pair, then reverse into
-   outermost-to-innermost order. *)
-let reduce_frames frames =
-  let seen = Hashtbl.create 16 in
-  let kept =
-    List.filter
-      (fun f ->
-        let key = (f.func, f.site) in
-        if Hashtbl.mem seen key then false
-        else begin
-          Hashtbl.replace seen key ();
-          true
-        end)
-      frames
-  in
-  let n = List.length kept in
-  let out = Array.make n 0 in
-  List.iteri (fun idx f -> out.(n - 1 - idx) <- f.site) kept;
-  out
+(* Derive a node's canonical reduction from its parent's: drop the
+   parent's occurrence of this (fid, site) pair if present — only the
+   most recent occurrence is kept — and append this frame's site. *)
+let rec reduction t id =
+  let n = t.nodes.(id) in
+  if n.r_sites != no_reduction then n.r_sites
+  else begin
+    let psites = reduction t n.parent in
+    let pfids = t.nodes.(n.parent).r_fids in
+    let plen = Array.length psites in
+    let dup = ref (-1) in
+    for k = 0 to plen - 1 do
+      if !dup < 0 && pfids.(k) = n.fid && psites.(k) = n.site then dup := k
+    done;
+    let len = if !dup < 0 then plen + 1 else plen in
+    let sites = Array.make len n.site in
+    let fids = Array.make len n.fid in
+    let w = ref 0 in
+    for k = 0 to plen - 1 do
+      if k <> !dup then begin
+        sites.(!w) <- psites.(k);
+        fids.(!w) <- pfids.(k);
+        incr w
+      end
+    done;
+    sites.(len - 1) <- n.site;
+    fids.(len - 1) <- n.fid;
+    n.r_sites <- sites;
+    n.r_fids <- fids;
+    sites
+  end
 
-let reduced t = reduce_frames t.frames
+let reduced t = Array.copy (reduction t t.cur)
 
+let context t ~site =
+  let n = t.nodes.(t.cur) in
+  if n.cache_site = site then n.cache_ctx
+  else begin
+    let red = reduction t t.cur in
+    let len = Array.length red in
+    let out = Array.make (len + 1) site in
+    Array.blit red 0 out 0 len;
+    n.cache_site <- site;
+    n.cache_ctx <- out;
+    out
+  end
+
+(* Pure reduction on an explicit stack — the reference implementation
+   the CCT path is tested against. *)
 let reduce_sites arr =
-  let frames =
-    Array.to_list arr |> List.rev
-    |> List.map (fun (func, site) -> { func; site })
-  in
-  reduce_frames frames
+  let seen = Hashtbl.create 16 in
+  let n = Array.length arr in
+  let keep = Array.make n false in
+  let kept = ref 0 in
+  (* Innermost (last) to outermost, keeping first sight of each pair. *)
+  for k = n - 1 downto 0 do
+    if not (Hashtbl.mem seen arr.(k)) then begin
+      Hashtbl.replace seen arr.(k) ();
+      keep.(k) <- true;
+      incr kept
+    end
+  done;
+  let out = Array.make !kept 0 in
+  let w = ref 0 in
+  for k = 0 to n - 1 do
+    if keep.(k) then begin
+      out.(!w) <- snd arr.(k);
+      incr w
+    end
+  done;
+  out

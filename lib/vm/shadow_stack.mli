@@ -9,12 +9,27 @@
     {e reduced} form in which only the most recent occurrence of any
     (function, call site) pair is retained — bounding contexts for
     arbitrarily deep recursion without imposing fixed size limits, while
-    avoiding the overfitting of raw unbounded stacks. *)
+    avoiding the overfitting of raw unbounded stacks.
+
+    Internally the stack is a calling-context tree: every distinct stack
+    is interned as a node, push/pop walk the tree, and reductions are
+    cached per node — so capturing an allocation's context inside a loop
+    costs O(1) after the first iteration instead of O(depth) per event. *)
 
 type t
 
 val create : unit -> t
+
+val intern_name : t -> string -> int
+(** Intern a function name to a dense id. Stable for the lifetime of
+    [t]; the interpreter calls this once per call site at compile time
+    so that {!push_id} never touches a string. *)
+
 val push : t -> func:string -> site:Ir.site -> unit
+
+val push_id : t -> fid:int -> site:Ir.site -> unit
+(** [push] with a pre-interned function id — the hot-path variant. *)
+
 val pop : t -> unit
 (** Raises [Failure] on underflow (an interpreter bug, not a program one). *)
 
@@ -25,7 +40,14 @@ val reduced : t -> Ir.site array
 (** The canonical reduced context: call sites from outermost to innermost,
     with only the most recent occurrence of each (function, site) pair
     kept. The allocation site itself is {e not} included — callers append
-    it (see {!Profiler}). *)
+    it (see {!Profiler}). Returns a fresh array. *)
+
+val context : t -> site:Ir.site -> Ir.site array
+(** [reduced t] with [site] appended as the innermost element — the
+    full allocation context, served from a per-node one-entry cache.
+    The returned array is {b shared}: repeated calls at the same stack
+    and site return the {e same physically-equal} array (so callers may
+    memoise on [==]), and it must not be mutated. *)
 
 val reduce_sites : (string * Ir.site) array -> Ir.site array
 (** Pure reduction on an explicit outermost-to-innermost stack of

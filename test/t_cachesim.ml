@@ -86,6 +86,44 @@ let cache_thrash_over_capacity () =
   done;
   checki "no hits when cycling 3 lines through 2 ways" 0 (Cache.hits c)
 
+let cache_locate_mask_matches_division () =
+  (* The pow2 mask/shift fast path must agree with the exact mod/div
+     formula, and a non-pow2 set count (the modelled Xeon's 11-way L3
+     has 36864 sets) must take the fallback and still be exact. *)
+  let check_cache c =
+    let sets = Cache.sets c and line = Cache.line_bytes c in
+    List.iter
+      (fun addr ->
+        let set, tag = Cache.locate c addr in
+        let lineno = addr / line in
+        checki (Printf.sprintf "set of %#x" addr) (lineno mod sets) set;
+        checki (Printf.sprintf "tag of %#x" addr) (lineno / sets) tag)
+      [ 0; 63; 64; 4095; 4096; 65535; 123_456_789; 0x7f00_0000_0000 ]
+  in
+  (* pow2 sets: 1024/(2*64) = 8 *)
+  check_cache (Cache.create ~name:"p2" ~size_bytes:1024 ~assoc:2 ~line_bytes:64);
+  (* single set (degenerate pow2) *)
+  check_cache (Cache.create ~name:"one" ~size_bytes:128 ~assoc:2 ~line_bytes:64);
+  (* non-pow2 sets: 25344 KiB, 11-way, 64B lines -> 36864 sets *)
+  check_cache
+    (Cache.create ~name:"l3" ~size_bytes:(25344 * 1024) ~assoc:11
+       ~line_bytes:64)
+
+let cache_non_pow2_behaviour () =
+  (* A non-pow2 cache still hits/misses coherently through the fallback
+     set extraction: 3 sets, 2-way. *)
+  let c = Cache.create ~name:"np2" ~size_bytes:384 ~assoc:2 ~line_bytes:64 in
+  checki "sets" 3 (Cache.sets c);
+  checkb "cold" false (Cache.access c 0);
+  checkb "hit" true (Cache.access c 0);
+  (* 0 and 3*64 map to the same set, different tags: fills the set. *)
+  checkb "same-set cold" false (Cache.access c (3 * 64));
+  checkb "both resident" true (Cache.access c 0);
+  checkb "both resident" true (Cache.access c (3 * 64));
+  (* A third tag in set 0 evicts the LRU line (addr 0). *)
+  checkb "third tag misses" false (Cache.access c (6 * 64));
+  checkb "LRU evicted" false (Cache.access c 0)
+
 let tlb_basic () =
   let t = Tlb.create () in
   checkb "cold" false (Tlb.access t 0x5000);
@@ -204,6 +242,8 @@ let suite =
     tc "cache: flush" cache_flush;
     tc "cache: capacity working set hits" cache_working_set_fits;
     tc "cache: over-capacity cyclic thrash" cache_thrash_over_capacity;
+    tc "cache: locate matches mod/div on all geometries" cache_locate_mask_matches_division;
+    tc "cache: non-pow2 set count behaves" cache_non_pow2_behaviour;
     tc "tlb: page granularity" tlb_basic;
     tc "hierarchy: miss propagation" hierarchy_miss_propagation;
     tc "hierarchy: straddling access" hierarchy_straddling_access;

@@ -88,6 +88,52 @@ let heap_ctx_allocs_in_range () =
   checkb "ctx1 in (0,3)" true (Heap_model.ctx_allocs_in_range h ~ctx:1 ~lo:0 ~hi:3);
   checkb "unknown ctx" false (Heap_model.ctx_allocs_in_range h ~ctx:9 ~lo:0 ~hi:100)
 
+let heap_find_fast_paths_stay_coherent () =
+  (* Hammer the last-hit cache and page side table: interleaved lookups
+     across neighbouring objects, then a free, must never serve a stale
+     object. *)
+  let h = Heap_model.create () in
+  let a = Heap_model.on_alloc h ~addr:0x1000 ~size:16 ~ctx:0 in
+  let b = Heap_model.on_alloc h ~addr:0x1010 ~size:16 ~ctx:1 in
+  let big = Heap_model.on_alloc h ~addr:0x9000 ~size:8192 ~ctx:2 in
+  for _ = 1 to 3 do
+    checki "a" a.Heap_model.oid (Option.get (Heap_model.find h 0x1008)).Heap_model.oid;
+    checki "a again (cached)" a.Heap_model.oid
+      (Option.get (Heap_model.find h 0x100f)).Heap_model.oid;
+    checki "b" b.Heap_model.oid (Option.get (Heap_model.find h 0x1010)).Heap_model.oid;
+    checki "big interior" big.Heap_model.oid
+      (Option.get (Heap_model.find h 0xA123)).Heap_model.oid
+  done;
+  ignore (Heap_model.on_free h ~addr:0x1000);
+  checkb "freed not served from cache" true (Heap_model.find h 0x1008 = None);
+  checki "neighbour survives" b.Heap_model.oid
+    (Option.get (Heap_model.find h 0x1018)).Heap_model.oid;
+  ignore (Heap_model.on_free h ~addr:0x9000);
+  checkb "big freed" true (Heap_model.find h 0xA123 = None)
+
+let heap_log_queries_match_table_queries () =
+  let h = Heap_model.create () in
+  for k = 0 to 9 do
+    ignore (Heap_model.on_alloc h ~addr:(0x1000 + (k * 16)) ~size:8 ~ctx:(k mod 3))
+  done;
+  let log0 = Heap_model.ctx_log h 0 in
+  for lo = -1 to 10 do
+    for hi = lo to 10 do
+      checkb
+        (Printf.sprintf "(%d,%d)" lo hi)
+        (Heap_model.ctx_allocs_in_range h ~ctx:0 ~lo ~hi)
+        (Heap_model.log_allocs_in_range log0 ~lo ~hi)
+    done
+  done;
+  (* log_next: ctx 0 allocated at seqs 0, 3, 6, 9 *)
+  checki "next after -1" 0 (Heap_model.log_next log0 ~after:(-1));
+  checki "next after 0" 3 (Heap_model.log_next log0 ~after:0);
+  checki "next after 5" 6 (Heap_model.log_next log0 ~after:5);
+  checki "next after 9" max_int (Heap_model.log_next log0 ~after:9);
+  (* The handle is live: later allocations appear. *)
+  ignore (Heap_model.on_alloc h ~addr:0x2000 ~size:8 ~ctx:0);
+  checki "next after 9 now" 10 (Heap_model.log_next log0 ~after:9)
+
 (* ---------------- Affinity_queue ---------------- *)
 
 (* Harness: a heap with [n] objects of one size allocated round-robin
@@ -383,6 +429,8 @@ let suite =
     tc "heap: sequence numbers monotone" heap_seq_monotone;
     tc "heap: address reuse gets fresh identity" heap_addr_reuse_new_identity;
     tc "heap: ctx_allocs_in_range" heap_ctx_allocs_in_range;
+    tc "heap: find fast paths stay coherent" heap_find_fast_paths_stay_coherent;
+    tc "heap: log queries match table queries" heap_log_queries_match_table_queries;
     tc "queue: Figure 5 example" queue_figure5;
     tc "queue: deduplication constraint" queue_dedup_constraint;
     tc "queue: no self-affinity" queue_no_self_affinity;

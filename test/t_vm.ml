@@ -440,6 +440,89 @@ let analysis_stats_renders () =
   let s = Ir_analysis.stats_to_string a in
   checkb "mentions functions" true (String.length s > 20)
 
+(* ---------------- paged memory ---------------- *)
+
+let paged_basic_rw () =
+  let m = Paged_mem.create () in
+  Paged_mem.store m 0 42;
+  Paged_mem.store m 123456789 7;
+  checki "read back" 42 (Paged_mem.load m 0);
+  checki "far cell" 7 (Paged_mem.load m 123456789);
+  Paged_mem.store m 0 43;
+  checki "overwrite" 43 (Paged_mem.load m 0)
+
+let paged_page_boundary () =
+  (* Cells on both sides of every boundary of a small page are
+     independent. *)
+  let m = Paged_mem.create ~page_bits:2 () in
+  let ps = Paged_mem.page_size m in
+  checki "page size" 4 ps;
+  for i = 0 to 4 * ps do
+    Paged_mem.store m i (1000 + i)
+  done;
+  for i = 0 to 4 * ps do
+    checki (Printf.sprintf "cell %d" i) (1000 + i) (Paged_mem.load m i)
+  done;
+  checki "pages materialised" 5 (Paged_mem.page_count m)
+
+let paged_sparse_gap_reads_zero () =
+  let m = Paged_mem.create ~page_bits:4 () in
+  Paged_mem.store m 10 1;
+  Paged_mem.store m 1_000_000 2;
+  checki "gap cell" 0 (Paged_mem.load m 500_000);
+  checki "same page unwritten" 0 (Paged_mem.load m 11);
+  checki "never-touched page" 0 (Paged_mem.load m 123_456);
+  (* Only the two written pages exist. *)
+  checki "page count" 2 (Paged_mem.page_count m)
+
+let paged_huge_addresses () =
+  (* Addresses in the Vmem range (around 0x7f00_0000_0000) and negative
+     addresses both map to pages without collision. *)
+  let m = Paged_mem.create () in
+  let base = 0x7f00_0000_0000 in
+  Paged_mem.store m base 1;
+  Paged_mem.store m (base + 1) 2;
+  Paged_mem.store m (-base) 3;
+  checki "huge" 1 (Paged_mem.load m base);
+  checki "huge+1" 2 (Paged_mem.load m (base + 1));
+  checki "negative" 3 (Paged_mem.load m (-base))
+
+let paged_copy_across_pages () =
+  (* Realloc-style copy whose source straddles several small pages,
+     including an absent one in the middle (reads as zeroes). *)
+  let m = Paged_mem.create ~page_bits:2 () in
+  let ps = Paged_mem.page_size m in
+  let src = 2 in
+  let len = (3 * ps) + 2 in
+  for i = 0 to len - 1 do
+    (* Leave the cells of the second source page unwritten. *)
+    let addr = src + i in
+    if addr / ps <> 1 then Paged_mem.store m addr (100 + i)
+  done;
+  let dst = 1000 in
+  Paged_mem.copy m ~src ~dst ~len;
+  for i = 0 to len - 1 do
+    let expect = if (src + i) / ps <> 1 then 100 + i else 0 in
+    checki (Printf.sprintf "dst+%d" i) expect (Paged_mem.load m (dst + i))
+  done
+
+let paged_copy_unaligned_offsets () =
+  (* Source and destination at different in-page offsets forces the
+     per-chunk splitting paths. *)
+  let m = Paged_mem.create ~page_bits:3 () in
+  let ps = Paged_mem.page_size m in
+  let len = (2 * ps) + 3 in
+  for i = 0 to len - 1 do
+    Paged_mem.store m (5 + i) i
+  done;
+  Paged_mem.copy m ~src:5 ~dst:(ps + 1) ~len:0;
+  (* len=0 is a no-op *)
+  checki "no-op copy" 1 (Paged_mem.load m (5 + 1));
+  Paged_mem.copy m ~src:5 ~dst:10_001 ~len;
+  for i = 0 to len - 1 do
+    checki (Printf.sprintf "unaligned dst+%d" i) i (Paged_mem.load m (10_001 + i))
+  done
+
 (* ---------------- shadow stack ---------------- *)
 
 let shadow_basic () =
@@ -539,6 +622,57 @@ let shadow_deep_mutual_via_live_stack () =
   Alcotest.check (Alcotest.array Alcotest.int) "unwound" [| 1 |]
     (Shadow_stack.reduced s)
 
+let shadow_context_cache_stable () =
+  (* Same stack, same site: the cached context array is returned
+     physically unchanged, so downstream interning can memoise on ==. *)
+  let s = Shadow_stack.create () in
+  Shadow_stack.push s ~func:"main" ~site:1;
+  Shadow_stack.push s ~func:"f" ~site:2;
+  let c1 = Shadow_stack.context s ~site:9 in
+  let c2 = Shadow_stack.context s ~site:9 in
+  checkb "physically equal" true (c1 == c2);
+  Alcotest.check (Alcotest.array Alcotest.int) "contents" [| 1; 2; 9 |] c1
+
+let shadow_context_cache_invalidation () =
+  (* Push/pop between allocations must refresh the served context, and
+     returning to the same stack shape must give the same contents. *)
+  let s = Shadow_stack.create () in
+  Shadow_stack.push s ~func:"main" ~site:1;
+  let at_main = Shadow_stack.context s ~site:7 in
+  Alcotest.check (Alcotest.array Alcotest.int) "main" [| 1; 7 |] at_main;
+  Shadow_stack.push s ~func:"f" ~site:2;
+  Alcotest.check (Alcotest.array Alcotest.int) "deeper" [| 1; 2; 7 |]
+    (Shadow_stack.context s ~site:7);
+  Alcotest.check (Alcotest.array Alcotest.int) "other site" [| 1; 2; 8 |]
+    (Shadow_stack.context s ~site:8);
+  Shadow_stack.pop s;
+  Alcotest.check (Alcotest.array Alcotest.int) "back to main" [| 1; 7 |]
+    (Shadow_stack.context s ~site:7);
+  Shadow_stack.push s ~func:"f" ~site:2;
+  Shadow_stack.pop s;
+  Alcotest.check (Alcotest.array Alcotest.int) "after push/pop cycle"
+    [| 1; 7 |]
+    (Shadow_stack.context s ~site:7)
+
+let shadow_context_direct_recursion () =
+  (* Direct recursion: contexts from different raw depths at the same
+     (function, site) reduce identically, and popping back out of the
+     recursion serves the right context again. *)
+  let s = Shadow_stack.create () in
+  Shadow_stack.push s ~func:"main" ~site:1;
+  Shadow_stack.push s ~func:"rec" ~site:3;
+  let shallow = Array.copy (Shadow_stack.context s ~site:5) in
+  for _ = 1 to 6 do
+    Shadow_stack.push s ~func:"rec" ~site:3
+  done;
+  Alcotest.check (Alcotest.array Alcotest.int) "recursion collapsed" shallow
+    (Shadow_stack.context s ~site:5);
+  for _ = 1 to 6 do
+    Shadow_stack.pop s
+  done;
+  Alcotest.check (Alcotest.array Alcotest.int) "unwound to shallow" shallow
+    (Shadow_stack.context s ~site:5)
+
 let prop_shadow_reduced_distinct =
   QCheck2.Test.make
     ~name:"shadow stack: reduced contexts have distinct (func,site) pairs"
@@ -602,5 +736,14 @@ let suite =
     tc "shadow: deep distinct chain is identity" shadow_deep_distinct_chain_identity;
     tc "shadow: recursive band inside chain" shadow_recursive_band_in_chain;
     tc "shadow: live stack stays bounded under recursion" shadow_deep_mutual_via_live_stack;
+    tc "shadow: context cache physically stable" shadow_context_cache_stable;
+    tc "shadow: context cache invalidated by push/pop" shadow_context_cache_invalidation;
+    tc "shadow: context under direct recursion" shadow_context_direct_recursion;
+    tc "paged mem: basic read/write" paged_basic_rw;
+    tc "paged mem: page boundaries" paged_page_boundary;
+    tc "paged mem: sparse gaps read zero" paged_sparse_gap_reads_zero;
+    tc "paged mem: huge and negative addresses" paged_huge_addresses;
+    tc "paged mem: copy across pages" paged_copy_across_pages;
+    tc "paged mem: copy at unaligned offsets" paged_copy_unaligned_offsets;
   ]
   @ [ QCheck_alcotest.to_alcotest prop_shadow_reduced_distinct ]
