@@ -35,10 +35,19 @@
    runs through the persistent plan cache: a warmed cache answers every
    Pipeline.plan call from disk, so no run re-profiles.
 
+   `--check BENCH_<date>.json` (anywhere on the command line) turns the
+   run into a regression gate: the hot path is measured (if the chosen
+   subcommand didn't already) and compared against the committed baseline
+   file — exit 1 if events/s or wall time regresses beyond
+   `--check-threshold` (default 0.10). `--handicap F` multiplies every
+   measured hot-path duration by F, a test hook that proves the gate
+   trips on a synthetic slowdown.
+
    Every invocation appends a machine-readable record of what it ran to
-   `BENCH_<date>.json` in the working directory (per-suite wall time,
-   plan-cache hit rate, worker count) — CI uploads it as an artifact so
-   cache effectiveness is visible per run. *)
+   `BENCH_<date>.json` in the working directory (per-suite wall time and
+   events/s with per-trial quantiles, plan-cache hit rate, label and run
+   config) — CI uploads it as an artifact so cache effectiveness is
+   visible per run. *)
 
 let seed_override = ref None
 
@@ -69,14 +78,28 @@ let plan_source () = Option.map Plan_cache.source (plan_cache ())
    the same-day artifact. *)
 let bench_label = ref "current"
 
+(* `--check FILE` gates the run against a committed BENCH_<date>.json:
+   exit 1 when throughput or wall time regresses beyond the threshold.
+   `--handicap F` multiplies every measured hot-path duration by F — a
+   test hook that injects a synthetic slowdown to prove the gate trips. *)
+let check_file = ref None
+let check_threshold = ref Bench_check.default_threshold
+let handicap = ref 1.0
+
 (* ------------------------------------------------------------------ *)
 (* BENCH_<date>.json: per-suite wall time and cache effectiveness.     *)
 (* ------------------------------------------------------------------ *)
 
 let bench_records : (string * float * Plan_cache.stats) list ref = ref []
 
-(* (workload, config, events, events/s) rows from `--hotpath`. *)
-let hotpath_records : (string * string * int * float) list ref = ref []
+(* (workload, config, events, median events/s, per-trial events/s) rows
+   from `--hotpath`. *)
+let hotpath_records : (string * string * int * float * float list) list ref =
+  ref []
+
+(* Suite-level events/s where one is meaningful (filled by `--hotpath`:
+   total events over total measured time). *)
+let suite_eps : (string, float) Hashtbl.t = Hashtbl.create 4
 
 let cache_snapshot () =
   match plan_cache () with
@@ -127,19 +150,48 @@ let write_bench_report () =
         | _ -> []
       in
       let earlier = earlier_list "suites" in
+      (* Per-trial quantiles through the same sketch every exporter uses;
+         with few trials p50/p90/p99 collapse towards the extremes, but
+         the shape is forward-compatible with longer campaigns. *)
+      let percentiles trials =
+        match trials with
+        | [] -> []
+        | _ ->
+            let h = Metrics.histogram (Metrics.create ()) "eps" in
+            List.iter (Metrics.observe h) trials;
+            let q p =
+              match Metrics.quantile h p with
+              | Some v -> Json.Float v
+              | None -> Json.Null
+            in
+            [
+              ( "percentiles",
+                Json.Obj [ ("p50", q 0.5); ("p90", q 0.9); ("p99", q 0.99) ] );
+            ]
+      in
       let hotpath =
         earlier_list "hotpath"
         @ List.rev_map
-            (fun (workload, config, events, eps) ->
+            (fun (workload, config, events, eps, trials) ->
               Json.Obj
-                [
-                  ("label", Json.String !bench_label);
-                  ("workload", Json.String workload);
-                  ("config", Json.String config);
-                  ("events", Json.Int events);
-                  ("events_per_s", Json.Float eps);
-                ])
+                ([
+                   ("label", Json.String !bench_label);
+                   ("workload", Json.String workload);
+                   ("config", Json.String config);
+                   ("events", Json.Int events);
+                   ("events_per_s", Json.Float eps);
+                 ]
+                @ percentiles trials))
             !hotpath_records
+      in
+      let run_config =
+        Json.Obj
+          [
+            ("jobs", Json.Int (jobs ()));
+            ( "seed",
+              match !seed_override with Some s -> Json.Int s | None -> Json.Null );
+            ("plan_cache", Json.Bool (Option.is_some !plan_cache_dir));
+          ]
       in
       let suites =
         List.rev_map
@@ -147,7 +199,13 @@ let write_bench_report () =
             Json.Obj
               [
                 ("name", Json.String name);
+                ("label", Json.String !bench_label);
+                ("config", run_config);
                 ("wall_s", Json.Float wall);
+                ( "events_per_sec",
+                  match Hashtbl.find_opt suite_eps name with
+                  | Some eps -> Json.Float eps
+                  | None -> Json.Null );
                 ( "cache",
                   Json.Obj
                     [
@@ -406,7 +464,9 @@ let run_obs_overhead () =
 
 let run_hotpath () =
   let seed = Option.value !seed_override ~default:2 in
-  let trials = 3 in
+  (* Gated runs take extra trials: the gate judges best-of-trials, and
+     more draws make the best a stabler estimate of uncontended speed. *)
+  let trials = if !check_file <> None then 5 else 3 in
   let median l =
     let a = List.sort compare l in
     List.nth a (List.length a / 2)
@@ -421,8 +481,9 @@ let run_hotpath () =
       ()
   in
   let totals = Hashtbl.create 8 in
-  let record workload config events eps =
-    hotpath_records := (workload, config, events, eps) :: !hotpath_records;
+  let record workload config events eps trial_eps =
+    hotpath_records :=
+      (workload, config, events, eps, trial_eps) :: !hotpath_records;
     Table.add_row t
       [
         workload; config; string_of_int events; Printf.sprintf "%.2f" (eps /. 1e6);
@@ -474,15 +535,16 @@ let run_hotpath () =
       in
       List.iter
         (fun (cname, f) ->
-          let dt =
-            median
-              (List.init trials (fun _ ->
-                   let t0 = Unix.gettimeofday () in
-                   f ();
-                   Unix.gettimeofday () -. t0))
+          let times =
+            List.init trials (fun _ ->
+                let t0 = Unix.gettimeofday () in
+                f ();
+                (Unix.gettimeofday () -. t0) *. !handicap)
           in
+          let dt = median times in
           let eps = float_of_int events /. dt in
-          record name cname events eps;
+          let trial_eps = List.map (fun d -> float_of_int events /. d) times in
+          record name cname events eps trial_eps;
           let e0, d0 =
             Option.value (Hashtbl.find_opt totals cname) ~default:(0, 0.)
           in
@@ -494,9 +556,14 @@ let run_hotpath () =
   List.iter
     (fun cname ->
       match Hashtbl.find_opt totals cname with
-      | Some (e, d) -> record "all" cname e (float_of_int e /. d)
+      | Some (e, d) -> record "all" cname e (float_of_int e /. d) []
       | None -> ())
     config_names;
+  let all_events, all_dt =
+    Hashtbl.fold (fun _ (e, d) (te, td) -> (te + e, td +. d)) totals (0, 0.0)
+  in
+  if all_dt > 0.0 then
+    Hashtbl.replace suite_eps "hotpath" (float_of_int all_events /. all_dt);
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -506,6 +573,52 @@ let run_hotpath () =
 let run_experiments () =
   timed "experiments" (fun () ->
       Figures.print_all ~jobs:(jobs ()) ?plan_source:(plan_source ()) ())
+
+(* The regression gate: measure the hot path (unless this invocation
+   already did), compare throughput and wall time against the committed
+   baseline, exit 1 on any regression beyond the threshold. *)
+let run_check () =
+  match !check_file with
+  | None -> ()
+  | Some path -> (
+      if !hotpath_records = [] then timed "hotpath" run_hotpath;
+      match Bench_check.load path with
+      | Error e ->
+          Printf.eprintf "bench --check: %s\n%!" e;
+          exit 2
+      | Ok baseline ->
+          let threshold = !check_threshold in
+          (* Judge best-of-trials, not the median: contention from a noisy
+             neighbour only ever slows a trial down, so the fastest trial
+             is the robust estimate of what this tree can do. *)
+          let current_tp =
+            List.rev_map
+              (fun (w, c, _events, eps, trials) ->
+                (w, c, List.fold_left Float.max eps trials))
+              !hotpath_records
+          in
+          let current_wall =
+            List.rev_map (fun (name, wall, _) -> (name, wall)) !bench_records
+          in
+          let verdicts =
+            Bench_check.check_throughput ~threshold baseline current_tp
+            @ Bench_check.check_wall ~threshold baseline ~label:!bench_label
+                ~jobs:(jobs ()) current_wall
+          in
+          print_newline ();
+          Table.print
+            (Bench_check.table
+               ~title:
+                 (Printf.sprintf "bench --check vs %s (threshold %.0f%%)" path
+                    (100.0 *. threshold))
+               verdicts);
+          if Bench_check.any_regressed verdicts then begin
+            Printf.eprintf "  [bench] REGRESSION beyond %.0f%% vs %s\n%!"
+              (100.0 *. threshold) path;
+            write_bench_report ();
+            exit 1
+          end
+          else Printf.eprintf "  [bench] check ok vs %s\n%!" path)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -530,7 +643,27 @@ let () =
     | "--label" :: l :: rest ->
         bench_label := l;
         strip_flags acc rest
-    | [ ("--seed" | "--jobs" | "--plan-cache" | "--label") as flag ] ->
+    | "--check" :: path :: rest ->
+        check_file := Some path;
+        strip_flags acc rest
+    | "--check-threshold" :: f :: rest ->
+        (match float_of_string_opt f with
+        | Some t when t > 0.0 -> check_threshold := t
+        | _ ->
+            Printf.eprintf "--check-threshold: not a positive number: %S\n" f;
+            exit 2);
+        strip_flags acc rest
+    | "--handicap" :: f :: rest ->
+        (match float_of_string_opt f with
+        | Some h when h > 0.0 ->
+            handicap := h;
+            if h <> 1.0 then bench_label := !bench_label ^ "+handicap"
+        | _ ->
+            Printf.eprintf "--handicap: not a positive number: %S\n" f;
+            exit 2);
+        strip_flags acc rest
+    | [ ("--seed" | "--jobs" | "--plan-cache" | "--label" | "--check"
+        | "--check-threshold" | "--handicap") as flag ] ->
         Printf.eprintf "%s: missing value\n" flag;
         exit 2
     | a :: rest -> strip_flags (a :: acc) rest
@@ -538,6 +671,9 @@ let () =
   in
   let args = strip_flags [] args in
   (match args with
+  | [] when !check_file <> None ->
+      (* Bare `--check FILE`: the gate itself runs the hot path. *)
+      ()
   | [] ->
       run_experiments ();
       print_newline ();
@@ -588,6 +724,8 @@ let () =
       prerr_endline
         "usage: main.exe \
          [experiments|trials N|micro|obs|--hotpath|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
-         [--seed N] [--jobs N] [--plan-cache DIR] [--label NAME]";
+         [--seed N] [--jobs N] [--plan-cache DIR] [--label NAME] \
+         [--check BENCH.json] [--check-threshold F] [--handicap F]";
       exit 2);
+  run_check ();
   write_bench_report ()

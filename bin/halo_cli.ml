@@ -541,7 +541,12 @@ let run_cmd =
       const run $ workload_arg $ kind_arg $ seed_arg $ chunk_size_arg $ spare_arg
       $ max_groups_arg $ affinity_arg $ json_arg $ trace_out_arg)
 
-let telemetry_cmd =
+let top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"N" ~doc:"Entries to show per ranked table.")
+
+let telemetry_run_cmd =
   let run w kind seed chunk_size spare max_groups affinity trace_out top =
     let pc = pipeline_config ~chunk_size ~spare ~max_groups ~affinity in
     with_obs trace_out (fun obs ->
@@ -554,13 +559,8 @@ let telemetry_cmd =
         Printf.printf "top %d metrics by volume:\n" top;
         print_string (Obs.top_metrics_string ~n:top obs))
   in
-  let top_arg =
-    Arg.(
-      value & opt int 10
-      & info [ "top" ] ~docv:"N" ~doc:"Metrics to show (by sample volume).")
-  in
   Cmd.v
-    (Cmd.info "telemetry"
+    (Cmd.info "run"
        ~doc:
          "Run a workload/configuration pair with full observability: print \
           the pipeline span tree and the hottest metrics, optionally \
@@ -568,6 +568,72 @@ let telemetry_cmd =
     Term.(
       const run $ workload_arg $ kind_arg $ seed_arg $ chunk_size_arg $ spare_arg
       $ max_groups_arg $ affinity_arg $ trace_out_arg $ top_arg)
+
+let load_telemetry path =
+  match Telemetry.load path with
+  | Ok t -> t
+  | Error e ->
+      Printf.eprintf "halo: %s: %s\n" path e;
+      exit 1
+
+let telemetry_report_cmd =
+  let run file top = print_string (Telemetry.report_string ~top (load_telemetry file)) in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl" ~doc:"JSONL trace to analyse.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyse a recorded JSONL trace: per-stage self-vs-total time, the \
+          longest spans, and every metric's summary (histogram quantiles \
+          re-derived from the merged sketches).")
+    Term.(const run $ file_arg $ top_arg)
+
+let telemetry_diff_cmd =
+  let run file_a file_b threshold =
+    let a = load_telemetry file_a and b = load_telemetry file_b in
+    let table, regressed = Telemetry.diff_table ~threshold a b in
+    Table.print table;
+    if regressed then begin
+      Printf.printf "metrics moved beyond %.0f%% (marked !)\n" (100.0 *. threshold);
+      exit 1
+    end
+  in
+  let file_a_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"A.jsonl" ~doc:"Baseline trace.")
+  in
+  let file_b_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"B.jsonl" ~doc:"Candidate trace.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.10
+      & info [ "threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "Flag metrics whose representative statistic (counter value, \
+             gauge level, histogram p99) moves by more than $(docv); exit 1 \
+             when any does.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two recorded JSONL traces metric by metric; exits non-zero \
+          when any metric moves beyond the threshold.")
+    Term.(const run $ file_a_arg $ file_b_arg $ threshold_arg)
+
+let telemetry_cmd =
+  Cmd.group
+    (Cmd.info "telemetry"
+       ~doc:
+         "Observability tooling: run a workload with full telemetry, analyse \
+          a recorded trace, or diff two traces with a regression threshold.")
+    [ telemetry_run_cmd; telemetry_report_cmd; telemetry_diff_cmd ]
 
 let baseline_cmd =
   let run w seed =
@@ -629,12 +695,13 @@ let sweep_cmd =
     Term.(const run $ distances_arg)
 
 let figures_cmd =
-  let run which jobs plan_cache =
+  let run which jobs plan_cache trace_out =
     let jobs = effective_jobs jobs in
     let cache = plan_cache_of plan_cache in
     let plan_source = Option.map Plan_cache.source cache in
+    let obs = Option.map (fun _ -> Obs.create ()) trace_out in
     (match which with
-    | "all" -> Figures.print_all ~jobs ?plan_source ()
+    | "all" -> Figures.print_all ~jobs ?obs ?plan_source ()
     | "fig12" -> Table.print (Figures.fig12 ())
     | "sec51" -> Table.print (Figures.sec51_baseline ())
     | "overhead" -> Table.print (Figures.overhead_control ())
@@ -645,7 +712,7 @@ let figures_cmd =
         Table.print (Figures.ablation_backend ());
         Table.print (Figures.ablation_sampling ())
     | "fig13" | "fig14" | "fig15" | "tab1" | "diag" ->
-        let suite = Figures.run_suite ~jobs ?plan_source () in
+        let suite = Figures.run_suite ~jobs ?obs ?plan_source () in
         let t =
           match which with
           | "fig13" -> Figures.fig13 suite
@@ -658,6 +725,12 @@ let figures_cmd =
     | other ->
         Printf.eprintf "unknown figure %S\n" other;
         exit 2);
+    (match (obs, trace_out) with
+    | Some obs, Some path ->
+        Obs.finish obs;
+        Trace_event.write ~path obs;
+        Printf.printf "\nChrome trace written to %s (load in Perfetto)\n" path
+    | _ -> ());
     report_cache cache
   in
   let which_arg =
@@ -668,9 +741,18 @@ let figures_cmd =
             "One of: all, fig12, fig13, fig14, fig15, tab1, sec51, overhead, \
              diag, ablation.")
   in
+  let figures_trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Export the suite run's span timeline as a Chrome trace-event \
+             JSON file (one track per worker domain; open in Perfetto or \
+             chrome://tracing).")
+  in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ which_arg $ jobs_arg $ plan_cache_arg)
+    Term.(const run $ which_arg $ jobs_arg $ plan_cache_arg $ figures_trace_arg)
 
 let contexts_cmd =
   let run w =

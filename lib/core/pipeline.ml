@@ -30,7 +30,8 @@ let derive ?obs ?(config = default_config) ?(group_fn = Grouping.group)
   in
   let gparams = { config.grouping with Grouping.min_edge_weight } in
   let grouping =
-    Obs.span obs "grouping" (fun () ->
+    Obs.span obs "grouping" ~attrs:[ ("stage", Json.String "grouping") ]
+      (fun () ->
         let g = group_fn profile.Profiler.graph gparams in
         Obs.add_attrs obs
           [
@@ -40,7 +41,9 @@ let derive ?obs ?(config = default_config) ?(group_fn = Grouping.group)
         g)
   in
   let selectors =
-    Obs.span obs "identification" (fun () ->
+    Obs.span obs "identification"
+      ~attrs:[ ("stage", Json.String "identification") ]
+      (fun () ->
         let sels = Identify.build ~contexts:profile.Profiler.contexts ~grouping in
         Obs.add_attrs obs
           [
@@ -51,7 +54,8 @@ let derive ?obs ?(config = default_config) ?(group_fn = Grouping.group)
         sels)
   in
   let rewrite =
-    Obs.span obs "rewrite" (fun () ->
+    Obs.span obs "rewrite" ~attrs:[ ("stage", Json.String "rewrite") ]
+      (fun () ->
         let r = Rewrite.plan selectors in
         Obs.add_attrs obs
           [
@@ -97,7 +101,9 @@ type runtime = {
 }
 
 let instantiate ?obs ?allocator plan ~fallback vmem =
-  Obs.span obs "allocator-synthesis" (fun () ->
+  Obs.span obs "allocator-synthesis"
+    ~attrs:[ ("stage", Json.String "allocator-synthesis") ]
+    (fun () ->
       let alloc_cfg = Option.value allocator ~default:plan.config.allocator in
       let env =
         Exec_env.create ~group_bits:(max plan.rewrite.Rewrite.nbits 1) ()

@@ -1,0 +1,204 @@
+type entry = {
+  e_label : string;
+  e_workload : string;
+  e_config : string;
+  e_events : int option;
+  e_events_per_s : float option;
+}
+
+type suite = {
+  s_name : string;
+  s_wall_s : float;
+  s_label : string option;
+  s_jobs : int option;
+}
+
+type baseline = {
+  b_date : string option;
+  b_entries : entry list;
+  b_suites : suite list;
+}
+
+let ( let* ) = Result.bind
+
+let parse_entry j =
+  let* workload = Json.get_string "workload" j in
+  let* config = Json.get_string "config" j in
+  (* [label]/[events]/[events_per_s] arrived with the v2 schema; files
+     written before it (and suite rows promoted into entries) miss some
+     of them, so each is optional. *)
+  let label =
+    match Json.mem "label" j with Some (Json.String l) -> l | _ -> "baseline"
+  in
+  let events = Result.to_option (Json.get_int "events" j) in
+  let eps =
+    match Json.get_float "events_per_s" j with
+    | Ok e -> Some e
+    | Error _ -> Result.to_option (Json.get_float "events_per_sec" j)
+  in
+  Ok
+    {
+      e_label = label;
+      e_workload = workload;
+      e_config = config;
+      e_events = events;
+      e_events_per_s = eps;
+    }
+
+let parse_suite j =
+  let* name = Json.get_string "name" j in
+  let* wall = Json.get_float "wall_s" j in
+  let label =
+    match Json.mem "label" j with Some (Json.String l) -> Some l | _ -> None
+  in
+  let jobs =
+    match Json.mem "config" j with
+    | Some cfg -> Result.to_option (Json.get_int "jobs" cfg)
+    | None -> None
+  in
+  Ok { s_name = name; s_wall_s = wall; s_label = label; s_jobs = jobs }
+
+let of_json j =
+  let date =
+    match Json.mem "date" j with Some (Json.String d) -> Some d | _ -> None
+  in
+  let list key =
+    match Json.mem key j with Some (Json.List l) -> l | _ -> []
+  in
+  let* entries =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* entry = parse_entry e in
+        Ok (entry :: acc))
+      (Ok [])
+      (list "hotpath")
+  in
+  let* suites =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* suite = parse_suite s in
+        Ok (suite :: acc))
+      (Ok [])
+      (list "suites")
+  in
+  Ok { b_date = date; b_entries = List.rev entries; b_suites = List.rev suites }
+
+let load path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "baseline file %s does not exist" path)
+  else
+    let* j =
+      Json.of_string (In_channel.with_open_bin path In_channel.input_all)
+    in
+    of_json j
+
+(* ------------------------------------------------------------------ *)
+(* The gate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  v_key : string;
+  v_metric : string; (* "events/s" (higher is better) or "wall_s" (lower) *)
+  v_baseline : float;
+  v_current : float;
+  v_delta : float; (* fractional change, sign-normalised: < 0 is slower *)
+  v_regressed : bool;
+}
+
+let default_threshold = 0.10
+
+(* Same-day BENCH files accumulate several runs of the same suite (cold,
+   warmed, baseline, optimised); gate against the {e best} recorded
+   number per key, so the bar is the fastest the tree has ever been on
+   the recording machine. *)
+let best_eps baseline ~workload ~config =
+  List.fold_left
+    (fun best e ->
+      if e.e_workload = workload && e.e_config = config then
+        match e.e_events_per_s with
+        | Some eps -> Some (Float.max eps (Option.value best ~default:0.0))
+        | None -> best
+      else best)
+    None baseline.b_entries
+
+(* Wall time is a machine-and-shape-bound number: unlike events/s it is
+   only comparable between runs of the same suite with the same label and
+   worker count. Pre-v2 files record neither, so they contribute no wall
+   bar — the per-event throughput rows carry the cross-file gate. *)
+let best_wall baseline ~name ~label ~jobs =
+  List.fold_left
+    (fun best s ->
+      if s.s_name = name && s.s_label = Some label && s.s_jobs = Some jobs then
+        Some
+          (match best with
+          | None -> s.s_wall_s
+          | Some b -> Float.min b s.s_wall_s)
+      else best)
+    None baseline.b_suites
+
+let check_throughput ?(threshold = default_threshold) baseline current =
+  List.filter_map
+    (fun (workload, config, eps) ->
+      match best_eps baseline ~workload ~config with
+      | None -> None
+      | Some base ->
+          let delta = (eps -. base) /. base in
+          Some
+            {
+              v_key = workload ^ "/" ^ config;
+              v_metric = "events/s";
+              v_baseline = base;
+              v_current = eps;
+              v_delta = delta;
+              v_regressed = delta < -.threshold;
+            })
+    current
+
+let check_wall ?(threshold = default_threshold) baseline ~label ~jobs current =
+  List.filter_map
+    (fun (name, wall) ->
+      match best_wall baseline ~name ~label ~jobs with
+      | None -> None
+      | Some base ->
+          (* Lower is better: normalise so negative delta means slower,
+             matching the throughput rows. *)
+          let delta = (base -. wall) /. base in
+          Some
+            {
+              v_key = name;
+              v_metric = "wall_s";
+              v_baseline = base;
+              v_current = wall;
+              v_delta = delta;
+              v_regressed = delta < -.threshold;
+            })
+    current
+
+let any_regressed = List.exists (fun v -> v.v_regressed)
+
+let table ?title verdicts =
+  let t =
+    Table.create
+      ~title:(Option.value title ~default:"bench --check")
+      ~headers:[ "key"; "metric"; "baseline"; "current"; "delta"; "verdict" ]
+      ()
+  in
+  List.iter
+    (fun v ->
+      let fmt x =
+        if v.v_metric = "events/s" then Printf.sprintf "%.2fM" (x /. 1e6)
+        else Printf.sprintf "%.2fs" x
+      in
+      Table.add_row t
+        [
+          v.v_key;
+          v.v_metric;
+          fmt v.v_baseline;
+          fmt v.v_current;
+          Table.fmt_pct v.v_delta;
+          (if v.v_regressed then "REGRESSED" else "ok");
+        ])
+    verdicts;
+  t

@@ -1,0 +1,74 @@
+(** The bench regression gate: [bench --check BENCH_<date>.json].
+
+    Loads a committed [BENCH_<date>.json] artifact and compares the
+    current run's hot-path throughput (events/s per workload×config) and
+    per-suite wall times against it. Same-day artifacts accumulate
+    several runs (cold, plan-cache-warmed, baseline, optimised), so the
+    bar per key is the {e best} recorded number — the fastest the tree
+    has ever been on the recording machine. Deltas are sign-normalised:
+    negative always means slower, and a delta below [-threshold] is a
+    regression. *)
+
+type entry = {
+  e_label : string;  (** ["baseline"] when the file predates labels. *)
+  e_workload : string;
+  e_config : string;
+  e_events : int option;
+  e_events_per_s : float option;
+}
+
+type suite = {
+  s_name : string;
+  s_wall_s : float;
+  s_label : string option;  (** Absent in pre-v2 files. *)
+  s_jobs : int option;  (** From the v2 per-entry [config] object. *)
+}
+
+type baseline = {
+  b_date : string option;
+  b_entries : entry list;  (** The [hotpath] section. *)
+  b_suites : suite list;  (** The [suites] section. *)
+}
+
+val of_json : Json.t -> (baseline, string) result
+(** Reads both the v2 schema (labelled entries with [events_per_sec]
+    fields on suites) and the original 2026-08-07 form. *)
+
+val load : string -> (baseline, string) result
+
+type verdict = {
+  v_key : string;  (** [workload/config], or the suite name. *)
+  v_metric : string;  (** ["events/s"] or ["wall_s"]. *)
+  v_baseline : float;
+  v_current : float;
+  v_delta : float;  (** Fractional, sign-normalised: negative = slower. *)
+  v_regressed : bool;
+}
+
+val default_threshold : float
+(** [0.10]. *)
+
+val check_throughput :
+  ?threshold:float ->
+  baseline ->
+  (string * string * float) list ->
+  verdict list
+(** [(workload, config, events_per_s)] rows from the current run; rows
+    with no matching baseline key are skipped. *)
+
+val check_wall :
+  ?threshold:float ->
+  baseline ->
+  label:string ->
+  jobs:int ->
+  (string * float) list ->
+  verdict list
+(** [(suite_name, wall_s)] rows from the current run. Wall time is only
+    comparable like-for-like, so a baseline row sets the bar only when
+    its name, label and worker count all match the current run's —
+    pre-v2 files (no label/config) contribute no wall bar; the
+    machine-normalised events/s rows carry the cross-file gate. *)
+
+val any_regressed : verdict list -> bool
+
+val table : ?title:string -> verdict list -> Table.t

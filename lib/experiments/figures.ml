@@ -556,10 +556,10 @@ let ablation_sampling ?workloads ?(periods = [ 1; 10; 100; 1000 ]) () =
     periods;
   t
 
-let print_all ?jobs ?plan_source () =
+let print_all ?jobs ?obs ?plan_source () =
   let progress line = Printf.eprintf "  [suite] %s\n%!" line in
   print_endline "Running the full measurement suite (11 workloads x 4 configs)...";
-  let suite = run_suite ~progress ?jobs ?plan_source () in
+  let suite = run_suite ~progress ?jobs ?obs ?plan_source () in
   Table.print (fig13 suite);
   print_newline ();
   Table.print (fig14 suite);

@@ -126,7 +126,10 @@ val ablation_sampling : ?workloads:Workload.t list -> ?periods:int list -> unit 
     (§4.1 applies no sampling). Plans derived from sampled profiles are
     measured end to end at several sampling periods. *)
 
-val print_all : ?jobs:int -> ?plan_source:Pipeline.plan_source -> unit -> unit
+val print_all :
+  ?jobs:int -> ?obs:Obs.t -> ?plan_source:Pipeline.plan_source -> unit -> unit
 (** Run everything in order and print each table — the body of
     [bench/main.exe]'s experiment mode. [jobs] parallelises the
-    suite-backed tables; the sweeps and ablations stay sequential. *)
+    suite-backed tables; the sweeps and ablations stay sequential. [obs]
+    is threaded into the suite run (worker spans and registries fold into
+    it), feeding [figures --trace-out]'s Chrome-trace export. *)

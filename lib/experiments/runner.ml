@@ -60,6 +60,7 @@ let measure ?obs ~w ~kind ~seed ~alloc ~patches ?env ~halo ~hds () =
   in
   let interp = Interp.create ~seed ~hooks ~patches ?env ?obs ~program ~alloc () in
   Obs.span obs "measurement"
+    ~attrs:[ ("stage", Json.String "measurement") ]
     ~instructions:(fun () -> Interp.instructions interp)
     (fun () ->
       ignore (Interp.run interp : int);

@@ -1,4 +1,4 @@
-(** The metric registry: counters, gauges and histograms.
+(** The metric registry: counters, gauges and log-bucketed histograms.
 
     Instrumented modules resolve handles once at construction time
     ({!counter}/{!gauge}/{!histogram} are idempotent per name) and update
@@ -31,24 +31,52 @@ val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 val gauge_name : gauge -> string
 
-val default_buckets : float array
-(** Exponential ladder 1, 2, 4, ... 32768 — suits depths and sizes. *)
+(** {1 Quantile sketch histograms}
 
-val histogram : ?buckets:float array -> registry -> string -> histogram
-(** [buckets] are upper bounds, strictly increasing; an implicit overflow
-    bucket covers everything above the last bound. Default
-    {!default_buckets}. *)
+    DDSketch-style log-bucketed histograms: a positive observation [v]
+    lands in the sparse bucket [ceil (log_gamma v)] where
+    [gamma = (1+alpha)/(1-alpha)], so any quantile extracted from the
+    sketch is within relative error [alpha] of an exactly-ranked value
+    from the recorded stream. Buckets are integer counts, so {!merge} is
+    per-bucket addition — exactly associative and commutative, which is
+    what lets per-domain worker registries (and future fleet shards)
+    aggregate without precision loss. Non-positive observations are
+    tallied in a dedicated zero bucket (queue depths and occupancies
+    observe [0.0] routinely). *)
+
+val default_alpha : float
+(** [0.01] — quantiles accurate to ±1%, ~900 buckets per decade-spanning
+    distribution worst case, far fewer in practice. *)
+
+val histogram : ?alpha:float -> registry -> string -> histogram
+(** [alpha] is the relative-error bound, in [(0, 1)]; default
+    {!default_alpha}. Re-resolving an existing name ignores [alpha] and
+    returns the original handle. *)
 
 val observe : histogram -> float -> unit
-(** An observation lands in the first bucket whose bound is [>=] it. *)
+
+val quantile : histogram -> float -> float option
+(** [quantile h q] for [q] in [[0, 1]]: the representative value of the
+    bucket holding rank [q * (count - 1)], clamped into the recorded
+    [min..max] envelope. [None] when the histogram is empty. The result is
+    within [alpha] relative error of the true [q]-quantile of the
+    observed stream. *)
 
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 val histogram_name : histogram -> string
+val histogram_alpha : histogram -> float
+
+val histogram_min : histogram -> float
+(** [infinity] while empty. *)
+
+val histogram_max : histogram -> float
+(** [neg_infinity] while empty. *)
 
 val histogram_buckets : histogram -> (float * int) list
-(** [(upper_bound, count)] per bucket, in bound order; the final bucket's
-    bound is [infinity]. Counts are per-bucket, not cumulative. *)
+(** [(upper_bound, count)] per occupied bucket in bound order, the zero
+    bucket (bound [0.0]) first when occupied. Counts are per-bucket, not
+    cumulative. *)
 
 type value =
   | Counter of int
@@ -56,27 +84,46 @@ type value =
   | Histogram of {
       count : int;
       sum : float;
+      min : float;
       max : float;
+      alpha : float;
+      zero : int;
       buckets : (float * int) list;
+          (** Occupied positive buckets [(upper_bound, count)], ascending;
+              the zero bucket is carried separately in [zero]. *)
     }
+
+val value_quantile : value -> float -> float option
+(** Quantile extraction from a snapshot/decoded {!value} — same contract
+    as {!quantile}; [None] for counters, gauges and empty histograms. *)
 
 val merge : into:registry -> registry -> unit
 (** [merge ~into src] folds every metric of [src] into [into], creating
-    missing metrics as it goes: counters add, gauges take the max of
+    missing metrics as it goes: counters add; gauges take the max of
     maxes and sum sample counts (the merged [last] is the source's last
     when the source recorded any sample — merge sources in a fixed order
-    for a deterministic result), histograms add per-bucket counts, sums
-    and counts. The registries' mutable records are not safe for
-    concurrent mutation, so this is the join-side half of domain-parallel
-    observability: give each worker a private registry and merge after
-    the join (see {!Par}). Raises [Invalid_argument] when a name is
-    registered with different kinds in the two registries, or when
-    histogram bucket bounds differ. *)
+    for a deterministic result); histograms add per-bucket counts, zero
+    counts, sums and counts, and combine min/max. Histogram merging is
+    associative and commutative up to float-sum rounding in [sum] (exact
+    when observations are integer-valued below 2{^53}). The registries'
+    mutable records are not safe for concurrent mutation, so this is the
+    join-side half of domain-parallel observability: give each worker a
+    private registry and merge after the join (see {!Par}). Raises
+    [Invalid_argument] when a name is registered with different kinds in
+    the two registries, or when histogram [alpha]s differ. *)
 
 val snapshot : registry -> (string * value) list
 (** Every registered metric with its current value, sorted by name. *)
 
 val value_to_json : value -> Json.t
+(** Histograms serialise OpenMetrics-style: occupied buckets as
+    [{"le": bound, "count": n}] with a trailing [{"le": "+Inf",
+    "count": 0}] overflow marker, plus [count]/[sum]/[alpha] and, when
+    non-empty, [min]/[max]/[p50]/[p90]/[p99]/[p999]. *)
+
+val value_of_json : Json.t -> (value, string) result
+(** Decode a {!value_to_json} object back; round-trips bucket counts
+    exactly (quantiles re-derive identically from the decoded value). *)
 
 val to_json : registry -> Json.t
 (** One object field per metric, sorted by name. *)

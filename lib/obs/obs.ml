@@ -1,11 +1,22 @@
+type gc_delta = {
+  gd_minor_words : float;
+  gd_major_words : float;
+  gd_promoted_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+  gd_compactions : int;
+}
+
 type span = {
   id : int;
   parent : int option;
   name : string;
   depth : int;
-  start_s : float; (* relative to ctx creation *)
+  track : int;
+  start_s : float; (* on the context's timeline: clock () - epoch *)
   mutable dur_s : float;
   mutable sp_instructions : int option;
+  mutable sp_gc : gc_delta option;
   mutable attrs : (string * Json.t) list;
   mutable closed : bool;
 }
@@ -15,20 +26,23 @@ type t = {
   sink : Trace.t option;
   clock : unit -> float;
   epoch : float;
-  mutable stack : span list; (* innermost open span first *)
+  track : int;
+  mutable stack : (span * Gc.stat) list; (* innermost open span first *)
   mutable recorded : span list; (* every span, most recently started first *)
   mutable next_id : int;
   mutable seq : int;
 }
 
-let default_clock = Unix.gettimeofday
+let default_clock = Obs_clock.now
 
-let create ?(clock = default_clock) ?sink () =
+let create ?(clock = default_clock) ?epoch ?(track = 0) ?sink () =
+  let epoch = match epoch with Some e -> e | None -> clock () in
   {
     metrics = Metrics.create ();
     sink;
     clock;
-    epoch = clock ();
+    epoch;
+    track;
     stack = [];
     recorded = [];
     next_id = 0;
@@ -38,6 +52,8 @@ let create ?(clock = default_clock) ?sink () =
 let enabled = Option.is_some
 let metrics t = t.metrics
 let sink t = t.sink
+let epoch t = t.epoch
+let track t = t.track
 
 let next_seq t =
   let s = t.seq in
@@ -51,6 +67,17 @@ let emit_event t fields =
 
 let float_json f = if Float.is_finite f then Json.Float f else Json.Null
 
+let gc_delta_json d =
+  Json.Obj
+    [
+      ("minor_words", float_json d.gd_minor_words);
+      ("major_words", float_json d.gd_major_words);
+      ("promoted_words", float_json d.gd_promoted_words);
+      ("minor_collections", Json.Int d.gd_minor_collections);
+      ("major_collections", Json.Int d.gd_major_collections);
+      ("compactions", Json.Int d.gd_compactions);
+    ]
+
 let span_event sp =
   [
     ("type", Json.String "span");
@@ -58,10 +85,12 @@ let span_event sp =
     ("parent", match sp.parent with None -> Json.Null | Some p -> Json.Int p);
     ("name", Json.String sp.name);
     ("depth", Json.Int sp.depth);
+    ("track", Json.Int sp.track);
     ("start_s", float_json sp.start_s);
     ("dur_s", float_json sp.dur_s);
     ( "instructions",
       match sp.sp_instructions with None -> Json.Null | Some n -> Json.Int n );
+    ("gc", match sp.sp_gc with None -> Json.Null | Some d -> gc_delta_json d);
     ("attrs", Json.Obj sp.attrs);
   ]
 
@@ -69,7 +98,7 @@ let span_begin t name =
   let parent, depth =
     match t.stack with
     | [] -> (None, 0)
-    | p :: _ -> (Some p.id, p.depth + 1)
+    | (p, _) :: _ -> (Some p.id, p.depth + 1)
   in
   let sp =
     {
@@ -77,24 +106,51 @@ let span_begin t name =
       parent;
       name;
       depth;
+      track = t.track;
       start_s = t.clock () -. t.epoch;
       dur_s = 0.0;
       sp_instructions = None;
+      sp_gc = None;
       attrs = [];
       closed = false;
     }
   in
   t.next_id <- t.next_id + 1;
-  t.stack <- sp :: t.stack;
+  t.stack <- (sp, Gc.quick_stat ()) :: t.stack;
   t.recorded <- sp :: t.recorded;
   sp
 
+let allocated_words (d : gc_delta) =
+  d.gd_minor_words +. d.gd_major_words -. d.gd_promoted_words
+
 let span_end t sp ~instructions =
-  (match t.stack with
-  | top :: rest when top == sp -> t.stack <- rest
-  | _ -> invalid_arg (Printf.sprintf "Obs: span %S closed out of order" sp.name));
+  let gc0 =
+    match t.stack with
+    | (top, gc0) :: rest when top == sp ->
+        t.stack <- rest;
+        gc0
+    | _ -> invalid_arg (Printf.sprintf "Obs: span %S closed out of order" sp.name)
+  in
   sp.dur_s <- t.clock () -. t.epoch -. sp.start_s;
   sp.sp_instructions <- instructions;
+  let gc1 = Gc.quick_stat () in
+  let delta =
+    {
+      gd_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+      gd_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+      gd_promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
+      gd_minor_collections = gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+      gd_major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+      gd_compactions = gc1.Gc.compactions - gc0.Gc.compactions;
+    }
+  in
+  sp.sp_gc <- Some delta;
+  (* Mutator-side cost of the whole run: refresh the allocation-rate
+     gauge whenever a top-level span closes. *)
+  if sp.depth = 0 && sp.dur_s > 0.0 then
+    Metrics.set
+      (Metrics.gauge t.metrics "runtime.alloc_rate")
+      (allocated_words delta /. sp.dur_s);
   sp.closed <- true;
   emit_event t (span_event sp)
 
@@ -119,7 +175,7 @@ let add_attrs obs attrs =
   | Some t -> (
       match t.stack with
       | [] -> ()
-      | sp :: _ -> sp.attrs <- sp.attrs @ attrs)
+      | (sp, _) :: _ -> sp.attrs <- sp.attrs @ attrs)
 
 let count obs name by =
   match obs with
@@ -150,12 +206,37 @@ let event obs ~name ?(attrs = []) v =
 
 let spans t = List.rev t.recorded
 
+let adopt t ~from =
+  (match from.stack with
+  | [] -> ()
+  | _ -> invalid_arg "Obs.adopt: source context still has open spans");
+  let offset = t.next_id in
+  let shift = from.epoch -. t.epoch in
+  let adopted =
+    List.rev_map
+      (fun (sp : span) ->
+        {
+          sp with
+          id = sp.id + offset;
+          parent = Option.map (fun p -> p + offset) sp.parent;
+          start_s = sp.start_s +. shift;
+        })
+      from.recorded
+    (* rev_map over most-recent-first gives start order ... *)
+  in
+  t.next_id <- t.next_id + from.next_id;
+  List.iter
+    (fun sp ->
+      t.recorded <- sp :: t.recorded;
+      emit_event t (span_event sp))
+    adopted
+
 let finish t =
   (match t.stack with
   | [] -> ()
   | open_spans ->
       (* Close any spans left open (a failed run): innermost first. *)
-      List.iter (fun sp -> span_end t sp ~instructions:None) open_spans);
+      List.iter (fun (sp, _) -> span_end t sp ~instructions:None) open_spans);
   List.iter
     (fun (name, v) ->
       emit_event t
@@ -179,7 +260,8 @@ let fmt_duration s =
 let span_tree_string t =
   let buf = Buffer.create 512 in
   List.iter
-    (fun sp ->
+    (fun (sp : span) ->
+      let tr = if sp.track = 0 then "" else Printf.sprintf "[t%d] " sp.track in
       let instr =
         match sp.sp_instructions with
         | None -> ""
@@ -197,9 +279,9 @@ let span_tree_string t =
             ^ "]"
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s%s  %s%s%s\n"
+        (Printf.sprintf "%s%s%s  %s%s%s\n"
            (String.make (2 * sp.depth) ' ')
-           sp.name (fmt_duration sp.dur_s) instr attrs))
+           tr sp.name (fmt_duration sp.dur_s) instr attrs))
     (spans t);
   Buffer.contents buf
 
@@ -232,10 +314,15 @@ let top_metrics_string ?(n = 10) t =
         | Metrics.Gauge { last; max; samples } ->
             Printf.sprintf "%-36s gauge      last=%g max=%g (%d samples)" name
               last max samples
-        | Metrics.Histogram { count; sum; max; _ } ->
+        | Metrics.Histogram { count; sum; max; _ } as v ->
             let mean = if count = 0 then 0.0 else sum /. float_of_int count in
-            Printf.sprintf "%-36s histogram  n=%d mean=%.2f max=%g" name count
-              mean max
+            let p99 =
+              match Metrics.value_quantile v 0.99 with
+              | None -> ""
+              | Some p -> Printf.sprintf " p99=%.3g" p
+            in
+            Printf.sprintf "%-36s histogram  n=%d mean=%.2f%s max=%g" name count
+              mean p99 max
       in
       Buffer.add_string buf line;
       Buffer.add_char buf '\n')

@@ -15,19 +15,33 @@
 
     Thread the {e same} context through the stages you want correlated:
     span ids are unique per context and events carry a monotonic [seq], so
-    a JSONL trace reconstructs the full interleaving. *)
+    a JSONL trace reconstructs the full interleaving. Parallel sections
+    give each domain a private context on its own {e track} (sharing the
+    parent's epoch) and fold it back with {!adopt} + {!Metrics.merge} at
+    the join — see {!Par}. *)
 
 type t
 
-val create : ?clock:(unit -> float) -> ?sink:Trace.t -> unit -> t
-(** [clock] defaults to [Unix.gettimeofday]; inject a fake for
-    deterministic tests. Without a [sink], spans and metrics are still
-    recorded in memory (for {!span_tree_string} etc.) but nothing is
-    written. *)
+val create :
+  ?clock:(unit -> float) -> ?epoch:float -> ?track:int -> ?sink:Trace.t -> unit -> t
+(** [clock] defaults to {!Obs_clock.now} — the process-wide monotonicized
+    clock, so every context in the process reads one comparable timeline;
+    inject a fake for deterministic tests. [epoch] (default: the clock's
+    value at creation) is subtracted from every reading; pass the parent's
+    {!epoch} when creating a worker context so its span timestamps line up
+    with the parent's. [track] (default 0) tags every span recorded here —
+    one track per domain in the Chrome-trace export. Without a [sink],
+    spans and metrics are still recorded in memory (for
+    {!span_tree_string} etc.) but nothing is written. *)
 
 val enabled : t option -> bool
 val metrics : t -> Metrics.registry
 val sink : t -> Trace.t option
+
+val epoch : t -> float
+(** The clock value all span timestamps are relative to. *)
+
+val track : t -> int
 
 (** {1 Spans} *)
 
@@ -41,9 +55,11 @@ val span :
 (** [span obs name f] runs [f] inside a span nested under the innermost
     open span. Wall-clock duration is always recorded; [instructions]
     (typically [fun () -> Interp.instructions i]) is sampled at entry and
-    exit and the delta recorded — the retired-instruction dimension. The
-    span is closed (and emitted to the sink) even if [f] raises. With
-    [obs = None] this is exactly [f ()]. *)
+    exit and the delta recorded — the retired-instruction dimension.
+    [Gc.quick_stat] is sampled at entry and exit too, so every closed span
+    carries its runtime cost (words allocated, promotions, collections,
+    compactions). The span is closed (and emitted to the sink) even if
+    [f] raises. With [obs = None] this is exactly [f ()]. *)
 
 val add_attrs : t option -> (string * Json.t) list -> unit
 (** Append attributes to the innermost open span (no-op when none). *)
@@ -70,23 +86,49 @@ val finish : t -> unit
 (** Force-close any spans still open, emit one [{"type":"summary"}] line
     per registered metric, and flush the sink. Call once, at the end. *)
 
+type gc_delta = {
+  gd_minor_words : float;
+  gd_major_words : float;
+  gd_promoted_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+  gd_compactions : int;
+}
+(** [Gc.quick_stat] deltas across a span: words are cumulative-allocation
+    deltas (so [minor + major - promoted] is words newly allocated inside
+    the span), the rest are collection-count deltas. *)
+
 type span = private {
   id : int;
   parent : int option;
   name : string;
   depth : int;
-  start_s : float;  (** Seconds since the context was created. *)
+  track : int;  (** The owning context's track (domain lane). *)
+  start_s : float;  (** Seconds since the context's epoch. *)
   mutable dur_s : float;
   mutable sp_instructions : int option;
+  mutable sp_gc : gc_delta option;  (** Present once the span is closed. *)
   mutable attrs : (string * Json.t) list;
   mutable closed : bool;
 }
 
 val spans : t -> span list
-(** All spans in start order (parents precede children). *)
+(** All spans in start order (parents precede children); after {!adopt},
+    adopted spans follow the context's own, each group in start order. *)
+
+val adopt : t -> from:t -> unit
+(** [adopt t ~from] grafts every span recorded in [from] into [t]: ids
+    (and parent ids) are offset so they stay unique within [t], track ids
+    are kept, and timestamps are rebased from [from]'s epoch onto [t]'s —
+    the adopted spans then appear in {!spans}, the span tree, and the
+    trace-event export, and are re-emitted to [t]'s sink. Metrics are
+    {e not} merged (that is {!Metrics.merge}'s job — keep the two
+    concerns separable for fleet-style aggregation). Raises
+    [Invalid_argument] if [from] still has open spans. *)
 
 val span_tree_string : t -> string
-(** Indented tree: name, duration, retired instructions, attributes. *)
+(** Indented tree: name, duration, retired instructions, attributes.
+    Spans from non-zero tracks are prefixed with [[tN]]. *)
 
 val top_metrics_string : ?n:int -> t -> string
 (** The [n] (default 10) highest-volume metrics, one line each. *)

@@ -1,0 +1,61 @@
+(** Offline analysis of JSONL traces: [halo_cli telemetry report|diff].
+
+    Loads the line-oriented trace an {!Obs} sink wrote ([{"type":"span"}]
+    events and [{"type":"summary"}] metric lines), reconstructs the span
+    set and the final metric snapshot, and renders {!Table}s: per-stage
+    self-vs-total time, top-k spans, histogram quantile summaries, and a
+    thresholded per-metric diff between two runs. *)
+
+type rspan = {
+  r_id : int;
+  r_parent : int option;
+  r_name : string;
+  r_depth : int;
+  r_track : int;
+  r_start_s : float;
+  r_dur_s : float;
+  r_stage : string option;
+      (** The span's ["stage"] attribute when present — pipeline stages
+          tag themselves so reports group by stage name. *)
+}
+
+type t = { spans : rspan list; metrics : (string * Metrics.value) list }
+
+val of_lines : string list -> (t, string) result
+(** Parse JSONL lines. Unknown event types are skipped; malformed lines
+    are an [Error] naming the line number. *)
+
+val load : string -> (t, string) result
+
+val stage_table : t -> Table.t
+(** Spans grouped by stage attribute (falling back to span name): span
+    count, total time, self time (duration minus direct children — sums
+    to wall time without double counting), and self-time share. *)
+
+val top_spans_table : ?n:int -> t -> Table.t
+
+val metrics_table : t -> Table.t
+(** Counter values, gauge last/max, histogram count/mean/p50/p99/p999/max
+    (quantiles re-derived from the decoded sketch buckets). *)
+
+val report_string : ?top:int -> t -> string
+(** The three report tables concatenated. *)
+
+type diff_row = {
+  d_name : string;
+  d_kind : string;
+  d_before : float option;
+  d_after : float option;
+  d_delta : float option;
+      (** Fractional change, [(after - before) / |before|]. *)
+  d_regressed : bool;  (** [|delta| > threshold]. *)
+}
+
+val diff : ?threshold:float -> t -> t -> diff_row list
+(** [diff a b] compares one representative statistic per metric name
+    (counter value, gauge last, histogram p99 — the north-star latency
+    objective is a tail percentile) across both snapshots. [threshold]
+    defaults to [0.10]. *)
+
+val diff_table : ?threshold:float -> t -> t -> Table.t * bool
+(** Rendered diff plus whether any metric moved beyond the threshold. *)

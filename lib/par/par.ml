@@ -1,10 +1,13 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-let now = Unix.gettimeofday
+(* All pool timing reads the process-wide monotonic clock, so per-worker
+   busy/queue-wait numbers and span timestamps share one timeline. *)
+let now = Obs_clock.now
 
 (* A queued task: runs on some worker, receives that worker's private
-   observability context, and must not raise (futures capture). *)
-type job = { run : Obs.t option -> unit }
+   observability context, and must not raise (futures capture). The
+   enqueue timestamp feeds the queue-wait histogram. *)
+type job = { run : Obs.t option -> unit; enqueued_s : float }
 
 type worker = {
   w_id : int;
@@ -42,11 +45,14 @@ type 'a future = {
   mutable f_state : 'a state;
 }
 
-let run_job w job =
+let run_job p w job =
   let t0 = now () in
+  Obs.observe w.w_obs (p.p_name ^ ".queue_wait_s") (t0 -. job.enqueued_s);
   job.run w.w_obs;
   w.w_tasks <- w.w_tasks + 1;
-  w.w_busy_s <- w.w_busy_s +. (now () -. t0)
+  let dt = now () -. t0 in
+  Obs.observe w.w_obs (p.p_name ^ ".task_s") dt;
+  w.w_busy_s <- w.w_busy_s +. dt
 
 let rec worker_loop p w =
   Mutex.lock p.p_mutex;
@@ -59,7 +65,7 @@ let rec worker_loop p w =
       Mutex.unlock p.p_mutex
   | Some job ->
       Mutex.unlock p.p_mutex;
-      run_job w job;
+      run_job p w job;
       worker_loop p w
 
 let create ?obs ?(name = "par") ~jobs () =
@@ -68,7 +74,12 @@ let create ?obs ?(name = "par") ~jobs () =
     Array.init jobs (fun i ->
         {
           w_id = i;
-          w_obs = Option.map (fun _ -> Obs.create ()) obs;
+          (* Workers share the parent's epoch and get their own track, so
+             their spans land on per-domain lanes of the same timeline. *)
+          w_obs =
+            Option.map
+              (fun parent -> Obs.create ~epoch:(Obs.epoch parent) ~track:(i + 1) ())
+              obs;
           w_tasks = 0;
           w_busy_s = 0.0;
           w_domain = None;
@@ -110,14 +121,14 @@ let submit p f =
   in
   if p.p_joined then invalid_arg "Par.submit: pool is shut down";
   p.p_submitted <- p.p_submitted + 1;
-  if p.p_sequential then run_job p.p_workers.(0) { run }
+  if p.p_sequential then run_job p p.p_workers.(0) { run; enqueued_s = now () }
   else begin
     Mutex.lock p.p_mutex;
     if p.p_closed then begin
       Mutex.unlock p.p_mutex;
       invalid_arg "Par.submit: pool is shut down"
     end;
-    Queue.push { run } p.p_queue;
+    Queue.push { run; enqueued_s = now () } p.p_queue;
     Condition.signal p.p_work;
     Mutex.unlock p.p_mutex
   end;
@@ -151,14 +162,16 @@ let shutdown p =
     | None -> ()
     | Some _ ->
         (* Workers are quiescent: fold their registries into the parent in
-           worker order (deterministic), then account for the fan-out. *)
+           worker order (deterministic), graft their span trees onto the
+           parent's (per-domain tracks), then account for the fan-out. *)
         Array.iter
           (fun w ->
             Option.iter
               (fun wobs ->
                 Option.iter
                   (fun parent ->
-                    Metrics.merge ~into:(Obs.metrics parent) (Obs.metrics wobs))
+                    Metrics.merge ~into:(Obs.metrics parent) (Obs.metrics wobs);
+                    Obs.adopt parent ~from:wobs)
                   p.p_obs;
                 Obs.event p.p_obs
                   ~name:(p.p_name ^ ".worker")

@@ -16,10 +16,15 @@
       backtrace) at {!await};
     - domain-safe observability: the mutable {!Metrics} records are not
       safe for concurrent mutation, so each worker owns a private
-      {!Obs.t}; after the join the per-worker registries are folded into
-      the parent with {!Metrics.merge} and one [par.worker] event per
-      worker (tasks completed, busy seconds) is emitted, alongside the
-      [par.tasks] counter and [par.workers] gauge.
+      {!Obs.t} sharing the parent's epoch on its own track ([w_id + 1]);
+      every task's queue wait and wall time land in the worker's
+      [<name>.queue_wait_s] / [<name>.task_s] histograms. After the join
+      the per-worker registries are folded into the parent with
+      {!Metrics.merge}, worker span trees are grafted on with
+      {!Obs.adopt} (so the Chrome-trace export shows one lane per
+      domain), and one [par.worker] event per worker (tasks completed,
+      busy seconds) is emitted, alongside the [par.tasks] counter and
+      [par.workers] gauge.
 
     [jobs <= 1] never spawns a domain: tasks run inline, in submission
     order, on the calling domain — the sequential code path stays the
@@ -55,8 +60,9 @@ val await : 'a future -> 'a
 
 val shutdown : pool -> unit
 (** Drain the queue, join every worker, then fold each worker's metric
-    registry into the parent [obs] (when given) with {!Metrics.merge} and
-    emit the per-worker accounting events. Idempotent. *)
+    registry into the parent [obs] (when given) with {!Metrics.merge},
+    adopt each worker's spans with {!Obs.adopt}, and emit the per-worker
+    accounting events. Idempotent. *)
 
 (** {1 Combinators} *)
 

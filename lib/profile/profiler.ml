@@ -123,6 +123,7 @@ let profile ?obs ?(config = default_config) program =
   in
   let interp = Interp.create ~seed:config.seed ~hooks ?obs ~program ~alloc () in
   Obs.span obs "profile"
+    ~attrs:[ ("stage", Json.String "profile") ]
     ~instructions:(fun () -> Interp.instructions interp)
     (fun () ->
       ignore (Interp.run interp : int);
@@ -133,7 +134,9 @@ let profile ?obs ?(config = default_config) program =
           ("macro_accesses", Json.Int (Affinity_queue.accesses queue));
         ]);
   let filtered =
-    Obs.span obs "affinity-graph" (fun () ->
+    Obs.span obs "affinity-graph"
+      ~attrs:[ ("stage", Json.String "affinity-graph") ]
+      (fun () ->
         let filtered =
           Affinity_graph.filter_top graph ~coverage:config.node_coverage
         in

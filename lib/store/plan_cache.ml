@@ -104,6 +104,9 @@ let source t =
     | None ->
         Obs.count obs "store.cache.misses" 1;
         locked t (fun () -> t.misses <- t.misses + 1));
+    (* The serve-mode north star is specified in terms of hit rate over
+       time: keep the registry's gauge current on every lookup. *)
+    Obs.set_gauge obs "store.cache.hit_rate" (hit_rate (stats t));
     found
   in
   let store obs program config plan =

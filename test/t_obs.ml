@@ -1,4 +1,4 @@
-(* Tests for halo_obs: Metrics, Trace, Obs. *)
+(* Tests for halo_obs: Metrics (quantile sketches), Trace, Obs, Trace_event. *)
 
 let check = Alcotest.check
 let checki = check Alcotest.int
@@ -45,31 +45,198 @@ let metrics_gauge () =
       checki "sample count" 3 samples
   | _ -> Alcotest.fail "expected a gauge"
 
-let metrics_histogram_bucketing () =
-  let reg = Metrics.create () in
-  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |] reg "h" in
-  (* An observation lands in the first bucket whose bound is >= it. *)
-  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 4.0; 100.0 ];
-  checki "count" 5 (Metrics.histogram_count h);
-  checkf "sum" 107.0 (Metrics.histogram_sum h);
-  match Metrics.histogram_buckets h with
-  | [ (b0, c0); (b1, c1); (b2, c2); (b3, c3) ] ->
-      checkf "bound 0" 1.0 b0;
-      checki "0.5 and 1.0 land at <=1" 2 c0;
-      checkf "bound 1" 2.0 b1;
-      checki "1.5 lands at <=2" 1 c1;
-      checkf "bound 2" 4.0 b2;
-      checki "4.0 lands at <=4 (inclusive)" 1 c2;
-      checkb "overflow bound is +inf" true (b3 = infinity);
-      checki "100 overflows" 1 c3
-  | l -> Alcotest.fail (Printf.sprintf "expected 4 buckets, got %d" (List.length l))
+(* ---------------- Quantile sketch ---------------- *)
 
-let metrics_default_buckets () =
-  (* Exponential ladder 1, 2, 4, ..., 2^15. *)
-  checki "16 bounds" 16 (Array.length Metrics.default_buckets);
-  Array.iteri
-    (fun k b -> checkf "power of two" (float_of_int (1 lsl k)) b)
-    Metrics.default_buckets
+let sketch_basics () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" in
+  checkf "default accuracy" Metrics.default_alpha (Metrics.histogram_alpha h);
+  List.iter (Metrics.observe h) [ 0.0; -1.0; 1.0; 100.0; 1e6 ];
+  checki "count includes non-positive" 5 (Metrics.histogram_count h);
+  checkf "sum is exact" 1000100.0 (Metrics.histogram_sum h);
+  checkf "min" (-1.0) (Metrics.histogram_min h);
+  checkf "max" 1e6 (Metrics.histogram_max h);
+  (match Metrics.histogram_buckets h with
+  | (0.0, z) :: pos ->
+      checki "zero bucket tallies v <= 0" 2 z;
+      checki "one sparse bucket per distinct magnitude" 3 (List.length pos);
+      checkb "positive bounds ascend" true
+        (List.sort compare pos = pos)
+  | _ -> Alcotest.fail "expected the zero bucket first");
+  (* Low ranks fall in the zero bucket, the top rank near the max. *)
+  checkf "q=0.1 is zero" 0.0 (Option.get (Metrics.quantile h 0.1));
+  let top = Option.get (Metrics.quantile h 1.0) in
+  checkb "q=1 within alpha of max" true
+    (Float.abs (top -. 1e6) /. 1e6 <= Metrics.default_alpha);
+  checkb "empty sketch has no quantile" true
+    (Metrics.quantile (Metrics.histogram reg "h2") 0.5 = None)
+
+let sketch_relative_error () =
+  (* 1..1000: the true q-quantile at rank r = floor(q * 999) is r + 1; the
+     sketch must land within its documented relative-error bound. *)
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" in
+  for v = 1 to 1000 do
+    Metrics.observe h (float_of_int v)
+  done;
+  List.iter
+    (fun q ->
+      let rank = int_of_float (q *. 999.0) in
+      let true_v = float_of_int (rank + 1) in
+      let est = Option.get (Metrics.quantile h q) in
+      checkb
+        (Printf.sprintf "q=%.3f: |%.3f - %.0f| within alpha" q est true_v)
+        true
+        (Float.abs (est -. true_v) /. true_v
+        <= Metrics.histogram_alpha h +. 1e-9))
+    [ 0.0; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let sketch_merge_exact () =
+  (* Per-bucket integer addition: a merged sketch equals the sketch of the
+     concatenated stream, bit for bit. *)
+  let observe_all h vs = List.iter (Metrics.observe h) vs in
+  let a = Metrics.create () and b = Metrics.create () and c = Metrics.create () in
+  let xs = [ 3.0; 14.0; 159.0; 0.0 ] and ys = [ 2.0; 71.0; 828.0; 14.0 ] in
+  observe_all (Metrics.histogram a "h") xs;
+  observe_all (Metrics.histogram b "h") ys;
+  observe_all (Metrics.histogram c "h") (xs @ ys);
+  Metrics.merge ~into:a b;
+  checks "merge equals one-stream sketch"
+    (Json.to_string (Metrics.to_json c))
+    (Json.to_string (Metrics.to_json a))
+
+let sketch_merge_alpha_mismatch () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.observe (Metrics.histogram ~alpha:0.01 a "h") 1.0;
+  Metrics.observe (Metrics.histogram ~alpha:0.05 b "h") 1.0;
+  let raised =
+    try
+      Metrics.merge ~into:a b;
+      false
+    with Invalid_argument msg ->
+      checks "names the sketch" "Metrics.merge: \"h\" sketch accuracy differs" msg;
+      true
+  in
+  checkb "alpha mismatch raises" true raised
+
+let count_substring needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go from acc =
+    if from + n > h then acc
+    else if String.sub hay from n = needle then go (from + n) (acc + 1)
+    else go (from + 1) acc
+  in
+  go 0 0
+
+let sketch_json_roundtrip () =
+  (* value_to_json -> text -> value_of_json must round-trip the bucket
+     counts exactly, spell the overflow bound the OpenMetrics way, and
+     re-derive identical quantiles from the decoded value. *)
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" in
+  List.iter (Metrics.observe h) [ 0.0; 5.0; 5.0; 123.0; 10_000.0 ];
+  let v = List.assoc "h" (Metrics.snapshot reg) in
+  let text = Json.to_string ~pretty:false (Metrics.value_to_json v) in
+  checki "canonical +Inf overflow bound" 1
+    (count_substring "{\"le\":\"+Inf\",\"count\":0}" text);
+  checki "no nulls" 0 (count_substring "null" text);
+  let decoded =
+    match Result.bind (Json.of_string text) Metrics.value_of_json with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  (match (v, decoded) with
+  | ( Metrics.Histogram { count; sum; min; max; zero; buckets; _ },
+      Metrics.Histogram
+        { count = c'; sum = s'; min = mn'; max = mx'; zero = z'; buckets = b'; _ } )
+    ->
+      checki "count" count c';
+      checkf "sum" sum s';
+      checkf "min" min mn';
+      checkf "max" max mx';
+      checki "zero bucket" zero z';
+      checki "bucket list" (List.length buckets) (List.length b')
+  | _ -> Alcotest.fail "expected histograms");
+  List.iter
+    (fun q ->
+      checkf
+        (Printf.sprintf "q=%.2f re-derives identically" q)
+        (Option.get (Metrics.value_quantile v q))
+        (Option.get (Metrics.value_quantile decoded q)))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+(* ---------------- qcheck properties ---------------- *)
+
+let ops_gen =
+  (* A registry "program": counters and integer-valued histogram streams
+     (float sums stay exact below 2^53, so merge equality is bit-exact).
+     Gauges are excluded by design — their merged [last] takes the
+     source's value, which is deterministic only for a fixed merge
+     order. *)
+  QCheck2.Gen.(
+    list_size (int_range 0 60)
+      (triple bool (int_range 0 2) (int_range 1 1_000_000)))
+
+let build ops =
+  let r = Metrics.create () in
+  List.iter
+    (fun (is_hist, idx, v) ->
+      if is_hist then
+        Metrics.observe
+          (Metrics.histogram r (Printf.sprintf "h%d" idx))
+          (float_of_int v)
+      else Metrics.incr ~by:(v mod 100) (Metrics.counter r (Printf.sprintf "c%d" idx)))
+    ops;
+  r
+
+let reg_json r = Json.to_string ~pretty:false (Metrics.to_json r)
+
+let merged l =
+  let d = Metrics.create () in
+  List.iter (fun r -> Metrics.merge ~into:d r) l;
+  d
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"metrics: merge is commutative" ~count:100
+    QCheck2.Gen.(pair ops_gen ops_gen)
+    (fun (a, b) ->
+      reg_json (merged [ build a; build b ])
+      = reg_json (merged [ build b; build a ]))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"metrics: merge is associative" ~count:100
+    QCheck2.Gen.(triple ops_gen ops_gen ops_gen)
+    (fun (a, b, c) ->
+      let left = merged [ build a; build b; build c ] in
+      let right = merged [ build a; merged [ build b; build c ] ] in
+      reg_json left = reg_json right)
+
+let prop_merge_identity =
+  QCheck2.Test.make ~name:"metrics: empty registry is the merge identity"
+    ~count:100 ops_gen
+    (fun a ->
+      let r = build a in
+      Metrics.merge ~into:r (Metrics.create ());
+      reg_json r = reg_json (build a)
+      && reg_json (merged [ build a ]) = reg_json (build a))
+
+let prop_quantile_error_bound =
+  QCheck2.Test.make ~name:"metrics: quantile within alpha relative error"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 200) (int_range 1 1_000_000))
+        (float_range 0.0 1.0))
+    (fun (vs, q) ->
+      let reg = Metrics.create () in
+      let h = Metrics.histogram reg "h" in
+      List.iter (fun v -> Metrics.observe h (float_of_int v)) vs;
+      let sorted = List.sort compare vs in
+      let rank = int_of_float (q *. float_of_int (List.length vs - 1)) in
+      let true_v = float_of_int (List.nth sorted rank) in
+      let est = Option.get (Metrics.quantile h q) in
+      Float.abs (est -. true_v) /. true_v
+      <= Metrics.histogram_alpha h +. 1e-9)
 
 (* ---------------- Obs spans ---------------- *)
 
@@ -96,6 +263,7 @@ let span_nesting () =
       checkb "inner-2 under outer" true (i2.Obs.parent = Some outer.Obs.id);
       checki "root depth" 0 outer.Obs.depth;
       checki "child depth" 1 i1.Obs.depth;
+      checki "default track" 0 outer.Obs.track;
       checkf "outer start" 0.0 outer.Obs.start_s;
       checkf "inner-1 start" 0.5 i1.Obs.start_s;
       checkf "inner-2 start" 0.75 i2.Obs.start_s;
@@ -138,6 +306,74 @@ let span_add_attrs_innermost () =
     (inner.Obs.attrs = [ ("x", Json.Int 1) ]);
   checkb "not on the parent" true (outer.Obs.attrs = [])
 
+let span_gc_delta () =
+  (* Real clock: the span allocates heavily, so the recorded gc delta must
+     show minor-heap traffic and the top-level close must refresh the
+     allocation-rate gauge. *)
+  let obs = Obs.create () in
+  let sink = ref 0.0 in
+  Obs.span (Some obs) "alloc" (fun () ->
+      for _ = 1 to 10_000 do
+        sink := !sink +. Array.fold_left ( +. ) 0.0 (Array.make 257 1.0)
+      done);
+  ignore (Sys.opaque_identity !sink);
+  (match (List.hd (Obs.spans obs)).Obs.sp_gc with
+  | Some gd ->
+      checkb "minor words allocated" true (gd.Obs.gd_minor_words > 0.0);
+      checkb "collection deltas are non-negative" true
+        (gd.Obs.gd_minor_collections >= 0 && gd.Obs.gd_major_collections >= 0)
+  | None -> Alcotest.fail "closed span carries a gc delta");
+  match List.assoc_opt "runtime.alloc_rate" (Metrics.snapshot (Obs.metrics obs)) with
+  | Some (Metrics.Gauge { last; samples; _ }) ->
+      checkb "alloc rate sampled once" true (samples >= 1);
+      checkb "alloc rate positive" true (last > 0.0)
+  | _ -> Alcotest.fail "expected the runtime.alloc_rate gauge"
+
+(* ---------------- adopt / tracks ---------------- *)
+
+let adopt_grafts_worker_spans () =
+  let clock, advance = fake_clock () in
+  let parent = Obs.create ~clock () in
+  Obs.span (Some parent) "root" (fun () -> advance 0.25);
+  advance 0.75 (* clock now 1.0 *);
+  let child = Obs.create ~clock ~epoch:(Obs.epoch parent) ~track:3 () in
+  Obs.span (Some child) "work" (fun () ->
+      advance 0.25;
+      Obs.span (Some child) "work.inner" (fun () -> advance 0.25));
+  Obs.adopt parent ~from:child;
+  let spans = Obs.spans parent in
+  checki "own span plus two adopted" 3 (List.length spans);
+  let by_name n = List.find (fun (sp : Obs.span) -> sp.Obs.name = n) spans in
+  let root = by_name "root" and w = by_name "work" and wi = by_name "work.inner" in
+  checki "adopted spans keep their track" 3 w.Obs.track;
+  checki "own spans stay on track 0" 0 root.Obs.track;
+  checkf "shared epoch: timestamps comparable" 1.0 w.Obs.start_s;
+  checkf "nested start preserved" 1.25 wi.Obs.start_s;
+  checkb "adopted ids don't collide" true (w.Obs.id <> root.Obs.id);
+  checkb "adopted parent links remapped" true (wi.Obs.parent = Some w.Obs.id);
+  (* Every parent id must resolve within the merged context. *)
+  let ids = List.map (fun (sp : Obs.span) -> sp.Obs.id) spans in
+  checkb "span tree is well-formed" true
+    (List.for_all
+       (fun (sp : Obs.span) ->
+         match sp.Obs.parent with None -> true | Some p -> List.mem p ids)
+       spans);
+  let tree = Obs.span_tree_string parent in
+  checkb "tree labels foreign tracks" true (count_substring "[t3]" tree >= 1)
+
+let adopt_rejects_open_spans () =
+  let clock, _ = fake_clock () in
+  let parent = Obs.create ~clock () in
+  let child = Obs.create ~clock ~epoch:(Obs.epoch parent) ~track:1 () in
+  Obs.span (Some child) "open" (fun () ->
+      let raised =
+        try
+          Obs.adopt parent ~from:child;
+          false
+        with Invalid_argument _ -> true
+      in
+      checkb "adopting a context with open spans raises" true raised)
+
 (* ---------------- Disabled path ---------------- *)
 
 let disabled_is_free () =
@@ -167,15 +403,6 @@ let disabled_is_free () =
     (delta < 256.0)
 
 (* ---------------- JSONL trace ---------------- *)
-
-let count_substring needle hay =
-  let n = String.length needle and h = String.length hay in
-  let rec go from acc =
-    if from + n > h then acc
-    else if String.sub hay from n = needle then go (from + n) (acc + 1)
-    else go (from + 1) acc
-  in
-  go 0 0
 
 let jsonl_trace () =
   let clock, advance = fake_clock () in
@@ -209,8 +436,11 @@ let jsonl_trace () =
     lines;
   let whole = Buffer.contents buf in
   checki "two span events" 2 (count_substring "\"type\":\"span\"" whole);
+  checki "span events carry their track" 2 (count_substring "\"track\":0" whole);
+  checki "span events carry gc deltas" 2 (count_substring "\"gc\":{" whole);
   checki "one metric series point" 1 (count_substring "\"type\":\"metric\"" whole);
-  checki "one summary per registered metric" 1
+  (* events.total plus the runtime.alloc_rate gauge the run span set. *)
+  checki "one summary per registered metric" 2
     (count_substring "\"type\":\"summary\"" whole);
   (* Span events reference their parent by id. *)
   checki "inner span names its parent" 1
@@ -261,6 +491,62 @@ let empty_metrics_export_no_nulls () =
   checki "updated gauge still carries max" 1 (count_substring "\"max\"" live);
   checki "updated gauge still carries value" 1 (count_substring "\"value\"" live)
 
+(* ---------------- Chrome trace export ---------------- *)
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let chrome_trace_export () =
+  let clock, advance = fake_clock () in
+  let parent = Obs.create ~clock () in
+  Obs.span (Some parent) "root" (fun () -> advance 0.25);
+  advance 0.75;
+  let child = Obs.create ~clock ~epoch:(Obs.epoch parent) ~track:3 () in
+  Obs.span (Some child) "work" (fun () -> advance 0.5);
+  Obs.adopt parent ~from:child;
+  let j = Trace_event.to_json parent in
+  checks "display unit" "ms" (ok (Json.get_string "displayTimeUnit" j));
+  let events = ok (Json.get_list "traceEvents" j) in
+  let phase e = ok (Json.get_string "ph" e) in
+  let args e =
+    match Json.mem "args" e with
+    | Some a -> a
+    | None -> Alcotest.fail "event without args"
+  in
+  let metadata = List.filter (fun e -> phase e = "M") events in
+  let complete = List.filter (fun e -> phase e = "X") events in
+  checki "metadata: process_name + one thread_name per track" 3
+    (List.length metadata);
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        if ok (Json.get_string "name" e) = "thread_name" then
+          Some (ok (Json.get_int "tid" e), ok (Json.get_string "name" (args e)))
+        else None)
+      metadata
+  in
+  checkb "track 0 is main" true (List.assoc 0 thread_names = "main");
+  checkb "track 3 is its domain" true (List.assoc 3 thread_names = "domain-3");
+  checki "one complete event per span" 2 (List.length complete);
+  let work =
+    List.find (fun e -> ok (Json.get_string "name" e) = "work") complete
+  in
+  checki "worker span on its own lane" 3 (ok (Json.get_int "tid" work));
+  checkf "ts in microseconds" 1e6 (ok (Json.get_float "ts" work));
+  checkf "dur in microseconds" 0.5e6 (ok (Json.get_float "dur" work));
+  (* Every parent_id must resolve to a span_id in the same file. *)
+  let arg_objs = List.map args complete in
+  let ids = List.map (fun a -> ok (Json.get_int "span_id" a)) arg_objs in
+  checkb "parent ids resolve" true
+    (List.for_all
+       (fun a ->
+         match Json.mem "parent_id" a with
+         | Some (Json.Int p) -> List.mem p ids
+         | Some Json.Null | None -> true
+         | Some _ -> false)
+       arg_objs)
+
+(* ---------------- Reporting ---------------- *)
+
 let reporting_strings () =
   let clock, advance = fake_clock () in
   let obs = Obs.create ~clock () in
@@ -277,19 +563,36 @@ let reporting_strings () =
 
 let tc name f = Alcotest.test_case name `Quick f
 
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_merge_commutative;
+      prop_merge_associative;
+      prop_merge_identity;
+      prop_quantile_error_bound;
+    ]
+
 let suite =
   [
     tc "metrics: counter" metrics_counter;
     tc "metrics: kind mismatch raises" metrics_kind_mismatch;
     tc "metrics: gauge last/max/samples" metrics_gauge;
-    tc "metrics: histogram bucketing" metrics_histogram_bucketing;
-    tc "metrics: default buckets ladder" metrics_default_buckets;
+    tc "metrics: sketch bucketing and zero bucket" sketch_basics;
+    tc "metrics: sketch quantile error bound" sketch_relative_error;
+    tc "metrics: sketch merge is exact" sketch_merge_exact;
+    tc "metrics: merge alpha mismatch raises" sketch_merge_alpha_mismatch;
+    tc "metrics: histogram JSON round-trip via +Inf" sketch_json_roundtrip;
     tc "obs: span nesting and ordering" span_nesting;
     tc "obs: span closes on exception" span_closes_on_exception;
     tc "obs: add_attrs targets innermost" span_add_attrs_innermost;
+    tc "obs: spans carry gc deltas" span_gc_delta;
+    tc "obs: adopt grafts worker spans" adopt_grafts_worker_spans;
+    tc "obs: adopt rejects open spans" adopt_rejects_open_spans;
     tc "obs: disabled path allocates nothing" disabled_is_free;
     tc "obs: JSONL trace parses line-by-line" jsonl_trace;
     tc "obs: finish closes open spans" finish_closes_open_spans;
     tc "obs: empty metrics export without nulls" empty_metrics_export_no_nulls;
+    tc "obs: Chrome trace export" chrome_trace_export;
     tc "obs: reporting strings" reporting_strings;
   ]
+  @ qsuite

@@ -118,6 +118,65 @@ let map_obs_merges_worker_registries () =
   | Metrics.Gauge { last; _ } -> checkf "par.workers gauge" 4.0 last
   | _ -> Alcotest.fail "t.workers should be a gauge"
 
+let map_obs_tracks_and_latency () =
+  (* Every task leaves a queue-wait and a wall-time sample in its worker's
+     registry, and worker-side spans are grafted onto the parent context
+     on per-domain tracks. *)
+  let obs = Obs.create () in
+  let xs = List.init 12 Fun.id in
+  ignore
+    (Par.map_obs ~obs ~name:"t" ~jobs:3
+       (fun wobs x -> Obs.span wobs "cell" (fun () -> x * x))
+       xs
+      : int list);
+  let snap = Metrics.snapshot (Obs.metrics obs) in
+  (match List.assoc "t.queue_wait_s" snap with
+  | Metrics.Histogram { count; min; _ } ->
+      checki "one queue-wait sample per task" 12 count;
+      checkb "waits are non-negative" true (min >= 0.0)
+  | _ -> Alcotest.fail "t.queue_wait_s should be a histogram");
+  (match List.assoc "t.task_s" snap with
+  | Metrics.Histogram { count; _ } ->
+      checki "one wall-time sample per task" 12 count
+  | _ -> Alcotest.fail "t.task_s should be a histogram");
+  let cells =
+    List.filter (fun (sp : Obs.span) -> sp.Obs.name = "cell") (Obs.spans obs)
+  in
+  checki "worker spans adopted" 12 (List.length cells);
+  checkb "adopted spans sit on per-domain tracks" true
+    (List.for_all
+       (fun (sp : Obs.span) -> sp.Obs.track >= 1 && sp.Obs.track <= 3)
+       cells);
+  checkb "all closed" true
+    (List.for_all (fun (sp : Obs.span) -> sp.Obs.closed) (Obs.spans obs))
+
+let map_obs_jobs_invariant () =
+  (* The acceptance bar for mergeable sketches: a deterministic workload
+     produces bit-identical merged histogram/counter summaries at any
+     worker count (integer-valued observations keep the float sums
+     exact). Wall-clock metrics (queue waits, task times, alloc rate) are
+     excluded — those legitimately vary. *)
+  let run jobs =
+    let obs = Obs.create () in
+    ignore
+      (Par.map_obs ~obs ~name:"t" ~jobs
+         (fun wobs x ->
+           Obs.count wobs "t.work" 1;
+           Obs.observe wobs "t.size" (float_of_int (x mod 17));
+           x)
+         (List.init 40 Fun.id)
+        : int list);
+    let snap = Metrics.snapshot (Obs.metrics obs) in
+    ( Json.to_string ~pretty:false
+        (Metrics.value_to_json (List.assoc "t.size" snap)),
+      Json.to_string ~pretty:false
+        (Metrics.value_to_json (List.assoc "t.work" snap)) )
+  in
+  let s1, w1 = run 1 in
+  let s4, w4 = run 4 in
+  check Alcotest.string "histogram summary is jobs-invariant" s1 s4;
+  check Alcotest.string "counter summary is jobs-invariant" w1 w4
+
 let map_obs_without_parent_is_silent () =
   (* No parent context: workers get no private context either, and the
      disabled path is exactly the plain map. *)
@@ -164,23 +223,23 @@ let merge_gauges () =
   | _ -> Alcotest.fail "expected gauge"
 
 let merge_histograms () =
-  let buckets = [| 1.0; 2.0; 4.0 |] in
+  (* Sketch merging is per-bucket integer addition: the merged sketch
+     answers quantiles exactly as if one sketch had seen both streams. *)
   let a = Metrics.create () and b = Metrics.create () in
-  let ha = Metrics.histogram ~buckets a "h" in
-  let hb = Metrics.histogram ~buckets b "h" in
+  let ha = Metrics.histogram a "h" in
+  let hb = Metrics.histogram b "h" in
   List.iter (Metrics.observe ha) [ 0.5; 3.0 ];
   List.iter (Metrics.observe hb) [ 0.5; 9.0; 9.0 ];
   Metrics.merge ~into:a b;
   match List.assoc "h" (Metrics.snapshot a) with
-  | Metrics.Histogram { count; sum; max; buckets } ->
+  | Metrics.Histogram { count; sum; min; max; _ } as v ->
       checki "counts sum" 5 count;
       checkf "sums add" 22.0 sum;
+      checkf "min of mins" 0.5 min;
       checkf "max of maxes" 9.0 max;
-      check
-        (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
-        "per-bucket addition"
-        [ (1.0, 2); (2.0, 0); (4.0, 1); (Float.infinity, 2) ]
-        buckets
+      let p100 = Option.get (Metrics.value_quantile v 1.0) in
+      checkb "top quantile within alpha of max" true
+        (Float.abs (p100 -. 9.0) /. 9.0 <= Metrics.default_alpha)
   | _ -> Alcotest.fail "expected histogram"
 
 let merge_kind_mismatch () =
@@ -195,12 +254,12 @@ let merge_kind_mismatch () =
   in
   checkb "kind mismatch rejected" true raised
 
-let merge_bounds_mismatch () =
+let merge_alpha_mismatch () =
   let a = Metrics.create () and b = Metrics.create () in
-  ignore (Metrics.histogram ~buckets:[| 1.0; 2.0 |] a "h" : Metrics.histogram);
-  ignore (Metrics.histogram ~buckets:[| 1.0; 3.0 |] b "h" : Metrics.histogram);
-  Alcotest.check_raises "bucket bounds must match"
-    (Invalid_argument "Metrics.merge: \"h\" bucket bounds differ") (fun () ->
+  ignore (Metrics.histogram ~alpha:0.01 a "h" : Metrics.histogram);
+  ignore (Metrics.histogram ~alpha:0.02 b "h" : Metrics.histogram);
+  Alcotest.check_raises "sketch accuracy must match"
+    (Invalid_argument "Metrics.merge: \"h\" sketch accuracy differs") (fun () ->
       Metrics.merge ~into:a b)
 
 let suite =
@@ -215,10 +274,12 @@ let suite =
     tc "pool: submit/await ordering" pool_submit_await;
     tc "pool: shutdown idempotent, then closed" pool_shutdown_idempotent_and_closed;
     tc "map_obs: worker registries merged" map_obs_merges_worker_registries;
+    tc "map_obs: task latency + per-domain tracks" map_obs_tracks_and_latency;
+    tc "map_obs: merged summaries jobs-invariant" map_obs_jobs_invariant;
     tc "map_obs: disabled without parent" map_obs_without_parent_is_silent;
     tc "metrics.merge: counters" merge_counters;
     tc "metrics.merge: gauges" merge_gauges;
     tc "metrics.merge: histograms" merge_histograms;
     tc "metrics.merge: kind mismatch" merge_kind_mismatch;
-    tc "metrics.merge: bounds mismatch" merge_bounds_mismatch;
+    tc "metrics.merge: sketch accuracy mismatch" merge_alpha_mismatch;
   ]

@@ -1,0 +1,278 @@
+(* Tests for the offline telemetry analysis (Telemetry) and the bench
+   regression gate (Bench_check). *)
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go from =
+    from + n <= h
+    && (String.sub hay from n = needle || go (from + 1))
+  in
+  go 0
+
+(* ---------------- Telemetry: trace analysis ---------------- *)
+
+(* A trace is produced the way the CLI produces one: run spans through a
+   real Obs with a JSONL sink, then re-read the lines. *)
+let recorded_trace () =
+  let clock = ref 0.0 in
+  let advance dt = clock := !clock +. dt in
+  let buf = Buffer.create 1024 in
+  let obs = Obs.create ~clock:(fun () -> !clock) ~sink:(Trace.to_buffer buf) () in
+  let o = Some obs in
+  Obs.span o "run" (fun () ->
+      Obs.span o "profile"
+        ~attrs:[ ("stage", Json.String "profile") ]
+        (fun () ->
+          advance 0.6;
+          Obs.observe o "profile.accesses" 100.0;
+          Obs.observe o "profile.accesses" 300.0);
+      Obs.span o "rewrite"
+        ~attrs:[ ("stage", Json.String "rewrite") ]
+        (fun () -> advance 0.4);
+      Obs.count o "events.total" 7);
+  Obs.finish obs;
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+let parse_roundtrip () =
+  let t =
+    match Telemetry.of_lines (recorded_trace ()) with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  checki "three spans" 3 (List.length t.Telemetry.spans);
+  let run =
+    List.find (fun s -> s.Telemetry.r_name = "run") t.Telemetry.spans
+  and prof =
+    List.find (fun s -> s.Telemetry.r_name = "profile") t.Telemetry.spans
+  in
+  checkb "root has no parent" true (run.Telemetry.r_parent = None);
+  checkb "stage attr recovered" true
+    (prof.Telemetry.r_stage = Some "profile");
+  checkb "child links to root" true
+    (prof.Telemetry.r_parent = Some run.Telemetry.r_id);
+  checkf "durations preserved" 1.0 run.Telemetry.r_dur_s;
+  (* Summaries decode back into typed metric values. *)
+  (match List.assoc "events.total" t.Telemetry.metrics with
+  | Metrics.Counter n -> checki "counter summary" 7 n
+  | _ -> Alcotest.fail "expected counter");
+  match List.assoc "profile.accesses" t.Telemetry.metrics with
+  | Metrics.Histogram { count; _ } as v ->
+      checki "histogram summary" 2 count;
+      checkb "quantiles re-derive from the decoded sketch" true
+        (Option.get (Metrics.value_quantile v 1.0) > 200.0)
+  | _ -> Alcotest.fail "expected histogram"
+
+let malformed_lines_are_located () =
+  match
+    Telemetry.of_lines
+      [
+        "{\"type\":\"span\",\"id\":0,\"name\":\"a\",\"depth\":0,\
+         \"start_s\":0.0,\"dur_s\":1.0}";
+        "not json";
+      ]
+  with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> checkb "error names the line" true (contains "line 2" e)
+
+let report_renders () =
+  let t = Result.get_ok (Telemetry.of_lines (recorded_trace ())) in
+  let report = Telemetry.report_string t in
+  List.iter
+    (fun needle ->
+      checkb (Printf.sprintf "report mentions %s" needle) true
+        (contains needle report))
+    [ "profile"; "rewrite"; "events.total"; "self" ];
+  (* Self time: run spends 0 outside its children, profile 0.6, rewrite
+     0.4 — the stage table must not double-count nested time. *)
+  let stage = Table.render (Telemetry.stage_table t) in
+  checkb "stage table renders" true (String.length stage > 0)
+
+let diff_flags_regressions () =
+  let t_of lines = Result.get_ok (Telemetry.of_lines lines) in
+  let summary name fields =
+    Printf.sprintf
+      "{\"type\":\"summary\",\"name\":%S,%s,\"seq\":0}" name fields
+  in
+  let a = t_of [ summary "hits" "\"kind\":\"counter\",\"value\":100" ] in
+  let b = t_of [ summary "hits" "\"kind\":\"counter\",\"value\":125" ] in
+  (match Telemetry.diff ~threshold:0.10 a b with
+  | [ row ] ->
+      checks "named" "hits" row.Telemetry.d_name;
+      checkf "delta" 0.25 (Option.get row.Telemetry.d_delta);
+      checkb "beyond threshold" true row.Telemetry.d_regressed
+  | rows ->
+      Alcotest.fail (Printf.sprintf "expected one row, got %d" (List.length rows)));
+  (match Telemetry.diff ~threshold:0.30 a b with
+  | [ row ] -> checkb "within a looser threshold" false row.Telemetry.d_regressed
+  | _ -> Alcotest.fail "expected one row");
+  let _, regressed = Telemetry.diff_table ~threshold:0.10 a b in
+  checkb "table verdict matches" true regressed;
+  (* A metric present on one side only never crashes the diff. *)
+  let empty = t_of [] in
+  match Telemetry.diff a empty with
+  | [ row ] -> checkb "missing side is None" true (row.Telemetry.d_after = None)
+  | _ -> Alcotest.fail "expected one row"
+
+(* ---------------- Bench_check: the regression gate ---------------- *)
+
+let v2_baseline_json =
+  {|{
+  "date": "2026-08-07",
+  "hotpath": [
+    {"label": "baseline", "workload": "health", "config": "interp",
+     "events": 1000, "events_per_sec": 10.0e6},
+    {"label": "optimised", "workload": "health", "config": "interp",
+     "events": 1000, "events_per_sec": 40.0e6},
+    {"label": "baseline", "workload": "leela", "config": "simulate",
+     "events": 500, "events_per_sec": 5.0e6}
+  ],
+  "suites": [
+    {"name": "hotpath", "label": "baseline", "wall_s": 10.0,
+     "config": {"jobs": 4, "seed": 2, "plan_cache": false}},
+    {"name": "hotpath", "label": "baseline", "wall_s": 8.0,
+     "config": {"jobs": 4, "seed": 2, "plan_cache": false}}
+  ]
+}|}
+
+let v1_baseline_json =
+  (* The committed 2026-08-07 shape: no labels, no per-suite config. *)
+  {|{
+  "date": "2026-08-07",
+  "hotpath": [
+    {"workload": "health", "config": "interp", "events_per_sec": 12.0e6}
+  ],
+  "suites": [ {"name": "hotpath", "wall_s": 9.0} ]
+}|}
+
+let load_baseline text =
+  match Result.bind (Json.of_string text) Bench_check.of_json with
+  | Ok b -> b
+  | Error e -> Alcotest.fail e
+
+let parses_both_schemas () =
+  let v2 = load_baseline v2_baseline_json in
+  checki "v2 entries" 3 (List.length v2.Bench_check.b_entries);
+  checki "v2 suites" 2 (List.length v2.Bench_check.b_suites);
+  checkb "v2 suite carries jobs" true
+    (List.for_all
+       (fun s -> s.Bench_check.s_jobs = Some 4)
+       v2.Bench_check.b_suites);
+  let v1 = load_baseline v1_baseline_json in
+  (match v1.Bench_check.b_entries with
+  | [ e ] ->
+      checks "label defaults" "baseline" e.Bench_check.e_label;
+      checkb "throughput kept" true (e.Bench_check.e_events_per_s = Some 12.0e6)
+  | _ -> Alcotest.fail "expected one entry");
+  match v1.Bench_check.b_suites with
+  | [ s ] ->
+      checkb "no label on v1 suites" true (s.Bench_check.s_label = None);
+      checkb "no jobs on v1 suites" true (s.Bench_check.s_jobs = None)
+  | _ -> Alcotest.fail "expected one suite"
+
+let throughput_bar_is_best_recorded () =
+  let b = load_baseline v2_baseline_json in
+  (* health/interp appears at 10M and 40M: the bar is the max. *)
+  match
+    Bench_check.check_throughput b
+      [ ("health", "interp", 39.0e6); ("leela", "simulate", 6.0e6);
+        ("nosuch", "interp", 1.0) ]
+  with
+  | [ health; leela ] ->
+      checks "keyed" "health/interp" health.Bench_check.v_key;
+      checkf "bar is the best recorded" 40.0e6 health.Bench_check.v_baseline;
+      checkb "2.5% below best is within threshold" false
+        health.Bench_check.v_regressed;
+      checkb "faster than baseline is fine" false leela.Bench_check.v_regressed;
+      checkb "faster has positive delta" true (leela.Bench_check.v_delta > 0.0)
+  | rows ->
+      Alcotest.fail
+        (Printf.sprintf "unmatched rows must be skipped, got %d" (List.length rows))
+
+let throughput_regression_detected () =
+  let b = load_baseline v2_baseline_json in
+  match
+    Bench_check.check_throughput ~threshold:0.10 b [ ("health", "interp", 20.0e6) ]
+  with
+  | [ v ] ->
+      checkb "half the best regresses" true v.Bench_check.v_regressed;
+      checkf "delta sign-normalised (negative = slower)" (-0.5)
+        v.Bench_check.v_delta;
+      checkb "any_regressed agrees" true (Bench_check.any_regressed [ v ])
+  | _ -> Alcotest.fail "expected one verdict"
+
+let wall_like_for_like () =
+  let b = load_baseline v2_baseline_json in
+  (* Matching label+jobs: bar is the fastest wall (8s). *)
+  (match
+     Bench_check.check_wall b ~label:"baseline" ~jobs:4 [ ("hotpath", 8.5) ]
+   with
+  | [ v ] ->
+      checkf "bar is the fastest recorded wall" 8.0 v.Bench_check.v_baseline;
+      checkb "6% slower passes at 10%" false v.Bench_check.v_regressed
+  | _ -> Alcotest.fail "expected one verdict");
+  (match
+     Bench_check.check_wall b ~label:"baseline" ~jobs:4 [ ("hotpath", 10.0) ]
+   with
+  | [ v ] -> checkb "25% slower fails" true v.Bench_check.v_regressed
+  | _ -> Alcotest.fail "expected one verdict");
+  (* Different jobs, different label, or a pre-v2 file: no comparable
+     bar, so no verdict at all. *)
+  checki "jobs mismatch contributes no bar" 0
+    (List.length (Bench_check.check_wall b ~label:"baseline" ~jobs:8 [ ("hotpath", 99.0) ]));
+  checki "label mismatch contributes no bar" 0
+    (List.length
+       (Bench_check.check_wall b ~label:"optimised" ~jobs:4 [ ("hotpath", 99.0) ]));
+  let v1 = load_baseline v1_baseline_json in
+  checki "v1 files contribute no wall bar" 0
+    (List.length
+       (Bench_check.check_wall v1 ~label:"baseline" ~jobs:4 [ ("hotpath", 99.0) ]))
+
+let verdict_table_renders () =
+  let b = load_baseline v2_baseline_json in
+  let verdicts =
+    Bench_check.check_throughput ~threshold:0.10 b
+      [ ("health", "interp", 20.0e6); ("leela", "simulate", 6.0e6) ]
+  in
+  let rendered = Table.render (Bench_check.table ~title:"gate" verdicts) in
+  checkb "flags the regression" true (contains "REGRESSED" rendered);
+  checkb "passes the healthy row" true (contains "ok" rendered)
+
+let committed_baseline_loads () =
+  (* The artifact the CI gate runs against must stay parseable. Under
+     `dune runtest` the cwd is _build/default/test; when the binary is
+     run from the repo root the artifact sits beside it. *)
+  let path =
+    if Sys.file_exists "../BENCH_2026-08-07.json" then "../BENCH_2026-08-07.json"
+    else "BENCH_2026-08-07.json"
+  in
+  match Bench_check.load path with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+      checkb "has throughput entries" true (List.length b.Bench_check.b_entries > 0);
+      checkb "every entry keyed" true
+        (List.for_all
+           (fun e ->
+             e.Bench_check.e_workload <> "" && e.Bench_check.e_config <> "")
+           b.Bench_check.b_entries)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "telemetry: JSONL round-trip" parse_roundtrip;
+    tc "telemetry: malformed lines located" malformed_lines_are_located;
+    tc "telemetry: report renders" report_renders;
+    tc "telemetry: diff thresholds" diff_flags_regressions;
+    tc "bench_check: reads v1 and v2 schemas" parses_both_schemas;
+    tc "bench_check: bar is best recorded" throughput_bar_is_best_recorded;
+    tc "bench_check: regression detected" throughput_regression_detected;
+    tc "bench_check: wall compared like-for-like" wall_like_for_like;
+    tc "bench_check: verdict table renders" verdict_table_renders;
+    tc "bench_check: committed baseline loads" committed_baseline_loads;
+  ]

@@ -9,6 +9,7 @@ let () =
     [
       ("util", T_util.suite);
       ("obs", T_obs.suite);
+      ("telemetry", T_telemetry.suite);
       ("par", T_par.suite);
       ("mem", T_mem.suite);
       ("alloc", T_alloc.suite);
