@@ -567,6 +567,43 @@ let run_hotpath () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Serve-mode fleet benchmark: plan-cache hit rate, merge throughput   *)
+(* and job-latency quantiles of the continuous-profiling daemon under  *)
+(* a simulated fleet. Jobs/s feeds the --check gate as the             *)
+(* "serve/fleet" hotpath row (handicap applies, so the gate's          *)
+(* self-test covers this suite too).                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve () =
+  let seed = Option.value !seed_override ~default:1 in
+  let cfg =
+    {
+      Serve_sim.default_config with
+      Serve_sim.clients = 400;
+      rounds = 10;
+      seed;
+      serve =
+        {
+          Serve.default_config with
+          Serve.jobs = jobs ();
+          cache = plan_cache ();
+        };
+    }
+  in
+  let r = Serve_sim.run cfg in
+  Table.print (Serve_sim.report_table r);
+  let eps = r.Serve_sim.jobs_per_sec /. !handicap in
+  hotpath_records :=
+    ("serve", "fleet", r.Serve_sim.jobs_total, eps, [ eps ])
+    :: !hotpath_records;
+  Hashtbl.replace suite_eps "serve" eps;
+  Printf.eprintf
+    "  [serve] %d jobs, %.0f jobs/s, plan hit rate %.1f%%, %d profiler runs\n%!"
+    r.Serve_sim.jobs_total eps
+    (100.0 *. r.Serve_sim.plan_hit_rate)
+    r.Serve_sim.profile_runs
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -699,6 +736,7 @@ let () =
       print_newline ();
       Table.print (Figures.fig15 suite)
   | [ "micro" ] -> timed "micro" run_micro
+  | [ "serve" ] -> timed "serve" run_serve
   | [ "obs" ] -> timed "obs" run_obs_overhead
   | [ "--hotpath" ] -> timed "hotpath" run_hotpath
   | [ "fig12" ] -> Table.print (timed "fig12" Figures.fig12)
@@ -723,7 +761,7 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [experiments|trials N|micro|obs|--hotpath|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
+         [experiments|trials N|micro|serve|obs|--hotpath|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
          [--seed N] [--jobs N] [--plan-cache DIR] [--label NAME] \
          [--check BENCH.json] [--check-threshold F] [--handicap F]";
       exit 2);

@@ -360,8 +360,40 @@ let profile_merge_cmd =
           single weighted profile artifact.")
     Term.(const run $ profile_files_arg $ weights_arg $ profile_out_arg)
 
+(* `profile inspect --stats DIR`: the plan cache's cumulative ledger,
+   read from the directory alone — no daemon, no profiling. *)
+let inspect_cache_dir dir =
+  let cache = Plan_cache.create dir in
+  let s = Plan_cache.lifetime_stats cache in
+  let entries = Plan_cache.entry_names cache in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "plan cache %s" dir)
+      ~headers:[ "field"; "value" ] ()
+  in
+  Table.set_aligns t [ Table.Left; Table.Right ];
+  let row k v = Table.add_row t [ k; v ] in
+  row "entries" (string_of_int (List.length entries));
+  row "hits" (string_of_int s.Plan_cache.hits);
+  row "misses" (string_of_int s.Plan_cache.misses);
+  row "stores" (string_of_int s.Plan_cache.stores);
+  row "evictions" (string_of_int s.Plan_cache.evictions);
+  row "hit rate" (Table.fmt_pct (Plan_cache.hit_rate s));
+  if entries <> [] then begin
+    Table.add_rule t;
+    List.iter
+      (fun name ->
+        let path = Filename.concat dir name in
+        let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+        row name (Table.fmt_bytes size))
+      entries
+  end;
+  Table.print t
+
 let profile_inspect_cmd =
-  let run file top =
+  let run file top stats =
+    if stats then inspect_cache_dir file
+    else begin
     let header = or_die (Store.read_header file) in
     let result =
       match header.Store.kind with
@@ -429,21 +461,37 @@ let profile_inspect_cmd =
             ])
       edges;
     Table.print e
+    end
   in
   let file_arg =
     Arg.(
       required & pos 0 (some file) None
-      & info [] ~docv:"ARTIFACT" ~doc:"Artifact to inspect (profile or plan).")
+      & info [] ~docv:"ARTIFACT"
+          ~doc:
+            "Artifact to inspect (profile or plan), or a plan-cache \
+             directory with $(b,--stats).")
   in
   let top_arg =
     Arg.(
       value & opt int 10
       & info [ "top" ] ~docv:"K" ~doc:"Affinity edges to show (by weight).")
   in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Treat the positional argument as a plan-cache directory and \
+             print its cumulative hit/miss/store/eviction counters and \
+             entries (persisted across processes by the cache's stats \
+             ledger).")
+  in
   Cmd.v
     (Cmd.info "inspect"
-       ~doc:"Render an artifact's header and hottest affinity edges.")
-    Term.(const run $ file_arg $ top_arg)
+       ~doc:
+         "Render an artifact's header and hottest affinity edges, or a \
+          plan-cache directory's counters with $(b,--stats).")
+    Term.(const run $ file_arg $ top_arg $ stats_arg)
 
 let profile_apply_cmd =
   let run w file seed chunk_size spare max_groups json_out =
@@ -984,6 +1032,172 @@ let fuzz_cmd =
       $ replay_arg $ corpus_arg $ shrink_arg $ jobs_arg $ trace_out_arg
       $ plan_cache_arg $ digests_out_arg $ digests_check_arg)
 
+(* ---------------- continuous-profiling service mode ---------------- *)
+
+let serve_cmd =
+  let run stdin_batch socket simulate jobs plan_cache staleness chunk_size
+      spare max_groups affinity trace_out clients rounds record_prob drift
+      sim_seed json_out =
+    let jobs = effective_jobs jobs in
+    let cache = plan_cache_of plan_cache in
+    let pc = pipeline_config ~chunk_size ~spare ~max_groups ~affinity in
+    let cfg =
+      { Serve.jobs; staleness_weight = staleness; pipeline = pc; cache }
+    in
+    let modes =
+      (if stdin_batch then 1 else 0)
+      + (match socket with Some _ -> 1 | None -> 0)
+      + if simulate then 1 else 0
+    in
+    if modes <> 1 then begin
+      Printf.eprintf
+        "halo: serve needs exactly one of --stdin-batch, --socket PATH or \
+         --simulate\n";
+      exit 2
+    end;
+    (* Not with_obs: stdout is the response stream in --stdin-batch mode,
+       so the trace notice goes to stderr. *)
+    let serve_with_obs f =
+      match trace_out with
+      | None ->
+          let obs = Obs.create () in
+          let r = f obs in
+          Obs.finish obs;
+          r
+      | Some path ->
+          let oc =
+            try open_out path
+            with Sys_error msg ->
+              Printf.eprintf "halo: cannot open trace file: %s\n" msg;
+              exit 1
+          in
+          let obs = Obs.create ~sink:(Trace.to_channel oc) () in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              let r = f obs in
+              Obs.finish obs;
+              Printf.eprintf "trace written to %s\n" path;
+              r)
+    in
+    serve_with_obs (fun obs ->
+        if stdin_batch then begin
+          let engine = Serve.create ~obs cfg in
+          let n = Serve.run_channels engine stdin stdout in
+          Printf.eprintf "served %d responses\n" n
+        end
+        else
+          match socket with
+          | Some path ->
+              let engine = Serve.create ~obs cfg in
+              Printf.eprintf "listening on %s\n%!" path;
+              let n = Serve.run_socket engine ~path in
+              Printf.eprintf "served %d responses\n" n
+          | None ->
+              let sim_cfg =
+                {
+                  Serve_sim.clients;
+                  rounds;
+                  record_prob;
+                  drift;
+                  seed = sim_seed;
+                  serve = cfg;
+                }
+              in
+              let r = Serve_sim.run ~obs sim_cfg in
+              Table.print (Serve_sim.report_table r);
+              (match json_out with
+              | None -> ()
+              | Some path ->
+                  let oc = open_out path in
+                  Json.to_channel oc (Serve_sim.report_to_json r);
+                  close_out oc;
+                  Printf.printf "report written to %s\n" path))
+  in
+  let stdin_arg =
+    Arg.(
+      value & flag
+      & info [ "stdin-batch" ]
+          ~doc:
+            "Read every job line from stdin, answer each on stdout in \
+             order, then exit (the CI/test mode). Responses are \
+             byte-identical at any $(b,--jobs) count.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve jobs over a Unix-domain socket at $(docv) until a \
+             shutdown job arrives.")
+  in
+  let simulate_arg =
+    Arg.(
+      value & flag
+      & info [ "simulate" ]
+          ~doc:
+            "Run the fleet simulator against an in-process engine and \
+             print the report (hit rates, merge throughput, latency \
+             quantiles).")
+  in
+  let staleness_arg =
+    Arg.(
+      value
+      & opt float Serve.default_staleness_weight
+      & info [ "staleness-weight" ] ~docv:"W"
+          ~doc:
+            "New profile mass (merge weight) that invalidates a derived \
+             plan; the next request re-derives from the aggregate.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "clients" ] ~docv:"N" ~doc:"Simulated clients per round.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"N" ~doc:"Simulation rounds (one batch each).")
+  in
+  let record_prob_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "record-prob" ] ~docv:"P"
+          ~doc:"Per-client-per-round profile upload probability.")
+  in
+  let drift_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "drift" ] ~docv:"P"
+          ~doc:"Per-round workload-popularity rotation probability.")
+  in
+  let sim_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Simulator RNG seed.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the simulation report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Continuous-profiling service: accept line-delimited JSON jobs \
+          (profile-record, plan-request, stats, shutdown) over stdin or a \
+          Unix socket, folding profiles into per-program aggregates and \
+          answering plan requests from the plan cache — or simulate a \
+          whole fleet against it.")
+    Term.(
+      const run $ stdin_arg $ socket_arg $ simulate_arg $ jobs_arg
+      $ plan_cache_arg $ staleness_arg $ chunk_size_arg $ spare_arg
+      $ max_groups_arg $ affinity_arg $ trace_out_arg $ clients_arg
+      $ rounds_arg $ record_prob_arg $ drift_arg $ sim_seed_arg $ json_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -1002,6 +1216,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; baseline_cmd; telemetry_cmd; plan_cmd; profile_cmd;
-            sweep_cmd; figures_cmd; fuzz_cmd; disasm_cmd; contexts_cmd;
-            list_cmd;
+            serve_cmd; sweep_cmd; figures_cmd; fuzz_cmd; disasm_cmd;
+            contexts_cmd; list_cmd;
           ]))

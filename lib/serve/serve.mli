@@ -1,0 +1,88 @@
+(** The continuous-profiling daemon: BOLT's data-center loop over HALO's
+    batch pipeline.
+
+    Profiles stream in from a fleet as {!Serve_proto.payload}
+    [profile-record] jobs and fold into one incremental
+    {!Store.merge_state} per program (keyed by {!Ir_digest.program});
+    [plan-request] jobs are answered from, in order of preference, the
+    in-memory plan memo, the on-disk {!Plan_cache}, a derivation from the
+    program's merged aggregate (no profiler run), or — only when the
+    daemon has never seen the program at all — a full {!Pipeline.plan}.
+
+    {b Staleness policy}: every aggregate remembers the profile mass
+    (total merge weight) its current plan was derived at. When a record
+    job pushes the new mass beyond [staleness_weight], the plan is
+    invalidated {e eagerly} (counted as [serve.plan.invalidations], the
+    in-memory memo dropped) and re-derived {e lazily} on the next
+    request, overwriting the cache entry. Plans adopted from the disk
+    cache are treated as fresh at adoption mass.
+
+    {b Determinism}: job preworks (profiling, artifact decoding) fan out
+    over a {!Par} pool in submission order; all state mutation happens in
+    a sequential in-order fold, and responses carry no timings — so one
+    job stream produces one byte-identical response stream at any
+    [--jobs] count (given equal starting cache/aggregate state).
+
+    {b Telemetry} (all under the given [obs]): per-job-type latency
+    sketches [serve.job.<kind>.latency_s] (plus the combined
+    [serve.job.latency_s]), the [serve.queue_depth] gauge,
+    [serve.plan.{hits,misses,invalidations}] counters, per-kind
+    [serve.jobs.<kind>] counters, and the [serve.merge.profiles_per_sec]
+    gauge — exported through the normal {!Obs} JSONL sink and readable
+    with [halo_cli telemetry report]. *)
+
+type config = {
+  jobs : int;  (** Worker domains for job prework (1 = inline). *)
+  staleness_weight : float;
+      (** New profile mass (merge weight) that invalidates a derived
+          plan. *)
+  pipeline : Pipeline.config;
+      (** Base pipeline configuration; per-workload overrides
+          ([halo_grouping]/[halo_allocator]) are applied on top. *)
+  cache : Plan_cache.t option;  (** On-disk plan cache, if any. *)
+}
+
+val default_staleness_weight : float
+(** [4.0] — with unit default weights, four fresh fleet profiles
+    invalidate a plan. *)
+
+val default_config : config
+(** [jobs = 1], default staleness, {!Pipeline.default_config}, no
+    cache. *)
+
+type t
+
+val create : ?obs:Obs.t -> config -> t
+
+val shutdown_requested : t -> bool
+(** True once a [shutdown] job has been processed. *)
+
+val stats_json : t -> Json.t
+(** The [stats] job's response body: per-kind job counts, plan
+    hit/miss/invalidation counters, plan-derivation provenance counts,
+    cache counters, aggregate totals and the per-program staleness
+    ledger. Deterministic for a given job history. *)
+
+val handle_batch : t -> Serve_proto.job list -> Json.t list
+(** Process one batch: prework in parallel over [config.jobs] domains,
+    state fold and response emission sequential in submission order.
+    Jobs after a [shutdown] in the batch are answered with an error.
+    Once {!shutdown_requested} is set, every job is answered with an
+    error. *)
+
+val handle_line : t -> string -> Json.t
+(** Parse and process a single job line (the socket path's unit of
+    work); parse failures become error responses, never exceptions. *)
+
+val run_channels : t -> in_channel -> out_channel -> int
+(** The [--stdin-batch] mode: read every job line from the input channel
+    up front, process in waves of a fixed chunk size, and write one
+    response line per job, in order. Returns the number of responses
+    written. Saves cache stats (see {!Plan_cache.save_stats}) before
+    returning. *)
+
+val run_socket : t -> path:string -> int
+(** Bind a Unix-domain socket at [path] (unlinking any stale one),
+    accept one connection at a time, and answer jobs line by line until
+    a [shutdown] job arrives. Returns the number of responses written;
+    unlinks the socket and saves cache stats on exit. *)

@@ -2,6 +2,9 @@ type t = {
   dir : string;
   max_entries : int option;
   mu : Mutex.t;
+  saved : int * int * int * int;
+      (** (hits, misses, stores, evictions) persisted by earlier
+          processes, read once at open. *)
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
@@ -17,12 +20,38 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let stats_file dir = Filename.concat dir "stats.json"
+
+let load_stats dir =
+  let path = stats_file dir in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      Json.of_string (In_channel.with_open_bin path In_channel.input_all)
+    with
+    | exception Sys_error _ -> None
+    | Error _ -> None
+    | Ok j -> (
+        match
+          ( Json.get_int "hits" j,
+            Json.get_int "misses" j,
+            Json.get_int "stores" j,
+            Json.get_int "evictions" j )
+        with
+        | Ok hits, Ok misses, Ok stores, Ok evictions ->
+            Some { hits; misses; stores; evictions }
+        | _ -> None)
+
 let create ?max_entries dir =
   mkdir_p dir;
   {
     dir;
     max_entries;
     mu = Mutex.create ();
+    saved =
+      (match load_stats dir with
+      | Some s -> (s.hits, s.misses, s.stores, s.evictions)
+      | None -> (0, 0, 0, 0));
     hits = 0;
     misses = 0;
     stores = 0;
@@ -43,6 +72,36 @@ let hit_rate s =
   let lookups = s.hits + s.misses in
   if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups
 
+let lifetime_stats t =
+  let s = stats t and bh, bm, bs, be = t.saved in
+  {
+    hits = s.hits + bh;
+    misses = s.misses + bm;
+    stores = s.stores + bs;
+    evictions = s.evictions + be;
+  }
+
+let save_stats t =
+  let s = lifetime_stats t in
+  let j =
+    Json.Obj
+      [
+        ("hits", Json.Int s.hits);
+        ("misses", Json.Int s.misses);
+        ("stores", Json.Int s.stores);
+        ("evictions", Json.Int s.evictions);
+      ]
+  in
+  match Filename.temp_file ~temp_dir:t.dir "stats-" ".tmp" with
+  | exception Sys_error _ -> ()
+  | tmp -> (
+      try
+        Out_channel.with_open_bin tmp (fun oc ->
+            output_string oc (Json.to_string ~pretty:false j);
+            output_char oc '\n');
+        Sys.rename tmp (stats_file t.dir)
+      with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
+
 let suffix = ".plan.jsonl"
 
 let entry_path t ~program ~config =
@@ -55,6 +114,8 @@ let entries t =
       Array.to_list names
       |> List.filter (fun n -> Filename.check_suffix n suffix)
       |> List.map (fun n -> Filename.concat t.dir n)
+
+let entry_names t = List.sort compare (List.map Filename.basename (entries t))
 
 (* Drop oldest entries beyond the bound. Best-effort: a concurrently
    removed file is not an error. *)

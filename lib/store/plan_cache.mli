@@ -26,10 +26,36 @@ val create : ?max_entries:int -> string -> t
     oldest entries (by modification time) beyond the bound are evicted. *)
 
 val dir : t -> string
+
 val stats : t -> stats
+(** Counters accumulated by {e this process} since {!create}. *)
 
 val hit_rate : stats -> float
 (** Hits over lookups, 0 when no lookups happened. *)
+
+(** {1 Persistence and inspection}
+
+    A long-running daemon accumulates cache traffic that outlives any one
+    process; {!save_stats} persists the running totals into the cache
+    directory so [halo_cli profile inspect --stats DIR] can render a warm
+    cache's history without starting the daemon. *)
+
+val entry_names : t -> string list
+(** Base names of the plan artifacts currently in the cache directory,
+    sorted — each is [<program>-<config>.plan.jsonl]. *)
+
+val lifetime_stats : t -> stats
+(** {!stats} plus the totals saved in the directory by earlier processes
+    (read once at {!create}). *)
+
+val save_stats : t -> unit
+(** Atomically write {!lifetime_stats} to [stats.json] inside the cache
+    directory (temp file + rename, like plan entries). Best-effort: an
+    unwritable directory is ignored. *)
+
+val load_stats : string -> stats option
+(** Read a directory's saved [stats.json], if present and well-formed —
+    the inspection path; does not require opening the cache. *)
 
 val source : t -> Pipeline.plan_source
 (** The cache as a pipeline plan source — pass to [Pipeline.plan],

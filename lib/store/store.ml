@@ -536,6 +536,132 @@ let read_profile ?obs ?expect_program path =
             payload;
           { header; config; result = finish_profile st }))
 
+(* Incremental weighted merging: one mutable accumulator per program,
+   fed one artifact at a time. The batch [merge_profiles] is a fold over
+   this state, so the two APIs cannot drift. *)
+
+type merge_state = {
+  m_contexts : Context.table;
+  m_raw : Affinity_graph.t;
+  (* Digests (and shared config) pinned by the first artifact folded. *)
+  mutable m_first : (string * string * Profiler.config) option;
+  mutable m_count : int;
+  mutable m_weight : float;
+  mutable m_ta : int;
+  mutable m_tr : int;
+  mutable m_ins : int;
+}
+
+let merge_create () =
+  {
+    m_contexts = Context.create ();
+    m_raw = Affinity_graph.create ();
+    m_first = None;
+    m_count = 0;
+    m_weight = 0.0;
+    m_ta = 0;
+    m_tr = 0;
+    m_ins = 0;
+  }
+
+let merge_count st = st.m_count
+let merge_total_weight st = st.m_weight
+
+let merge_scale w n = int_of_float (Float.round (w *. float_of_int n))
+
+let merge_add st ((a : profile_artifact), w) =
+  if (not (Float.is_finite w)) || w <= 0.0 then
+    invalid_arg "Store.merge_add: weights must be positive and finite";
+  wrap (fun () ->
+      (match st.m_first with
+      | None ->
+          st.m_first <-
+            Some (a.header.program_digest, a.header.config_digest, a.config)
+      | Some (program, config, _) ->
+          if a.header.program_digest <> program then
+            raise
+              (Decode
+                 (Digest_mismatch
+                    {
+                      field = "program";
+                      found = a.header.program_digest;
+                      expected = program;
+                    }));
+          if a.header.config_digest <> config then
+            raise
+              (Decode
+                 (Digest_mismatch
+                    {
+                      field = "config";
+                      found = a.header.config_digest;
+                      expected = config;
+                    })));
+      let old = a.result.Profiler.contexts in
+      let n = Context.count old in
+      let remap = Array.make n 0 in
+      for id = 0 to n - 1 do
+        remap.(id) <- Context.intern st.m_contexts (Context.sites old id)
+      done;
+      let g = a.result.Profiler.raw_graph in
+      List.iter
+        (fun id ->
+          Affinity_graph.add_access_n st.m_raw remap.(id)
+            (merge_scale w (Affinity_graph.node_accesses g id)))
+        (Affinity_graph.nodes g);
+      List.iter
+        (fun (x, y, wt) ->
+          Affinity_graph.add_affinity_n st.m_raw remap.(x) remap.(y)
+            (merge_scale w wt))
+        (Affinity_graph.edges g);
+      st.m_ta <- st.m_ta + merge_scale w a.result.Profiler.total_accesses;
+      st.m_tr <- st.m_tr + merge_scale w a.result.Profiler.tracked_allocs;
+      st.m_ins <- st.m_ins + merge_scale w a.result.Profiler.instructions;
+      st.m_count <- st.m_count + 1;
+      st.m_weight <- st.m_weight +. w)
+
+let copy_graph g =
+  let c = Affinity_graph.create () in
+  List.iter
+    (fun id -> Affinity_graph.add_access_n c id (Affinity_graph.node_accesses g id))
+    (Affinity_graph.nodes g);
+  List.iter
+    (fun (x, y, w) -> Affinity_graph.add_affinity_n c x y w)
+    (Affinity_graph.edges g);
+  Affinity_graph.set_reported_total c (Affinity_graph.reported_total g);
+  c
+
+let copy_contexts tbl =
+  let c = Context.create () in
+  for id = 0 to Context.count tbl - 1 do
+    ignore (Context.intern c (Context.sites tbl id) : Context.id)
+  done;
+  c
+
+let merge_result_internal ~snapshot st =
+  match st.m_first with
+  | None -> invalid_arg "Store.merge_result: empty merge state"
+  | Some (_, _, config) ->
+      wrap (fun () ->
+          let raw = if snapshot then copy_graph st.m_raw else st.m_raw in
+          let contexts =
+            if snapshot then copy_contexts st.m_contexts else st.m_contexts
+          in
+          let filtered =
+            Affinity_graph.filter_top raw
+              ~coverage:config.Profiler.node_coverage
+          in
+          ( config,
+            {
+              Profiler.graph = filtered;
+              raw_graph = raw;
+              contexts;
+              total_accesses = st.m_ta;
+              tracked_allocs = st.m_tr;
+              instructions = st.m_ins;
+            } ))
+
+let merge_result st = merge_result_internal ~snapshot:true st
+
 let merge_profiles inputs =
   if inputs = [] then invalid_arg "Store.merge_profiles: empty input list";
   List.iter
@@ -543,69 +669,15 @@ let merge_profiles inputs =
       if (not (Float.is_finite w)) || w <= 0.0 then
         invalid_arg "Store.merge_profiles: weights must be positive and finite")
     inputs;
-  let first, _ = List.hd inputs in
-  wrap (fun () ->
-      List.iter
-        (fun ((a : profile_artifact), _) ->
-          if a.header.program_digest <> first.header.program_digest then
-            raise
-              (Decode
-                 (Digest_mismatch
-                    {
-                      field = "program";
-                      found = a.header.program_digest;
-                      expected = first.header.program_digest;
-                    }));
-          if a.header.config_digest <> first.header.config_digest then
-            raise
-              (Decode
-                 (Digest_mismatch
-                    {
-                      field = "config";
-                      found = a.header.config_digest;
-                      expected = first.header.config_digest;
-                    })))
-        inputs;
-      let config = first.config in
-      let contexts = Context.create () in
-      let raw = Affinity_graph.create () in
-      let scale w n = int_of_float (Float.round (w *. float_of_int n)) in
-      let ta = ref 0 and tr = ref 0 and ins = ref 0 in
-      List.iter
-        (fun ((a : profile_artifact), w) ->
-          let old = a.result.Profiler.contexts in
-          let n = Context.count old in
-          let remap = Array.make n 0 in
-          for id = 0 to n - 1 do
-            remap.(id) <- Context.intern contexts (Context.sites old id)
-          done;
-          let g = a.result.Profiler.raw_graph in
-          List.iter
-            (fun id ->
-              Affinity_graph.add_access_n raw remap.(id)
-                (scale w (Affinity_graph.node_accesses g id)))
-            (Affinity_graph.nodes g);
-          List.iter
-            (fun (x, y, wt) ->
-              Affinity_graph.add_affinity_n raw remap.(x) remap.(y)
-                (scale w wt))
-            (Affinity_graph.edges g);
-          ta := !ta + scale w a.result.Profiler.total_accesses;
-          tr := !tr + scale w a.result.Profiler.tracked_allocs;
-          ins := !ins + scale w a.result.Profiler.instructions)
-        inputs;
-      let filtered =
-        Affinity_graph.filter_top raw ~coverage:config.Profiler.node_coverage
-      in
-      ( config,
-        {
-          Profiler.graph = filtered;
-          raw_graph = raw;
-          contexts;
-          total_accesses = !ta;
-          tracked_allocs = !tr;
-          instructions = !ins;
-        } ))
+  let st = merge_create () in
+  let rec fold = function
+    | [] -> merge_result_internal ~snapshot:false st
+    | input :: rest -> (
+        match merge_add st input with
+        | Ok () -> fold rest
+        | Error e -> Error e)
+  in
+  fold inputs
 
 (* {1 Plans} *)
 

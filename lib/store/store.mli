@@ -113,7 +113,49 @@ val merge_profiles :
     program and config digests ([Digest_mismatch] otherwise); raises
     [Invalid_argument] on an empty list or a non-positive weight. Returns
     the shared config (the first artifact's) and the merged result, ready
-    for {!write_profile}. *)
+    for {!write_profile}. Equivalent to folding the list through
+    {!merge_add} and taking {!merge_result}. *)
+
+(** {2 Incremental merging}
+
+    The batch API above needs every input up front; long-running
+    aggregation (the serve loop folding fleet profiles as they arrive)
+    instead keeps one {!merge_state} per program and feeds it one
+    artifact at a time. Folding artifacts one by one through
+    {!merge_add} and finishing with {!merge_result} produces exactly
+    {!merge_profiles} of the same list in the same order; the fold is
+    associative in the accumulated counts, so arrival batching does not
+    change the outcome. *)
+
+type merge_state
+
+val merge_create : unit -> merge_state
+(** An empty accumulator. The first {!merge_add} pins the program and
+    config digests every later artifact must match. *)
+
+val merge_add : merge_state -> profile_artifact * float -> (unit, error) result
+(** Fold one weighted artifact into the accumulator: contexts are
+    re-interned into the shared table, scaled node/edge counts added to
+    the running raw graph, totals accumulated. [Digest_mismatch] when the
+    artifact disagrees with the first one on program or config digest
+    (the state is unchanged on error); raises [Invalid_argument] on a
+    non-positive or non-finite weight, as {!merge_profiles} does. *)
+
+val merge_count : merge_state -> int
+(** Artifacts folded in so far. *)
+
+val merge_total_weight : merge_state -> float
+(** Sum of the folded weights — the serve loop's "profile mass", which
+    its plan-staleness policy thresholds against. *)
+
+val merge_result :
+  merge_state -> (Profiler.config * Profiler.result, error) result
+(** The merged profile as of now: the noise filter runs over the
+    accumulated raw graph at the shared config's [node_coverage]. The
+    returned result is a {e snapshot} — graphs and contexts are copied,
+    so later {!merge_add} calls do not mutate it. Raises
+    [Invalid_argument] on an empty state, mirroring {!merge_profiles} on
+    an empty list. *)
 
 (** {1 Plans} *)
 

@@ -1,0 +1,284 @@
+(* Tests for the continuous-profiling service: protocol round-trips and
+   rejection paths, batch determinism across worker counts, the
+   staleness/invalidation policy, warm-cache serving with zero profiler
+   runs, the fleet simulator's deterministic schedule, and the
+   Unix-domain socket loop. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "halo-serve-test-%d-%d" (Unix.getpid ()) !n)
+
+let jok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let record id workload seed weight =
+  {
+    Serve_proto.id;
+    payload =
+      Serve_proto.Profile_record
+        { workload; seed; weight; scale = Workload.Test };
+  }
+
+let request id workload =
+  { Serve_proto.id; payload = Serve_proto.Plan_request { workload } }
+
+let stats id = { Serve_proto.id; payload = Serve_proto.Stats }
+let shutdown id = { Serve_proto.id; payload = Serve_proto.Shutdown }
+
+let counter obs name =
+  Metrics.counter_value (Metrics.counter (Obs.metrics obs) name)
+
+let field_string name j =
+  match Json.get_string name j with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* ---------------- protocol ---------------- *)
+
+let proto_round_trips () =
+  List.iter
+    (fun job ->
+      let back = jok (Serve_proto.job_of_json (Serve_proto.job_to_json job)) in
+      checkb "round-trips" true (back = job))
+    [
+      record 1 "ft" 3 1.0;
+      {
+        Serve_proto.id = 2;
+        payload =
+          Serve_proto.Profile_record
+            { workload = "health"; seed = 9; weight = 2.5; scale = Workload.Ref };
+      };
+      {
+        Serve_proto.id = 3;
+        payload = Serve_proto.Profile_load { path = "x.jsonl"; weight = 0.5 };
+      };
+      request 4 "omnetpp";
+      stats 5;
+      shutdown 6;
+    ]
+
+let proto_defaults () =
+  let job =
+    jok (Serve_proto.job_of_line {|{"job":"profile-record","id":7,"workload":"ft"}|})
+  in
+  (match job.Serve_proto.payload with
+  | Serve_proto.Profile_record { workload; seed; weight; scale } ->
+      checks "workload" "ft" workload;
+      checki "seed defaults to 1" 1 seed;
+      checkb "weight defaults to 1" true (weight = 1.0);
+      checkb "scale defaults to test" true (scale = Workload.Test)
+  | _ -> Alcotest.fail "wrong payload");
+  checki "id parsed" 7 job.Serve_proto.id
+
+let proto_rejects () =
+  let fails line =
+    match Serve_proto.job_of_line line with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ line)
+    | Error _ -> ()
+  in
+  fails "not json at all";
+  fails {|{"id":1}|};
+  fails {|{"job":"frobnicate","id":1}|};
+  fails {|{"job":"profile-record","id":1,"workload":"ft","weight":0}|};
+  fails {|{"job":"profile-record","id":1,"workload":"ft","weight":-2}|};
+  fails {|{"job":"profile-record","id":1,"workload":"ft","scale":"huge"}|};
+  fails {|{"job":"plan-request","id":1}|}
+
+(* ---------------- engine ---------------- *)
+
+let config ?cache ?(jobs = 1) ?(staleness = Serve.default_staleness_weight) ()
+    =
+  {
+    Serve.jobs;
+    staleness_weight = staleness;
+    pipeline = Pipeline.default_config;
+    cache;
+  }
+
+let mixed_stream =
+  [
+    record 1 "ft" 3 1.0;
+    record 2 "health" 5 2.0;
+    request 3 "ft";
+    request 4 "health";
+    record 5 "ft" 7 4.0;
+    request 6 "ft";
+    stats 7;
+  ]
+
+let batch_deterministic_across_jobs () =
+  let responses jobs =
+    let cache = Plan_cache.create (tmp_dir ()) in
+    let engine = Serve.create (config ~cache ~jobs ()) in
+    Serve.handle_batch engine mixed_stream
+    |> List.map Serve_proto.response_line
+    |> String.concat "\n"
+  in
+  checks "response stream byte-identical at --jobs 1 and --jobs 4"
+    (responses 1) (responses 4)
+
+let staleness_policy () =
+  let obs = Obs.create () in
+  let engine = Serve.create ~obs (config ~staleness:4.0 ()) in
+  let one job = List.hd (Serve.handle_batch engine [ job ]) in
+  ignore (one (record 1 "ft" 3 1.0) : Json.t);
+  let r1 = one (request 2 "ft") in
+  checks "first plan derives from the aggregate" "aggregate"
+    (field_string "source" r1);
+  ignore (one (record 3 "ft" 4 3.9) : Json.t);
+  checki "under the threshold: no invalidation" 0
+    (counter obs "serve.plan.invalidations");
+  checks "still served from memory" "memory" (field_string "source" (one (request 4 "ft")));
+  ignore (one (record 5 "ft" 5 0.2) : Json.t);
+  checki "mass beyond the threshold invalidates eagerly" 1
+    (counter obs "serve.plan.invalidations");
+  checks "next request re-derives from the aggregate" "aggregate"
+    (field_string "source" (one (request 6 "ft")));
+  checki "requests were hit/miss counted" 1 (counter obs "serve.plan.hits");
+  checki "two derivations were misses" 2 (counter obs "serve.plan.misses");
+  checki "no profiler run beyond the three records" 3
+    (counter obs "profile.runs")
+
+let warm_cache_serves_without_profiling () =
+  let dir = tmp_dir () in
+  (* First process: cold request profiles once and stores the plan. *)
+  let cold = Serve.create (config ~cache:(Plan_cache.create dir) ()) in
+  checks "cold request profiles" "profiled"
+    (field_string "source" (List.hd (Serve.handle_batch cold [ request 1 "ft" ])));
+  (* Second process: same cache directory, fresh engine and obs. *)
+  let obs = Obs.create () in
+  let warm = Serve.create ~obs (config ~cache:(Plan_cache.create dir) ()) in
+  let r1 = List.hd (Serve.handle_batch warm [ request 1 "ft" ]) in
+  checks "warm request adopts the cached plan" "cache" (field_string "source" r1);
+  let r2 = List.hd (Serve.handle_batch warm [ request 2 "ft" ]) in
+  checks "repeat request is a memory hit" "memory" (field_string "source" r2);
+  checki "warm engine never profiles" 0 (counter obs "profile.runs")
+
+let shutdown_semantics () =
+  let engine = Serve.create (config ()) in
+  let rs =
+    Serve.handle_batch engine [ stats 1; shutdown 2; request 3 "ft" ]
+  in
+  (match rs with
+  | [ a; b; c ] ->
+      checkb "stats ok" true (Json.get_bool "ok" a = Ok true);
+      checkb "shutdown acknowledged" true (Json.get_bool "ok" b = Ok true);
+      checkb "post-shutdown job refused" true (Json.get_bool "ok" c = Ok false)
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 responses, got %d" (List.length l)));
+  checkb "engine is stopping" true (Serve.shutdown_requested engine);
+  checkb "later batches refuse too" true
+    (Json.get_bool "ok" (List.hd (Serve.handle_batch engine [ stats 4 ]))
+    = Ok false)
+
+let handle_line_recovers () =
+  let engine = Serve.create (config ()) in
+  let bad = Serve.handle_line engine "{not json" in
+  checkb "parse failure is an error response" true
+    (Json.get_bool "ok" bad = Ok false);
+  let unknown = Serve.handle_line engine {|{"job":"plan-request","id":9,"workload":"nope"}|} in
+  checkb "unknown workload is an error response" true
+    (Json.get_bool "ok" unknown = Ok false);
+  checkb "id recovered" true (Json.get_int "id" unknown = Ok 9)
+
+(* ---------------- fleet simulator ---------------- *)
+
+let sim_stream_deterministic () =
+  let cfg =
+    { Serve_sim.default_config with Serve_sim.clients = 40; rounds = 3; seed = 9 }
+  in
+  checkb "same config, same schedule" true
+    (Serve_sim.job_stream cfg = Serve_sim.job_stream cfg);
+  checkb "seed changes the schedule" true
+    (Serve_sim.job_stream { cfg with Serve_sim.seed = 10 }
+    <> Serve_sim.job_stream cfg);
+  let flat = List.concat (Serve_sim.job_stream cfg) in
+  checki "ids number the flattened stream" (List.length flat)
+    (List.length
+       (List.filteri (fun i j -> j.Serve_proto.id = i + 1) flat))
+
+let sim_run_smoke () =
+  let cfg =
+    {
+      Serve_sim.default_config with
+      Serve_sim.clients = 40;
+      rounds = 3;
+      record_prob = 0.1;
+      seed = 9;
+      serve = config ~jobs:2 ();
+    }
+  in
+  let r = Serve_sim.run cfg in
+  checki "all jobs accounted for" (40 * 3) r.Serve_sim.jobs_total;
+  checki "records + requests = jobs" r.Serve_sim.jobs_total
+    (r.Serve_sim.records + r.Serve_sim.requests);
+  checki "no errors" 0 r.Serve_sim.errors;
+  checkb "hit rate in [0,1]" true
+    (r.Serve_sim.plan_hit_rate >= 0.0 && r.Serve_sim.plan_hit_rate <= 1.0);
+  checkb "profiling happened" true (r.Serve_sim.profile_runs > 0);
+  checkb "latency quantiles ordered" true
+    (r.Serve_sim.p50_s <= r.Serve_sim.p99_s
+    && r.Serve_sim.p99_s <= r.Serve_sim.p999_s);
+  checkb "report renders" true
+    (String.length (Table.render (Serve_sim.report_table r)) > 0);
+  checkb "report serialises" true
+    (String.length (Json.to_string (Serve_sim.report_to_json r)) > 0)
+
+(* ---------------- socket ---------------- *)
+
+let socket_round_trip () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "halo-serve-%d.sock" (Unix.getpid ()))
+  in
+  let engine = Serve.create (config ()) in
+  let server = Domain.spawn (fun () -> Serve.run_socket engine ~path) in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  let ask line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  let stats_resp = ask {|{"job":"stats","id":1}|} in
+  checkb "stats answered over the socket" true
+    (Json.get_bool "ok" (Result.get_ok (Json.of_string stats_resp)) = Ok true);
+  let bye = ask {|{"job":"shutdown","id":2}|} in
+  checkb "shutdown acknowledged" true
+    (Json.get_bool "ok" (Result.get_ok (Json.of_string bye)) = Ok true);
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  let served = Domain.join server in
+  checki "two responses served" 2 served;
+  checkb "socket unlinked on exit" true (not (Sys.file_exists path))
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  [
+    tc "proto: round-trips" proto_round_trips;
+    tc "proto: defaults" proto_defaults;
+    tc "proto: rejects bad jobs" proto_rejects;
+    slow "batch: deterministic across --jobs" batch_deterministic_across_jobs;
+    slow "staleness: eager invalidation, lazy re-derive" staleness_policy;
+    slow "cache: warm engine never profiles" warm_cache_serves_without_profiling;
+    tc "shutdown: later jobs refused" shutdown_semantics;
+    tc "lines: parse failures become error responses" handle_line_recovers;
+    tc "sim: schedule is deterministic" sim_stream_deterministic;
+    slow "sim: small fleet smoke" sim_run_smoke;
+    slow "socket: round-trip and shutdown" socket_round_trip;
+  ]

@@ -381,6 +381,70 @@ let merge_rejects_bad_weights () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* ---------------- incremental merging ---------------- *)
+
+let merge_incremental_matches_batch () =
+  let a = artifact_of "ft" in
+  let b =
+    artifact_of ~config:{ Profiler.default_config with Profiler.seed = 5 } "ft"
+  in
+  let pairs = [ (a, 1.0); (b, 2.5) ] in
+  let bc, batch = ok (Store.merge_profiles pairs) in
+  let st = Store.merge_create () in
+  List.iter (fun p -> ok (Store.merge_add st p)) pairs;
+  checki "merge_count follows the fold" 2 (Store.merge_count st);
+  checkb "merge_total_weight sums the weights" true
+    (Store.merge_total_weight st = 3.5);
+  let ic, inc = ok (Store.merge_result st) in
+  checks "fold and batch agree on the config digest"
+    (Store.profile_config_digest bc)
+    (Store.profile_config_digest ic);
+  checkb "fold and batch agree on the filtered graph" true
+    (graphs_equal batch.Profiler.graph inc.Profiler.graph);
+  checkb "fold and batch agree on the raw graph" true
+    (graphs_equal batch.Profiler.raw_graph inc.Profiler.raw_graph);
+  checki "fold and batch agree on accesses" batch.Profiler.total_accesses
+    inc.Profiler.total_accesses;
+  checki "fold and batch agree on tracked allocs" batch.Profiler.tracked_allocs
+    inc.Profiler.tracked_allocs;
+  checki "fold and batch agree on contexts"
+    (Context.count batch.Profiler.contexts)
+    (Context.count inc.Profiler.contexts)
+
+let merge_result_is_a_snapshot () =
+  let a = artifact_of "ft" in
+  let st = Store.merge_create () in
+  ok (Store.merge_add st (a, 1.0));
+  let _, r1 = ok (Store.merge_result st) in
+  let edges_before = sorted_edges r1.Profiler.raw_graph in
+  let contexts_before = Context.count r1.Profiler.contexts in
+  ok (Store.merge_add st (a, 3.0));
+  let _, r2 = ok (Store.merge_result st) in
+  checkb "later merges don't mutate earlier snapshots" true
+    (sorted_edges r1.Profiler.raw_graph = edges_before
+    && Context.count r1.Profiler.contexts = contexts_before);
+  checki "weights accumulate across results"
+    (4 * r1.Profiler.total_accesses)
+    r2.Profiler.total_accesses
+
+let merge_incremental_rejects () =
+  let a = artifact_of "ft" in
+  let foreign = artifact_of "health" in
+  let st = Store.merge_create () in
+  checkb "empty state has no result" true
+    (match Store.merge_result st with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "non-finite weight raises" true
+    (match Store.merge_add st (a, Float.nan) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  ok (Store.merge_add st (a, 1.0));
+  (match err "cross-program fold" (Store.merge_add st (foreign, 1.0)) with
+  | Store.Digest_mismatch { field = "program"; _ } -> ()
+  | e -> Alcotest.fail ("wanted Digest_mismatch, got " ^ Store.error_to_string e));
+  checki "rejected add leaves the fold untouched" 1 (Store.merge_count st)
+
 (* ---------------- plan cache ---------------- *)
 
 let run_json m = Json.to_string (Runner.to_json m)
@@ -471,6 +535,81 @@ let cache_eviction_bounds_entries () =
   checki "bounded to max_entries" 1 (List.length entries);
   checkb "eviction counted" true ((Plan_cache.stats cache).Plan_cache.evictions >= 1)
 
+let cache_concurrent_stats_obs_agree () =
+  (* Four domains hammer one bounded cache with distinct keys: every
+     lookup/store goes through a worker-private obs context, and after
+     the join the merged [store.cache.*] counters must agree exactly
+     with the cache's own thread-safe stats ledger. *)
+  let program = (w "ft").Workload.make Workload.Test in
+  let cache = Plan_cache.create ~max_entries:2 (tmp_dir ()) in
+  let src = Plan_cache.source cache in
+  let result =
+    Profiler.profile ~config:Pipeline.default_config.Pipeline.profiler program
+  in
+  let configs =
+    List.init 6 (fun k ->
+        {
+          Pipeline.default_config with
+          Pipeline.min_edge_frac = 1e-4 *. float_of_int (k + 1);
+        })
+  in
+  let plans = List.map (fun c -> (c, Pipeline.derive ~config:c result)) configs in
+  let obs = Obs.create () in
+  ignore
+    (Par.map_obs ~obs ~jobs:4
+       (fun wobs (c, plan) ->
+         ignore (src.Pipeline.lookup wobs program c : Pipeline.plan option);
+         src.Pipeline.store wobs program c plan;
+         ignore (src.Pipeline.lookup wobs program c : Pipeline.plan option))
+       plans
+      : unit list);
+  let s = Plan_cache.stats cache in
+  let counter name =
+    Metrics.counter_value (Metrics.counter (Obs.metrics obs) name)
+  in
+  checkb "evictions happened" true (s.Plan_cache.evictions >= 1);
+  checki "stats and obs agree on evictions" s.Plan_cache.evictions
+    (counter "store.cache.evictions");
+  checki "stats and obs agree on hits" s.Plan_cache.hits
+    (counter "store.cache.hits");
+  checki "stats and obs agree on misses" s.Plan_cache.misses
+    (counter "store.cache.misses");
+  checki "stats and obs agree on stores" s.Plan_cache.stores
+    (counter "store.cache.stores");
+  checki "every key was looked up twice and stored once"
+    (2 * List.length configs)
+    (s.Plan_cache.hits + s.Plan_cache.misses);
+  checki "stores" (List.length configs) s.Plan_cache.stores
+
+let cache_stats_persist_across_processes () =
+  let dir = tmp_dir () in
+  let program = (w "ft").Workload.make Workload.Test in
+  let c = Pipeline.default_config in
+  let cache = Plan_cache.create dir in
+  let src = Plan_cache.source cache in
+  ignore (src.Pipeline.lookup None program c : Pipeline.plan option);
+  let plan = Pipeline.plan ~config:c program in
+  src.Pipeline.store None program c plan;
+  ignore (src.Pipeline.lookup None program c : Pipeline.plan option);
+  Plan_cache.save_stats cache;
+  (match Plan_cache.load_stats dir with
+  | None -> Alcotest.fail "stats.json not written"
+  | Some s ->
+      checki "persisted hits" 1 s.Plan_cache.hits;
+      checki "persisted misses" 1 s.Plan_cache.misses;
+      checki "persisted stores" 1 s.Plan_cache.stores);
+  (* A fresh handle (a new process, as far as the cache can tell) starts
+     its own counters at zero but reads the saved ledger as a baseline. *)
+  let reopened = Plan_cache.create dir in
+  checki "process stats start at zero" 0
+    (Plan_cache.stats reopened).Plan_cache.hits;
+  checki "lifetime stats carry the saved ledger" 1
+    (Plan_cache.lifetime_stats reopened).Plan_cache.hits;
+  checkb "stats.json is not a cache entry" true
+    (not (List.mem "stats.json" (Plan_cache.entry_names reopened)));
+  checki "one plan entry listed" 1
+    (List.length (Plan_cache.entry_names reopened))
+
 let suite_warmed_equivalence () =
   (* The acceptance bar: a warmed cache runs the whole figure suite with
      zero profiler invocations and unchanged measurements. *)
@@ -517,10 +656,15 @@ let suite =
     tc "merge: seed-independent digest" merge_across_seeds;
     tc "merge: rejects foreign program" merge_rejects_foreign_program;
     tc "merge: rejects bad weights" merge_rejects_bad_weights;
+    tc "merge: incremental fold matches batch" merge_incremental_matches_batch;
+    tc "merge: result is a snapshot" merge_result_is_a_snapshot;
+    tc "merge: incremental fold rejects" merge_incremental_rejects;
     slow "cache: record/apply equivalence" cache_record_apply_equivalence;
     slow "cache: warmed run never profiles" cache_warmed_run_never_profiles;
     slow "cache: corrupt entry is a miss" cache_corrupt_entry_is_a_miss;
     slow "cache: eviction bounds entries" cache_eviction_bounds_entries;
+    slow "cache: concurrent stats agree with obs" cache_concurrent_stats_obs_agree;
+    slow "cache: stats persist across processes" cache_stats_persist_across_processes;
     slow "suite: warmed-cache equivalence" suite_warmed_equivalence;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ plan_round_trip_prop ]

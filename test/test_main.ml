@@ -18,6 +18,7 @@ let () =
       ("profile", T_profile.suite);
       ("core", T_core.suite);
       ("store", T_store.suite);
+      ("serve", T_serve.suite);
       ("fuzz", T_fuzz.suite);
       ("hds", T_hds.suite);
       ("workloads", T_workloads.suite);
