@@ -604,6 +604,160 @@ let run_serve () =
     r.Serve_sim.profile_runs
 
 (* ------------------------------------------------------------------ *)
+(* Store codec benchmark: encode/decode throughput of both containers  *)
+(* and sharded-merge throughput over a synthetic fleet of >= 1000      *)
+(* profiles, with the byte-identity acceptance asserted inline. Rows   *)
+(* feed the --check gate as store/<row> hotpath entries.               *)
+(* ------------------------------------------------------------------ *)
+
+let run_store () =
+  let seed0 = Option.value !seed_override ~default:1 in
+  let n_profiles = 1200 in
+  let fail_store e = failwith (Store.error_to_string e) in
+  let rok = function Ok v -> v | Error e -> fail_store e in
+  (* A handful of distinct synthetic base recordings (same notional
+     program, different seeds — mergeable by construction), replicated
+     to fleet size. Synthetic rather than profiled so the payload is
+     big enough (hundreds of contexts, thousands of edges) that codec
+     throughput, not per-file fixed costs, is what gets measured. *)
+  let digest = "feedc0defeedc0defeedc0defeedc0de" in
+  let synth_result seed =
+    let n_ctx = 400 and edges_per_ctx = 6 in
+    let tbl = Context.create () in
+    let raw = Affinity_graph.create () in
+    for k = 0 to n_ctx - 1 do
+      let id =
+        Context.intern tbl
+          [| 0x1000 + k; 0x2000 + (k mod 97); 0x3000 + (k mod 31) |]
+      in
+      Affinity_graph.add_access_n raw id (1 + ((k * seed) mod 911))
+    done;
+    for k = 0 to (edges_per_ctx * n_ctx) - 1 do
+      let x = k mod n_ctx and y = ((k * 7919) + 13 + seed) mod n_ctx in
+      if x <> y then Affinity_graph.add_affinity_n raw x y (1 + (k mod 53))
+    done;
+    {
+      Profiler.graph = Affinity_graph.filter_top raw ~coverage:0.9;
+      raw_graph = raw;
+      contexts = tbl;
+      total_accesses = Affinity_graph.total_accesses raw;
+      tracked_allocs = n_ctx;
+      instructions = 1_000_000 + seed;
+    }
+  in
+  let base =
+    List.init 6 (fun k ->
+        let config =
+          { Profiler.default_config with Profiler.seed = seed0 + k }
+        in
+        (config, synth_result (seed0 + k)))
+  in
+  let nbase = List.length base in
+  let reps = n_profiles / nbase in
+  let tmp fmt i =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "halo-bench-store-%d-%d.%s" (Unix.getpid ()) i
+         (Store.format_to_string fmt))
+  in
+  let rows = ref [] in
+  let row name events eps =
+    let eps = eps /. !handicap in
+    hotpath_records := ("store", name, events, eps, [ eps ]) :: !hotpath_records;
+    rows := (name, events, eps) :: !rows
+  in
+  (* Encode: every base artifact written [reps] times per codec;
+     events = bytes on disk, so the row reads as bytes/s. *)
+  let encode fmt =
+    let bytes = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    List.iteri
+      (fun i (config, result) ->
+        let path = tmp fmt i in
+        for _ = 1 to reps do
+          rok
+            (Store.write_profile ~format:fmt ~created:0.0 ~producer:"bench"
+               ~path ~program_digest:digest ~config result)
+        done;
+        bytes := !bytes + ((Unix.stat path).Unix.st_size * reps))
+      base;
+    let dt = Unix.gettimeofday () -. t0 in
+    row
+      (Printf.sprintf "encode-%s" (Store.format_to_string fmt))
+      !bytes
+      (float_of_int !bytes /. dt)
+  in
+  encode Store.V1;
+  encode Store.V2;
+  (* Decode + sequential merge: the fleet-aggregation inner loop, per
+     codec; events = profiles folded. *)
+  let decode_merge fmt =
+    let t0 = Unix.gettimeofday () in
+    let arts =
+      List.init n_profiles (fun k ->
+          (rok (Store.read_profile (tmp fmt (k mod nbase))), 1.0))
+    in
+    let merged = rok (Store.merge_profiles_sharded ~jobs:1 arts) in
+    let dt = Unix.gettimeofday () -. t0 in
+    row
+      (Printf.sprintf "decode-merge-%s" (Store.format_to_string fmt))
+      n_profiles
+      (float_of_int n_profiles /. dt);
+    (arts, merged, dt)
+  in
+  let _, merged_v1, dt_v1 = decode_merge Store.V1 in
+  let arts_v2, merged_v2, dt_v2 = decode_merge Store.V2 in
+  (* Sharded merge over the decoded fleet at the full worker count. *)
+  let t0 = Unix.gettimeofday () in
+  let merged_sharded =
+    rok (Store.merge_profiles_sharded ~jobs:(jobs ()) arts_v2)
+  in
+  let dt_sharded = Unix.gettimeofday () -. t0 in
+  let sharded_eps = float_of_int n_profiles /. dt_sharded in
+  row "sharded-merge" n_profiles sharded_eps;
+  Hashtbl.replace suite_eps "store" sharded_eps;
+  (* Acceptance: the sharded fold and both codecs produce one merged
+     artifact, byte for byte. *)
+  let merged_bytes (config, result) =
+    let path = tmp Store.V1 99 in
+    rok
+      (Store.write_profile ~created:0.0 ~producer:"bench" ~path
+         ~program_digest:digest ~config result);
+    let b = In_channel.with_open_bin path In_channel.input_all in
+    Sys.remove path;
+    b
+  in
+  let b_seq = merged_bytes merged_v1 in
+  if not (String.equal b_seq (merged_bytes merged_v2)) then
+    failwith "store bench: v1 and v2 decode+merge disagree";
+  if not (String.equal b_seq (merged_bytes merged_sharded)) then
+    failwith "store bench: sharded merge is not byte-identical to sequential";
+  List.iteri (fun i _ -> Sys.remove (tmp Store.V1 i)) base;
+  List.iteri (fun i _ -> Sys.remove (tmp Store.V2 i)) base;
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "store codecs: %d synthetic profiles, %d jobs"
+           n_profiles (jobs ()))
+      ~headers:[ "row"; "events"; "rate" ] ()
+  in
+  Table.set_aligns t [ Table.Left; Table.Right; Table.Right ];
+  List.iter
+    (fun (name, events, eps) ->
+      let rate =
+        if String.length name >= 6 && String.sub name 0 6 = "encode" then
+          Printf.sprintf "%s/s" (Table.fmt_bytes (int_of_float eps))
+        else Printf.sprintf "%.0f profiles/s" eps
+      in
+      Table.add_row t [ name; string_of_int events; rate ])
+    (List.rev !rows);
+  Table.print t;
+  Printf.eprintf
+    "  [store] v2 decode+merge %.1fx v1 (%.2fs vs %.2fs), sharded %.0f \
+     profiles/s, byte-identity ok\n%!"
+    (dt_v1 /. dt_v2) dt_v2 dt_v1 sharded_eps
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -737,6 +891,7 @@ let () =
       Table.print (Figures.fig15 suite)
   | [ "micro" ] -> timed "micro" run_micro
   | [ "serve" ] -> timed "serve" run_serve
+  | [ "store" ] -> timed "store" run_store
   | [ "obs" ] -> timed "obs" run_obs_overhead
   | [ "--hotpath" ] -> timed "hotpath" run_hotpath
   | [ "fig12" ] -> Table.print (timed "fig12" Figures.fig12)
@@ -761,7 +916,7 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [experiments|trials N|micro|serve|obs|--hotpath|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
+         [experiments|trials N|micro|serve|store|obs|--hotpath|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
          [--seed N] [--jobs N] [--plan-cache DIR] [--label NAME] \
          [--check BENCH.json] [--check-threshold F] [--handicap F]";
       exit 2);

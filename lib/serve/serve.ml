@@ -1,3 +1,62 @@
+(* Reading job lines straight off a file descriptor: [Unix.read] can
+   return short (a peer trickling bytes, a small pipe buffer) or fail
+   with [EINTR] (a signal landing mid-read), and neither is an error —
+   a line is done when its '\n' arrives, whatever the framing. The
+   buffered channel layer retries neither, so the socket loop uses this
+   reader instead of [input_line]. *)
+module Line_reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    chunk : Bytes.t;
+    mutable pending : string;  (** Received, not yet consumed. *)
+    mutable pos : int;  (** Consumption point inside [pending]. *)
+    mutable eof : bool;
+  }
+
+  let create ?(buf_size = 4096) fd =
+    { fd; chunk = Bytes.create (max 1 buf_size); pending = ""; pos = 0; eof = false }
+
+  let rec refill t =
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> t.eof <- true
+    | n ->
+        let tail =
+          String.sub t.pending t.pos (String.length t.pending - t.pos)
+        in
+        t.pending <- tail ^ Bytes.sub_string t.chunk 0 n;
+        t.pos <- 0
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill t
+
+  let read_line t =
+    let rec next () =
+      match String.index_from_opt t.pending t.pos '\n' with
+      | Some nl ->
+          (* CRLF tolerance, matching the store's line discipline. *)
+          let stop =
+            if nl > t.pos && t.pending.[nl - 1] = '\r' then nl - 1 else nl
+          in
+          let line = String.sub t.pending t.pos (stop - t.pos) in
+          t.pos <- nl + 1;
+          Some line
+      | None ->
+          if t.eof then
+            if t.pos >= String.length t.pending then None
+            else begin
+              (* Final line with no trailing newline: still a line. *)
+              let line =
+                String.sub t.pending t.pos (String.length t.pending - t.pos)
+              in
+              t.pos <- String.length t.pending;
+              Some line
+            end
+          else begin
+            refill t;
+            next ()
+          end
+    in
+    next ()
+end
+
 type config = {
   jobs : int;
   staleness_weight : float;
@@ -57,30 +116,164 @@ type t = {
   mutable batch_wall_s : float;
 }
 
+(* {2 Aggregate persistence}
+
+   Per-program aggregates survive restarts as v2 profile artifacts under
+   [<cache_dir>/aggregates/<digest>.profile.bin]. Saving snapshots the
+   merged counts with the aggregate's mass and profile count in the
+   header meta; loading adopts them unscaled ({!Store.merge_adopt}), so
+   a stop/start cycle neither loses nor double-counts fleet mass.
+   [created = 0.] keeps saved bytes deterministic for a given state. *)
+
+let aggregates_subdir = "aggregates"
+let aggregate_suffix = ".profile.bin"
+
+let aggregate_dir_of cfg =
+  Option.map
+    (fun c -> Filename.concat (Plan_cache.dir c) aggregates_subdir)
+    cfg.cache
+
+let save_aggregates t =
+  match aggregate_dir_of t.cfg with
+  | None -> 0
+  | Some dir ->
+      let ok_dir =
+        Sys.file_exists dir
+        ||
+        (try
+           Unix.mkdir dir 0o755;
+           true
+         with Unix.Unix_error _ -> Sys.file_exists dir)
+      in
+      if not ok_dir then 0
+      else
+        Hashtbl.fold (fun digest agg acc -> (digest, agg) :: acc) t.aggregates []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.fold_left
+             (fun saved (digest, agg) ->
+               if Store.merge_count agg.agg_merge = 0 then saved
+               else
+                 match Store.merge_result agg.agg_merge with
+                 | Error _ -> saved
+                 | Ok (config, result) -> (
+                     let extra_meta =
+                       [
+                         ("workload", Json.String agg.agg_workload);
+                         ( "mass",
+                           Json.Float (Store.merge_total_weight agg.agg_merge)
+                         );
+                         ("profiles", Json.Int (Store.merge_count agg.agg_merge));
+                       ]
+                     in
+                     let path = Filename.concat dir (digest ^ aggregate_suffix) in
+                     match Filename.temp_file ~temp_dir:dir "agg-" ".tmp" with
+                     | exception Sys_error _ -> saved
+                     | tmp -> (
+                         let drop () =
+                           try Sys.remove tmp with Sys_error _ -> ()
+                         in
+                         match
+                           Store.write_profile ?obs:t.obs ~format:Store.V2
+                             ~created:0.0 ~producer:"halo-serve" ~extra_meta
+                             ~path:tmp ~program_digest:digest ~config result
+                         with
+                         | Error _ ->
+                             drop ();
+                             saved
+                         | Ok () -> (
+                             match Sys.rename tmp path with
+                             | () ->
+                                 Obs.count t.obs "serve.aggregates.saved" 1;
+                                 saved + 1
+                             | exception Sys_error _ ->
+                                 drop ();
+                                 saved))))
+             0
+
+let load_aggregates t =
+  match aggregate_dir_of t.cfg with
+  | None -> 0
+  | Some dir -> (
+      match Sys.readdir dir with
+      | exception Sys_error _ -> 0
+      | names ->
+          Array.to_list names
+          |> List.filter (fun n -> Filename.check_suffix n aggregate_suffix)
+          |> List.sort compare
+          |> List.fold_left
+               (fun loaded name ->
+                 let path = Filename.concat dir name in
+                 match Store.read_profile ?obs:t.obs path with
+                 | Error _ -> loaded
+                 | Ok a -> (
+                     let meta = a.Store.header.Store.meta in
+                     let workload =
+                       match List.assoc_opt "workload" meta with
+                       | Some (Json.String w) -> w
+                       | _ -> "unknown"
+                     in
+                     let mass =
+                       match List.assoc_opt "mass" meta with
+                       | Some (Json.Float m) -> m
+                       | Some (Json.Int m) -> float_of_int m
+                       | _ -> 1.0
+                     in
+                     let count =
+                       match List.assoc_opt "profiles" meta with
+                       | Some (Json.Int n) when n >= 0 -> n
+                       | _ -> 1
+                     in
+                     if (not (Float.is_finite mass)) || mass <= 0.0 then loaded
+                     else
+                       let digest = a.Store.header.Store.program_digest in
+                       let agg =
+                         match Hashtbl.find_opt t.aggregates digest with
+                         | Some agg -> agg
+                         | None ->
+                             let agg =
+                               {
+                                 agg_workload = workload;
+                                 agg_merge = Store.merge_create ();
+                               }
+                             in
+                             Hashtbl.replace t.aggregates digest agg;
+                             agg
+                       in
+                       match Store.merge_adopt agg.agg_merge ~mass ~count a with
+                       | Ok () ->
+                           Obs.count t.obs "serve.aggregates.loaded" 1;
+                           loaded + 1
+                       | Error _ -> loaded))
+               0)
+
 let create ?obs cfg =
-  {
-    cfg;
-    obs;
-    source = Option.map Plan_cache.source cfg.cache;
-    resolutions = Hashtbl.create 16;
-    aggregates = Hashtbl.create 16;
-    plans = Hashtbl.create 16;
-    stop = false;
-    n_record = 0;
-    n_request = 0;
-    n_stats = 0;
-    n_shutdown = 0;
-    n_errors = 0;
-    plan_hits = 0;
-    plan_misses = 0;
-    plan_invalidations = 0;
-    derived_aggregate = 0;
-    derived_profiled = 0;
-    adopted_cache = 0;
-    records_merged = 0;
-    merge_wall_s = 0.0;
-    batch_wall_s = 0.0;
-  }
+  let t =
+    {
+      cfg;
+      obs;
+      source = Option.map Plan_cache.source cfg.cache;
+      resolutions = Hashtbl.create 16;
+      aggregates = Hashtbl.create 16;
+      plans = Hashtbl.create 16;
+      stop = false;
+      n_record = 0;
+      n_request = 0;
+      n_stats = 0;
+      n_shutdown = 0;
+      n_errors = 0;
+      plan_hits = 0;
+      plan_misses = 0;
+      plan_invalidations = 0;
+      derived_aggregate = 0;
+      derived_profiled = 0;
+      adopted_cache = 0;
+      records_merged = 0;
+      merge_wall_s = 0.0;
+      batch_wall_s = 0.0;
+    }
+  in
+  ignore (load_aggregates t : int);
+  t
 
 let shutdown_requested t = t.stop
 
@@ -583,6 +776,7 @@ let run_channels t ic oc =
   waves items;
   flush oc;
   Option.iter Plan_cache.save_stats t.cfg.cache;
+  ignore (save_aggregates t : int);
   !written
 
 let run_socket t ~path =
@@ -593,20 +787,30 @@ let run_socket t ~path =
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
-      Option.iter Plan_cache.save_stats t.cfg.cache)
+      Option.iter Plan_cache.save_stats t.cfg.cache;
+      ignore (save_aggregates t : int))
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 8;
+      let rec accept () =
+        match Unix.accept sock with
+        | conn_addr -> conn_addr
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept ()
+      in
       let rec accept_loop () =
         if t.stop then ()
         else begin
-          let conn, _ = Unix.accept sock in
-          let ic = Unix.in_channel_of_descr conn in
+          let conn, _ = accept () in
+          (* Reads go through [Line_reader] — a [Unix.read] loop with
+             retry-on-EINTR and a partial-line buffer — so a signal or a
+             peer that dribbles bytes across short reads cannot split or
+             drop a request at a line boundary. *)
+          let lr = Line_reader.create conn in
           let oc = Unix.out_channel_of_descr conn in
           let rec serve_conn () =
-            match input_line ic with
-            | exception End_of_file -> ()
-            | line ->
+            match Line_reader.read_line lr with
+            | None -> ()
+            | Some line ->
                 (match Serve_proto.job_of_line line with
                 | Ok job -> count_job_metric t job
                 | Error _ -> ());
@@ -617,7 +821,8 @@ let run_socket t ~path =
                 incr written;
                 if t.stop then () else serve_conn ()
           in
-          (try serve_conn () with Sys_error _ -> ());
+          (try serve_conn () with Sys_error _ | Unix.Unix_error _ -> ());
+          (try flush oc with Sys_error _ -> ());
           (try Unix.close conn with Unix.Unix_error _ -> ());
           accept_loop ()
         end

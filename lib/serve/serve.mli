@@ -23,6 +23,15 @@
     job stream produces one byte-identical response stream at any
     [--jobs] count (given equal starting cache/aggregate state).
 
+    {b Persistence}: when a plan cache is configured, per-program
+    aggregates are saved on exit as v2 profile artifacts under
+    [<cache_dir>/aggregates/<digest>.profile.bin], carrying the
+    aggregate's workload, profile mass and profile count in the header
+    meta. {!create} reloads them (via {!Store.merge_adopt}), so a
+    restarted daemon resumes fleet mass — and its staleness ledger —
+    without re-profiling. Counted as [serve.aggregates.saved] /
+    [serve.aggregates.loaded].
+
     {b Telemetry} (all under the given [obs]): per-job-type latency
     sketches [serve.job.<kind>.latency_s] (plus the combined
     [serve.job.latency_s]), the [serve.queue_depth] gauge,
@@ -30,6 +39,23 @@
     [serve.jobs.<kind>] counters, and the [serve.merge.profiles_per_sec]
     gauge — exported through the normal {!Obs} JSONL sink and readable
     with [halo_cli telemetry report]. *)
+
+(** EINTR-safe buffered line reader over a raw file descriptor. Unlike
+    [input_line] on [Unix.in_channel_of_descr], a read interrupted by a
+    signal is retried, a line split across short reads is reassembled in
+    the partial-line buffer, CRLF endings are stripped, and a final line
+    with no trailing newline is still delivered. The socket loop reads
+    through this. *)
+module Line_reader : sig
+  type t
+
+  val create : ?buf_size:int -> Unix.file_descr -> t
+  (** [buf_size] (default 4096, min 1) is the [Unix.read] chunk size —
+      tests use [1] to force every line through the reassembly path. *)
+
+  val read_line : t -> string option
+  (** Next line without its terminator, [None] at end of stream. *)
+end
 
 type config = {
   jobs : int;  (** Worker domains for job prework (1 = inline). *)
@@ -53,6 +79,17 @@ val default_config : config
 type t
 
 val create : ?obs:Obs.t -> config -> t
+(** Build a daemon over [config]; if a cache is configured, previously
+    saved aggregates under its [aggregates/] subdirectory are adopted
+    (malformed or zero-mass files are skipped, not errors). *)
+
+val save_aggregates : t -> int
+(** Persist every non-empty per-program aggregate as a v2 profile
+    artifact under [<cache_dir>/aggregates/] (temp file + atomic rename;
+    [created] pinned to 0 so equal state saves equal bytes). Returns the
+    number saved; 0 when no cache is configured. Best-effort: an
+    unwritable directory is skipped. Called automatically when
+    {!run_channels} and {!run_socket} finish. *)
 
 val shutdown_requested : t -> bool
 (** True once a [shutdown] job has been processed. *)

@@ -1,5 +1,21 @@
 let format_name = "halo/store"
 let version = 1
+let version_v2 = 2
+
+(* v2 binary container: first 8 bytes of the file. A v1 artifact starts
+   with '{', so the two containers are sniffable from the first byte. *)
+let magic = "HALOSTOR"
+
+type format = V1 | V2
+
+let format_version = function V1 -> version | V2 -> version_v2
+let format_of_version = function 1 -> Some V1 | 2 -> Some V2 | _ -> None
+let format_to_string = function V1 -> "v1" | V2 -> "v2"
+
+let format_of_string = function
+  | "v1" | "1" | "jsonl" -> Some V1
+  | "v2" | "2" | "binary" -> Some V2
+  | _ -> None
 
 type header = {
   version : int;
@@ -205,6 +221,16 @@ let fnv_add h s =
     s;
   !h
 
+let fnv_sub h s pos len =
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Int64.of_int (Char.code (String.unsafe_get s i))))
+        fnv_prime
+  done;
+  !h
+
 let fnv_hex h = Printf.sprintf "%016Lx" h
 
 (* {1 Writer} *)
@@ -247,20 +273,118 @@ let finish_writer w =
           ]));
   output_char w.oc '\n'
 
-let with_artifact ?obs ~path ~header f =
+(* {1 v2 binary container}
+
+   Layout, all integers little-endian:
+
+   {v
+   magic    8 bytes   "HALOSTOR"
+   version  u8        2
+   hlen     u32       byte length of the header JSON
+   header   hlen      the same JSON object a v1 header line carries
+   record*            u32 frame length (>= 1), then that many bytes:
+                      a tag byte and a tag-specific binary body
+   sentinel u32       0 (no record is empty, so 0 terminates the stream)
+   count    varint    number of records
+   checksum i64       FNV-1a 64 over every record frame (length prefix
+                      included), the v1 trailer's integrity check
+   v}
+
+   The reader loads the image once and decodes records in place through
+   {!Wire.dec} windows — no per-record copies, which is what makes the
+   layout mmap-friendly. Record ordinals map onto the v1 error
+   vocabulary: the header is "line" 1, the first record line 2. *)
+
+(* Record tags. Profile and plan records share a namespace so the plan
+   decoder can reuse the profile handler, exactly like the v1 "p" tags. *)
+let tag_meta = 0x01
+let tag_ctx = 0x02
+let tag_total = 0x03
+let tag_node = 0x04
+let tag_edge = 0x05
+let tag_config = 0x10
+let tag_grouping = 0x11
+let tag_selector = 0x12
+let tag_rewrite = 0x13
+
+(* Graph discriminator inside total/node/edge records. *)
+let gr_raw = 0
+let gr_filtered = 1
+
+type bwriter = {
+  b_oc : out_channel;
+  b_buf : Buffer.t;
+  mutable b_hash : int64;
+  mutable b_records : int;
+}
+
+(* Build one framed record in the scratch buffer (4 zero bytes reserved
+   for the length prefix, patched after the body is known), hash the
+   whole frame, stream it out. *)
+let brecord w fill =
+  let b = w.b_buf in
+  Buffer.clear b;
+  Buffer.add_string b "\000\000\000\000";
+  fill b;
+  let frame = Buffer.to_bytes b in
+  let body_len = Bytes.length frame - 4 in
+  Bytes.set frame 0 (Char.chr (body_len land 0xff));
+  Bytes.set frame 1 (Char.chr ((body_len lsr 8) land 0xff));
+  Bytes.set frame 2 (Char.chr ((body_len lsr 16) land 0xff));
+  Bytes.set frame 3 (Char.chr ((body_len lsr 24) land 0xff));
+  let frame = Bytes.unsafe_to_string frame in
+  w.b_hash <- fnv_sub w.b_hash frame 0 (String.length frame);
+  output_string w.b_oc frame;
+  w.b_records <- w.b_records + 1
+
+let start_bwriter oc h =
+  output_string oc magic;
+  output_char oc (Char.chr version_v2);
+  let hs = Json.to_string ~pretty:false (header_json h) in
+  let b = Buffer.create 16 in
+  Wire.u32 b (String.length hs);
+  output_string oc (Buffer.contents b);
+  output_string oc hs;
+  { b_oc = oc; b_buf = Buffer.create 256; b_hash = fnv_offset; b_records = 0 }
+
+let finish_bwriter w =
+  let b = Buffer.create 24 in
+  Wire.u32 b 0;
+  Wire.varint b w.b_records;
+  Wire.i64 b w.b_hash;
+  output_string w.b_oc (Buffer.contents b)
+
+let with_artifact ?obs ~format ~path ~header ~emit_v1 ~emit_v2 () =
   Obs.span obs "store.encode"
     ~attrs:
-      [ ("kind", Json.String header.kind); ("path", Json.String path) ]
+      [
+        ("kind", Json.String header.kind);
+        ("path", Json.String path);
+        ("format", Json.Int (format_version format));
+      ]
     (fun () ->
       try
         let oc = open_out_bin path in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () ->
-            let w = start_writer oc header in
-            f w;
-            finish_writer w;
-            Obs.add_attrs obs [ ("payload_lines", Json.Int w.lines) ]);
+            (match format with
+            | V1 ->
+                let w = start_writer oc header in
+                emit_v1 w;
+                finish_writer w;
+                Obs.add_attrs obs [ ("payload_lines", Json.Int w.lines) ]
+            | V2 ->
+                let w = start_bwriter oc header in
+                emit_v2 w;
+                finish_bwriter w;
+                Obs.add_attrs obs
+                  [ ("payload_records", Json.Int w.b_records) ]);
+            Obs.count obs
+              (Printf.sprintf "store.codec.%s.encodes" (format_to_string format))
+              1;
+            Obs.observe obs "store.codec.encode_bytes"
+              (float_of_int (pos_out oc)));
         Ok ()
       with Sys_error m -> Error (Io m))
 
@@ -324,14 +448,66 @@ let emit_profile w (r : Profiler.result) =
   emit_graph w "raw" r.Profiler.raw_graph;
   emit_graph w "graph" r.Profiler.graph
 
+(* v2 emitters mirror the v1 payload record for record and in the same
+   canonical order, so both codecs share one equal-values-equal-bytes
+   contract. *)
+
+let bemit_graph w gtag g =
+  (match Affinity_graph.reported_total g with
+  | None -> ()
+  | Some v ->
+      brecord w (fun b ->
+          Wire.u8 b tag_total;
+          Wire.u8 b gtag;
+          Wire.varint b v));
+  List.iter
+    (fun id ->
+      brecord w (fun b ->
+          Wire.u8 b tag_node;
+          Wire.u8 b gtag;
+          Wire.varint b id;
+          Wire.varint b (Affinity_graph.node_accesses g id)))
+    (Affinity_graph.nodes g);
+  List.iter
+    (fun (x, y, wt) ->
+      brecord w (fun b ->
+          Wire.u8 b tag_edge;
+          Wire.u8 b gtag;
+          Wire.varint b x;
+          Wire.varint b y;
+          Wire.varint b wt))
+    (List.sort compare (Affinity_graph.edges g))
+
+let bemit_profile w (r : Profiler.result) =
+  brecord w (fun b ->
+      Wire.u8 b tag_meta;
+      Wire.varint b r.Profiler.total_accesses;
+      Wire.varint b r.Profiler.tracked_allocs;
+      Wire.varint b r.Profiler.instructions);
+  let tbl = r.Profiler.contexts in
+  for id = 0 to Context.count tbl - 1 do
+    brecord w (fun b ->
+        Wire.u8 b tag_ctx;
+        Wire.varint b id;
+        let sites = Context.sites tbl id in
+        Wire.varint b (Array.length sites);
+        Array.iter (Wire.varint b) sites)
+  done;
+  bemit_graph w gr_raw r.Profiler.raw_graph;
+  bemit_graph w gr_filtered r.Profiler.graph
+
 (* {1 Reader core} *)
 
-let parse_header ~line j =
+(* [expect] is the container's version: a JSONL file must carry a
+   version-1 header, a binary file a version-2 one — a mismatch is skew
+   even when the stated version is one this build could read in its
+   proper container. *)
+let parse_header ~line ~expect j =
   let fmt = jstring ~line "format" j in
   if fmt <> format_name then
     fail line (Printf.sprintf "not a %s artifact (format %S)" format_name fmt);
   let v = jint ~line "version" j in
-  if v <> version then raise (Decode (Version_skew { found = v; supported = version }));
+  if v <> expect then raise (Decode (Version_skew { found = v; supported = expect }));
   {
     version = v;
     kind = jstring ~line "kind" j;
@@ -342,27 +518,43 @@ let parse_header ~line j =
     meta = jobj ~line "meta" j;
   }
 
-(* Read and verify the whole file: header, payload lines (parsed, counted,
-   checksummed), trailer. Returns the payload as (1-based line, value). *)
-let read_lines path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let header_line =
-        try input_line ic with End_of_file -> raise (Decode Truncated)
+(* Logical lines of a v1 artifact. Tolerant of the two ways a file
+   survives transport intact but byte-shifted: CRLF line endings (each
+   line's trailing '\r' is stripped before parsing and checksumming, so
+   the checksum is over the canonical LF form the writer hashed) and a
+   final line with no trailing newline (still a line — [Truncated] is
+   reserved for a genuinely missing trailer). *)
+let v1_lines data =
+  let n = String.length data in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      let nl =
+        match String.index_from_opt data pos '\n' with
+        | Some i -> i
+        | None -> n
       in
+      let stop = if nl > pos && data.[nl - 1] = '\r' then nl - 1 else nl in
+      go (nl + 1) (String.sub data pos (stop - pos) :: acc)
+  in
+  go 0 []
+
+(* Verify a whole v1 image: header, payload lines (parsed, counted,
+   checksummed), trailer. Returns the payload as (1-based line, value). *)
+let read_lines_v1 data =
+  match v1_lines data with
+  | [] -> raise (Decode Truncated)
+  | header_line :: rest ->
       let hj =
         match Json.of_string header_line with Ok j -> j | Error e -> fail 1 e
       in
-      let header = parse_header ~line:1 hj in
+      let header = parse_header ~line:1 ~expect:version hj in
       let payload = ref [] in
       let hash = ref fnv_offset in
       let count = ref 0 in
-      let rec loop () =
-        match input_line ic with
-        | exception End_of_file -> raise (Decode Truncated)
-        | raw -> (
+      let rec loop = function
+        | [] -> raise (Decode Truncated)
+        | raw :: rest -> (
             let line = !count + 2 in
             let j =
               match Json.of_string raw with Ok j -> j | Error e -> fail line e
@@ -378,17 +570,87 @@ let read_lines path =
                 let computed = fnv_hex !hash in
                 if not (String.equal stated computed) then
                   raise (Decode (Bad_checksum { stated; computed }));
-                (match input_line ic with
-                | exception End_of_file -> ()
-                | _ -> fail (line + 1) "data after trailer line")
+                if rest <> [] then fail (line + 1) "data after trailer line"
             | None ->
                 hash := fnv_add (fnv_add !hash raw) "\n";
                 incr count;
                 payload := (line, j) :: !payload;
-                loop ())
+                loop rest)
       in
-      loop ();
-      (header, List.rev !payload))
+      loop rest;
+      (header, List.rev !payload)
+
+
+(* Scan a v2 image: header, then every record frame (counted,
+   checksummed, bounds-checked), then the trailer. Records come back as
+   (1-based ordinal, in-place cursor) — no payload bytes are copied. *)
+let read_records_v2 data =
+  let total = String.length data in
+  if total < 9 then raise (Decode Truncated);
+  let v = Char.code data.[8] in
+  if v <> version_v2 then
+    raise (Decode (Version_skew { found = v; supported = version_v2 }));
+  let u32_at pos =
+    if pos + 4 > total then raise (Decode Truncated);
+    let g i = Char.code (String.unsafe_get data (pos + i)) in
+    g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24)
+  in
+  let hlen = u32_at 9 in
+  if 13 + hlen > total then raise (Decode Truncated);
+  let hj =
+    match Json.of_string (String.sub data 13 hlen) with
+    | Ok j -> j
+    | Error e -> fail 1 e
+  in
+  let header = parse_header ~line:1 ~expect:version_v2 hj in
+  let rec loop pos count hash acc =
+    let rlen = u32_at pos in
+    if rlen = 0 then begin
+      let line = count + 2 in
+      let stated_records, stated_sum =
+        try
+          let d = Wire.dec ~pos:(pos + 4) data in
+          let n = Wire.read_varint d in
+          let s = Wire.read_i64 d in
+          if not (Wire.eof d) then fail line "data after trailer";
+          (n, s)
+        with Wire.Error _ -> raise (Decode Truncated)
+      in
+      if stated_records <> count then
+        fail line
+          (Printf.sprintf "trailer declares %d records, found %d"
+             stated_records count);
+      if not (Int64.equal stated_sum hash) then
+        raise
+          (Decode
+             (Bad_checksum
+                { stated = fnv_hex stated_sum; computed = fnv_hex hash }));
+      (header, List.rev acc)
+    end
+    else if pos + 4 + rlen > total then raise (Decode Truncated)
+    else
+      let hash = fnv_sub hash data pos (4 + rlen) in
+      let line = count + 2 in
+      let d = Wire.dec ~pos:(pos + 4) ~len:rlen data in
+      loop (pos + 4 + rlen) (count + 1) hash ((line, d) :: acc)
+  in
+  loop (13 + hlen) 0 fnv_offset []
+
+(* A decoded artifact body, container-agnostic: v1 carries parsed JSON
+   lines, v2 carries in-place binary cursors. *)
+type payload = Lines of (int * Json.t) list | Records of (int * Wire.dec) list
+
+let is_v2_image data =
+  String.length data >= 8 && String.equal (String.sub data 0 8) magic
+
+let read_artifact path =
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  if is_v2_image data then
+    let header, records = read_records_v2 data in
+    (V2, header, Records records)
+  else
+    let header, lines = read_lines_v1 data in
+    (V1, header, Lines lines)
 
 let check_expect ~field ~found = function
   | Some expected when expected <> found ->
@@ -462,6 +724,70 @@ let handle_profile_line st ~line tag j =
       true
   | _ -> false
 
+(* v2 twins of the line handlers, reading the same logical records from
+   binary cursors. [Wire.Error] is mapped to [Malformed] by the payload
+   walkers below. *)
+
+let rlen_nonneg ~line n = if n < 0 then fail line "negative length" else n
+
+let rint_list ~line d =
+  let n = rlen_nonneg ~line (Wire.read_varint d) in
+  let rec go i acc =
+    if i = n then List.rev acc else go (i + 1) (Wire.read_varint d :: acc)
+  in
+  go 0 []
+
+let bgraph_of st ~line g =
+  if g = gr_raw then st.raw
+  else if g = gr_filtered then st.filtered
+  else fail line (Printf.sprintf "unknown graph tag %d" g)
+
+let handle_profile_record st ~line tag d =
+  if tag = tag_meta then begin
+    if st.pmeta <> None then fail line "duplicate meta record";
+    let ta = Wire.read_varint d in
+    let tr = Wire.read_varint d in
+    let ins = Wire.read_varint d in
+    st.pmeta <- Some (ta, tr, ins);
+    true
+  end
+  else if tag = tag_ctx then begin
+    let id = Wire.read_varint d in
+    let n = rlen_nonneg ~line (Wire.read_varint d) in
+    let sites = Array.make n 0 in
+    for i = 0 to n - 1 do
+      sites.(i) <- Wire.read_varint d
+    done;
+    let got = Context.intern st.ctxs sites in
+    if got <> id then
+      fail line
+        (Printf.sprintf
+           "context %d interned as %d: ids must be dense, in order, distinct"
+           id got);
+    true
+  end
+  else if tag = tag_total then begin
+    let g = bgraph_of st ~line (Wire.read_u8 d) in
+    if Affinity_graph.reported_total g <> None then
+      fail line "duplicate graph total record";
+    Affinity_graph.set_reported_total g (Some (Wire.read_varint d));
+    true
+  end
+  else if tag = tag_node then begin
+    let g = bgraph_of st ~line (Wire.read_u8 d) in
+    let id = Wire.read_varint d in
+    Affinity_graph.add_access_n g id (Wire.read_varint d);
+    true
+  end
+  else if tag = tag_edge then begin
+    let g = bgraph_of st ~line (Wire.read_u8 d) in
+    let x = Wire.read_varint d in
+    let y = Wire.read_varint d in
+    Affinity_graph.add_affinity_n g x y (Wire.read_varint d);
+    true
+  end
+  else false
+
 let finish_profile st =
   match st.pmeta with
   | None -> fail 0 "artifact has no meta line"
@@ -483,14 +809,14 @@ type profile_artifact = {
   result : Profiler.result;
 }
 
-let write_profile ?obs ?created ?(producer = "halo") ?(extra_meta = []) ~path
-    ~program_digest ~config result =
+let write_profile ?obs ?(format = V1) ?created ?(producer = "halo")
+    ?(extra_meta = []) ~path ~program_digest ~config result =
   let created =
     match created with Some t -> t | None -> Unix.gettimeofday ()
   in
   let header =
     {
-      version;
+      version = format_version format;
       kind = "profile";
       program_digest;
       config_digest = profile_config_digest config;
@@ -499,14 +825,46 @@ let write_profile ?obs ?created ?(producer = "halo") ?(extra_meta = []) ~path
       meta = ("profiler_config", json_of_profiler_config config) :: extra_meta;
     }
   in
-  with_artifact ?obs ~path ~header (fun w -> emit_profile w result)
+  with_artifact ?obs ~format ~path ~header
+    ~emit_v1:(fun w -> emit_profile w result)
+    ~emit_v2:(fun w -> bemit_profile w result)
+    ()
+
+let decode_profile_payload payload =
+  let st = new_profile_state () in
+  (match payload with
+  | Lines lines ->
+      List.iter
+        (fun (line, j) ->
+          let tag = jstring ~line "p" j in
+          if not (handle_profile_line st ~line tag j) then
+            fail line (Printf.sprintf "unknown payload tag %S" tag))
+        lines
+  | Records records ->
+      List.iter
+        (fun (line, d) ->
+          try
+            let tag = Wire.read_u8 d in
+            if not (handle_profile_record st ~line tag d) then
+              fail line (Printf.sprintf "unknown record tag 0x%02x" tag);
+            Wire.expect_end d
+          with Wire.Error r -> fail line r)
+        records);
+  st
+
+let note_decode obs fmt =
+  Obs.add_attrs obs [ ("format", Json.Int (format_version fmt)) ];
+  Obs.count obs
+    (Printf.sprintf "store.codec.%s.decodes" (format_to_string fmt))
+    1
 
 let read_profile ?obs ?expect_program path =
   Obs.span obs "store.decode"
     ~attrs:[ ("kind", Json.String "profile"); ("path", Json.String path) ]
     (fun () ->
       wrap (fun () ->
-          let header, payload = read_lines path in
+          let fmt, header, payload = read_artifact path in
+          note_decode obs fmt;
           if header.kind <> "profile" then
             raise
               (Decode (Wrong_kind { found = header.kind; expected = "profile" }));
@@ -527,13 +885,7 @@ let read_profile ?obs ?expect_program path =
                       found = header.config_digest;
                       expected = self;
                     }));
-          let st = new_profile_state () in
-          List.iter
-            (fun (line, j) ->
-              let tag = jstring ~line "p" j in
-              if not (handle_profile_line st ~line tag j) then
-                fail line (Printf.sprintf "unknown payload tag %S" tag))
-            payload;
+          let st = decode_profile_payload payload in
           { header; config; result = finish_profile st }))
 
 (* Incremental weighted merging: one mutable accumulator per program,
@@ -679,6 +1031,236 @@ let merge_profiles inputs =
   in
   fold inputs
 
+(* {1 Sharded merging}
+
+   Contiguous chunks of the input fold on worker domains, then the
+   partial accumulators combine in chunk order. Scaled counts are plain
+   integers, so chunked addition is exactly the sequential sum; contexts
+   absorb in each chunk's local first-appearance order, which is the
+   order the sequential fold would first meet them — the merged graph is
+   byte-identical at any worker count. *)
+
+let merge_absorb dst src =
+  match src.m_first with
+  | None -> Ok ()
+  | Some (program, config_digest, config) ->
+      wrap (fun () ->
+          (match dst.m_first with
+          | None -> dst.m_first <- Some (program, config_digest, config)
+          | Some (p, c, _) ->
+              if program <> p then
+                raise
+                  (Decode
+                     (Digest_mismatch
+                        { field = "program"; found = program; expected = p }));
+              if config_digest <> c then
+                raise
+                  (Decode
+                     (Digest_mismatch
+                        { field = "config"; found = config_digest; expected = c })));
+          let old = src.m_contexts in
+          let n = Context.count old in
+          let remap = Array.make n 0 in
+          for id = 0 to n - 1 do
+            remap.(id) <- Context.intern dst.m_contexts (Context.sites old id)
+          done;
+          let g = src.m_raw in
+          List.iter
+            (fun id ->
+              Affinity_graph.add_access_n dst.m_raw remap.(id)
+                (Affinity_graph.node_accesses g id))
+            (Affinity_graph.nodes g);
+          List.iter
+            (fun (x, y, wt) ->
+              Affinity_graph.add_affinity_n dst.m_raw remap.(x) remap.(y) wt)
+            (Affinity_graph.edges g);
+          dst.m_ta <- dst.m_ta + src.m_ta;
+          dst.m_tr <- dst.m_tr + src.m_tr;
+          dst.m_ins <- dst.m_ins + src.m_ins;
+          dst.m_count <- dst.m_count + src.m_count;
+          dst.m_weight <- dst.m_weight +. src.m_weight)
+
+let merge_adopt st ~mass ~count artifact =
+  if (not (Float.is_finite mass)) || mass <= 0.0 then
+    invalid_arg "Store.merge_adopt: mass must be positive and finite";
+  if count < 0 then invalid_arg "Store.merge_adopt: negative count";
+  let tmp = merge_create () in
+  match merge_add tmp (artifact, 1.0) with
+  | Error e -> Error e
+  | Ok () ->
+      tmp.m_weight <- mass;
+      tmp.m_count <- count;
+      merge_absorb st tmp
+
+(* Contiguous chunks in input order, sizes differing by at most one. *)
+let chunk_evenly inputs nchunks =
+  let n = List.length inputs in
+  let base = n / nchunks and extra = n mod nchunks in
+  let rec take k acc xs =
+    if k = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go i xs acc =
+    if i = nchunks then List.rev acc
+    else
+      let sz = base + if i < extra then 1 else 0 in
+      let chunk, rest = take sz [] xs in
+      go (i + 1) rest (chunk :: acc)
+  in
+  go 0 inputs [] |> List.filter (fun c -> c <> [])
+
+let fold_chunk inputs =
+  let st = merge_create () in
+  let rec go = function
+    | [] -> (st, None)
+    | input :: rest -> (
+        match merge_add st input with
+        | Ok () -> go rest
+        | Error e -> (st, Some e))
+  in
+  go inputs
+
+let check_weights ~who inputs =
+  List.iter
+    (fun (_, w) ->
+      if (not (Float.is_finite w)) || w <= 0.0 then
+        invalid_arg (who ^ ": weights must be positive and finite"))
+    inputs
+
+let merge_profiles_sharded ?obs ?jobs inputs =
+  if inputs = [] then
+    invalid_arg "Store.merge_profiles_sharded: empty input list";
+  check_weights ~who:"Store.merge_profiles_sharded" inputs;
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Par.default_jobs ()
+  in
+  let n = List.length inputs in
+  let nchunks = max 1 (min jobs n) in
+  Obs.span obs "store.shard.merge"
+    ~attrs:
+      [
+        ("jobs", Json.Int jobs);
+        ("profiles", Json.Int n);
+        ("chunks", Json.Int nchunks);
+      ]
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Obs.count obs "store.shard.profiles" n;
+      Obs.count obs "store.shard.chunks" nchunks;
+      let result =
+        if nchunks = 1 then
+          match fold_chunk inputs with
+          | _, Some e -> Error e
+          | st, None -> merge_result_internal ~snapshot:false st
+        else
+          let chunks = chunk_evenly inputs nchunks in
+          let partials =
+            Par.map ?obs ~name:"store.shard" ~jobs fold_chunk chunks
+          in
+          let acc = merge_create () in
+          let rec combine = function
+            | [] -> merge_result_internal ~snapshot:false acc
+            | (_, Some e) :: _ -> Error e
+            | (st, None) :: rest -> (
+                match merge_absorb acc st with
+                | Ok () -> combine rest
+                | Error e -> Error e)
+          in
+          combine partials
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt > 0.0 then
+        Obs.set_gauge obs "store.shard.profiles_per_sec"
+          (float_of_int n /. dt);
+      result)
+
+let merge_by_program ?obs ?jobs inputs =
+  check_weights ~who:"Store.merge_by_program" inputs;
+  if inputs = [] then []
+  else begin
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> Par.default_jobs ()
+    in
+    (* Group by program digest, preserving first-appearance order. *)
+    let order = ref [] in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun ((a, _) as input) ->
+        let digest = a.header.program_digest in
+        match Hashtbl.find_opt tbl digest with
+        | Some l -> l := input :: !l
+        | None ->
+            Hashtbl.add tbl digest (ref [ input ]);
+            order := digest :: !order)
+      inputs;
+    let digests = List.rev !order in
+    let groups =
+      List.map (fun d -> (d, List.rev !(Hashtbl.find tbl d))) digests
+    in
+    let total = List.length inputs in
+    (* Each group gets a chunk count proportional to its share of the
+       inputs, so one giant program still spreads over the pool while
+       many small programs cost one task each. *)
+    let tasks =
+      List.concat_map
+        (fun (digest, ginputs) ->
+          let glen = List.length ginputs in
+          let share = max 1 (min glen (glen * jobs / total)) in
+          List.map (fun chunk -> (digest, chunk)) (chunk_evenly ginputs share))
+        groups
+    in
+    Obs.span obs "store.shard.merge"
+      ~attrs:
+        [
+          ("jobs", Json.Int jobs);
+          ("profiles", Json.Int total);
+          ("programs", Json.Int (List.length groups));
+          ("chunks", Json.Int (List.length tasks));
+        ]
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        Obs.count obs "store.shard.profiles" total;
+        Obs.count obs "store.shard.chunks" (List.length tasks);
+        let partials =
+          Par.map ?obs ~name:"store.shard" ~jobs
+            (fun (digest, chunk) -> (digest, fold_chunk chunk))
+            tasks
+        in
+        let states : (string, merge_state * error option) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        List.iter
+          (fun (digest, (st, err)) ->
+            match Hashtbl.find_opt states digest with
+            | None -> Hashtbl.replace states digest (st, err)
+            | Some (_, Some _) -> ()
+            | Some (acc, None) -> (
+                match err with
+                | Some e -> Hashtbl.replace states digest (acc, Some e)
+                | None -> (
+                    match merge_absorb acc st with
+                    | Ok () -> ()
+                    | Error e -> Hashtbl.replace states digest (acc, Some e))))
+          partials;
+        let results =
+          List.map
+            (fun digest ->
+              match Hashtbl.find states digest with
+              | _, Some e -> (digest, Error e)
+              | st, None ->
+                  (digest, merge_result_internal ~snapshot:false st))
+            digests
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt > 0.0 then
+          Obs.set_gauge obs "store.shard.profiles_per_sec"
+            (float_of_int total /. dt);
+        results)
+  end
+
 (* {1 Plans} *)
 
 let emit_plan w (plan : Pipeline.plan) =
@@ -754,14 +1336,68 @@ let emit_plan w (plan : Pipeline.plan) =
                 r.Rewrite.selectors) );
        ])
 
-let write_plan ?obs ?created ?(producer = "halo") ?(extra_meta = []) ~path
-    ~program_digest (plan : Pipeline.plan) =
+let bemit_plan w (plan : Pipeline.plan) =
+  brecord w (fun b ->
+      Wire.u8 b tag_config;
+      Wire.bytes b
+        (Json.to_string ~pretty:false
+           (json_of_pipeline_config plan.Pipeline.config)));
+  bemit_profile w plan.Pipeline.profile;
+  let g = plan.Pipeline.grouping in
+  brecord w (fun b ->
+      Wire.u8 b tag_grouping;
+      Wire.varint b (Array.length g.Grouping.groups);
+      Array.iter
+        (fun members ->
+          Wire.varint b (List.length members);
+          List.iter (Wire.varint b) members)
+        g.Grouping.groups;
+      Array.iter (Wire.varint b) g.Grouping.group_accesses;
+      Array.iter (Wire.varint b) g.Grouping.group_weights;
+      Wire.varint b (List.length g.Grouping.ungrouped);
+      List.iter (Wire.varint b) g.Grouping.ungrouped);
+  List.iter
+    (fun (sel : Identify.selector) ->
+      brecord w (fun b ->
+          Wire.u8 b tag_selector;
+          Wire.varint b sel.Identify.group;
+          Wire.varint b (List.length sel.Identify.disjuncts);
+          List.iter
+            (fun conj ->
+              Wire.varint b (List.length conj);
+              List.iter (Wire.varint b) conj)
+            sel.Identify.disjuncts))
+    plan.Pipeline.selectors;
+  let r = plan.Pipeline.rewrite in
+  brecord w (fun b ->
+      Wire.u8 b tag_rewrite;
+      Wire.varint b r.Rewrite.nbits;
+      Wire.varint b (List.length r.Rewrite.patches);
+      List.iter
+        (fun (site, bit) ->
+          Wire.varint b site;
+          Wire.varint b bit)
+        r.Rewrite.patches;
+      Wire.varint b (List.length r.Rewrite.selectors);
+      List.iter
+        (fun (c : Rewrite.compiled) ->
+          Wire.varint b c.Rewrite.group;
+          Wire.varint b (List.length c.Rewrite.conjs);
+          List.iter
+            (fun conj ->
+              Wire.varint b (List.length conj);
+              List.iter (Wire.varint b) conj)
+            c.Rewrite.conjs)
+        r.Rewrite.selectors)
+
+let write_plan ?obs ?(format = V1) ?created ?(producer = "halo")
+    ?(extra_meta = []) ~path ~program_digest (plan : Pipeline.plan) =
   let created =
     match created with Some t -> t | None -> Unix.gettimeofday ()
   in
   let header =
     {
-      version;
+      version = format_version format;
       kind = "plan";
       program_digest;
       config_digest = plan_config_digest plan.Pipeline.config;
@@ -770,7 +1406,10 @@ let write_plan ?obs ?created ?(producer = "halo") ?(extra_meta = []) ~path
       meta = extra_meta;
     }
   in
-  with_artifact ?obs ~path ~header (fun w -> emit_plan w plan)
+  with_artifact ?obs ~format ~path ~header
+    ~emit_v1:(fun w -> emit_plan w plan)
+    ~emit_v2:(fun w -> bemit_plan w plan)
+    ()
 
 let int_lists ~line k j =
   List.map
@@ -789,7 +1428,8 @@ let read_plan ?obs ?expect_program ?expect_config path =
     ~attrs:[ ("kind", Json.String "plan"); ("path", Json.String path) ]
     (fun () ->
       wrap (fun () ->
-          let header, payload = read_lines path in
+          let fmt, header, payload = read_artifact path in
+          note_decode obs fmt;
           if header.kind <> "plan" then
             raise
               (Decode (Wrong_kind { found = header.kind; expected = "plan" }));
@@ -802,71 +1442,171 @@ let read_plan ?obs ?expect_program ?expect_config path =
           let grouping = ref None in
           let selectors = ref [] in
           let rewrite = ref None in
-          List.iter
-            (fun (line, j) ->
-              let tag = jstring ~line "p" j in
-              if not (handle_profile_line st ~line tag j) then
-                match tag with
-                | "config" ->
-                    if !config <> None then fail line "duplicate config line";
-                    config := Some (pipeline_config_of_json ~line j)
-                | "grouping" ->
-                    if !grouping <> None then fail line "duplicate grouping line";
-                    let groups =
-                      Array.of_list (int_lists ~line "groups" j)
-                    in
-                    let accesses =
-                      Array.of_list (jints ~line "accesses" j)
-                    in
-                    let weights = Array.of_list (jints ~line "weights" j) in
-                    if
-                      Array.length accesses <> Array.length groups
-                      || Array.length weights <> Array.length groups
-                    then
-                      fail line
-                        "grouping arrays (groups, accesses, weights) differ in length";
-                    grouping :=
-                      Some
-                        {
-                          Grouping.groups;
-                          group_accesses = accesses;
-                          group_weights = weights;
-                          ungrouped = jints ~line "ungrouped" j;
-                        }
-                | "selector" ->
-                    selectors :=
-                      {
-                        Identify.group = jint ~line "group" j;
-                        disjuncts = int_lists ~line "disjuncts" j;
-                      }
-                      :: !selectors
-                | "rewrite" ->
-                    if !rewrite <> None then fail line "duplicate rewrite line";
-                    let patches =
-                      List.map
-                        (function
-                          | [ site; bit ] -> (site, bit)
-                          | _ -> fail line "patches must be [site, bit] pairs")
-                        (int_lists ~line "patches" j)
-                    in
-                    let compiled =
-                      List.map
-                        (fun sj ->
+          (match payload with
+          | Lines lines ->
+              List.iter
+                (fun (line, j) ->
+                  let tag = jstring ~line "p" j in
+                  if not (handle_profile_line st ~line tag j) then
+                    match tag with
+                    | "config" ->
+                        if !config <> None then fail line "duplicate config line";
+                        config := Some (pipeline_config_of_json ~line j)
+                    | "grouping" ->
+                        if !grouping <> None then
+                          fail line "duplicate grouping line";
+                        let groups =
+                          Array.of_list (int_lists ~line "groups" j)
+                        in
+                        let accesses =
+                          Array.of_list (jints ~line "accesses" j)
+                        in
+                        let weights = Array.of_list (jints ~line "weights" j) in
+                        if
+                          Array.length accesses <> Array.length groups
+                          || Array.length weights <> Array.length groups
+                        then
+                          fail line
+                            "grouping arrays (groups, accesses, weights) differ in length";
+                        grouping :=
+                          Some
+                            {
+                              Grouping.groups;
+                              group_accesses = accesses;
+                              group_weights = weights;
+                              ungrouped = jints ~line "ungrouped" j;
+                            }
+                    | "selector" ->
+                        selectors :=
                           {
-                            Rewrite.group = jint ~line "group" sj;
-                            conjs = int_lists ~line "conjs" sj;
-                          })
-                        (jlist ~line "selectors" j)
-                    in
-                    rewrite :=
-                      Some
-                        {
-                          Rewrite.patches;
-                          selectors = compiled;
-                          nbits = jint ~line "nbits" j;
-                        }
-                | tag -> fail line (Printf.sprintf "unknown payload tag %S" tag))
-            payload;
+                            Identify.group = jint ~line "group" j;
+                            disjuncts = int_lists ~line "disjuncts" j;
+                          }
+                          :: !selectors
+                    | "rewrite" ->
+                        if !rewrite <> None then
+                          fail line "duplicate rewrite line";
+                        let patches =
+                          List.map
+                            (function
+                              | [ site; bit ] -> (site, bit)
+                              | _ -> fail line "patches must be [site, bit] pairs")
+                            (int_lists ~line "patches" j)
+                        in
+                        let compiled =
+                          List.map
+                            (fun sj ->
+                              {
+                                Rewrite.group = jint ~line "group" sj;
+                                conjs = int_lists ~line "conjs" sj;
+                              })
+                            (jlist ~line "selectors" j)
+                        in
+                        rewrite :=
+                          Some
+                            {
+                              Rewrite.patches;
+                              selectors = compiled;
+                              nbits = jint ~line "nbits" j;
+                            }
+                    | tag ->
+                        fail line (Printf.sprintf "unknown payload tag %S" tag))
+                lines
+          | Records records ->
+              List.iter
+                (fun (line, d) ->
+                  try
+                    let tag = Wire.read_u8 d in
+                    if not (handle_profile_record st ~line tag d) then
+                      if tag = tag_config then begin
+                        if !config <> None then
+                          fail line "duplicate config record";
+                        let j =
+                          match Json.of_string (Wire.read_bytes d) with
+                          | Ok j -> j
+                          | Error e -> fail line e
+                        in
+                        config := Some (pipeline_config_of_json ~line j)
+                      end
+                      else if tag = tag_grouping then begin
+                        if !grouping <> None then
+                          fail line "duplicate grouping record";
+                        let ngroups =
+                          rlen_nonneg ~line (Wire.read_varint d)
+                        in
+                        let groups = Array.make ngroups [] in
+                        for i = 0 to ngroups - 1 do
+                          groups.(i) <- rint_list ~line d
+                        done;
+                        let accesses = Array.make ngroups 0 in
+                        for i = 0 to ngroups - 1 do
+                          accesses.(i) <- Wire.read_varint d
+                        done;
+                        let weights = Array.make ngroups 0 in
+                        for i = 0 to ngroups - 1 do
+                          weights.(i) <- Wire.read_varint d
+                        done;
+                        grouping :=
+                          Some
+                            {
+                              Grouping.groups;
+                              group_accesses = accesses;
+                              group_weights = weights;
+                              ungrouped = rint_list ~line d;
+                            }
+                      end
+                      else if tag = tag_selector then begin
+                        let group = Wire.read_varint d in
+                        let n = rlen_nonneg ~line (Wire.read_varint d) in
+                        let rec disjuncts i acc =
+                          if i = n then List.rev acc
+                          else disjuncts (i + 1) (rint_list ~line d :: acc)
+                        in
+                        selectors :=
+                          { Identify.group; disjuncts = disjuncts 0 [] }
+                          :: !selectors
+                      end
+                      else if tag = tag_rewrite then begin
+                        if !rewrite <> None then
+                          fail line "duplicate rewrite record";
+                        let nbits = Wire.read_varint d in
+                        let np = rlen_nonneg ~line (Wire.read_varint d) in
+                        let rec patches i acc =
+                          if i = np then List.rev acc
+                          else
+                            let site = Wire.read_varint d in
+                            let bit = Wire.read_varint d in
+                            patches (i + 1) ((site, bit) :: acc)
+                        in
+                        let patches = patches 0 [] in
+                        let ns = rlen_nonneg ~line (Wire.read_varint d) in
+                        let rec compiled i acc =
+                          if i = ns then List.rev acc
+                          else begin
+                            let group = Wire.read_varint d in
+                            let nc = rlen_nonneg ~line (Wire.read_varint d) in
+                            let rec conjs k acc =
+                              if k = nc then List.rev acc
+                              else conjs (k + 1) (rint_list ~line d :: acc)
+                            in
+                            compiled (i + 1)
+                              ({ Rewrite.group; conjs = conjs 0 [] } :: acc)
+                          end
+                        in
+                        rewrite :=
+                          Some
+                            {
+                              Rewrite.patches;
+                              selectors = compiled 0 [];
+                              nbits;
+                            }
+                      end
+                      else
+                        fail line
+                          (Printf.sprintf "unknown record tag 0x%02x" tag);
+                    Wire.expect_end d
+                  with Wire.Error r -> fail line r)
+                records);
           let require what = function
             | Some v -> v
             | None -> fail 0 (Printf.sprintf "artifact has no %s line" what)
@@ -899,9 +1639,80 @@ let read_header path =
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
-          let line =
-            try input_line ic with End_of_file -> raise (Decode Truncated)
+          (* Sniff the container from the first bytes; neither path needs
+             the payload, so only the header region is read. *)
+          let start =
+            let b = Bytes.create 8 in
+            let n = input ic b 0 8 in
+            Bytes.sub_string b 0 n
           in
-          match Json.of_string line with
-          | Ok j -> parse_header ~line:1 j
-          | Error e -> fail 1 e))
+          if String.equal start magic then begin
+            let v =
+              match input_char ic with
+              | c -> Char.code c
+              | exception End_of_file -> raise (Decode Truncated)
+            in
+            if v <> version_v2 then
+              raise (Decode (Version_skew { found = v; supported = version_v2 }));
+            let hlen =
+              match really_input_string ic 4 with
+              | s -> (
+                  match Wire.read_u32 (Wire.dec s) with
+                  | v -> v
+                  | exception Wire.Error _ -> raise (Decode Truncated))
+              | exception End_of_file -> raise (Decode Truncated)
+            in
+            let hs =
+              try really_input_string ic hlen
+              with End_of_file -> raise (Decode Truncated)
+            in
+            match Json.of_string hs with
+            | Ok j -> parse_header ~line:1 ~expect:version_v2 j
+            | Error e -> fail 1 e
+          end
+          else begin
+            seek_in ic 0;
+            let line =
+              try input_line ic with End_of_file -> raise (Decode Truncated)
+            in
+            let line =
+              (* CRLF tolerance, matching the full reader. *)
+              let n = String.length line in
+              if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+              else line
+            in
+            match Json.of_string line with
+            | Ok j -> parse_header ~line:1 ~expect:version j
+            | Error e -> fail 1 e
+          end))
+
+(* {1 Migration} *)
+
+let migrate ?obs ~format ~src dst =
+  match read_header src with
+  | Error e -> Error e
+  | Ok h when h.kind = "profile" -> (
+      match read_profile ?obs src with
+      | Error e -> Error e
+      | Ok a -> (
+          let extra_meta =
+            List.filter (fun (k, _) -> k <> "profiler_config") a.header.meta
+          in
+          match
+            write_profile ?obs ~format ~created:a.header.created
+              ~producer:a.header.producer ~extra_meta ~path:dst
+              ~program_digest:a.header.program_digest ~config:a.config a.result
+          with
+          | Error e -> Error e
+          | Ok () -> Ok { a.header with version = format_version format }))
+  | Ok h when h.kind = "plan" -> (
+      match read_plan ?obs src with
+      | Error e -> Error e
+      | Ok (h, plan) -> (
+          match
+            write_plan ?obs ~format ~created:h.created ~producer:h.producer
+              ~extra_meta:h.meta ~path:dst ~program_digest:h.program_digest plan
+          with
+          | Error e -> Error e
+          | Ok () -> Ok { h with version = format_version format }))
+  | Ok h -> Error (Wrong_kind { found = h.kind; expected = "profile or plan" })

@@ -1,7 +1,10 @@
 (** Persistent, versioned artifact store for profiles and plans.
 
     The pipeline's record and apply phases communicate through on-disk
-    artifacts in a canonical JSONL format, version {!version}:
+    artifacts in one of two containers, auto-detected on read from the
+    first bytes of the file:
+
+    {b v1 (JSONL)}, version {!version}:
 
     - line 1 is a self-describing {e header} — format name, format
       version, artifact kind, structural program digest ({!Ir_digest}),
@@ -14,15 +17,52 @@
       FNV-1a 64 checksum of the payload bytes, written after the fact so
       the writer streams.
 
-    Decoding is strict: any unknown tag, missing field, type mismatch,
-    count mismatch, version skew or checksum failure is a typed {!error},
-    never a silent partial artifact. *)
+    The v1 reader accepts CRLF line endings and a final line with no
+    trailing newline: lines are canonicalised (trailing ['\r'] stripped)
+    before parsing and checksumming, so a byte-shifted but intact file
+    still verifies. [Truncated] means the trailer is genuinely missing.
+
+    {b v2 (binary)}, version [2]: an 8-byte magic ["HALOSTOR"], a version
+    byte, the same header JSON length-prefixed, then length-prefixed
+    binary records (zigzag-LEB128 varints via {!Wire}) mirroring the v1
+    payload record for record and in the same canonical order, a zero
+    sentinel, the record count and the same FNV-1a 64 checksum over the
+    record frames. The reader loads the image once and decodes records
+    in place — several times faster than v1 and roughly a third of the
+    bytes. Writers default to v1; pass [~format:V2] to opt in.
+
+    Decoding is strict for both containers: any unknown tag, missing
+    field, type mismatch, count mismatch, version skew or checksum
+    failure is a typed {!error}, never a silent partial artifact.
+
+    Observability: encode/decode spans carry a [format] attribute, and
+    the [store.codec.v1.encodes] / [store.codec.v2.encodes] /
+    [store.codec.v1.decodes] / [store.codec.v2.decodes] counters and
+    [store.codec.encode_bytes] histogram account codec traffic;
+    sharded merging reports under [store.shard.*] (see
+    {!merge_profiles_sharded}). *)
 
 val format_name : string
 (** ["halo/store"], the header's [format] field. *)
 
 val version : int
-(** Current (and only supported) artifact format version: 1. *)
+(** The JSONL container's artifact format version: 1. *)
+
+val version_v2 : int
+(** The binary container's artifact format version: 2. *)
+
+type format = V1 | V2
+
+val format_version : format -> int
+(** [V1 -> 1], [V2 -> 2]. *)
+
+val format_of_version : int -> format option
+
+val format_to_string : format -> string
+(** ["v1"] / ["v2"] — the CLI's [--format] vocabulary. *)
+
+val format_of_string : string -> format option
+(** Accepts ["v1"]/["1"]/["jsonl"] and ["v2"]/["2"]/["binary"]. *)
 
 type header = {
   version : int;
@@ -79,6 +119,7 @@ type profile_artifact = {
 
 val write_profile :
   ?obs:Obs.t ->
+  ?format:format ->
   ?created:float ->
   ?producer:string ->
   ?extra_meta:(string * Json.t) list ->
@@ -87,20 +128,21 @@ val write_profile :
   config:Profiler.config ->
   Profiler.result ->
   (unit, error) result
-(** Encode one profiling run. [created] and [producer] default to
-    [Unix.gettimeofday ()] and ["halo"]; golden tests pin them. [obs]
-    records the [store.encode] span. *)
+(** Encode one profiling run. [format] picks the container (default
+    {!V1}); [created] and [producer] default to [Unix.gettimeofday ()]
+    and ["halo"]; golden tests pin them. [obs] records the
+    [store.encode] span. *)
 
 val read_profile :
   ?obs:Obs.t ->
   ?expect_program:string ->
   string ->
   (profile_artifact, error) result
-(** Decode a profile artifact. [expect_program] rejects artifacts recorded
-    from a structurally different program with [Digest_mismatch]. The
-    decoded result round-trips: graphs, contexts (same ids), totals are
-    structurally equal to what was written. [obs] records the
-    [store.decode] span. *)
+(** Decode a profile artifact in either container (auto-detected).
+    [expect_program] rejects artifacts recorded from a structurally
+    different program with [Digest_mismatch]. The decoded result
+    round-trips: graphs, contexts (same ids), totals are structurally
+    equal to what was written. [obs] records the [store.decode] span. *)
 
 val merge_profiles :
   (profile_artifact * float) list ->
@@ -157,10 +199,71 @@ val merge_result :
     [Invalid_argument] on an empty state, mirroring {!merge_profiles} on
     an empty list. *)
 
+val merge_absorb : merge_state -> merge_state -> (unit, error) result
+(** Fold one accumulator into another, {e unscaled}: the source's counts
+    are already weight-scaled, so they add as plain integers and the
+    source's weight and artifact count accumulate as-is. Folding a list
+    chunk-by-chunk — each chunk through {!merge_add} into its own state,
+    then the states absorbed in chunk order — produces exactly the
+    sequential fold, which is what makes {!merge_profiles_sharded}
+    byte-identical at any worker count. [Digest_mismatch] when the two
+    states pin different program or config digests; absorbing an empty
+    source is a no-op, and an empty destination adopts the source's
+    pins. The source must not be used afterwards (its contexts and
+    counts are shared, not copied). *)
+
+val merge_adopt :
+  merge_state ->
+  mass:float ->
+  count:int ->
+  profile_artifact ->
+  (unit, error) result
+(** Re-adopt a previously merged-and-persisted aggregate: fold the
+    artifact's counts in {e unscaled} (they already carry their weights)
+    while crediting [mass] total weight and [count] constituent
+    profiles. This is how a restarted serve daemon resumes an aggregate
+    saved by {!write_profile} without double-scaling it. Raises
+    [Invalid_argument] on a non-positive [mass] or negative [count]. *)
+
+(** {2 Sharded merging}
+
+    Fleet-scale aggregation: thousands of stored profiles partitioned by
+    program digest and folded on the {!Par} domain pool. Contiguous
+    chunking plus in-order {!merge_absorb} keeps every merged graph
+    byte-identical to the sequential fold at any [jobs] count.
+    Telemetry: a [store.shard.merge] span with [jobs]/[profiles]/[chunks]
+    attributes, [store.shard.profiles] and [store.shard.chunks] counters
+    and the [store.shard.profiles_per_sec] gauge. *)
+
+val merge_profiles_sharded :
+  ?obs:Obs.t ->
+  ?jobs:int ->
+  (profile_artifact * float) list ->
+  (Profiler.config * Profiler.result, error) result
+(** As {!merge_profiles} — same digest discipline, same
+    [Invalid_argument] contract, and a byte-identical result — but the
+    fold fans out over [jobs] worker domains (default
+    {!Par.default_jobs}; [jobs <= 1] stays inline on the calling
+    domain). On inconsistent inputs an {!error} of the same constructor
+    as the sequential fold's is returned, though which artifact it cites
+    may depend on the chunk boundaries. *)
+
+val merge_by_program :
+  ?obs:Obs.t ->
+  ?jobs:int ->
+  (profile_artifact * float) list ->
+  (string * (Profiler.config * Profiler.result, error) result) list
+(** Partition the inputs by program digest (result order is each
+    program's first appearance), merge every partition on the shared
+    pool, and return one merged profile per program. A bad artifact
+    poisons only its own program's entry. An empty input list returns
+    []. *)
+
 (** {1 Plans} *)
 
 val write_plan :
   ?obs:Obs.t ->
+  ?format:format ->
   ?created:float ->
   ?producer:string ->
   ?extra_meta:(string * Json.t) list ->
@@ -169,7 +272,8 @@ val write_plan :
   Pipeline.plan ->
   (unit, error) result
 (** Encode a complete plan: pipeline config, embedded profile, grouping,
-    selectors and rewrite. The header's config digest is
+    selectors and rewrite. [format] picks the container (default
+    {!V1}). The header's config digest is
     [plan_config_digest plan.config]. *)
 
 val read_plan :
@@ -178,13 +282,23 @@ val read_plan :
   ?expect_config:string ->
   string ->
   (header * Pipeline.plan, error) result
-(** Decode a plan artifact; [expect_config] compares against the header's
-    config digest (the cache's key check). The decoded plan's config is
-    re-digested and verified against the header — a tampered config body
-    is a [Digest_mismatch], not a silently different plan. *)
+(** Decode a plan artifact in either container (auto-detected);
+    [expect_config] compares against the header's config digest (the
+    cache's key check). The decoded plan's config is re-digested and
+    verified against the header — a tampered config body is a
+    [Digest_mismatch], not a silently different plan. *)
 
-(** {1 Inspection} *)
+(** {1 Inspection and migration} *)
 
 val read_header : string -> (header, error) result
-(** Read and validate the header line only — kind sniffing for
-    [profile inspect] without decoding the payload. *)
+(** Read and validate the header only (either container) — kind sniffing
+    for [profile inspect] without decoding the payload. *)
+
+val migrate :
+  ?obs:Obs.t -> format:format -> src:string -> string -> (header, error) result
+(** [migrate ~format ~src dst] re-encodes the artifact at [src] (either
+    kind, either container) into [format] at [dst], preserving the
+    header's creation time, producer and metadata — so
+    v1 → v2 → v1 reproduces the original file byte for byte, and both
+    encodings of one artifact decode and merge identically. Returns the
+    migrated header. *)

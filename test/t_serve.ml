@@ -232,6 +232,111 @@ let sim_run_smoke () =
   checkb "report serialises" true
     (String.length (Json.to_string (Serve_sim.report_to_json r)) > 0)
 
+(* ---------------- line reader ---------------- *)
+
+let line_reader_one_byte_reads () =
+  (* A pipe drained one byte at a time: every refill is a short read, so
+     any line that survives proves the partial-line buffer reassembles
+     across read boundaries. Also covers CRLF stripping and a final line
+     with no trailing newline. *)
+  let r, wfd = Unix.pipe () in
+  let payload = "alpha\nbeta gamma\r\ndelta\n\nlast-no-newline" in
+  let writer =
+    Domain.spawn (fun () ->
+        String.iter
+          (fun c ->
+            ignore (Unix.write_substring wfd (String.make 1 c) 0 1 : int))
+          payload;
+        Unix.close wfd)
+  in
+  let lr = Serve.Line_reader.create ~buf_size:1 r in
+  let rec drain acc =
+    match Serve.Line_reader.read_line lr with
+    | None -> List.rev acc
+    | Some l -> drain (l :: acc)
+  in
+  let lines = drain [] in
+  Domain.join writer;
+  Unix.close r;
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "lines reassembled across one-byte reads"
+    [ "alpha"; "beta gamma"; "delta"; ""; "last-no-newline" ]
+    lines
+
+let line_reader_large_chunks () =
+  (* The same payload through a large buffer: one refill may hold many
+     lines, the pending buffer must hand them out one at a time. *)
+  let r, wfd = Unix.pipe () in
+  let payload = String.concat "\n" (List.init 50 string_of_int) ^ "\n" in
+  let writer =
+    Domain.spawn (fun () ->
+        ignore
+          (Unix.write_substring wfd payload 0 (String.length payload) : int);
+        Unix.close wfd)
+  in
+  let lr = Serve.Line_reader.create r in
+  let rec drain acc =
+    match Serve.Line_reader.read_line lr with
+    | None -> List.rev acc
+    | Some l -> drain (l :: acc)
+  in
+  let lines = drain [] in
+  Domain.join writer;
+  Unix.close r;
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "buffered lines split correctly" (List.init 50 string_of_int) lines
+
+(* ---------------- aggregate persistence ---------------- *)
+
+let aggregates_survive_restart () =
+  let dir = tmp_dir () in
+  (* First engine: fold fleet mass, then persist on the way out (the
+     run_channels/run_socket epilogues call save_aggregates; here we
+     call it directly). *)
+  let a = Serve.create (config ~cache:(Plan_cache.create dir) ()) in
+  ignore
+    (Serve.handle_batch a [ record 1 "ft" 3 1.0; record 2 "ft" 4 2.5 ]
+      : Json.t list);
+  checki "two aggregates saved is one artifact" 1 (Serve.save_aggregates a);
+  let stats_of engine =
+    let j = Serve.stats_json engine in
+    match Json.get_list "programs" j with
+    | Ok [ one ] ->
+        ( (match Json.get_int "profiles" one with
+          | Ok n -> n
+          | Error e -> Alcotest.fail e),
+          match Json.get_float "mass" one with
+          | Ok m -> m
+          | Error e -> Alcotest.fail e )
+    | Ok l ->
+        Alcotest.fail
+          (Printf.sprintf "expected exactly one aggregate, got %d"
+             (List.length l))
+    | Error e -> Alcotest.fail e
+  in
+  let profiles_a, mass_a = stats_of a in
+  checki "first engine folded two profiles" 2 profiles_a;
+  (* Second engine, same cache dir: adopts the saved aggregate without
+     profiling, and keeps counting from the restored mass. *)
+  let obs = Obs.create () in
+  let b = Serve.create ~obs (config ~cache:(Plan_cache.create dir) ()) in
+  checki "aggregate reloaded" 1 (counter obs "serve.aggregates.loaded");
+  let profiles_b, mass_b = stats_of b in
+  checki "profile count restored" profiles_a profiles_b;
+  checkb "mass restored" true (Float.equal mass_a mass_b);
+  checki "restore never profiles" 0 (counter obs "profile.runs");
+  ignore (Serve.handle_batch b [ record 3 "ft" 5 1.0 ] : Json.t list);
+  let profiles_b2, mass_b2 = stats_of b in
+  checki "new records keep counting" (profiles_a + 1) profiles_b2;
+  checkb "new mass adds to the restored mass" true
+    (Float.equal (mass_a +. 1.0) mass_b2);
+  (* No cache configured: persistence is a no-op, not an error. *)
+  let c = Serve.create (config ()) in
+  ignore (Serve.handle_batch c [ record 1 "ft" 3 1.0 ] : Json.t list);
+  checki "no cache, nothing saved" 0 (Serve.save_aggregates c)
+
 (* ---------------- socket ---------------- *)
 
 let socket_round_trip () =
@@ -280,5 +385,8 @@ let suite =
     tc "lines: parse failures become error responses" handle_line_recovers;
     tc "sim: schedule is deterministic" sim_stream_deterministic;
     slow "sim: small fleet smoke" sim_run_smoke;
+    tc "line reader: one-byte short reads" line_reader_one_byte_reads;
+    tc "line reader: buffered chunks" line_reader_large_chunks;
+    slow "aggregates: survive a restart" aggregates_survive_restart;
     slow "socket: round-trip and shutdown" socket_round_trip;
   ]

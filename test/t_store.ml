@@ -90,9 +90,8 @@ let profile_round_trip () =
   Sys.remove path;
   Sys.remove path2
 
-let plan_round_trip_prop =
-  QCheck2.Test.make ~name:"store: decode(encode plan) is structurally equal"
-    ~count:8
+let plan_round_trip_prop_as format name =
+  QCheck2.Test.make ~name ~count:8
     QCheck2.Gen.(int_range 1 1_000_000)
     (fun seed ->
       let case = Fuzz_gen.generate ~seed () in
@@ -100,7 +99,7 @@ let plan_round_trip_prop =
       let digest = Ir_digest.program case.Fuzz_gen.test in
       let path = tmp ".jsonl" in
       ok
-        (Store.write_plan ~created:2.0 ~producer:"t" ~path
+        (Store.write_plan ~format ~created:2.0 ~producer:"t" ~path
            ~program_digest:digest plan);
       let _header, decoded = ok (Store.read_plan ~expect_program:digest path) in
       let structurally_equal =
@@ -116,12 +115,20 @@ let plan_round_trip_prop =
       (* And the canonical form is a fixed point of encode∘decode. *)
       let path2 = tmp ".jsonl" in
       ok
-        (Store.write_plan ~created:2.0 ~producer:"t" ~path:path2
+        (Store.write_plan ~format ~created:2.0 ~producer:"t" ~path:path2
            ~program_digest:digest decoded);
       let byte_stable = String.equal (read_file path) (read_file path2) in
       Sys.remove path;
       Sys.remove path2;
       structurally_equal && byte_stable)
+
+let plan_round_trip_prop =
+  plan_round_trip_prop_as Store.V1
+    "store: decode(encode plan) is structurally equal"
+
+let plan_round_trip_v2_prop =
+  plan_round_trip_prop_as Store.V2
+    "store: decode(encode plan) is structurally equal (v2 binary)"
 
 (* ---------------- golden v1 header ---------------- *)
 
@@ -445,12 +452,387 @@ let merge_incremental_rejects () =
   | e -> Alcotest.fail ("wanted Digest_mismatch, got " ^ Store.error_to_string e));
   checki "rejected add leaves the fold untouched" 1 (Store.merge_count st)
 
+(* ---------------- v1 line-ending tolerance ---------------- *)
+
+(* Hand-crafted byte-level variants of a recorded v1 artifact: CRLF line
+   endings and a missing final newline must decode identically — the
+   reader canonicalises lines before parsing and checksumming. *)
+
+let crlf s = String.concat "\r\n" (String.split_on_char '\n' s)
+
+let v1_tolerates_crlf () =
+  let path = recorded () in
+  let orig = ok (Store.read_profile path) in
+  write_file path (crlf (read_file path));
+  let a = ok (Store.read_profile path) in
+  checkb "CRLF artifact decodes identically" true
+    (graphs_equal orig.Store.result.Profiler.graph a.Store.result.Profiler.graph
+    && orig.Store.result.Profiler.total_accesses
+       = a.Store.result.Profiler.total_accesses);
+  Sys.remove path
+
+let v1_tolerates_missing_final_newline () =
+  let path = recorded () in
+  let data = read_file path in
+  let orig = ok (Store.read_profile path) in
+  let n = String.length data in
+  checkb "fixture ends with a newline" true (data.[n - 1] = '\n');
+  write_file path (String.sub data 0 (n - 1));
+  (match Store.read_profile path with
+  | Ok a ->
+      checki "no-final-newline decodes identically"
+        orig.Store.result.Profiler.total_accesses
+        a.Store.result.Profiler.total_accesses
+  | Error e ->
+      Alcotest.fail ("no-final-newline rejected: " ^ Store.error_to_string e));
+  (* CRLF and a chopped final newline at once: the last line ends in a
+     bare '\r', which the canonicaliser must also strip. *)
+  let c = crlf data in
+  write_file path (String.sub c 0 (String.length c - 1));
+  (match Store.read_profile path with
+  | Ok a ->
+      checki "CRLF+no-newline decodes identically"
+        orig.Store.result.Profiler.total_accesses
+        a.Store.result.Profiler.total_accesses
+  | Error e ->
+      Alcotest.fail ("CRLF+no-newline rejected: " ^ Store.error_to_string e));
+  Sys.remove path
+
+(* ---------------- v2 binary codec ---------------- *)
+
+let recorded_v2 () =
+  let prog, config, result = profiled "ft" in
+  let path = tmp ".bin" in
+  ok
+    (Store.write_profile ~format:Store.V2 ~created:1.0 ~producer:"t" ~path
+       ~program_digest:(Ir_digest.program prog) ~config result);
+  path
+
+let profile_round_trip_v2 () =
+  let prog, config, result = profiled "ft" in
+  let digest = Ir_digest.program prog in
+  let path = tmp ".bin" in
+  ok
+    (Store.write_profile ~format:Store.V2 ~created:1.0 ~producer:"t" ~path
+       ~program_digest:digest ~config result);
+  let h = ok (Store.read_header path) in
+  checki "header says v2" 2 h.Store.version;
+  let a = ok (Store.read_profile ~expect_program:digest path) in
+  checki "total accesses" result.Profiler.total_accesses
+    a.Store.result.Profiler.total_accesses;
+  checki "instructions" result.Profiler.instructions
+    a.Store.result.Profiler.instructions;
+  checki "context count"
+    (Context.count result.Profiler.contexts)
+    (Context.count a.Store.result.Profiler.contexts);
+  for id = 0 to Context.count result.Profiler.contexts - 1 do
+    checkb "context sites" true
+      (Context.sites result.Profiler.contexts id
+      = Context.sites a.Store.result.Profiler.contexts id)
+  done;
+  checkb "filtered graph round-trips" true
+    (graphs_equal result.Profiler.graph a.Store.result.Profiler.graph);
+  checkb "raw graph round-trips" true
+    (graphs_equal result.Profiler.raw_graph a.Store.result.Profiler.raw_graph);
+  let path2 = tmp ".bin" in
+  ok
+    (Store.write_profile ~format:Store.V2 ~created:1.0 ~producer:"t"
+       ~path:path2 ~program_digest:digest ~config a.Store.result);
+  checks "byte-stable re-encode" (read_file path) (read_file path2);
+  (* The compaction claim: same payload, meaningfully fewer bytes. *)
+  let v1path = tmp ".jsonl" in
+  ok
+    (Store.write_profile ~created:1.0 ~producer:"t" ~path:v1path
+       ~program_digest:digest ~config result);
+  checkb "v2 is smaller than v1" true
+    ((Unix.stat path).Unix.st_size < (Unix.stat v1path).Unix.st_size);
+  Sys.remove path;
+  Sys.remove path2;
+  Sys.remove v1path
+
+(* Independent FNV-1a-64 (the constants re-stated here on purpose: a
+   drift in the library's constants must fail this pin). *)
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_sub h s pos len =
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h :=
+      Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+  done;
+  !h
+
+let u32_at s pos =
+  let g i = Char.code s.[pos + i] in
+  g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24)
+
+let i64_at s pos =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  !v
+
+let golden_v2_container () =
+  let prog, config, result = profiled "ft" in
+  let path = tmp ".bin" in
+  ok
+    (Store.write_profile ~format:Store.V2 ~created:1700000000.0
+       ~producer:"golden" ~path
+       ~program_digest:(Ir_digest.program prog) ~config result);
+  let data = read_file path in
+  Sys.remove path;
+  checks "magic bytes" "HALOSTOR" (String.sub data 0 8);
+  checki "container version byte" 2 (Char.code data.[8]);
+  let hlen = u32_at data 9 in
+  checks "v2 header bytes"
+    ("{\"format\":\"halo/store\",\"version\":2,\"kind\":\"profile\",\
+      \"program\":\"" ^ Ir_digest.program prog
+   ^ "\",\"config\":\"a44f7ef8caf217822d7a520db0a30566\",\
+      \"created\":1700000000.0,\"producer\":\"golden\",\
+      \"meta\":{\"profiler_config\":{\"affinity_distance\":128,\
+      \"max_tracked_size\":4096,\"node_coverage\":0.90000000000000002,\
+      \"seed\":1,\"sample_period\":1}}}")
+    (String.sub data 13 hlen);
+  (* Walk the record frames, recomputing the checksum independently of
+     the library, and pin the trailer against it. *)
+  let pos = ref (13 + hlen) and h = ref fnv_offset and n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let len = u32_at data !pos in
+    if len = 0 then continue_ := false
+    else begin
+      h := fnv_sub !h data !pos (4 + len);
+      pos := !pos + 4 + len;
+      incr n
+    end
+  done;
+  let p = ref (!pos + 4) in
+  let zigzag = ref 0 and shift = ref 0 and fin = ref false in
+  while not !fin do
+    let b = Char.code data.[!p] in
+    zigzag := !zigzag lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    incr p;
+    if b land 0x80 = 0 then fin := true
+  done;
+  let count = (!zigzag lsr 1) lxor (- (!zigzag land 1)) in
+  checki "trailer record count" !n count;
+  checkb "trailer checksum matches an independent FNV-1a-64" true
+    (Int64.equal (i64_at data !p) !h);
+  checki "file ends right after the checksum" (String.length data) (!p + 8)
+
+let reject_v2_truncated () =
+  let path = recorded_v2 () in
+  let data = read_file path in
+  (* Chop into the trailer checksum... *)
+  write_file path (String.sub data 0 (String.length data - 6));
+  (match err "v2 trailer chopped" (Store.read_profile path) with
+  | Store.Truncated -> ()
+  | e -> Alcotest.fail ("wanted Truncated, got " ^ Store.error_to_string e));
+  (* ...and into a record frame. *)
+  write_file path (String.sub data 0 (String.length data / 2));
+  (match err "v2 frame chopped" (Store.read_profile path) with
+  | Store.Truncated -> ()
+  | e -> Alcotest.fail ("wanted Truncated, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+let reject_v2_bad_checksum () =
+  let path = recorded_v2 () in
+  let data = read_file path in
+  let hlen = u32_at data 9 in
+  (* Flip the first record's tag byte: frame lengths stay intact, so the
+     walk succeeds and only the checksum can catch the corruption. *)
+  let b = Bytes.of_string data in
+  let tag_pos = 13 + hlen + 4 in
+  Bytes.set b tag_pos (Char.chr (Char.code (Bytes.get b tag_pos) lxor 0x40));
+  write_file path (Bytes.to_string b);
+  (match err "v2 payload bit-flip" (Store.read_profile path) with
+  | Store.Bad_checksum _ -> ()
+  | e -> Alcotest.fail ("wanted Bad_checksum, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+let reject_v2_version_skew () =
+  let path = recorded_v2 () in
+  let data = read_file path in
+  let b = Bytes.of_string data in
+  Bytes.set b 8 (Char.chr 9);
+  write_file path (Bytes.to_string b);
+  (match err "v2 container version 9" (Store.read_header path) with
+  | Store.Version_skew { found = 9; supported = 2 } -> ()
+  | e -> Alcotest.fail ("wanted Version_skew, got " ^ Store.error_to_string e));
+  (match err "v2 payload under version 9" (Store.read_profile path) with
+  | Store.Version_skew { found = 9; supported = 2 } -> ()
+  | e -> Alcotest.fail ("wanted Version_skew, got " ^ Store.error_to_string e));
+  Sys.remove path
+
+(* ---------------- migration ---------------- *)
+
+let migrate_profile_bit_equivalence () =
+  let prog, config, result = profiled "ft" in
+  let digest = Ir_digest.program prog in
+  let v1 = tmp ".jsonl" and v2 = tmp ".bin" and v1b = tmp ".jsonl" in
+  let v2direct = tmp ".bin" in
+  ok
+    (Store.write_profile ~created:5.0 ~producer:"mig" ~path:v1
+       ~program_digest:digest ~config result);
+  let h2 = ok (Store.migrate ~format:Store.V2 ~src:v1 v2) in
+  checki "migrated header says v2" 2 h2.Store.version;
+  (* Migration preserves creation metadata, so a direct v2 encode of the
+     same artifact is byte-identical to the migrated one. *)
+  ok
+    (Store.write_profile ~format:Store.V2 ~created:5.0 ~producer:"mig"
+       ~path:v2direct ~program_digest:digest ~config result);
+  checks "migrated v2 equals direct v2 encode" (read_file v2direct)
+    (read_file v2);
+  let h1 = ok (Store.migrate ~format:Store.V1 ~src:v2 v1b) in
+  checki "migrated-back header says v1" 1 h1.Store.version;
+  checks "v1 -> v2 -> v1 reproduces the bytes" (read_file v1) (read_file v1b);
+  let a1 = ok (Store.read_profile v1) and a2 = ok (Store.read_profile v2) in
+  let _, m1 = ok (Store.merge_profiles [ (a1, 1.0) ]) in
+  let _, m2 = ok (Store.merge_profiles [ (a2, 1.0) ]) in
+  checkb "decode+merge agrees across codecs" true
+    (graphs_equal m1.Profiler.graph m2.Profiler.graph
+    && graphs_equal m1.Profiler.raw_graph m2.Profiler.raw_graph
+    && m1.Profiler.total_accesses = m2.Profiler.total_accesses);
+  List.iter Sys.remove [ v1; v2; v1b; v2direct ]
+
+let migrate_plan_bit_equivalence () =
+  let prog = (w "ft").Workload.make Workload.Test in
+  let plan = Pipeline.plan prog in
+  let digest = Ir_digest.program prog in
+  let v1 = tmp ".jsonl" and v2 = tmp ".bin" and v1b = tmp ".jsonl" in
+  ok
+    (Store.write_plan ~created:5.0 ~producer:"mig" ~path:v1
+       ~program_digest:digest plan);
+  ignore (ok (Store.migrate ~format:Store.V2 ~src:v1 v2) : Store.header);
+  let _, p2 = ok (Store.read_plan ~expect_program:digest v2) in
+  checkb "plan payload survives v2" true
+    (p2.Pipeline.grouping = plan.Pipeline.grouping
+    && p2.Pipeline.selectors = plan.Pipeline.selectors
+    && p2.Pipeline.rewrite = plan.Pipeline.rewrite
+    && p2.Pipeline.config = plan.Pipeline.config);
+  ignore (ok (Store.migrate ~format:Store.V1 ~src:v2 v1b) : Store.header);
+  checks "plan v1 -> v2 -> v1 reproduces the bytes" (read_file v1)
+    (read_file v1b);
+  List.iter Sys.remove [ v1; v2; v1b ]
+
+(* ---------------- sharded merging ---------------- *)
+
+let artifact_seeded name seed =
+  artifact_of
+    ~config:{ Profiler.default_config with Profiler.seed = seed }
+    name
+
+let merged_bytes digest merged =
+  let path = tmp ".jsonl" in
+  let config, result = merged in
+  ok
+    (Store.write_profile ~created:9.0 ~producer:"t" ~path
+       ~program_digest:digest ~config result);
+  let bytes = read_file path in
+  Sys.remove path;
+  bytes
+
+let sharded_merge_byte_identity () =
+  let inputs =
+    List.init 12 (fun k ->
+        let a = artifact_seeded "ft" (k + 1) in
+        (a, if k mod 3 = 0 then 2.5 else 1.0))
+  in
+  let digest = (fst (List.hd inputs)).Store.header.Store.program_digest in
+  let seq = merged_bytes digest (ok (Store.merge_profiles inputs)) in
+  List.iter
+    (fun jobs ->
+      let sharded =
+        merged_bytes digest (ok (Store.merge_profiles_sharded ~jobs inputs))
+      in
+      checks
+        (Printf.sprintf "sharded merge at %d jobs is byte-identical" jobs)
+        seq sharded)
+    [ 1; 2; 3; 4; 5 ]
+
+let sharded_merge_rejects_like_sequential () =
+  let a = artifact_seeded "ft" 1 and foreign = artifact_seeded "health" 1 in
+  (match
+     err "cross-program sharded merge"
+       (Store.merge_profiles_sharded ~jobs:2 [ (a, 1.0); (foreign, 1.0) ])
+   with
+  | Store.Digest_mismatch { field = "program"; _ } -> ()
+  | e -> Alcotest.fail ("wanted Digest_mismatch, got " ^ Store.error_to_string e));
+  checkb "empty input raises" true
+    (match Store.merge_profiles_sharded [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "bad weight raises" true
+    (match Store.merge_profiles_sharded ~jobs:2 [ (a, 0.0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let merge_by_program_partitions () =
+  let ft1 = artifact_seeded "ft" 1
+  and ft2 = artifact_seeded "ft" 2
+  and he1 = artifact_seeded "health" 1 in
+  let ftd = ft1.Store.header.Store.program_digest
+  and hed = he1.Store.header.Store.program_digest in
+  let results =
+    Store.merge_by_program ~jobs:3
+      [ (ft1, 1.0); (he1, 1.0); (ft2, 1.0) ]
+  in
+  (match results with
+  | [ (d1, Ok m1); (d2, Ok m2) ] ->
+      checks "first-appearance order: ft first" ftd d1;
+      checks "then health" hed d2;
+      let ft_seq = ok (Store.merge_profiles [ (ft1, 1.0); (ft2, 1.0) ]) in
+      let he_seq = ok (Store.merge_profiles [ (he1, 1.0) ]) in
+      checks "ft partition merges like the sequential fold"
+        (merged_bytes ftd ft_seq) (merged_bytes ftd m1);
+      checks "health partition merges like the sequential fold"
+        (merged_bytes hed he_seq) (merged_bytes hed m2)
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 2 merged programs, got %d" (List.length l)));
+  checki "empty input yields no programs" 0
+    (List.length (Store.merge_by_program []))
+
+let merge_adopt_resumes () =
+  let a = artifact_seeded "ft" 1 and b = artifact_seeded "ft" 2 in
+  (* Fold a+b, persist, re-adopt, fold nothing more: the adopted state
+     must report the original mass and count and merge to the same
+     bytes. *)
+  let st = Store.merge_create () in
+  ok (Store.merge_add st (a, 1.5));
+  ok (Store.merge_add st (b, 1.0));
+  let digest = a.Store.header.Store.program_digest in
+  let config, result = ok (Store.merge_result st) in
+  let path = tmp ".bin" in
+  ok
+    (Store.write_profile ~format:Store.V2 ~created:0.0 ~producer:"t" ~path
+       ~program_digest:digest ~config result);
+  let saved = ok (Store.read_profile path) in
+  Sys.remove path;
+  let st2 = Store.merge_create () in
+  ok
+    (Store.merge_adopt st2 ~mass:(Store.merge_total_weight st)
+       ~count:(Store.merge_count st) saved);
+  checki "adopted count" (Store.merge_count st) (Store.merge_count st2);
+  checkb "adopted mass" true
+    (Float.equal (Store.merge_total_weight st) (Store.merge_total_weight st2));
+  checks "adopted state merges to the same bytes"
+    (merged_bytes digest (config, result))
+    (merged_bytes digest (ok (Store.merge_result st2)))
+
 (* ---------------- plan cache ---------------- *)
 
 let run_json m = Json.to_string (Runner.to_json m)
 
 let profile_runs obs =
   Metrics.counter_value (Metrics.counter (Obs.metrics obs) "profile.runs")
+
+(* Cache entries may be in either codec (v2 [.plan.bin] by default). *)
+let is_plan_entry f =
+  Filename.check_suffix f ".plan.bin" || Filename.check_suffix f ".plan.jsonl"
 
 let cache_record_apply_equivalence () =
   let hw = w "ft" in
@@ -469,8 +851,7 @@ let cache_record_apply_equivalence () =
   let entry =
     match
       Sys.readdir (Plan_cache.dir cache)
-      |> Array.to_list
-      |> List.filter (fun f -> Filename.check_suffix f ".plan.jsonl")
+      |> Array.to_list |> List.filter is_plan_entry
     with
     | [ f ] -> Filename.concat (Plan_cache.dir cache) f
     | l -> Alcotest.fail (Printf.sprintf "expected 1 cache entry, found %d" (List.length l))
@@ -502,8 +883,7 @@ let cache_corrupt_entry_is_a_miss () =
   let cold = Runner.run ~plan_source:src hw Runner.Halo in
   let entry =
     Filename.concat (Plan_cache.dir cache)
-      (List.find
-         (fun f -> Filename.check_suffix f ".plan.jsonl")
+      (List.find is_plan_entry
          (Array.to_list (Sys.readdir (Plan_cache.dir cache))))
   in
   let bytes = read_file entry in
@@ -529,8 +909,7 @@ let cache_eviction_bounds_entries () =
       : Runner.measurement);
   let entries =
     Sys.readdir (Plan_cache.dir cache)
-    |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".plan.jsonl")
+    |> Array.to_list |> List.filter is_plan_entry
   in
   checki "bounded to max_entries" 1 (List.length entries);
   checkb "eviction counted" true ((Plan_cache.stats cache).Plan_cache.evictions >= 1)
@@ -610,6 +989,79 @@ let cache_stats_persist_across_processes () =
   checki "one plan entry listed" 1
     (List.length (Plan_cache.entry_names reopened))
 
+let cache_eviction_name_tie_break () =
+  (* Three entries forced onto one mtime second, then a fourth store
+     with a cap of two: of the tied entries, exactly the
+     lexicographically-last name survives — eviction order is
+     deterministic, not readdir luck. *)
+  let program = (w "ft").Workload.make Workload.Test in
+  let dir = tmp_dir () in
+  let unbounded = Plan_cache.create dir in
+  let src = Plan_cache.source unbounded in
+  let result =
+    Profiler.profile ~config:Pipeline.default_config.Pipeline.profiler program
+  in
+  let configs =
+    List.init 3 (fun k ->
+        {
+          Pipeline.default_config with
+          Pipeline.min_edge_frac = 1e-4 *. float_of_int (k + 1);
+        })
+  in
+  List.iter
+    (fun c -> src.Pipeline.store None program c (Pipeline.derive ~config:c result))
+    configs;
+  let names = List.sort compare (Plan_cache.entry_names unbounded) in
+  checki "three entries stored" 3 (List.length names);
+  List.iter
+    (fun n -> Unix.utimes (Filename.concat dir n) 1000.0 1000.0)
+    names;
+  let bounded = Plan_cache.create ~max_entries:2 dir in
+  let bsrc = Plan_cache.source bounded in
+  let c4 = { Pipeline.default_config with Pipeline.min_edge_frac = 9e-4 } in
+  bsrc.Pipeline.store None program c4 (Pipeline.derive ~config:c4 result);
+  let survivors = Plan_cache.entry_names bounded in
+  checki "bounded to max_entries" 2 (List.length survivors);
+  let new_entry =
+    Ir_digest.program program ^ "-" ^ Store.plan_config_digest c4 ^ ".plan.bin"
+  in
+  checkb "fresh store survives" true (List.mem new_entry survivors);
+  checkb "largest name among the mtime ties survives" true
+    (List.mem (List.nth names 2) survivors);
+  checki "evictions counted" 2 (Plan_cache.stats bounded).Plan_cache.evictions
+
+let cache_codec_interop () =
+  (* A v1-written directory keeps serving hits to a v2-configured cache,
+     and a re-store migrates the entry in place (one entry, new suffix). *)
+  let program = (w "ft").Workload.make Workload.Test in
+  let dir = tmp_dir () in
+  let c = Pipeline.default_config in
+  let plan = Pipeline.plan ~config:c program in
+  let v1cache = Plan_cache.create ~format:Store.V1 dir in
+  let v1src = Plan_cache.source v1cache in
+  v1src.Pipeline.store None program c plan;
+  checkb "v1 entry written" true
+    (List.exists
+       (fun n -> Filename.check_suffix n ".plan.jsonl")
+       (Plan_cache.entry_names v1cache));
+  let v2cache = Plan_cache.create dir in
+  let v2src = Plan_cache.source v2cache in
+  checkb "v2-configured cache hits the v1 entry" true
+    (Option.is_some (v2src.Pipeline.lookup None program c));
+  checki "cross-codec lookup is a hit" 1
+    (Plan_cache.stats v2cache).Plan_cache.hits;
+  v2src.Pipeline.store None program c plan;
+  (match Plan_cache.entry_names v2cache with
+  | [ n ] ->
+      checkb "single entry after re-store, in the v2 codec" true
+        (Filename.check_suffix n ".plan.bin")
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 entry after re-store, found %d"
+           (List.length l)));
+  checkb "migrated entry still hits" true
+    (Option.is_some (v2src.Pipeline.lookup None program c))
+
 let suite_warmed_equivalence () =
   (* The acceptance bar: a warmed cache runs the whole figure suite with
      zero profiler invocations and unchanged measurements. *)
@@ -648,6 +1100,19 @@ let suite =
     tc "rejects digest mismatch" reject_digest_mismatch;
     tc "rejects payload count mismatch" reject_malformed_count;
     tc "missing file is an io error" reject_io;
+    tc "v1 tolerates CRLF line endings" v1_tolerates_crlf;
+    tc "v1 tolerates a missing final newline" v1_tolerates_missing_final_newline;
+    tc "v2 profile round-trips" profile_round_trip_v2;
+    tc "golden v2 container" golden_v2_container;
+    tc "v2 rejects truncation" reject_v2_truncated;
+    tc "v2 rejects checksum mismatch" reject_v2_bad_checksum;
+    tc "v2 rejects version skew" reject_v2_version_skew;
+    tc "migrate: profile bit-equivalence" migrate_profile_bit_equivalence;
+    tc "migrate: plan bit-equivalence" migrate_plan_bit_equivalence;
+    slow "sharded merge is byte-identical at any jobs" sharded_merge_byte_identity;
+    tc "sharded merge rejects like sequential" sharded_merge_rejects_like_sequential;
+    tc "merge_by_program partitions by digest" merge_by_program_partitions;
+    tc "merge_adopt resumes a persisted aggregate" merge_adopt_resumes;
     tc "digest ignores input scale" digest_scale_insensitive;
     tc "digest distinguishes workloads" digest_distinguishes_workloads;
     tc "digest agrees on fuzz pairs" digest_fuzz_pairs_agree;
@@ -665,6 +1130,9 @@ let suite =
     slow "cache: eviction bounds entries" cache_eviction_bounds_entries;
     slow "cache: concurrent stats agree with obs" cache_concurrent_stats_obs_agree;
     slow "cache: stats persist across processes" cache_stats_persist_across_processes;
+    slow "cache: eviction ties break on entry name" cache_eviction_name_tie_break;
+    slow "cache: v1/v2 entries interoperate" cache_codec_interop;
     slow "suite: warmed-cache equivalence" suite_warmed_equivalence;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ plan_round_trip_prop ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ plan_round_trip_prop; plan_round_trip_v2_prop ]
