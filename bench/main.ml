@@ -604,6 +604,78 @@ let run_serve () =
     r.Serve_sim.profile_runs
 
 (* ------------------------------------------------------------------ *)
+(* Traffic benchmark: the shared-heap mix executor on a drifting       *)
+(* multi-tenant schedule, plus the drift-rate x reprofile-cadence      *)
+(* study fanned out over the worker pool. Rows feed the --check gate   *)
+(* as traffic/<row> hotpath entries (handicap applies).                *)
+(* ------------------------------------------------------------------ *)
+
+let run_traffic () =
+  let seed = Option.value !seed_override ~default:1 in
+  (* Wall-clock rows are scheduler-noise-bound, so each is the median of
+     several timed trials of the same deterministic computation — the
+     same defence the hot-path suite uses. *)
+  let median l =
+    let a = List.sort compare l in
+    List.nth a (List.length a / 2)
+  in
+  let row name events times =
+    let times = List.map (fun t -> t *. !handicap) times in
+    let dt = median times in
+    let eps = float_of_int events /. dt in
+    let trial_eps = List.map (fun t -> float_of_int events /. t) times in
+    hotpath_records := ("traffic", name, events, eps, trial_eps) :: !hotpath_records;
+    eps
+  in
+  let trials n f =
+    let out = ref None in
+    let times =
+      List.init n (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          out := Some (f ());
+          Unix.gettimeofday () -. t0)
+    in
+    (Option.get !out, times)
+  in
+  (* One representative mix run: executor throughput in simulated
+     accesses/s over a drifting schedule with a live re-profile cadence. *)
+  let sched =
+    Schedule.drifting ~phases:4 ~ticks_per_phase:2 ~rate:6.0 ~drift:0.5 ()
+  in
+  let mix, mix_times =
+    trials 3 (fun () ->
+        Traffic_mix.run
+          ~config:
+            { Traffic_mix.default_config with Traffic_mix.reprofile_every = 2 }
+          ~seed sched)
+  in
+  Table.print (Traffic_mix.report_table mix);
+  print_newline ();
+  let mix_eps =
+    row "mix-exec" mix.Traffic_mix.counters.Hierarchy.accesses mix_times
+  in
+  (* The full drift study at the configured worker count. *)
+  let study, study_times =
+    trials 2 (fun () ->
+        Traffic_study.run ~jobs:(jobs ())
+          { Traffic_study.default_params with Traffic_study.seed })
+  in
+  Table.print (Traffic_study.table study);
+  let study_jobs =
+    List.fold_left
+      (fun acc c -> acc + c.Traffic_study.c_report.Traffic_mix.jobs)
+      0 study.Traffic_study.cells
+  in
+  let study_eps = row "study" study_jobs study_times in
+  Hashtbl.replace suite_eps "traffic" study_eps;
+  Printf.eprintf
+    "  [traffic] mix %.2f Maccesses/s (median of %d), study %d jobs at %.0f \
+     jobs/s (median of %d)\n\
+     %!"
+    (mix_eps /. 1e6) (List.length mix_times) study_jobs study_eps
+    (List.length study_times)
+
+(* ------------------------------------------------------------------ *)
 (* Store codec benchmark: encode/decode throughput of both containers  *)
 (* and sharded-merge throughput over a synthetic fleet of >= 1000      *)
 (* profiles, with the byte-identity acceptance asserted inline. Rows   *)
@@ -803,6 +875,14 @@ let run_check () =
                  (Printf.sprintf "bench --check vs %s (threshold %.0f%%)" path
                     (100.0 *. threshold))
                verdicts);
+          (match Bench_check.warnings verdicts with
+          | [] -> ()
+          | keys ->
+              Printf.eprintf
+                "  [bench] warn: no baseline for %s (gate passes; commit rows \
+                 to set the bar)\n\
+                 %!"
+                (String.concat ", " keys));
           if Bench_check.any_regressed verdicts then begin
             Printf.eprintf "  [bench] REGRESSION beyond %.0f%% vs %s\n%!"
               (100.0 *. threshold) path;
@@ -892,6 +972,7 @@ let () =
   | [ "micro" ] -> timed "micro" run_micro
   | [ "serve" ] -> timed "serve" run_serve
   | [ "store" ] -> timed "store" run_store
+  | [ "traffic" ] -> timed "traffic" run_traffic
   | [ "obs" ] -> timed "obs" run_obs_overhead
   | [ "--hotpath" ] -> timed "hotpath" run_hotpath
   | [ "fig12" ] -> Table.print (timed "fig12" Figures.fig12)
@@ -916,7 +997,7 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [experiments|trials N|micro|serve|store|obs|--hotpath|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
+         [experiments|trials N|micro|serve|store|traffic|obs|--hotpath|fig12|fig13|fig14|fig15|tab1|sec51|overhead|diag|ablation] \
          [--seed N] [--jobs N] [--plan-cache DIR] [--label NAME] \
          [--check BENCH.json] [--check-threshold F] [--handicap F]";
       exit 2);

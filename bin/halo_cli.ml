@@ -18,13 +18,9 @@ open Cmdliner
 
 let workload_conv =
   let parse s =
-    match Workloads.find s with
-    | Some w -> Ok w
-    | None ->
-        Error
-          (`Msg
-             (Printf.sprintf "unknown workload %S (try: %s)" s
-                (String.concat ", " Workloads.names)))
+    match Workloads.lookup s with
+    | Ok w -> Ok w
+    | Error e -> Error (`Msg (Workloads.lookup_error_to_string e))
   in
   let print ppf w = Format.pp_print_string ppf w.Workload.name in
   Arg.conv (parse, print)
@@ -808,6 +804,7 @@ let figures_cmd =
     (match which with
     | "all" -> Figures.print_all ~jobs ?obs ?plan_source ()
     | "fig12" -> Table.print (Figures.fig12 ())
+    | "drift" -> Table.print (Figures.drift_study ~jobs ())
     | "sec51" -> Table.print (Figures.sec51_baseline ())
     | "overhead" -> Table.print (Figures.overhead_control ())
     | "ablation" ->
@@ -844,7 +841,7 @@ let figures_cmd =
       & info [] ~docv:"FIGURE"
           ~doc:
             "One of: all, fig12, fig13, fig14, fig15, tab1, sec51, overhead, \
-             diag, ablation.")
+             diag, ablation, drift.")
   in
   let figures_trace_arg =
     Arg.(
@@ -1255,6 +1252,253 @@ let serve_cmd =
       $ max_groups_arg $ affinity_arg $ trace_out_arg $ clients_arg
       $ rounds_arg $ record_prob_arg $ drift_arg $ sim_seed_arg $ json_arg)
 
+(* ---------------- shaped multi-tenant traffic mode ---------------- *)
+
+let traffic_spec_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "spec" ] ~docv:"FILE"
+        ~doc:
+          "Mix-spec file describing the schedule (one $(b,phase) or \
+           $(b,pause) directive per line; see the README for the \
+           grammar). When absent, a built-in drifting schedule is used, \
+           shaped by $(b,--drift), $(b,--phases), $(b,--ticks-per-phase) \
+           and $(b,--rate).")
+
+let traffic_drift_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "drift" ] ~docv:"R"
+        ~doc:
+          "Expected popularity-ranking rotations per phase of the \
+           built-in drifting schedule (error-diffused, so 0.25 rotates \
+           exactly once every four phases).")
+
+let traffic_phases_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "phases" ] ~docv:"N" ~doc:"Epochs in the drifting schedule.")
+
+let traffic_ticks_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "ticks-per-phase" ] ~docv:"N" ~doc:"Ticks per epoch.")
+
+let traffic_rate_arg =
+  Arg.(
+    value & opt float 4.0
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Jobs per tick of the drifting schedule.")
+
+let traffic_workloads_arg =
+  Arg.(
+    value & opt (list string) []
+    & info [ "workloads" ] ~docv:"W1,W2,..."
+        ~doc:
+          "Workloads the drifting schedule's popularity ranking rotates \
+           over (default: the full registry).")
+
+let traffic_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N" ~doc:"Traffic seed (per-job seed streams).")
+
+let traffic_schedule ~spec ~workloads ~ticks_per_phase ~rate ~phases ~drift =
+  match spec with
+  | Some path -> (
+      match
+        Schedule.of_spec (In_channel.with_open_bin path In_channel.input_all)
+      with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "halo: %s: %s\n" path e;
+          exit 1)
+  | None ->
+      let workloads = match workloads with [] -> None | l -> Some l in
+      Schedule.drifting ?workloads ~ticks_per_phase ~rate ~phases ~drift ()
+
+let traffic_run_cmd =
+  let run spec workloads ticks_per_phase rate phases drift seed plan_budget
+      reprofile_every window tenants trace_out json_out =
+    let sched =
+      traffic_schedule ~spec ~workloads ~ticks_per_phase ~rate ~phases ~drift
+    in
+    let config =
+      {
+        Traffic_mix.default_config with
+        Traffic_mix.plan_budget;
+        reprofile_every;
+        window;
+      }
+    in
+    let r =
+      with_obs trace_out (fun obs -> Traffic_mix.run ~obs ~config ~seed sched)
+    in
+    Table.print (Traffic_mix.report_table r);
+    if tenants then begin
+      print_newline ();
+      Table.print (Traffic_mix.tenant_table r)
+    end;
+    match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Json.to_channel oc (Traffic_mix.report_to_json r);
+        close_out oc;
+        Printf.printf "report written to %s\n" path
+  in
+  let plan_budget_arg =
+    Arg.(
+      value & opt int Traffic_mix.default_config.Traffic_mix.plan_budget
+      & info [ "plan-budget" ] ~docv:"K"
+          ~doc:"Hottest-K workloads holding live plans at once.")
+  in
+  let reprofile_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "reprofile-every" ] ~docv:"TICKS"
+          ~doc:
+            "Ticks between hot-set re-plans; 0 plans once at tick 0 and \
+             lets the plan age forever (the stale baseline).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int Traffic_mix.default_config.Traffic_mix.window
+      & info [ "window" ] ~docv:"TICKS"
+          ~doc:"Ticks of traffic history that vote on the hot set.")
+  in
+  let tenants_arg =
+    Arg.(
+      value & flag
+      & info [ "tenants" ] ~doc:"Also print the per-tenant breakdown.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the full report (tenants, phases) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a traffic schedule's job stream against one shared heap \
+          with HALO plans applied per workload under a plan budget; \
+          report coverage, miss rate and plan age per phase and tenant.")
+    Term.(
+      const run $ traffic_spec_arg $ traffic_workloads_arg $ traffic_ticks_arg
+      $ traffic_rate_arg $ traffic_phases_arg $ traffic_drift_arg
+      $ traffic_seed_arg $ plan_budget_arg $ reprofile_arg $ window_arg
+      $ tenants_arg $ trace_out_arg $ json_arg)
+
+let traffic_study_cmd =
+  let run drifts cadences phases ticks_per_phase rate workloads seed jobs
+      trace_out json_out =
+    let jobs = effective_jobs jobs in
+    let p =
+      {
+        Traffic_study.default_params with
+        Traffic_study.drifts;
+        cadences;
+        phases;
+        ticks_per_phase;
+        rate;
+        workloads = (match workloads with [] -> None | l -> Some l);
+        seed;
+      }
+    in
+    let study =
+      with_obs trace_out (fun obs -> Traffic_study.run ~obs ~jobs p)
+    in
+    Table.print (Traffic_study.table study);
+    match json_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Json.to_channel oc (Traffic_study.to_json study);
+        close_out oc;
+        Printf.printf "study written to %s\n" path
+  in
+  let drifts_arg =
+    Arg.(
+      value
+      & opt (list float) Traffic_study.default_params.Traffic_study.drifts
+      & info [ "drifts" ] ~docv:"R1,R2,..."
+          ~doc:"Drift rates (ranking rotations per epoch) to sweep.")
+  in
+  let cadences_arg =
+    Arg.(
+      value
+      & opt (list int) Traffic_study.default_params.Traffic_study.cadences
+      & info [ "cadences" ] ~docv:"T1,T2,..."
+          ~doc:
+            "Re-profile cadences (ticks) to sweep; keep 0 in the list — \
+             it is the stale baseline the verdict column compares \
+             against.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write every cell's full report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "study"
+       ~doc:
+         "The plan-staleness drift study: sweep drift rate x re-profile \
+          cadence over the shared drifting traffic shape and report when \
+          re-profiling (charged at one cycle per profiled access) beats \
+          running on a stale plan. Cells fan out over --jobs with \
+          byte-identical results.")
+    Term.(
+      const run $ drifts_arg $ cadences_arg $ traffic_phases_arg
+      $ traffic_ticks_arg $ traffic_rate_arg $ traffic_workloads_arg
+      $ traffic_seed_arg $ jobs_arg $ trace_out_arg $ json_arg)
+
+let traffic_events_cmd =
+  let run spec workloads ticks_per_phase rate phases drift seed dump =
+    let sched =
+      traffic_schedule ~spec ~workloads ~ticks_per_phase ~rate ~phases ~drift
+    in
+    let events = Schedule.events ~seed sched in
+    if dump then
+      List.iter
+        (fun (e : Schedule.event) ->
+          Printf.printf "%4d %2d %-12s %-12s %-10s %d\n" e.Schedule.ev_tick
+            e.Schedule.ev_phase e.Schedule.ev_label e.Schedule.ev_tenant
+            e.Schedule.ev_workload e.Schedule.ev_seed)
+        events;
+    Printf.printf "%d events, digest %s\n" (List.length events)
+      (Schedule.digest events)
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:"Print every event (tick, phase, tenant, workload, seed).")
+  in
+  Cmd.v
+    (Cmd.info "events"
+       ~doc:
+         "Lower a schedule to its deterministic event stream and print \
+          its FNV-1a digest — the identity the golden test and the CI \
+          smoke pin.")
+    Term.(
+      const run $ traffic_spec_arg $ traffic_workloads_arg $ traffic_ticks_arg
+      $ traffic_rate_arg $ traffic_phases_arg $ traffic_drift_arg
+      $ traffic_seed_arg $ dump_arg)
+
+let traffic_cmd =
+  Cmd.group
+    (Cmd.info "traffic"
+       ~doc:
+         "Shaped, drifting, multi-tenant workload traffic: execute a mix \
+          schedule against one shared heap, sweep the plan-staleness \
+          drift study, or digest a schedule's event stream.")
+    [ traffic_run_cmd; traffic_study_cmd; traffic_events_cmd ]
+
 let list_cmd =
   let run () =
     List.iter
@@ -1273,6 +1517,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; baseline_cmd; telemetry_cmd; plan_cmd; profile_cmd;
-            serve_cmd; sweep_cmd; figures_cmd; fuzz_cmd; disasm_cmd;
-            contexts_cmd; list_cmd;
+            serve_cmd; traffic_cmd; sweep_cmd; figures_cmd; fuzz_cmd;
+            disasm_cmd; contexts_cmd; list_cmd;
           ]))

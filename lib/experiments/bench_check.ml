@@ -98,12 +98,15 @@ let load path =
 (* The gate                                                            *)
 (* ------------------------------------------------------------------ *)
 
+type status = Passed | Regressed | No_baseline
+
 type verdict = {
   v_key : string;
   v_metric : string; (* "events/s" (higher is better) or "wall_s" (lower) *)
   v_baseline : float;
   v_current : float;
   v_delta : float; (* fractional change, sign-normalised: < 0 is slower *)
+  v_status : status;
   v_regressed : bool;
 }
 
@@ -138,45 +141,69 @@ let best_wall baseline ~name ~label ~jobs =
       else best)
     None baseline.b_suites
 
+(* A row the committed baseline has never seen (a freshly landed suite,
+   say) must not silently vanish from the gate's output, and must not
+   fail it either — the baseline rows can only exist after the suite
+   lands. Emit a warn verdict: visible in the table, never a
+   regression. *)
+let no_baseline ~key ~metric current =
+  {
+    v_key = key;
+    v_metric = metric;
+    v_baseline = 0.0;
+    v_current = current;
+    v_delta = 0.0;
+    v_status = No_baseline;
+    v_regressed = false;
+  }
+
 let check_throughput ?(threshold = default_threshold) baseline current =
-  List.filter_map
+  List.map
     (fun (workload, config, eps) ->
+      let key = workload ^ "/" ^ config in
       match best_eps baseline ~workload ~config with
-      | None -> None
+      | None -> no_baseline ~key ~metric:"events/s" eps
       | Some base ->
           let delta = (eps -. base) /. base in
-          Some
-            {
-              v_key = workload ^ "/" ^ config;
-              v_metric = "events/s";
-              v_baseline = base;
-              v_current = eps;
-              v_delta = delta;
-              v_regressed = delta < -.threshold;
-            })
+          let regressed = delta < -.threshold in
+          {
+            v_key = key;
+            v_metric = "events/s";
+            v_baseline = base;
+            v_current = eps;
+            v_delta = delta;
+            v_status = (if regressed then Regressed else Passed);
+            v_regressed = regressed;
+          })
     current
 
 let check_wall ?(threshold = default_threshold) baseline ~label ~jobs current =
-  List.filter_map
+  List.map
     (fun (name, wall) ->
       match best_wall baseline ~name ~label ~jobs with
-      | None -> None
+      | None -> no_baseline ~key:name ~metric:"wall_s" wall
       | Some base ->
           (* Lower is better: normalise so negative delta means slower,
              matching the throughput rows. *)
           let delta = (base -. wall) /. base in
-          Some
-            {
-              v_key = name;
-              v_metric = "wall_s";
-              v_baseline = base;
-              v_current = wall;
-              v_delta = delta;
-              v_regressed = delta < -.threshold;
-            })
+          let regressed = delta < -.threshold in
+          {
+            v_key = name;
+            v_metric = "wall_s";
+            v_baseline = base;
+            v_current = wall;
+            v_delta = delta;
+            v_status = (if regressed then Regressed else Passed);
+            v_regressed = regressed;
+          })
     current
 
 let any_regressed = List.exists (fun v -> v.v_regressed)
+
+let warnings verdicts =
+  List.filter_map
+    (fun v -> if v.v_status = No_baseline then Some v.v_key else None)
+    verdicts
 
 let table ?title verdicts =
   let t =
@@ -195,10 +222,13 @@ let table ?title verdicts =
         [
           v.v_key;
           v.v_metric;
-          fmt v.v_baseline;
+          (if v.v_status = No_baseline then "-" else fmt v.v_baseline);
           fmt v.v_current;
-          Table.fmt_pct v.v_delta;
-          (if v.v_regressed then "REGRESSED" else "ok");
+          (if v.v_status = No_baseline then "-" else Table.fmt_pct v.v_delta);
+          (match v.v_status with
+          | Regressed -> "REGRESSED"
+          | Passed -> "ok"
+          | No_baseline -> "no baseline (warn)");
         ])
     verdicts;
   t

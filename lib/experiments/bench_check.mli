@@ -36,13 +36,22 @@ val of_json : Json.t -> (baseline, string) result
 
 val load : string -> (baseline, string) result
 
+type status =
+  | Passed
+  | Regressed
+  | No_baseline
+      (** The committed baseline has no matching key — a freshly landed
+          suite gating before its baseline rows exist. Warn, never
+          fail. *)
+
 type verdict = {
   v_key : string;  (** [workload/config], or the suite name. *)
   v_metric : string;  (** ["events/s"] or ["wall_s"]. *)
-  v_baseline : float;
+  v_baseline : float;  (** [0.0] when [v_status = No_baseline]. *)
   v_current : float;
   v_delta : float;  (** Fractional, sign-normalised: negative = slower. *)
-  v_regressed : bool;
+  v_status : status;
+  v_regressed : bool;  (** [v_status = Regressed]. *)
 }
 
 val default_threshold : float
@@ -54,7 +63,7 @@ val check_throughput :
   (string * string * float) list ->
   verdict list
 (** [(workload, config, events_per_s)] rows from the current run; rows
-    with no matching baseline key are skipped. *)
+    with no matching baseline key become [No_baseline] warnings. *)
 
 val check_wall :
   ?threshold:float ->
@@ -66,9 +75,14 @@ val check_wall :
 (** [(suite_name, wall_s)] rows from the current run. Wall time is only
     comparable like-for-like, so a baseline row sets the bar only when
     its name, label and worker count all match the current run's —
-    pre-v2 files (no label/config) contribute no wall bar; the
-    machine-normalised events/s rows carry the cross-file gate. *)
+    pre-v2 files (no label/config) contribute no wall bar and their
+    suites surface as [No_baseline] warnings; the machine-normalised
+    events/s rows carry the cross-file gate. *)
 
 val any_regressed : verdict list -> bool
+(** [No_baseline] rows never count as regressions. *)
+
+val warnings : verdict list -> string list
+(** Keys of the [No_baseline] rows, for the gate's warning summary. *)
 
 val table : ?title:string -> verdict list -> Table.t

@@ -556,6 +556,23 @@ let ablation_sampling ?workloads ?(periods = [ 1; 10; 100; 1000 ]) () =
     periods;
   t
 
+(* The multi-tenant extension the paper's per-binary evaluation never
+   exercises: the plan-staleness drift study over the shared drifting
+   traffic shape, scaled down (3 drifts x 3 cadences, 4 epochs) so the
+   full figure suite stays fast. [halo traffic study] runs the
+   full-size sweep. *)
+let drift_study ?jobs () =
+  let params =
+    {
+      Traffic_study.default_params with
+      Traffic_study.drifts = [ 0.0; 0.5; 1.0 ];
+      cadences = [ 0; 1; 2 ];
+      phases = 4;
+      rate = 3.0;
+    }
+  in
+  Traffic_study.table (Traffic_study.run ?jobs params)
+
 let print_all ?jobs ?obs ?plan_source () =
   let progress line = Printf.eprintf "  [suite] %s\n%!" line in
   print_endline "Running the full measurement suite (11 workloads x 4 configs)...";
@@ -595,4 +612,7 @@ let print_all ?jobs ?obs ?plan_source () =
   Table.print (ablation_backend ());
   print_newline ();
   print_endline "Running the profiling-sampling extension...";
-  Table.print (ablation_sampling ())
+  Table.print (ablation_sampling ());
+  print_newline ();
+  print_endline "Running the plan-staleness drift study...";
+  Table.print (drift_study ?jobs ())

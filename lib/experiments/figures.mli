@@ -126,6 +126,12 @@ val ablation_sampling : ?workloads:Workload.t list -> ?periods:int list -> unit 
     (§4.1 applies no sampling). Plans derived from sampled profiles are
     measured end to end at several sampling periods. *)
 
+val drift_study : ?jobs:int -> unit -> Table.t
+(** Extension (multi-tenant traffic): the plan-staleness drift study —
+    {!Traffic_study} at reduced scale (3 drifts x 3 cadences over 4
+    epochs), reporting when re-profiling cadence beats a stale plan.
+    [halo traffic study] exposes the full-size sweep. *)
+
 val print_all :
   ?jobs:int -> ?obs:Obs.t -> ?plan_source:Pipeline.plan_source -> unit -> unit
 (** Run everything in order and print each table — the body of

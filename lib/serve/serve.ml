@@ -282,12 +282,9 @@ let resolve t name =
   | Some r -> r
   | None ->
       let r =
-        match Workloads.find name with
-        | None ->
-            Error
-              (Printf.sprintf "unknown workload %S (try: %s)" name
-                 (String.concat ", " Workloads.names))
-        | Some w ->
+        match Workloads.lookup name with
+        | Error e -> Error (Workloads.lookup_error_to_string e)
+        | Ok w ->
             let program = w.Workload.make Workload.Test in
             let base = t.cfg.pipeline in
             let config =

@@ -41,46 +41,39 @@ type report = {
 
 let weights = [| 0.5; 1.0; 2.0; 4.0 |]
 
-(* Quadratic skew toward rank 0: P(rank < k) = sqrt(k/n), so the head of
-   the ranking takes most of the traffic without needing a real Zipf
-   sampler. *)
-let pick_rank rng n =
-  let u = Rng.float rng 1.0 in
-  let k = int_of_float (u *. u *. float_of_int n) in
-  min k (n - 1)
-
-let rotate a =
-  let n = Array.length a in
-  if n > 1 then begin
-    let head = a.(0) in
-    Array.blit a 1 a 0 (n - 1);
-    a.(n - 1) <- head
-  end
-
-let job_stream cfg =
-  let rng = Rng.create ~seed:cfg.seed in
-  let ranking = Array.of_list Workloads.names in
-  let next_id = ref 0 in
-  let fresh_id () =
-    incr next_id;
-    !next_id
+(* The fleet's traffic shape is the shared {!Schedule.drifting} model —
+   one schedule phase per round, [clients] jobs per tick — so the
+   simulator and the lib/traffic drift study exercise one traffic
+   definition. The schedule fixes each round's workload mix and per-job
+   seeds; this layer only decides which jobs are profile uploads. *)
+let job_stream (cfg : config) =
+  let sched =
+    Schedule.drifting ~ticks_per_phase:1
+      ~rate:(float_of_int cfg.clients)
+      ~phases:cfg.rounds ~drift:cfg.drift ()
   in
-  List.init cfg.rounds (fun _round ->
-      if Rng.float rng 1.0 < cfg.drift then rotate ranking;
-      List.init cfg.clients (fun _client ->
-          let workload = ranking.(pick_rank rng (Array.length ranking)) in
-          let payload =
-            if Rng.float rng 1.0 < cfg.record_prob then
-              Serve_proto.Profile_record
-                {
-                  workload;
-                  seed = Rng.int_in rng 1 1_000_000;
-                  weight = Rng.choose rng weights;
-                  scale = Workload.Test;
-                }
-            else Serve_proto.Plan_request { workload }
-          in
-          { Serve_proto.id = fresh_id (); payload }))
+  let events = Array.of_list (Schedule.events ~seed:cfg.seed sched) in
+  let rng = Rng.create ~seed:cfg.seed in
+  let next_id = ref 0 in
+  let rounds = Array.make cfg.rounds [] in
+  Array.iter
+    (fun e ->
+      incr next_id;
+      let payload =
+        if Rng.float rng 1.0 < cfg.record_prob then
+          Serve_proto.Profile_record
+            {
+              workload = e.Schedule.ev_workload;
+              seed = e.Schedule.ev_seed;
+              weight = Rng.choose rng weights;
+              scale = Workload.Test;
+            }
+        else Serve_proto.Plan_request { workload = e.Schedule.ev_workload }
+      in
+      let job = { Serve_proto.id = !next_id; payload } in
+      rounds.(e.Schedule.ev_phase) <- job :: rounds.(e.Schedule.ev_phase))
+    events;
+  Array.to_list (Array.map List.rev rounds)
 
 let counter_value reg name = Metrics.counter_value (Metrics.counter reg name)
 

@@ -1,15 +1,18 @@
 (** Fleet simulator: thousands of synthetic clients against one {!Serve}
     engine.
 
-    Each round, every client picks a workload from a popularity ranking
-    (quadratically skewed toward the head, a cheap Zipf stand-in) and
-    submits either a [profile-record] (with probability [record_prob],
-    mixed weights and profiling seeds) or a [plan-request]. With
-    probability [drift] per round the ranking rotates, shifting which
-    programs are hot — the staleness policy's natural antagonist. All
-    randomness flows through one {!Rng} stream seeded from [seed], so a
-    config determines the job stream byte-for-byte; the stream is
-    replayed through {!Serve.handle_batch} one round per batch. *)
+    The fleet's traffic is a {!Schedule.drifting} schedule — the same
+    shared traffic model the [lib/traffic] drift study sweeps — with one
+    phase per round and [clients] jobs per tick: workload popularity
+    follows a quadratically skewed ranking (a cheap Zipf stand-in) that
+    rotates [drift] times per round on average (error-diffusion carries,
+    so e.g. [drift = 0.25] rotates exactly every fourth round), shifting
+    which programs are hot — the staleness policy's natural antagonist.
+    Each scheduled job becomes a [profile-record] (with probability
+    [record_prob], mixed weights, the schedule's per-job seed) or a
+    [plan-request]. The stream is a pure function of the config, so it
+    is byte-for-byte reproducible; it is replayed through
+    {!Serve.handle_batch} one round per batch. *)
 
 type config = {
   clients : int;

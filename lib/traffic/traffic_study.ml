@@ -1,0 +1,158 @@
+type params = {
+  drifts : float list;
+  cadences : int list;
+  phases : int;
+  ticks_per_phase : int;
+  rate : float;
+  workloads : string list option;
+  seed : int;
+  mix : Traffic_mix.config;
+}
+
+let default_params =
+  {
+    drifts = [ 0.0; 0.25; 1.0 ];
+    cadences = [ 0; 1; 2; 4 ];
+    phases = 6;
+    ticks_per_phase = 2;
+    rate = 4.0;
+    workloads = None;
+    seed = 1;
+    mix = Traffic_mix.default_config;
+  }
+
+type cell = {
+  c_drift : float;
+  c_cadence : int;
+  c_report : Traffic_mix.report;
+  c_net_speedup : float;
+  c_beats_stale : bool;
+}
+
+type t = { p : params; cells : cell list }
+
+let run ?obs ?jobs p =
+  let inputs =
+    List.concat_map
+      (fun drift -> List.map (fun cadence -> (drift, cadence)) p.cadences)
+      p.drifts
+  in
+  let reports =
+    Par.map_obs ?obs ~name:"traffic.study" ?jobs
+      (fun wobs (drift, cadence) ->
+        let sched =
+          Schedule.drifting ?workloads:p.workloads
+            ~ticks_per_phase:p.ticks_per_phase ~rate:p.rate ~phases:p.phases
+            ~drift ()
+        in
+        let config = { p.mix with Traffic_mix.reprofile_every = cadence } in
+        Traffic_mix.run ?obs:wobs ~config ~seed:p.seed sched)
+      inputs
+  in
+  let rows = List.combine inputs reports in
+  (* The stale anchor per drift: the cadence-0 report when present, the
+     longest cadence otherwise. *)
+  let stale_net drift =
+    let same =
+      List.filter_map
+        (fun ((d, c), r) -> if d = drift then Some (c, r) else None)
+        rows
+    in
+    match List.assoc_opt 0 same with
+    | Some r -> r.Traffic_mix.net_cycles
+    | None -> (
+        match
+          List.sort (fun (ca, _) (cb, _) -> compare cb ca) same
+        with
+        | (_, r) :: _ -> r.Traffic_mix.net_cycles
+        | [] -> 0.0)
+  in
+  let cells =
+    List.map
+      (fun ((drift, cadence), r) ->
+        let baseline = stale_net drift in
+        let net_speedup =
+          if baseline > 0.0 then
+            Timing.speedup ~baseline ~optimised:r.Traffic_mix.net_cycles
+          else 0.0
+        in
+        {
+          c_drift = drift;
+          c_cadence = cadence;
+          c_report = r;
+          c_net_speedup = net_speedup;
+          c_beats_stale = net_speedup > 0.0;
+        })
+      rows
+  in
+  { p; cells }
+
+let table t =
+  let tb =
+    Table.create ~title:"Plan-staleness drift study"
+      ~headers:
+        [
+          "drift";
+          "cadence";
+          "coverage";
+          "L1 miss";
+          "profiles";
+          "net vs stale";
+          "verdict";
+        ]
+      ()
+  in
+  Table.set_aligns tb
+    [
+      Table.Right;
+      Table.Right;
+      Table.Right;
+      Table.Right;
+      Table.Right;
+      Table.Right;
+      Table.Left;
+    ];
+  let last_drift = ref nan in
+  List.iter
+    (fun c ->
+      if !last_drift = !last_drift && c.c_drift <> !last_drift then
+        Table.add_rule tb;
+      last_drift := c.c_drift;
+      let r = c.c_report in
+      Table.add_row tb
+        [
+          Printf.sprintf "%g" c.c_drift;
+          (if c.c_cadence = 0 then "never" else string_of_int c.c_cadence);
+          Table.fmt_pct r.Traffic_mix.coverage;
+          Table.fmt_pct r.Traffic_mix.miss_rate;
+          string_of_int r.Traffic_mix.profile_runs;
+          Table.fmt_pct c.c_net_speedup;
+          (if c.c_cadence = 0 then "stale baseline"
+           else if c.c_beats_stale then "reprofile wins"
+           else "stale wins");
+        ])
+    t.cells;
+  tb
+
+let to_json t =
+  Json.Obj
+    [
+      ("phases", Json.Int t.p.phases);
+      ("ticks_per_phase", Json.Int t.p.ticks_per_phase);
+      ("rate", Json.Float t.p.rate);
+      ("seed", Json.Int t.p.seed);
+      ("plan_budget", Json.Int t.p.mix.Traffic_mix.plan_budget);
+      ( "cells",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("drift", Json.Float c.c_drift);
+                   ("cadence", Json.Int c.c_cadence);
+                   ("net_speedup", Json.Float c.c_net_speedup);
+                   ("beats_stale", Json.Bool c.c_beats_stale);
+                   ("report", Traffic_mix.report_to_json c.c_report);
+                 ])
+             t.cells) );
+    ]

@@ -1,0 +1,55 @@
+(** The plan-staleness drift study: sweep drift rate × re-profile cadence
+    over the shared {!Schedule.drifting} traffic shape and report when
+    re-profiling beats running on a stale plan.
+
+    Each cell runs the {!Traffic_mix} executor on the same drifting
+    schedule shape with a different [(drift, cadence)] pair. Cells are
+    independent (each builds its own heap and hierarchy), so they fan
+    out on the {!Par} pool; {!Par.map}'s submission-order results keep
+    the study byte-identical at any [--jobs].
+
+    The verdict column compares each cell's [net_cycles] (job cycles
+    plus re-profiling charged at one cycle per profiled access — a lower
+    bound that still penalises over-eager cadences) against the stale
+    baseline of the same drift rate: the [cadence = 0] cell, which plans
+    once at tick 0 and never again. *)
+
+type params = {
+  drifts : float list;  (** Expected ranking rotations per epoch. *)
+  cadences : int list;
+      (** Re-profile periods in ticks; [0] = never (the stale baseline —
+          keep it in the list so the comparison column has its anchor). *)
+  phases : int;  (** Epochs in the drifting schedule. *)
+  ticks_per_phase : int;
+  rate : float;  (** Jobs per tick. *)
+  workloads : string list option;  (** Default: the full registry. *)
+  seed : int;
+  mix : Traffic_mix.config;
+      (** Budget/window/scale/pipeline; [reprofile_every] is overridden
+          per cell. *)
+}
+
+val default_params : params
+(** [drifts = \[0.0; 0.25; 1.0\]], [cadences = \[0; 1; 2; 4\]],
+    [phases = 6], [ticks_per_phase = 2], [rate = 4.0], [seed = 1],
+    {!Traffic_mix.default_config}. *)
+
+type cell = {
+  c_drift : float;
+  c_cadence : int;
+  c_report : Traffic_mix.report;
+  c_net_speedup : float;
+      (** {!Timing.speedup} of [net_cycles] vs the same-drift stale
+          baseline; positive = re-profiling pays. *)
+  c_beats_stale : bool;
+}
+
+type t = { p : params; cells : cell list }
+
+val run : ?obs:Obs.t -> ?jobs:int -> params -> t
+(** Cells in [drifts × cadences] order (cadence varies fastest). *)
+
+val table : t -> Table.t
+val to_json : t -> Json.t
+(** Includes every cell's full {!Traffic_mix} report — the determinism
+    tests compare this rendering across [--jobs] values. *)

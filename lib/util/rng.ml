@@ -13,9 +13,29 @@ let next t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
-let split t =
-  let seed = next t in
-  { state = mix64 seed }
+(* FNV-1a over the label bytes, 64-bit. Collisions between short ASCII
+   labels are practically impossible, and the result feeds [mix64] anyway
+   so even a weak hash would only risk stream overlap, not bias. *)
+let hash_label label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  !h
+
+let split ?label t =
+  match label with
+  | None ->
+      let seed = next t in
+      { state = mix64 seed }
+  | Some label ->
+      (* Read-only derivation: the child depends only on [t]'s current
+         state and the label, never on how many other labelled splits
+         happened first — so per-tenant streams survive tenant
+         reordering. The same label twice yields the same stream. *)
+      { state = mix64 (Int64.logxor t.state (hash_label label)) }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

@@ -12,10 +12,17 @@ val create : seed:int -> t
 (** [create ~seed] returns a fresh generator. Equal seeds yield equal
     streams. *)
 
-val split : t -> t
+val split : ?label:string -> t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Used to give each workload phase its own stream so that adding draws in
-    one phase does not perturb another. *)
+    one phase does not perturb another.
+
+    [split ~label t] derives a {e named} substream instead: the child
+    depends only on [t]'s current state and [label] — [t] is read but not
+    advanced — so derivation order does not matter. Splitting the same
+    label twice off the same state yields the same stream; callers wanting
+    distinct streams must use distinct labels. Used to give each traffic
+    tenant its own stream independent of tenant interleaving order. *)
 
 val next : t -> int64
 (** Next raw 64-bit output. *)

@@ -15,3 +15,14 @@ let all =
 
 let find name = List.find_opt (fun w -> w.Workload.name = name) all
 let names = List.map (fun w -> w.Workload.name) all
+
+type lookup_error = Unknown_workload of { name : string; known : string list }
+
+let lookup name =
+  match find name with
+  | Some w -> Ok w
+  | None -> Error (Unknown_workload { name; known = names })
+
+let lookup_error_to_string (Unknown_workload { name; known }) =
+  Printf.sprintf "unknown workload %S (known: %s)" name
+    (String.concat ", " known)

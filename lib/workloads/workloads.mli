@@ -5,3 +5,14 @@
 val all : Workload.t list
 val find : string -> Workload.t option
 val names : string list
+
+type lookup_error = Unknown_workload of { name : string; known : string list }
+(** Carries the full registry so callers (CLI converters, mix-spec
+    parsers, serve requests) can point at the valid spellings instead of
+    failing late with a bare miss. *)
+
+val lookup : string -> (Workload.t, lookup_error) result
+(** Like {!find}, but a miss is a typed error listing the known names. *)
+
+val lookup_error_to_string : lookup_error -> string
+(** ["unknown workload \"nope\" (known: health, ft, ...)"]. *)

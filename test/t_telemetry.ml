@@ -184,16 +184,29 @@ let throughput_bar_is_best_recorded () =
       [ ("health", "interp", 39.0e6); ("leela", "simulate", 6.0e6);
         ("nosuch", "interp", 1.0) ]
   with
-  | [ health; leela ] ->
+  | [ health; leela; nosuch ] ->
       checks "keyed" "health/interp" health.Bench_check.v_key;
       checkf "bar is the best recorded" 40.0e6 health.Bench_check.v_baseline;
       checkb "2.5% below best is within threshold" false
         health.Bench_check.v_regressed;
       checkb "faster than baseline is fine" false leela.Bench_check.v_regressed;
-      checkb "faster has positive delta" true (leela.Bench_check.v_delta > 0.0)
+      checkb "faster has positive delta" true (leela.Bench_check.v_delta > 0.0);
+      (* A key the baseline has never seen surfaces as a warning, never a
+         regression — a freshly landed suite gates before its rows exist. *)
+      checkb "unmatched row warns" true
+        (nosuch.Bench_check.v_status = Bench_check.No_baseline);
+      checkb "unmatched row never regresses" false nosuch.Bench_check.v_regressed;
+      checkb "any_regressed ignores warnings" false
+        (Bench_check.any_regressed [ nosuch ]);
+      (match Bench_check.warnings [ health; leela; nosuch ] with
+      | [ "nosuch/interp" ] -> ()
+      | w ->
+          Alcotest.fail
+            (Printf.sprintf "expected one warning key, got [%s]"
+               (String.concat "; " w)))
   | rows ->
       Alcotest.fail
-        (Printf.sprintf "unmatched rows must be skipped, got %d" (List.length rows))
+        (Printf.sprintf "expected a verdict per row, got %d" (List.length rows))
 
 let throughput_regression_detected () =
   let b = load_baseline v2_baseline_json in
@@ -223,15 +236,21 @@ let wall_like_for_like () =
   | [ v ] -> checkb "25% slower fails" true v.Bench_check.v_regressed
   | _ -> Alcotest.fail "expected one verdict");
   (* Different jobs, different label, or a pre-v2 file: no comparable
-     bar, so no verdict at all. *)
-  checki "jobs mismatch contributes no bar" 0
-    (List.length (Bench_check.check_wall b ~label:"baseline" ~jobs:8 [ ("hotpath", 99.0) ]));
-  checki "label mismatch contributes no bar" 0
-    (List.length
+     bar, so the row surfaces as a No_baseline warning and cannot fail
+     the gate. *)
+  let warns verdicts =
+    List.length verdicts = 1
+    && Bench_check.warnings verdicts = [ "hotpath" ]
+    && not (Bench_check.any_regressed verdicts)
+  in
+  checkb "jobs mismatch contributes no bar" true
+    (warns (Bench_check.check_wall b ~label:"baseline" ~jobs:8 [ ("hotpath", 99.0) ]));
+  checkb "label mismatch contributes no bar" true
+    (warns
        (Bench_check.check_wall b ~label:"optimised" ~jobs:4 [ ("hotpath", 99.0) ]));
   let v1 = load_baseline v1_baseline_json in
-  checki "v1 files contribute no wall bar" 0
-    (List.length
+  checkb "v1 files contribute no wall bar" true
+    (warns
        (Bench_check.check_wall v1 ~label:"baseline" ~jobs:4 [ ("hotpath", 99.0) ]))
 
 let verdict_table_renders () =

@@ -92,6 +92,34 @@ let rng_split_independent () =
   let b = Rng.split a in
   checkb "split differs from parent" false (Rng.next a = Rng.next b)
 
+let rng_split_labelled_stable () =
+  (* A labelled split reads but does not advance the parent: the same
+     label always denotes the same substream, and distinct labels give
+     distinct streams. *)
+  let parent = Rng.create ~seed:42 in
+  let a1 = Rng.next (Rng.split ~label:"alpha" parent) in
+  let b1 = Rng.next (Rng.split ~label:"beta" parent) in
+  let a2 = Rng.next (Rng.split ~label:"alpha" parent) in
+  checkb "distinct labels, distinct streams" false (a1 = b1);
+  check Alcotest.int64 "same label denotes one stream" a1 a2
+
+let rng_split_labelled_order_independent () =
+  let draws seed order =
+    let parent = Rng.create ~seed in
+    List.sort compare
+      (List.map (fun l -> (l, Rng.next (Rng.split ~label:l parent))) order)
+  in
+  check
+    Alcotest.(list (pair string int64))
+    "derivation order irrelevant"
+    (draws 7 [ "a"; "b"; "c" ])
+    (draws 7 [ "c"; "a"; "b" ]);
+  (* The unlabelled form still advances the parent, so successive splits
+     keep yielding fresh streams. *)
+  let parent = Rng.create ~seed:7 in
+  checkb "unlabelled splits advance the parent" false
+    (Rng.next (Rng.split parent) = Rng.next (Rng.split parent))
+
 let rng_shuffle_permutation () =
   let r = Rng.create ~seed:11 in
   let arr = Array.init 50 Fun.id in
@@ -366,6 +394,8 @@ let suite =
     tc "rng: int rejects non-positive bound" rng_int_rejects_nonpositive;
     tc "rng: float bounds" rng_float_bounds;
     tc "rng: split independence" rng_split_independent;
+    tc "rng: labelled split is stable" rng_split_labelled_stable;
+    tc "rng: labelled split order-independent" rng_split_labelled_order_independent;
     tc "rng: shuffle is a permutation" rng_shuffle_permutation;
     tc "rng: choose covers support" rng_choose_uniform_support;
     tc "rng: geometric mean" rng_geometric_mean;

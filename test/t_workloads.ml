@@ -16,6 +16,28 @@ let find_works () =
   checkb "find" true (Workloads.find "health" <> None);
   checkb "missing" true (Workloads.find "nope" = None)
 
+let lookup_typed_error () =
+  (match Workloads.lookup "health" with
+  | Ok w -> Alcotest.check Alcotest.string "resolves" "health" w.Workload.name
+  | Error _ -> Alcotest.fail "known workload rejected");
+  match Workloads.lookup "nope" with
+  | Ok _ -> Alcotest.fail "unknown workload accepted"
+  | Error (Workloads.Unknown_workload { name; known } as e) ->
+      Alcotest.check Alcotest.string "echoes the name" "nope" name;
+      Alcotest.check
+        (Alcotest.list Alcotest.string)
+        "carries the registry" Workloads.names known;
+      let msg = Workloads.lookup_error_to_string e in
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      checkb "message quotes the name" true (contains msg "\"nope\"");
+      checkb "message lists known names" true (contains msg "health")
+
 let run_ok w scale seed =
   let program = w.Workload.make scale in
   let vmem = Vmem.create () in
@@ -115,7 +137,11 @@ let roms_has_large_ungroupable_data () =
 
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
-  [ tc "registry: all 11 benchmarks" registry_complete; tc "registry: find" find_works ]
+  [
+    tc "registry: all 11 benchmarks" registry_complete;
+    tc "registry: find" find_works;
+    tc "registry: lookup's typed error lists known names" lookup_typed_error;
+  ]
   @ List.concat_map per_workload Workloads.all
   @ [
       tc "povray: single allocation path" povray_single_alloc_path;

@@ -22,6 +22,7 @@ let () =
       ("fuzz", T_fuzz.suite);
       ("hds", T_hds.suite);
       ("workloads", T_workloads.suite);
+      ("traffic", T_traffic.suite);
       ("extensions", T_extensions.suite);
       ("reference-models", T_reference_models.suite);
       ("experiments", T_experiments.suite);
