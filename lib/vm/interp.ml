@@ -147,15 +147,17 @@ let rec compile_expr cc (e : Ir.expr) : int array -> int =
       fun _ -> rt.globals.(s)
   | Rand b ->
       let b = compile_expr cc b in
+      let fname = cc.fname in
       fun slots ->
         let bound = b slots in
-        if bound <= 0 then failwith "Interp: Rand with non-positive bound"
+        if bound <= 0 then Interp_error.error ~fname (Rand_bound bound)
         else Rng.int rt.rng bound
   | Not e ->
       let e = compile_expr cc e in
       fun slots -> if e slots = 0 then 1 else 0
   | Binop (op, a, b) -> (
       let a = compile_expr cc a and b = compile_expr cc b in
+      let fname = cc.fname in
       match op with
       | Add -> fun s -> a s + b s
       | Sub -> fun s -> a s - b s
@@ -163,11 +165,13 @@ let rec compile_expr cc (e : Ir.expr) : int array -> int =
       | Div ->
           fun s ->
             let d = b s in
-            if d = 0 then failwith "Interp: division by zero" else a s / d
+            if d = 0 then Interp_error.error ~fname Division_by_zero
+            else a s / d
       | Rem ->
           fun s ->
             let d = b s in
-            if d = 0 then failwith "Interp: modulo by zero" else a s mod d
+            if d = 0 then Interp_error.error ~fname Modulo_by_zero
+            else a s mod d
       | Lt -> fun s -> if a s < b s then 1 else 0
       | Le -> fun s -> if a s <= b s then 1 else 0
       | Gt -> fun s -> if a s > b s then 1 else 0
@@ -216,8 +220,16 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
       and n = compile_expr cc n
       and sz = compile_expr cc sz
       and bit = bit_of_site cc site in
+      let fname = cc.fname in
       fun slots ->
-        let total = n slots * sz slots in
+        (* Operands in the historical order of [n slots * sz slots]
+           (right-to-left), so Rand draws in the arguments keep their
+           stream positions. *)
+        let size = sz slots in
+        let count = n slots in
+        let total = count * size in
+        if count < 0 || size < 0 || (size <> 0 && total / size <> count) then
+          Interp_error.error ~fname ~site (Calloc_overflow { count; size });
         slots.(s) <- do_alloc rt ~site ~bit ~size:total
   | Realloc (x, p, sz, site) ->
       let s = local_slot cc x
@@ -282,6 +294,7 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
       let bit = bit_of_site cc site in
       let fid = Shadow_stack.intern_name rt.shadow callee in
       let callee_fn = ref None in
+      let fname = cc.fname in
       let base slots =
         rt.instructions <- rt.instructions + cost_call + Array.length args;
         let f =
@@ -291,7 +304,8 @@ let rec compile_stmt cc (st : Ir.stmt) : int array -> unit =
               let f =
                 match Hashtbl.find_opt cc.cfuncs callee with
                 | Some f -> f
-                | None -> failwith ("Interp: call to uncompiled function " ^ callee)
+                | None ->
+                    Interp_error.error ~fname ~site (Uncompiled_callee callee)
               in
               callee_fn := Some f;
               f
@@ -369,7 +383,9 @@ let compile_func rt c_globals patches cfuncs (f : Ir.func) =
   let nparams = List.length f.Ir.params in
   fun argv ->
     if Array.length argv <> nparams then
-      failwith (Printf.sprintf "Interp: %s arity mismatch" f.Ir.fname);
+      Interp_error.error ~fname:f.Ir.fname
+        (Arity_mismatch
+           { callee = f.Ir.fname; expected = nparams; got = Array.length argv });
     let slots = Array.make (max nslots 1) 0 in
     Array.blit argv 0 slots 0 nparams;
     try
@@ -377,7 +393,10 @@ let compile_func rt c_globals patches cfuncs (f : Ir.func) =
       0
     with Ret v -> v
 
-let create ?(seed = 1) ?(hooks = no_hooks) ?(patches = []) ?env ?memcheck ?obs
+(* Shared with the trace engine: validate patches, number globals, and
+   build the runtime state. Returns the patch and global tables so a
+   second compiler can build [compile_ctx]s against the same [rt]. *)
+let make_rt ?(seed = 1) ?(hooks = no_hooks) ?(patches = []) ?env ?memcheck ?obs
     ~program ~alloc () =
   let env = match env with Some e -> e | None -> Exec_env.create () in
   let patch_tbl = Hashtbl.create 16 in
@@ -435,16 +454,26 @@ let create ?(seed = 1) ?(hooks = no_hooks) ?(patches = []) ?env ?memcheck ?obs
       stores = 0;
     }
   in
-  let cfuncs = Hashtbl.create 64 in
-  List.iter
-    (fun f ->
-      Hashtbl.replace cfuncs f.Ir.fname (compile_func rt c_globals patch_tbl cfuncs f))
-    (Ir.funcs program);
+  (rt, patch_tbl, c_globals)
+
+let check_main program =
   let main_name = Ir.main program in
   (match Ir.find_func program main_name with
   | Some f when f.Ir.params <> [] ->
       invalid_arg "Interp.create: main must take no parameters"
   | _ -> ());
+  main_name
+
+let create ?seed ?hooks ?patches ?env ?memcheck ?obs ~program ~alloc () =
+  let rt, patch_tbl, c_globals =
+    make_rt ?seed ?hooks ?patches ?env ?memcheck ?obs ~program ~alloc ()
+  in
+  let cfuncs = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace cfuncs f.Ir.fname (compile_func rt c_globals patch_tbl cfuncs f))
+    (Ir.funcs program);
+  let main_name = check_main program in
   let main () = (Hashtbl.find cfuncs main_name) [||] in
   { rt; main; ran = false }
 

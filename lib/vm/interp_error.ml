@@ -1,0 +1,38 @@
+(* Typed runtime errors for the workload interpreter, mirroring the
+   [Alloc_error] idiom: a structured payload instead of a formatted
+   [Failure] string, plus a registered printer so uncaught errors and
+   [Printexc.to_string] stay readable. *)
+
+type cause =
+  | Division_by_zero
+  | Modulo_by_zero
+  | Rand_bound of int  (* the non-positive bound that was drawn with *)
+  | Uncompiled_callee of string
+  | Arity_mismatch of { callee : string; expected : int; got : int }
+  | Calloc_overflow of { count : int; size : int }
+
+exception Error of { fname : string; site : Ir.site option; cause : cause }
+
+let cause_message = function
+  | Division_by_zero -> "division by zero"
+  | Modulo_by_zero -> "modulo by zero"
+  | Rand_bound b -> Printf.sprintf "Rand with non-positive bound %d" b
+  | Uncompiled_callee callee ->
+      Printf.sprintf "call to uncompiled function %S" callee
+  | Arity_mismatch { callee; expected; got } ->
+      Printf.sprintf "%s expects %d argument(s), got %d" callee expected got
+  | Calloc_overflow { count; size } ->
+      Printf.sprintf "calloc %d * %d elements overflows" count size
+
+let () =
+  Printexc.register_printer (function
+    | Error { fname; site; cause } ->
+        Some
+          (Printf.sprintf "Interp_error(%s%s: %s)" fname
+             (match site with
+             | None -> ""
+             | Some s -> Printf.sprintf " at site 0x%x" s)
+             (cause_message cause))
+    | _ -> None)
+
+let error ~fname ?site cause = raise (Error { fname; site; cause })

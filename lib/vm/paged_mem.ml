@@ -4,18 +4,31 @@
    every load and store paid a hash + probe, and realloc's memcpy paid
    one lookup per cell. Here an address splits into a page index
    (arithmetic shift, so the full int range including negatives works)
-   and an offset (mask); a one-entry page cache makes the sequential
-   runs that dominate real access streams a single compare + array
-   index. Absent cells read 0 — exactly the old Not_found -> 0
-   behaviour — and pages are created zero-filled on first store. *)
+   and an offset (mask); absent cells read 0 — exactly the old
+   Not_found -> 0 behaviour — and pages are created zero-filled on
+   first store.
+
+   The directory is fronted by a direct-mapped cache. A one-entry cache
+   only covers sequential runs: workloads that alternate between a hot
+   object and a large table (leela's pattern lookups, omnetpp's routing
+   reads) thrash it and pay a [Hashtbl] probe — tens of ns — on nearly
+   every access. The direct-mapped array covers a working set of
+   hundreds of pages at an indexed compare per access. *)
 
 type t = {
   page_bits : int;
   mask : int; (* page_size - 1 *)
-  pages : (int, int array) Hashtbl.t;
-  mutable last_idx : int; (* one-entry directory cache *)
-  mutable last_page : int array;
+  pages : (int, int array) Hashtbl.t; (* authoritative directory *)
+  cache_idx : int array; (* direct-mapped: slot -> page index, or min_int *)
+  cache_pg : int array array; (* slot -> the page itself *)
+  cmask : int; (* cache slots - 1 *)
 }
+
+(* 512 slots covers every workload's resident page set with room to
+   spare; consecutive page indices never conflict. *)
+let cache_slots = 512
+
+let no_page = [||]
 
 let create ?(page_bits = 12) () =
   if page_bits < 1 || page_bits > 20 then
@@ -24,42 +37,68 @@ let create ?(page_bits = 12) () =
     page_bits;
     mask = (1 lsl page_bits) - 1;
     pages = Hashtbl.create 64;
-    last_idx = min_int; (* no address maps here: min_int asr page_bits <> min_int *)
-    last_page = [||];
+    (* min_int is unreachable: [addr asr page_bits] never yields it. *)
+    cache_idx = Array.make cache_slots min_int;
+    cache_pg = Array.make cache_slots no_page;
+    cmask = cache_slots - 1;
   }
 
 let page_size t = t.mask + 1
 let page_count t = Hashtbl.length t.pages
 
-(* Page holding [addr], creating it zero-filled if absent. *)
+(* Page holding index [idx], creating it zero-filled if absent; fills
+   the cache slot either way. *)
 let page_for t idx =
-  match Hashtbl.find t.pages idx with
-  | p ->
-      t.last_idx <- idx;
-      t.last_page <- p;
-      p
-  | exception Not_found ->
-      let p = Array.make (t.mask + 1) 0 in
-      Hashtbl.replace t.pages idx p;
-      t.last_idx <- idx;
-      t.last_page <- p;
-      p
+  let slot = idx land t.cmask in
+  let p =
+    match Hashtbl.find t.pages idx with
+    | p -> p
+    | exception Not_found ->
+        let p = Array.make (t.mask + 1) 0 in
+        Hashtbl.replace t.pages idx p;
+        p
+  in
+  t.cache_idx.(slot) <- idx;
+  t.cache_pg.(slot) <- p;
+  p
 
+(* Absent pages are cached too, as [no_page] entries — calloc'd regions
+   are read long before (or without ever) being written, and paying a
+   [Not_found] raise per such load dwarfs the load itself. A cached
+   absence stays consistent because a page's cache slot is a pure
+   function of its index: [page_for] (the only creator) always
+   overwrites exactly that slot. *)
 let load t addr =
   let idx = addr asr t.page_bits in
-  if idx = t.last_idx then t.last_page.(addr land t.mask)
-  else
+  let slot = idx land t.cmask in
+  if Array.unsafe_get t.cache_idx slot = idx then begin
+    let p = Array.unsafe_get t.cache_pg slot in
+    (* [addr land mask] < page length by construction, so the unchecked
+       read is safe. *)
+    if p == no_page then 0 else Array.unsafe_get p (addr land t.mask)
+  end
+  else begin
+    t.cache_idx.(slot) <- idx;
     match Hashtbl.find t.pages idx with
     | p ->
-        t.last_idx <- idx;
-        t.last_page <- p;
-        p.(addr land t.mask)
-    | exception Not_found -> 0
+        t.cache_pg.(slot) <- p;
+        Array.unsafe_get p (addr land t.mask)
+    | exception Not_found ->
+        t.cache_pg.(slot) <- no_page;
+        0
+  end
 
 let store t addr v =
   let idx = addr asr t.page_bits in
-  let p = if idx = t.last_idx then t.last_page else page_for t idx in
-  p.(addr land t.mask) <- v
+  let slot = idx land t.cmask in
+  let p =
+    if Array.unsafe_get t.cache_idx slot = idx then begin
+      let p = Array.unsafe_get t.cache_pg slot in
+      if p == no_page then page_for t idx else p
+    end
+    else page_for t idx
+  in
+  Array.unsafe_set p (addr land t.mask) v
 
 (* Write [len] cells from [src_page.(src_off ..)] at address [dst],
    splitting across destination pages as needed. *)
@@ -67,7 +106,7 @@ let rec blit_out t src_page src_off dst len =
   if len > 0 then begin
     let idx = dst asr t.page_bits in
     let off = dst land t.mask in
-    let p = if idx = t.last_idx then t.last_page else page_for t idx in
+    let p = page_for t idx in
     let n = min len (t.mask + 1 - off) in
     Array.blit src_page src_off p off n;
     blit_out t src_page (src_off + n) (dst + n) (len - n)

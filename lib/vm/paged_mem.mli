@@ -1,8 +1,10 @@
 (** Sparse paged memory for the interpreter's heap image.
 
     A page directory (hashtable of page index -> flat [int array] page)
-    with a one-entry page cache: loads and stores on the hot path are a
-    shift, a compare and an array index. Works over the full [int]
+    fronted by a direct-mapped page cache: loads and stores on the hot
+    path are a shift, an indexed compare and an array index, even when
+    the access stream alternates between distant pages. Works over the
+    full [int]
     address range — page indices come from an arithmetic shift, so
     negative and very large addresses page correctly.
 

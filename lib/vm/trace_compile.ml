@@ -1,0 +1,1189 @@
+(* The trace-compiled execution engine: a second compiler over
+   [Interp]'s runtime state.
+
+   [Interp] compiles one closure per statement and charges the timing
+   model one counter update at a time. This engine watches loop
+   back-edges and function entries with hotness counters and, past a
+   threshold, recompiles the hot region as a fused trace:
+
+   - maximal runs of simple statements collapse into a handful of
+     closures with operand slots resolved once and expression trees
+     flattened (no closure per [Binop] node);
+   - [rt.instructions]/[loads]/[stores] updates are batched into one
+     precomputed increment per chunk, placed so that a mid-chunk raise
+     observes exactly the counters the interpreter would have charged
+     (a chunk's charges are flushed up front, and only its final
+     statement may raise);
+   - strongly-biased fusable [If]s are speculated: a guard checks the
+     expected direction and, on mismatch, deoptimises to the
+     interpreter's own compiled closures for the unexpected branch and
+     the remainder of the trace;
+   - pure counted loops defer even the batched updates to loop exit,
+     retiring [n * per_iteration] in one step;
+   - with no hooks and no memcheck installed (the bare [interp] bench
+     config) loads and stores compile to bare [Paged_mem] operations.
+
+   Everything the engine does not fuse — calls, allocation statements,
+   unfusable branches — delegates to [Interp.compile_stmt], so the two
+   engines share one semantics definition outside traces.
+
+   Selfcheck mode (lambdachine-style): every fused region first runs in
+   a shadow: stores are undo-logged, hooks suppressed, access streams
+   digested; then the machine state is rolled back (heap undo, slot and
+   global snapshots, RNG rewind, counter restore) and the interpreter's
+   own closures run the same region authoritatively. The two
+   executions' (instructions, loads, stores, load/store digests) deltas
+   are diffed at the region boundary; the first mismatch raises
+   [Divergence] naming the region and its function's site labels. *)
+
+type mode = Fast | Selfcheck
+
+exception
+  Divergence of { region : string; sites : string list; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Divergence { region; sites; detail } ->
+        Some
+          (Printf.sprintf "Trace_compile.Divergence(%s: %s%s)" region detail
+             (match sites with
+             | [] -> ""
+             | l -> "; sites " ^ String.concat ", " l))
+    | _ -> None)
+
+type stats = {
+  mutable regions : int;  (* fused regions compiled *)
+  mutable promotions : int;  (* hotness-counter promotions *)
+  mutable deopts : int;  (* guard failures *)
+  mutable checkpoints : int;  (* selfcheck region comparisons *)
+}
+
+(* Selfcheck scratch state: FNV digests over the load/store streams and
+   the store undo log for heap rollback. *)
+type sc_state = {
+  mutable ld : int;
+  mutable sd : int;
+  mutable ua : int array;
+  mutable uv : int array;
+  mutable un : int;
+}
+
+let fnv0 = 0x811c9dc5
+let fnv h v = (h lxor v) * 0x01000193
+
+let undo_push sc a v =
+  (if sc.un = Array.length sc.ua then begin
+     let cap = max 64 (2 * sc.un) in
+     let ua = Array.make cap 0 and uv = Array.make cap 0 in
+     Array.blit sc.ua 0 ua 0 sc.un;
+     Array.blit sc.uv 0 uv 0 sc.un;
+     sc.ua <- ua;
+     sc.uv <- uv
+   end);
+  sc.ua.(sc.un) <- a;
+  sc.uv.(sc.un) <- v;
+  sc.un <- sc.un + 1
+
+type st = {
+  rt : Interp.rt;
+  program : Ir.program;
+  mode : mode;
+  threshold : int;
+  skew : int;  (* test hook: extra instructions charged per fused chunk *)
+  obs_access : bool;  (* hooks or memcheck installed *)
+  stats : stats;
+  sc : sc_state;
+  patch_tbl : (Ir.site, int) Hashtbl.t;
+  c_globals : (string, int) Hashtbl.t;
+  cfuncs : (string, int array -> int) Hashtbl.t;
+  mutable next_region : int;
+}
+
+(* Per-function compile state: the interpreter compile context (shared
+   slot numbering for baseline and fused code) plus the function's site
+   labels for divergence reports. *)
+type fs = { st : st; cc : Interp.compile_ctx; fsites : string list }
+
+(* Whether fused code is running for real or as a selfcheck shadow. *)
+type role = Rfast | Rshadow
+
+(* Branch-profile tree, isomorphic to a statement list. The baseline
+   compiler counts [If] directions here during warmup; the fused
+   compiler reads the counters to pick speculation directions. *)
+type bias =
+  | Bleaf
+  | Bif of { taken : int ref; nottaken : int ref; bt : bias list; bf : bias list }
+  | Bwhile of bias list
+
+let rec zbias (stm : Ir.stmt) =
+  match stm with
+  | Ir.If (_, a, b) ->
+      Bif
+        {
+          taken = ref 0;
+          nottaken = ref 0;
+          bt = List.map zbias a;
+          bf = List.map zbias b;
+        }
+  | Ir.While (_, body) -> Bwhile (List.map zbias body)
+  | _ -> Bleaf
+
+(* ------------------------------------------------------------------ *)
+(* Fusability and purity                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure: no [Rand] (RNG effect, can raise) and no [Div]/[Rem] (can
+   raise). Pure expressions can be evaluated early, late, or not at
+   all without observable difference. *)
+let rec pure_expr (e : Ir.expr) =
+  match e with
+  | Ir.Int _ | Ir.Var _ | Ir.Gvar _ -> true
+  | Ir.Rand _ -> false
+  | Ir.Not e -> pure_expr e
+  | Ir.Binop ((Ir.Div | Ir.Rem), _, _) -> false
+  | Ir.Binop (_, a, b) -> pure_expr a && pure_expr b
+
+(* Segment members: statements whose only effects are slot/global/heap
+   writes, counter charges, and expression evaluation. Calls, allocator
+   statements and loops break segments. An [If] fuses only when its
+   condition is pure (so guards can re-evaluate it) and both branches
+   fuse. *)
+let rec stmt_fusable (stm : Ir.stmt) =
+  match stm with
+  | Ir.Let _ | Ir.Gassign _ | Ir.Compute _ | Ir.Load _ | Ir.Store _ -> true
+  | Ir.If (c, a, b) ->
+      pure_expr c && List.for_all stmt_fusable a && List.for_all stmt_fusable b
+  | Ir.Malloc _ | Ir.Calloc _ | Ir.Realloc _ | Ir.Free _ | Ir.Call _
+  | Ir.While _ | Ir.Return _ ->
+      false
+
+(* Timing-model charges of a segment member (If handled separately). *)
+let charges (stm : Ir.stmt) =
+  match stm with
+  | Ir.Let _ | Ir.Gassign _ -> (1, 0, 0)
+  | Ir.Compute n -> (n, 0, 0)
+  | Ir.Load _ -> (1, 1, 0)
+  | Ir.Store _ -> (1, 0, 1)
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Flattened expressions                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Unchecked slot/global access for the fused closures. Slot and global
+   indices are assigned by the compiler strictly within the array sizes
+   it later allocates ([max nslots 1] locals, the globals table), so the
+   bound can't be exceeded; the fused hot path is exactly where the
+   redundant check is measurable. *)
+let ( .%() ) = Array.unsafe_get
+let ( .%()<- ) = Array.unsafe_set
+
+type atom = Aint of int | Aslot of int | Aglob of int
+
+let atom_of cc (e : Ir.expr) =
+  match e with
+  | Ir.Int n -> Some (Aint n)
+  | Ir.Var x -> Some (Aslot (Interp.local_slot_read cc x))
+  | Ir.Gvar x -> Some (Aglob (Interp.global_slot cc x))
+  | _ -> None
+
+let aval gl = function
+  | Aint n -> fun _ -> n
+  | Aslot i -> fun (s : int array) -> s.%(i)
+  | Aglob g -> fun _ -> gl.%(g)
+
+(* Generic operator application over two compiled operands — the exact
+   closure shapes [Interp.compile_expr] emits, so evaluation order and
+   raise behaviour match the interpreter even for impure operands. *)
+let apply_op fname (op : Ir.binop) (a : int array -> int) (b : int array -> int)
+    =
+  match op with
+  | Ir.Add -> fun s -> a s + b s
+  | Ir.Sub -> fun s -> a s - b s
+  | Ir.Mul -> fun s -> a s * b s
+  | Ir.Div ->
+      fun s ->
+        let d = b s in
+        if d = 0 then Interp_error.error ~fname Division_by_zero else a s / d
+  | Ir.Rem ->
+      fun s ->
+        let d = b s in
+        if d = 0 then Interp_error.error ~fname Modulo_by_zero else a s mod d
+  | Ir.Lt -> fun s -> if a s < b s then 1 else 0
+  | Ir.Le -> fun s -> if a s <= b s then 1 else 0
+  | Ir.Gt -> fun s -> if a s > b s then 1 else 0
+  | Ir.Ge -> fun s -> if a s >= b s then 1 else 0
+  | Ir.Eq -> fun s -> if a s = b s then 1 else 0
+  | Ir.Ne -> fun s -> if a s <> b s then 1 else 0
+  | Ir.And -> fun s -> if a s <> 0 && b s <> 0 then 1 else 0
+  | Ir.Or -> fun s -> if a s <> 0 || b s <> 0 then 1 else 0
+
+(* slot-op-slot, slot-op-int and int-op-slot shapes collapse to single
+   closures; everything else goes through [apply_op] on atom readers. *)
+let bin_ss fname (op : Ir.binop) i j =
+  match op with
+  | Ir.Add -> fun (s : int array) -> s.%(i) + s.%(j)
+  | Ir.Sub -> fun s -> s.%(i) - s.%(j)
+  | Ir.Mul -> fun s -> s.%(i) * s.%(j)
+  | Ir.Div ->
+      fun s ->
+        let d = s.%(j) in
+        if d = 0 then Interp_error.error ~fname Division_by_zero else s.%(i) / d
+  | Ir.Rem ->
+      fun s ->
+        let d = s.%(j) in
+        if d = 0 then Interp_error.error ~fname Modulo_by_zero else s.%(i) mod d
+  | Ir.Lt -> fun s -> if s.%(i) < s.%(j) then 1 else 0
+  | Ir.Le -> fun s -> if s.%(i) <= s.%(j) then 1 else 0
+  | Ir.Gt -> fun s -> if s.%(i) > s.%(j) then 1 else 0
+  | Ir.Ge -> fun s -> if s.%(i) >= s.%(j) then 1 else 0
+  | Ir.Eq -> fun s -> if s.%(i) = s.%(j) then 1 else 0
+  | Ir.Ne -> fun s -> if s.%(i) <> s.%(j) then 1 else 0
+  | Ir.And -> fun s -> if s.%(i) <> 0 && s.%(j) <> 0 then 1 else 0
+  | Ir.Or -> fun s -> if s.%(i) <> 0 || s.%(j) <> 0 then 1 else 0
+
+let bin_si fname (op : Ir.binop) i n =
+  match op with
+  | Ir.Add -> fun (s : int array) -> s.%(i) + n
+  | Ir.Sub -> fun s -> s.%(i) - n
+  | Ir.Mul -> fun s -> s.%(i) * n
+  | Ir.Div ->
+      if n = 0 then fun _ -> Interp_error.error ~fname Division_by_zero
+      else fun s -> s.%(i) / n
+  | Ir.Rem ->
+      if n = 0 then fun _ -> Interp_error.error ~fname Modulo_by_zero
+      else fun s -> s.%(i) mod n
+  | Ir.Lt -> fun s -> if s.%(i) < n then 1 else 0
+  | Ir.Le -> fun s -> if s.%(i) <= n then 1 else 0
+  | Ir.Gt -> fun s -> if s.%(i) > n then 1 else 0
+  | Ir.Ge -> fun s -> if s.%(i) >= n then 1 else 0
+  | Ir.Eq -> fun s -> if s.%(i) = n then 1 else 0
+  | Ir.Ne -> fun s -> if s.%(i) <> n then 1 else 0
+  | Ir.And -> fun s -> if s.%(i) <> 0 && n <> 0 then 1 else 0
+  | Ir.Or -> fun s -> if s.%(i) <> 0 || n <> 0 then 1 else 0
+
+let bin_is fname (op : Ir.binop) n j =
+  match op with
+  | Ir.Add -> fun (s : int array) -> n + s.%(j)
+  | Ir.Sub -> fun s -> n - s.%(j)
+  | Ir.Mul -> fun s -> n * s.%(j)
+  | Ir.Div ->
+      fun s ->
+        let d = s.%(j) in
+        if d = 0 then Interp_error.error ~fname Division_by_zero else n / d
+  | Ir.Rem ->
+      fun s ->
+        let d = s.%(j) in
+        if d = 0 then Interp_error.error ~fname Modulo_by_zero else n mod d
+  | Ir.Lt -> fun s -> if n < s.%(j) then 1 else 0
+  | Ir.Le -> fun s -> if n <= s.%(j) then 1 else 0
+  | Ir.Gt -> fun s -> if n > s.%(j) then 1 else 0
+  | Ir.Ge -> fun s -> if n >= s.%(j) then 1 else 0
+  | Ir.Eq -> fun s -> if n = s.%(j) then 1 else 0
+  | Ir.Ne -> fun s -> if n <> s.%(j) then 1 else 0
+  | Ir.And -> fun s -> if n <> 0 && s.%(j) <> 0 then 1 else 0
+  | Ir.Or -> fun s -> if n <> 0 || s.%(j) <> 0 then 1 else 0
+
+let rec flat cc (e : Ir.expr) : int array -> int =
+  let rt = cc.Interp.c_rt in
+  let fname = cc.Interp.fname in
+  match e with
+  | Ir.Int n -> fun _ -> n
+  | Ir.Var x ->
+      let s = Interp.local_slot_read cc x in
+      fun slots -> slots.%(s)
+  | Ir.Gvar x ->
+      let g = Interp.global_slot cc x in
+      let gl = rt.Interp.globals in
+      fun _ -> gl.%(g)
+  | Ir.Rand b ->
+      let fb = flat cc b in
+      let rng = rt.Interp.rng in
+      fun slots ->
+        let bound = fb slots in
+        if bound <= 0 then Interp_error.error ~fname (Rand_bound bound)
+        else Rng.int rng bound
+  | Ir.Not e ->
+      let f = flat cc e in
+      fun slots -> if f slots = 0 then 1 else 0
+  | Ir.Binop (op, a, b) -> (
+      match (atom_of cc a, atom_of cc b) with
+      | Some (Aslot i), Some (Aslot j) -> bin_ss fname op i j
+      | Some (Aslot i), Some (Aint n) -> bin_si fname op i n
+      | Some (Aint n), Some (Aslot j) -> bin_is fname op n j
+      | Some pa, Some pb ->
+          let gl = rt.Interp.globals in
+          apply_op fname op (aval gl pa) (aval gl pb)
+      | _ -> apply_op fname op (flat cc a) (flat cc b))
+
+let mirror_cmp (op : Ir.binop) =
+  match op with
+  | Ir.Lt -> Ir.Gt
+  | Ir.Le -> Ir.Ge
+  | Ir.Gt -> Ir.Lt
+  | Ir.Ge -> Ir.Le
+  | op -> op
+
+(* Boolean compilation for pure conditions: comparisons over atoms skip
+   materialising 0/1. Only ever called on pure expressions. *)
+let rec flat_cond cc (e : Ir.expr) : int array -> bool =
+  match e with
+  | Ir.Binop (((Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge | Ir.Eq | Ir.Ne) as op), a, b)
+    -> (
+      match (atom_of cc a, atom_of cc b) with
+      | Some (Aslot i), Some (Aint n) -> (
+          match op with
+          | Ir.Lt -> fun (s : int array) -> s.%(i) < n
+          | Ir.Le -> fun s -> s.%(i) <= n
+          | Ir.Gt -> fun s -> s.%(i) > n
+          | Ir.Ge -> fun s -> s.%(i) >= n
+          | Ir.Eq -> fun s -> s.%(i) = n
+          | _ -> fun s -> s.%(i) <> n)
+      | Some (Aslot i), Some (Aslot j) -> (
+          match op with
+          | Ir.Lt -> fun (s : int array) -> s.%(i) < s.%(j)
+          | Ir.Le -> fun s -> s.%(i) <= s.%(j)
+          | Ir.Gt -> fun s -> s.%(i) > s.%(j)
+          | Ir.Ge -> fun s -> s.%(i) >= s.%(j)
+          | Ir.Eq -> fun s -> s.%(i) = s.%(j)
+          | _ -> fun s -> s.%(i) <> s.%(j))
+      | Some (Aint _), Some (Aslot _) ->
+          flat_cond cc (Ir.Binop (mirror_cmp op, b, a))
+      | _ ->
+          let f = flat cc e in
+          fun s -> f s <> 0)
+  | Ir.Not e ->
+      let f = flat cc e in
+      fun s -> f s = 0
+  | Ir.Var x ->
+      let i = Interp.local_slot_read cc x in
+      fun s -> s.%(i) <> 0
+  | _ ->
+      let f = flat cc e in
+      fun s -> f s <> 0
+
+(* Pointer-plus-offset addressing, the hottest expression shape. *)
+let flat_addr cc p off : int array -> int =
+  match (atom_of cc p, atom_of cc off) with
+  | Some (Aslot i), Some (Aint 0) -> fun (s : int array) -> s.%(i)
+  | Some (Aslot i), Some (Aint n) -> fun s -> s.%(i) + n
+  | Some (Aslot i), Some (Aslot j) -> fun s -> s.%(i) + s.%(j)
+  | _ ->
+      let fp = flat cc p and fo = flat cc off in
+      fun s -> fp s + fo s
+
+(* ------------------------------------------------------------------ *)
+(* Segment member actions                                             *)
+(* ------------------------------------------------------------------ *)
+
+let set_act cc x e =
+  let sx = Interp.local_slot cc x in
+  match e with
+  | Ir.Int n -> fun (s : int array) -> s.%(sx) <- n
+  | Ir.Var y ->
+      let sy = Interp.local_slot_read cc y in
+      fun s -> s.%(sx) <- s.%(sy)
+  | Ir.Gvar y ->
+      let g = Interp.global_slot cc y in
+      let gl = cc.Interp.c_rt.Interp.globals in
+      fun s -> s.%(sx) <- gl.%(g)
+  | Ir.Binop (Ir.Add, a, b) -> (
+      match (atom_of cc a, atom_of cc b) with
+      | Some (Aslot i), Some (Aint n) -> fun (s : int array) -> s.%(sx) <- s.%(i) + n
+      | Some (Aslot i), Some (Aslot j) -> fun s -> s.%(sx) <- s.%(i) + s.%(j)
+      | _ ->
+          let f = flat cc e in
+          fun s -> s.%(sx) <- f s)
+  | Ir.Binop (Ir.Sub, a, b) -> (
+      match (atom_of cc a, atom_of cc b) with
+      | Some (Aslot i), Some (Aint n) -> fun (s : int array) -> s.%(sx) <- s.%(i) - n
+      | Some (Aslot i), Some (Aslot j) -> fun s -> s.%(sx) <- s.%(i) - s.%(j)
+      | _ ->
+          let f = flat cc e in
+          fun s -> s.%(sx) <- f s)
+  | _ ->
+      let f = flat cc e in
+      fun s -> s.%(sx) <- f s
+
+let gset_act cc x e =
+  let g = Interp.global_slot cc x in
+  let gl = cc.Interp.c_rt.Interp.globals in
+  let f = flat cc e in
+  fun s -> gl.%(g) <- f s
+
+(* Fast-mode load/store. Hooked variants replicate the interpreter's
+   exact effect order (address, memcheck touch, hook, heap op); the
+   bare variant drops the no-op hook call and touch test entirely. *)
+let fast_load fs (x, p, off, bytes) =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  let s = Interp.local_slot cc x in
+  let mem = rt.Interp.mem in
+  if fs.st.obs_access then
+    let addr = flat_addr cc p off in
+    let hooks = rt.Interp.hooks in
+    let mc = rt.Interp.memcheck in
+    fun slots ->
+      let a = addr slots in
+      (match mc with Some v -> Vmem.touch v a bytes | None -> ());
+      hooks.Interp.on_access a bytes false;
+      slots.%(s) <- Paged_mem.load mem a
+  else
+    (* Bare path: fold the dominant addressing shapes into the load
+       closure itself — one indirect call per load, not two. *)
+    match (atom_of cc p, atom_of cc off) with
+    | Some (Aslot i), Some (Aint 0) ->
+        fun slots -> slots.%(s) <- Paged_mem.load mem slots.%(i)
+    | Some (Aslot i), Some (Aint n) ->
+        fun slots -> slots.%(s) <- Paged_mem.load mem (slots.%(i) + n)
+    | Some (Aslot i), Some (Aslot j) ->
+        fun slots -> slots.%(s) <- Paged_mem.load mem (slots.%(i) + slots.%(j))
+    | _ ->
+        let addr = flat_addr cc p off in
+        fun slots -> slots.%(s) <- Paged_mem.load mem (addr slots)
+
+let fast_store fs (p, off, value, bytes) =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  let mem = rt.Interp.mem in
+  if fs.st.obs_access then
+    let addr = flat_addr cc p off in
+    let fv = flat cc value in
+    let hooks = rt.Interp.hooks in
+    let mc = rt.Interp.memcheck in
+    fun slots ->
+      let a = addr slots in
+      (match mc with Some v -> Vmem.touch v a bytes | None -> ());
+      hooks.Interp.on_access a bytes true;
+      Paged_mem.store mem a (fv slots)
+  else
+    (* Bare path: same single-closure folding as [fast_load], including
+       the increment-store shape ([*(p+8) = vis + 1]) ward-list style
+       workloads live in. *)
+    match (atom_of cc p, atom_of cc off, value) with
+    | Some (Aslot i), Some (Aint n), Ir.Binop (Ir.Add, Ir.Var y, Ir.Int m) ->
+        let sy = Interp.local_slot_read cc y in
+        fun slots -> Paged_mem.store mem (slots.%(i) + n) (slots.%(sy) + m)
+    | Some (Aslot i), Some (Aint n), Ir.Var y ->
+        let sy = Interp.local_slot_read cc y in
+        fun slots -> Paged_mem.store mem (slots.%(i) + n) slots.%(sy)
+    | Some (Aslot i), Some (Aint n), Ir.Int m ->
+        fun slots -> Paged_mem.store mem (slots.%(i) + n) m
+    | Some (Aslot i), Some (Aint n), _ ->
+        let fv = flat cc value in
+        fun slots -> Paged_mem.store mem (slots.%(i) + n) (fv slots)
+    | _ ->
+        let addr = flat_addr cc p off in
+        let fv = flat cc value in
+        fun slots ->
+          let a = addr slots in
+          Paged_mem.store mem a (fv slots)
+
+(* Shadow-mode load/store: no hooks, stores undo-logged, both streams
+   digested. Counter charges still go through the chunk machinery. *)
+let shadow_load fs (x, p, off, bytes) =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  let s = Interp.local_slot cc x in
+  let addr = flat_addr cc p off in
+  let mem = rt.Interp.mem in
+  let mc = rt.Interp.memcheck in
+  let sc = fs.st.sc in
+  fun slots ->
+    let a = addr slots in
+    (match mc with Some v -> Vmem.touch v a bytes | None -> ());
+    let v = Paged_mem.load mem a in
+    sc.ld <- fnv (fnv sc.ld a) v;
+    slots.(s) <- v
+
+let shadow_store fs (p, off, value, bytes) =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  let addr = flat_addr cc p off in
+  let fv = flat cc value in
+  let mem = rt.Interp.mem in
+  let mc = rt.Interp.memcheck in
+  let sc = fs.st.sc in
+  fun slots ->
+    let a = addr slots in
+    (match mc with Some v -> Vmem.touch v a bytes | None -> ());
+    undo_push sc a (Paged_mem.load mem a);
+    let v = fv slots in
+    Paged_mem.store mem a v;
+    sc.sd <- fnv (fnv sc.sd a) v
+
+let member_act fs role (stm : Ir.stmt) : (int array -> unit) option =
+  let cc = fs.cc in
+  match stm with
+  | Ir.Let (x, e) -> Some (set_act cc x e)
+  | Ir.Gassign (x, e) -> Some (gset_act cc x e)
+  | Ir.Compute _ -> None
+  | Ir.Load (x, p, off, bytes) ->
+      Some
+        ((match role with Rfast -> fast_load | Rshadow -> shadow_load)
+           fs (x, p, off, bytes))
+  | Ir.Store (p, off, value, bytes) ->
+      Some
+        ((match role with Rfast -> fast_store | Rshadow -> shadow_store)
+           fs (p, off, value, bytes))
+  | _ -> assert false
+
+(* Whether a member can raise (or must otherwise flush before running):
+   any impure expression can raise; with hooks or memcheck installed
+   every access is an observation point and ends its chunk, so a raise
+   from inside the hook/touch path still sees exact counters. *)
+let member_raising fs role (stm : Ir.stmt) =
+  match stm with
+  | Ir.Let (_, e) | Ir.Gassign (_, e) -> not (pure_expr e)
+  | Ir.Compute _ -> false
+  | Ir.Load (_, p, off, _) ->
+      (match role with Rshadow -> true | Rfast -> fs.st.obs_access)
+      || not (pure_expr p && pure_expr off)
+  | Ir.Store (p, off, v, _) ->
+      (match role with Rshadow -> true | Rfast -> fs.st.obs_access)
+      || not (pure_expr p && pure_expr off && pure_expr v)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Chunk assembly                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec chain acts k =
+  match acts with
+  | [] -> k
+  | [ a ] -> fun s -> a s; k s
+  | [ a; b ] ->
+      fun s ->
+        a s;
+        b s;
+        k s
+  | a :: b :: c :: tl ->
+      let k' = chain tl k in
+      fun s ->
+        a s;
+        b s;
+        c s;
+        k' s
+
+let nothing (_ : int array) = ()
+let chain_all acts = chain acts nothing
+
+(* One batched counter update for a chunk, compiled down to the fields
+   it actually touches. *)
+let flush (rt : Interp.rt) cost nl ns k =
+  match (nl, ns) with
+  | 0, 0 ->
+      if cost = 0 then k
+      else
+        fun s ->
+          rt.Interp.instructions <- rt.Interp.instructions + cost;
+          k s
+  | _, 0 ->
+      fun s ->
+        rt.Interp.instructions <- rt.Interp.instructions + cost;
+        rt.Interp.loads <- rt.Interp.loads + nl;
+        k s
+  | 0, _ ->
+      fun s ->
+        rt.Interp.instructions <- rt.Interp.instructions + cost;
+        rt.Interp.stores <- rt.Interp.stores + ns;
+        k s
+  | _ ->
+      fun s ->
+        rt.Interp.instructions <- rt.Interp.instructions + cost;
+        rt.Interp.loads <- rt.Interp.loads + nl;
+        rt.Interp.stores <- rt.Interp.stores + ns;
+        k s
+
+(* Compile a fusable run into chained chunks. [base_of] compiles a
+   (statement, bias) pair to the closure deopt paths fall back to: the
+   interpreter's own closures in fast mode, shadow closures in
+   selfcheck shadows. The first chunk also charges [st.skew] — the
+   selfcheck divergence-injection hook, 0 in real use. *)
+let comp_seg fs role ~base_of (pairs : (Ir.stmt * bias) list) :
+    int array -> unit =
+  let rt = fs.cc.Interp.c_rt in
+  let stats = fs.st.stats in
+  (* Speculation budget: each guard duplicates the compiled tail of its
+     segment, so cap guards per segment to bound code growth. *)
+  let nspec = ref 4 in
+  let rec go cost nl ns acts pairs =
+    match pairs with
+    | [] -> close cost nl ns acts None nothing
+    | (Ir.If (c, a, b), bias) :: rest -> (
+        let taken, nottaken, bt, bf =
+          match bias with
+          | Bif { taken; nottaken; bt; bf } -> (taken, nottaken, bt, bf)
+          | _ -> assert false
+        in
+        let t = !taken and nt = !nottaken in
+        let cost = cost + 1 in
+        let cond = flat_cond fs.cc c in
+        let strongly_biased =
+          t = 0 || nt = 0 || t >= 4 * nt || nt >= 4 * t
+        in
+        if !nspec > 0 && strongly_biased then begin
+          decr nspec;
+          let expect_then = t >= nt in
+          let br, other, obias =
+            if expect_then then (List.combine a bt, b, bf)
+            else (List.combine b bf, a, bt)
+          in
+          let fast = go_fresh (br @ rest) in
+          let slow_branch = chain_all (List.map base_of (List.combine other obias)) in
+          let base_rest = chain_all (List.map base_of rest) in
+          let deopt s =
+            stats.deopts <- stats.deopts + 1;
+            slow_branch s;
+            base_rest s
+          in
+          let guard =
+            if expect_then then fun s -> if cond s then fast s else deopt s
+            else fun s -> if cond s then deopt s else fast s
+          in
+          close cost nl ns acts None guard
+        end
+        else
+          (* Balanced branch: fuse both sides and rejoin; no guard. *)
+          let fa = go_fresh (List.combine a bt)
+          and fb = go_fresh (List.combine b bf)
+          and k = go_fresh rest in
+          close cost nl ns acts None (fun s ->
+              (if cond s then fa s else fb s);
+              k s))
+    | (stm, _) :: rest -> (
+        let dc, dl, ds = charges stm in
+        let cost = cost + dc and nl = nl + dl and ns = ns + ds in
+        match member_act fs role stm with
+        | None -> go cost nl ns acts rest
+        | Some act ->
+            if member_raising fs role stm then
+              close cost nl ns acts (Some act) (go_fresh rest)
+            else go cost nl ns (act :: acts) rest)
+  and go_fresh pairs = go 0 0 0 [] pairs
+  and close cost nl ns acts_rev raiser k =
+    let acts = List.rev acts_rev in
+    let tail =
+      match raiser with
+      | None -> chain acts k
+      | Some r ->
+          chain acts (fun s ->
+              r s;
+              k s)
+    in
+    flush rt cost nl ns tail
+  in
+  go fs.st.skew 0 0 [] pairs
+
+(* ------------------------------------------------------------------ *)
+(* Grouping                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Split a body into maximal fusable runs and single unfused items. *)
+let group_pairs (pairs : (Ir.stmt * bias) list) =
+  let rec split acc run pairs =
+    match pairs with
+    | [] -> List.rev (flush_run acc run)
+    | ((stm, _) as p) :: tl ->
+        if stmt_fusable stm then split acc (p :: run) tl
+        else split (`One p :: flush_run acc run) [] tl
+  and flush_run acc run =
+    match run with [] -> acc | run -> `Seg (List.rev run) :: acc
+  in
+  split [] [] pairs
+
+(* ------------------------------------------------------------------ *)
+(* Loops                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A loop body qualifies for deferred accounting when nothing in it can
+   raise or be observed mid-iteration: counters then accumulate in a
+   local and retire as [n * per_iteration] at loop exit. *)
+let deferrable fs body =
+  (not fs.st.obs_access)
+  && List.for_all
+       (fun (stm : Ir.stmt) ->
+         match stm with
+         | Ir.If _ -> false
+         | Ir.Let (_, e) | Ir.Gassign (_, e) -> pure_expr e
+         | Ir.Compute _ -> true
+         | Ir.Load (_, p, off, _) -> pure_expr p && pure_expr off
+         | Ir.Store (p, off, v, _) ->
+             pure_expr p && pure_expr off && pure_expr v
+         | _ -> false)
+       body
+
+(* Mutually recursive compilers.
+
+   [base_stmt]/[base_block]: warmup code — the interpreter's closures
+   plus branch-direction counting and self-promoting loops.
+
+   [fast_block]: hot code — fusable runs become segments, loops fuse
+   directly, everything else delegates to [Interp.compile_stmt].
+
+   [compile_hot_loop]: a fully-fusable loop's hot implementation,
+   entered at the condition check (the entry charge stays with the
+   caller). *)
+let rec base_block fs (stmts : Ir.stmt list) :
+    (int array -> unit) * bias list =
+  let items = List.map (base_stmt fs) stmts in
+  (chain_all (List.map fst items), List.map snd items)
+
+and base_stmt fs (stm : Ir.stmt) : (int array -> unit) * bias =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  match stm with
+  | Ir.If (c, a, b) ->
+      let fc = Interp.compile_expr cc c in
+      let ca, bt = base_block fs a and cb, bf = base_block fs b in
+      let taken = ref 0 and nottaken = ref 0 in
+      ( (fun slots ->
+          rt.Interp.instructions <- rt.Interp.instructions + 1;
+          if fc slots <> 0 then begin
+            incr taken;
+            ca slots
+          end
+          else begin
+            incr nottaken;
+            cb slots
+          end),
+        Bif { taken; nottaken; bt; bf } )
+  | Ir.While (c, body) ->
+      let cbody, bb = base_block fs body in
+      let fcond = Interp.compile_expr cc c in
+      let pairs = List.combine body bb in
+      let hot = lazy (hot_loop fs Rfast c pairs ~fcond) in
+      (promoting_loop fs fcond cbody hot, Bwhile bb)
+  | stm -> (Interp.compile_stmt cc stm, Bleaf)
+
+(* Back-edge counting loop: run baseline iterations until the counter
+   crosses the threshold, then compile the hot form and finish the
+   current execution (and all future ones) through it. The hot form
+   enters at the condition check, so mid-loop promotion is seamless. *)
+and promoting_loop fs fcond cbody hot =
+  let rt = fs.cc.Interp.c_rt in
+  let st = fs.st in
+  let state = ref None and backedges = ref 0 in
+  fun slots ->
+    rt.Interp.instructions <- rt.Interp.instructions + 1;
+    match !state with
+    | Some f -> f slots
+    | None ->
+        let live = ref true in
+        while !live && fcond slots <> 0 do
+          cbody slots;
+          rt.Interp.instructions <- rt.Interp.instructions + 1;
+          incr backedges;
+          if !backedges > st.threshold then begin
+            let f = Lazy.force hot in
+            state := Some f;
+            st.stats.promotions <- st.stats.promotions + 1;
+            f slots;
+            live := false
+          end
+        done
+
+(* Hot loop implementation (no entry charge; caller charges it).
+   Fully-fusable bodies become fused traces — deferred-counter when
+   nothing can raise, per-iteration chunks otherwise (the synthetic
+   trailing [Compute 1] is the back-edge charge, so deopt paths retire
+   it too). Other bodies keep the loop shape with a fused body. *)
+and hot_loop fs role c (pairs : (Ir.stmt * bias) list) ~fcond :
+    int array -> unit =
+  let rt = fs.cc.Interp.c_rt in
+  let stmts = List.map fst pairs in
+  if pure_expr c && List.for_all stmt_fusable stmts then begin
+    fs.st.stats.regions <- fs.st.stats.regions + 1;
+    let cond = flat_cond fs.cc c in
+    if role = Rfast && deferrable fs stmts then begin
+      let cost = ref (1 + fs.st.skew) and nl = ref 0 and ns = ref 0 in
+      List.iter
+        (fun stm ->
+          let dc, dl, ds = charges stm in
+          cost := !cost + dc;
+          nl := !nl + dl;
+          ns := !ns + ds)
+        stmts;
+      let per_i = !cost and per_l = !nl and per_s = !ns in
+      let acts = chain_all (List.filter_map (member_act fs role) stmts) in
+      let retire =
+        if per_l = 0 && per_s = 0 then fun n ->
+          rt.Interp.instructions <- rt.Interp.instructions + (n * per_i)
+        else fun n ->
+          rt.Interp.instructions <- rt.Interp.instructions + (n * per_i);
+          rt.Interp.loads <- rt.Interp.loads + (n * per_l);
+          rt.Interp.stores <- rt.Interp.stores + (n * per_s)
+      in
+      fun slots ->
+        let n = ref 0 in
+        while cond slots do
+          acts slots;
+          incr n
+        done;
+        if !n > 0 then retire !n
+    end
+    else
+      let base_of (stm, _) =
+        match role with
+        | Rfast -> Interp.compile_stmt fs.cc stm
+        | Rshadow -> shadow_stmt fs stm
+      in
+      let body =
+        comp_seg fs role ~base_of (pairs @ [ (Ir.Compute 1, Bleaf) ])
+      in
+      fun slots ->
+        while cond slots do
+          body slots
+        done
+  end
+  else
+    (* Partially-fusable: keep the interpreter's loop shape, fuse what
+       the body contains. *)
+    let fb = fast_block fs role pairs in
+    fun slots ->
+      while fcond slots <> 0 do
+        fb slots;
+        rt.Interp.instructions <- rt.Interp.instructions + 1
+      done
+
+and fast_block fs role (pairs : (Ir.stmt * bias) list) : int array -> unit =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  let compile_group = function
+    | `Seg run ->
+        fs.st.stats.regions <- fs.st.stats.regions + 1;
+        let base_of (stm, _) =
+          match role with
+          | Rfast -> Interp.compile_stmt cc stm
+          | Rshadow -> shadow_stmt fs stm
+        in
+        comp_seg fs role ~base_of run
+    | `One (Ir.While (c, body), Bwhile bb) ->
+        let fcond = Interp.compile_expr cc c in
+        let impl = hot_loop fs role c (List.combine body bb) ~fcond in
+        fun slots ->
+          rt.Interp.instructions <- rt.Interp.instructions + 1;
+          impl slots
+    | `One (Ir.If (c, a, b), Bif bi) ->
+        let fc = Interp.compile_expr cc c in
+        let fa = fast_block fs role (List.combine a bi.bt)
+        and fb = fast_block fs role (List.combine b bi.bf) in
+        fun slots ->
+          rt.Interp.instructions <- rt.Interp.instructions + 1;
+          if fc slots <> 0 then fa slots else fb slots
+    | `One (stm, _) -> Interp.compile_stmt cc stm
+  in
+  chain_all (List.map compile_group (group_pairs pairs))
+
+(* Shadow statement compiler for selfcheck deopt tails and fallback
+   paths: identical to the interpreter's closures except that accesses
+   digest their stream, skip hooks, and undo-log stores. Slot, global,
+   RNG and counter effects need no special casing — the snapshot
+   rollback covers them. *)
+and shadow_stmt fs (stm : Ir.stmt) : int array -> unit =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  match stm with
+  | Ir.Load (x, p, off, bytes) ->
+      let act = shadow_load fs (x, p, off, bytes) in
+      fun slots ->
+        rt.Interp.instructions <- rt.Interp.instructions + 1;
+        rt.Interp.loads <- rt.Interp.loads + 1;
+        act slots
+  | Ir.Store (p, off, value, bytes) ->
+      let act = shadow_store fs (p, off, value, bytes) in
+      fun slots ->
+        rt.Interp.instructions <- rt.Interp.instructions + 1;
+        rt.Interp.stores <- rt.Interp.stores + 1;
+        act slots
+  | Ir.If (c, a, b) ->
+      let fc = Interp.compile_expr cc c in
+      let fa = chain_all (List.map (shadow_stmt fs) a)
+      and fb = chain_all (List.map (shadow_stmt fs) b) in
+      fun slots ->
+        rt.Interp.instructions <- rt.Interp.instructions + 1;
+        if fc slots <> 0 then fa slots else fb slots
+  | stm -> Interp.compile_stmt cc stm
+
+(* ------------------------------------------------------------------ *)
+(* Selfcheck                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec func_sites acc (stm : Ir.stmt) =
+  match stm with
+  | Ir.Malloc (_, _, s) | Ir.Calloc (_, _, _, s) | Ir.Realloc (_, _, _, s)
+  | Ir.Call (_, _, _, s) ->
+      s :: acc
+  | Ir.If (_, a, b) ->
+      List.fold_left func_sites (List.fold_left func_sites acc a) b
+  | Ir.While (_, a) -> List.fold_left func_sites acc a
+  | _ -> acc
+
+let func_site_labels st (f : Ir.func) =
+  let sites = List.rev (List.fold_left func_sites [] f.Ir.body) in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> [ "..." ]
+    | s :: tl -> Ir.site_label st.program s :: take (n - 1) tl
+  in
+  take 6 sites
+
+(* The authoritative replay side of a checkpoint: the interpreter's own
+   closures, with accesses additionally digested so the comparison
+   covers the access streams, not just the counters. Hooks fire here —
+   exactly once per region, after the shadow has been rolled back. *)
+let rec check_stmt fs (stm : Ir.stmt) : int array -> unit =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  let sc = fs.st.sc in
+  match stm with
+  | Ir.Load (x, p, off, bytes) ->
+      let s = Interp.local_slot cc x in
+      let fp = Interp.compile_expr cc p and fo = Interp.compile_expr cc off in
+      let mem = rt.Interp.mem in
+      let mc = rt.Interp.memcheck in
+      let hooks = rt.Interp.hooks in
+      fun slots ->
+        rt.Interp.instructions <- rt.Interp.instructions + 1;
+        rt.Interp.loads <- rt.Interp.loads + 1;
+        let a = fp slots + fo slots in
+        (match mc with Some v -> Vmem.touch v a bytes | None -> ());
+        hooks.Interp.on_access a bytes false;
+        let v = Paged_mem.load mem a in
+        sc.ld <- fnv (fnv sc.ld a) v;
+        slots.(s) <- v
+  | Ir.Store (p, off, value, bytes) ->
+      let fp = Interp.compile_expr cc p
+      and fo = Interp.compile_expr cc off
+      and fv = Interp.compile_expr cc value in
+      let mem = rt.Interp.mem in
+      let mc = rt.Interp.memcheck in
+      let hooks = rt.Interp.hooks in
+      fun slots ->
+        rt.Interp.instructions <- rt.Interp.instructions + 1;
+        rt.Interp.stores <- rt.Interp.stores + 1;
+        let a = fp slots + fo slots in
+        (match mc with Some v -> Vmem.touch v a bytes | None -> ());
+        hooks.Interp.on_access a bytes true;
+        let v = fv slots in
+        Paged_mem.store mem a v;
+        sc.sd <- fnv (fnv sc.sd a) v
+  | Ir.If (c, a, b) ->
+      let fc = Interp.compile_expr cc c in
+      let fa = chain_all (List.map (check_stmt fs) a)
+      and fb = chain_all (List.map (check_stmt fs) b) in
+      fun slots ->
+        rt.Interp.instructions <- rt.Interp.instructions + 1;
+        if fc slots <> 0 then fa slots else fb slots
+  | stm -> Interp.compile_stmt cc stm
+
+(* One checkpointed region: run the fused trace as a shadow, roll the
+   machine back, replay through the interpreter, diff the deltas. *)
+let sc_segment fs (run : Ir.stmt list) : int array -> unit =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  let st = fs.st in
+  let sc = st.sc in
+  st.stats.regions <- st.stats.regions + 1;
+  let id = st.next_region in
+  st.next_region <- id + 1;
+  let region = Printf.sprintf "%s/trace#%d" cc.Interp.fname id in
+  let sites = fs.fsites in
+  let pairs = List.map (fun stm -> (stm, zbias stm)) run in
+  let fused = comp_seg fs Rshadow ~base_of:(fun (stm, _) -> shadow_stmt fs stm) pairs in
+  let base = chain_all (List.map (check_stmt fs) run) in
+  let gl = rt.Interp.globals in
+  fun slots ->
+    let slots0 = Array.copy slots in
+    let g0 = Array.copy gl in
+    let rng0 = Rng.save rt.Interp.rng in
+    let i0 = rt.Interp.instructions
+    and l0 = rt.Interp.loads
+    and s0 = rt.Interp.stores in
+    sc.ld <- fnv0;
+    sc.sd <- fnv0;
+    sc.un <- 0;
+    let shadow_exn =
+      match fused slots with () -> None | exception e -> Some e
+    in
+    let f_i = rt.Interp.instructions - i0
+    and f_l = rt.Interp.loads - l0
+    and f_s = rt.Interp.stores - s0
+    and f_ld = sc.ld
+    and f_sd = sc.sd in
+    (* Roll back: heap stores in reverse, then snapshots. A store that
+       materialised a fresh zero page stays materialised — the replayed
+       store would create the same page anyway. *)
+    for k = sc.un - 1 downto 0 do
+      Paged_mem.store rt.Interp.mem sc.ua.(k) sc.uv.(k)
+    done;
+    Array.blit slots0 0 slots 0 (Array.length slots0);
+    Array.blit g0 0 gl 0 (Array.length g0);
+    Rng.restore rt.Interp.rng rng0;
+    rt.Interp.instructions <- i0;
+    rt.Interp.loads <- l0;
+    rt.Interp.stores <- s0;
+    sc.ld <- fnv0;
+    sc.sd <- fnv0;
+    let base_exn = match base slots with () -> None | exception e -> Some e in
+    let b_i = rt.Interp.instructions - i0
+    and b_l = rt.Interp.loads - l0
+    and b_s = rt.Interp.stores - s0
+    and b_ld = sc.ld
+    and b_sd = sc.sd in
+    st.stats.checkpoints <- st.stats.checkpoints + 1;
+    let mismatches = ref [] in
+    let cmp what fv bv =
+      if fv <> bv then
+        mismatches :=
+          Printf.sprintf "%s: trace %d vs interp %d" what fv bv :: !mismatches
+    in
+    cmp "instructions" f_i b_i;
+    cmp "loads" f_l b_l;
+    cmp "stores" f_s b_s;
+    cmp "load digest" f_ld b_ld;
+    cmp "store digest" f_sd b_sd;
+    let diverge detail = raise (Divergence { region; sites; detail }) in
+    match (shadow_exn, base_exn) with
+    | None, None ->
+        if !mismatches <> [] then
+          diverge (String.concat "; " (List.rev !mismatches))
+    | Some se, Some be ->
+        let ss = Printexc.to_string se and bs = Printexc.to_string be in
+        if ss <> bs then
+          diverge (Printf.sprintf "trace raised %s, interp raised %s" ss bs)
+        else if !mismatches <> [] then
+          diverge (String.concat "; " (List.rev !mismatches))
+        else raise be
+    | Some se, None ->
+        diverge
+          (Printf.sprintf "trace raised %s, interp completed"
+             (Printexc.to_string se))
+    | None, Some be ->
+        diverge
+          (Printf.sprintf "interp raised %s, trace completed"
+             (Printexc.to_string be))
+
+(* Selfcheck body compiler: fusable runs become checkpointed regions
+   (loops check per iteration), everything else runs on interpreter
+   closures. *)
+let rec sc_block fs (stmts : Ir.stmt list) : int array -> unit =
+  let cc = fs.cc in
+  let rt = cc.Interp.c_rt in
+  let pairs = List.map (fun stm -> (stm, Bleaf)) stmts in
+  let compile_group = function
+    | `Seg run -> sc_segment fs (List.map fst run)
+    | `One (Ir.While (c, body), _) ->
+        let fc = Interp.compile_expr cc c in
+        let fb = sc_block fs body in
+        fun slots ->
+          rt.Interp.instructions <- rt.Interp.instructions + 1;
+          while fc slots <> 0 do
+            fb slots;
+            rt.Interp.instructions <- rt.Interp.instructions + 1
+          done
+    | `One (Ir.If (c, a, b), _) ->
+        let fc = Interp.compile_expr cc c in
+        let fa = sc_block fs a and fb = sc_block fs b in
+        fun slots ->
+          rt.Interp.instructions <- rt.Interp.instructions + 1;
+          if fc slots <> 0 then fa slots else fb slots
+    | `One (stm, _) -> Interp.compile_stmt cc stm
+  in
+  chain_all (List.map compile_group (group_pairs pairs))
+
+(* ------------------------------------------------------------------ *)
+(* Functions and the engine handle                                    *)
+(* ------------------------------------------------------------------ *)
+
+type t = { st : st; main : unit -> int; mutable ran : bool }
+
+let compile_func st (f : Ir.func) =
+  let cc =
+    {
+      Interp.c_rt = st.rt;
+      locals = Hashtbl.create 16;
+      c_globals = st.c_globals;
+      patches = st.patch_tbl;
+      cfuncs = st.cfuncs;
+      fname = f.Ir.fname;
+      nslots = ref 0;
+    }
+  in
+  List.iter (fun p -> ignore (Interp.local_slot cc p : int)) f.Ir.params;
+  List.iter (Interp.prescan_stmt cc) f.Ir.body;
+  let fs = { st; cc; fsites = func_site_labels st f } in
+  let body =
+    match st.mode with
+    | Selfcheck -> sc_block fs f.Ir.body
+    | Fast ->
+        let cold, bias = base_block fs f.Ir.body in
+        let pairs = List.combine f.Ir.body bias in
+        let hot = lazy (fast_block fs Rfast pairs) in
+        let impl = ref cold and calls = ref 0 and promoted = ref false in
+        let stats = st.stats and threshold = st.threshold in
+        fun slots ->
+          (if not !promoted then begin
+             incr calls;
+             if !calls > threshold then begin
+               promoted := true;
+               stats.promotions <- stats.promotions + 1;
+               impl := Lazy.force hot
+             end
+           end);
+          !impl slots
+  in
+  let nslots = !(cc.Interp.nslots) in
+  let nparams = List.length f.Ir.params in
+  let fname = f.Ir.fname in
+  fun argv ->
+    if Array.length argv <> nparams then
+      Interp_error.error ~fname
+        (Arity_mismatch
+           { callee = fname; expected = nparams; got = Array.length argv });
+    let slots = Array.make (max nslots 1) 0 in
+    Array.blit argv 0 slots 0 nparams;
+    try
+      body slots;
+      0
+    with Interp.Ret v -> v
+
+let default_threshold = 16
+
+let create ?(mode = Fast) ?(threshold = default_threshold) ?(cost_skew = 0)
+    ?seed ?hooks ?patches ?env ?memcheck ?obs ~program ~alloc () =
+  let rt, patch_tbl, c_globals =
+    Interp.make_rt ?seed ?hooks ?patches ?env ?memcheck ?obs ~program ~alloc ()
+  in
+  let stats = { regions = 0; promotions = 0; deopts = 0; checkpoints = 0 } in
+  let st =
+    {
+      rt;
+      program;
+      mode;
+      threshold = max 1 threshold;
+      skew = cost_skew;
+      obs_access = rt.Interp.hooks != Interp.no_hooks || rt.Interp.memcheck <> None;
+      stats;
+      sc = { ld = fnv0; sd = fnv0; ua = [||]; uv = [||]; un = 0 };
+      patch_tbl;
+      c_globals;
+      cfuncs = Hashtbl.create 64;
+      next_region = 0;
+    }
+  in
+  List.iter
+    (fun f -> Hashtbl.replace st.cfuncs f.Ir.fname (compile_func st f))
+    (Ir.funcs program);
+  let main_name = Interp.check_main program in
+  { st; main = (fun () -> (Hashtbl.find st.cfuncs main_name) [||]); ran = false }
+
+let run t =
+  if t.ran then invalid_arg "Trace_compile.run: already ran";
+  t.ran <- true;
+  t.main ()
+
+let instructions t = t.st.rt.Interp.instructions
+let env t = t.st.rt.Interp.env
+let load_store_counts t = (t.st.rt.Interp.loads, t.st.rt.Interp.stores)
+let stats t = t.st.stats

@@ -1,0 +1,78 @@
+(** Trace-compiled execution engine over {!Interp}'s runtime state.
+
+    A second compiler for finalized {!Ir.program}s: loop back-edges and
+    function entries carry hotness counters and, past [threshold], the
+    hot region is recompiled as a fused trace — straight-line runs
+    collapsed into a handful of closures, expression trees flattened,
+    timing-model counter updates batched into one precomputed increment
+    per chunk (placed so a mid-chunk raise observes exactly the
+    interpreter's counters), strongly-biased branches speculated with
+    guarded deoptimisation back to the interpreter's own closures.
+    Everything outside traces — calls, allocation, unfusable control
+    flow — runs the interpreter's compiled closures unchanged, so both
+    engines share one semantics definition.
+
+    [Selfcheck] mode is the lambdachine-style oracle: each fused region
+    first runs as a rolled-back shadow (stores undo-logged, hooks
+    suppressed, access streams digested), then the interpreter replays
+    it authoritatively; the (instructions, loads, stores, digest) deltas
+    are compared at the region boundary and the first mismatch raises
+    {!Divergence}. *)
+
+type mode =
+  | Fast  (** Hot regions run fused; the default engine behaviour. *)
+  | Selfcheck
+      (** Every fused region is cross-checked against the interpreter. *)
+
+exception
+  Divergence of { region : string; sites : string list; detail : string }
+(** Raised in [Selfcheck] mode at the first region whose fused execution
+    disagrees with the interpreter's. [region] is [fname/trace#n];
+    [sites] are the enclosing function's allocation/call site labels. *)
+
+(** Engine counters, for tests and diagnostics. *)
+type stats = {
+  mutable regions : int;  (** fused regions compiled *)
+  mutable promotions : int;  (** hotness-counter promotions *)
+  mutable deopts : int;  (** speculation guard failures *)
+  mutable checkpoints : int;  (** selfcheck region comparisons *)
+}
+
+type t
+
+val default_threshold : int
+(** Hotness threshold used when [create] is not given one (16). *)
+
+val create :
+  ?mode:mode ->
+  ?threshold:int ->
+  ?cost_skew:int ->
+  ?seed:int ->
+  ?hooks:Interp.hooks ->
+  ?patches:(Ir.site * int) list ->
+  ?env:Exec_env.t ->
+  ?memcheck:Vmem.t ->
+  ?obs:Obs.t ->
+  program:Ir.program ->
+  alloc:Alloc_iface.t ->
+  unit ->
+  t
+(** Same contract as {!Interp.create}, plus the engine knobs.
+    [threshold] is the promotion threshold in back-edges/calls
+    (clamped to at least 1). [cost_skew] is a test hook: extra
+    instructions charged per fused chunk, used to inject a deliberate
+    divergence that [Selfcheck] must catch at the first checkpoint;
+    leave it 0 for correct execution. *)
+
+val run : t -> int
+(** Execute [main]; returns its return value. Once per [t]. Raises the
+    same exceptions as {!Interp.run}, plus {!Divergence} in [Selfcheck]
+    mode. *)
+
+val instructions : t -> int
+val env : t -> Exec_env.t
+val load_store_counts : t -> int * int
+(** Identical meaning to the {!Interp} accessors — the engines share the
+    timing model. *)
+
+val stats : t -> stats

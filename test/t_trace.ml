@@ -1,0 +1,250 @@
+(* Tests for the trace-compiled engine: promotion threshold boundaries,
+   guarded deoptimisation, interp/traced observable equivalence (both
+   hand-written and generatively via Fuzz_gen), and the selfcheck
+   oracle — a clean run checkpoints silently, an injected cost skew is
+   caught at the first checkpoint. *)
+
+open Dsl
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* Run a program under one engine kind; observables only. *)
+let observe ?threshold kind p =
+  let vmem = Vmem.create () in
+  let alloc = Jemalloc_sim.create vmem in
+  let e = Engine.create ~kind ?threshold ~seed:2 ~program:p ~alloc () in
+  let ret = Engine.run e in
+  let loads, stores = Engine.load_store_counts e in
+  [ ret; Engine.instructions e; loads; stores ]
+
+(* Same, keeping the traced engine's stats. *)
+let traced_run ?(mode = Trace_compile.Fast) ?threshold ?cost_skew p =
+  let vmem = Vmem.create () in
+  let alloc = Jemalloc_sim.create vmem in
+  let t =
+    Trace_compile.create ~mode ?threshold ?cost_skew ~seed:2 ~program:p
+      ~alloc ()
+  in
+  let ret = Trace_compile.run t in
+  let loads, stores = Trace_compile.load_store_counts t in
+  ([ ret; Trace_compile.instructions t; loads; stores ], Trace_compile.stats t)
+
+let check_same_observables name p =
+  let reference = observe Engine.Interp p in
+  Alcotest.(check (list int))
+    (name ^ ": traced") reference
+    (observe ~threshold:2 Engine.Traced p);
+  Alcotest.(check (list int))
+    (name ^ ": selfcheck") reference
+    (observe ~threshold:2 Engine.Selfcheck p)
+
+(* A program whose only loop runs exactly [iters] body executions. *)
+let counted_loop iters =
+  program ~main:"main"
+    [
+      func "main" []
+        (let_ "acc" (i 0)
+         :: for_ "j" ~from:(i 0) ~below:(i iters)
+              [ let_ "acc" (v "acc" +: v "j") ]
+        @ [ return_ (v "acc") ]);
+    ]
+
+(* ---------------- promotion threshold ---------------- *)
+
+(* Promotion fires when the back-edge count {e exceeds} the threshold:
+   a loop of exactly [threshold] iterations stays cold, one more
+   iteration promotes it mid-run. *)
+let threshold_boundary () =
+  let threshold = 7 in
+  let at, stats_at = traced_run ~threshold (counted_loop threshold) in
+  checki "stays cold at threshold" 0 stats_at.Trace_compile.promotions;
+  let above, stats_above = traced_run ~threshold (counted_loop (threshold + 1)) in
+  checki "promotes past threshold" 1 stats_above.Trace_compile.promotions;
+  checkb "fused region compiled" true (stats_above.Trace_compile.regions >= 1);
+  (* Either way the observables match the interpreter bit for bit. *)
+  Alcotest.(check (list int))
+    "cold run matches interp"
+    (observe Engine.Interp (counted_loop threshold))
+    at;
+  Alcotest.(check (list int))
+    "promoted run matches interp"
+    (observe Engine.Interp (counted_loop (threshold + 1)))
+    above
+
+(* ---------------- guarded deoptimisation ---------------- *)
+
+(* A branch that is always taken during warmup gets speculated; the
+   tail iterations flip it, so every one must fail the guard and fall
+   back to the interpreter's closure — without disturbing counters. *)
+let deopt_path () =
+  let p =
+    program ~main:"main"
+      [
+        func "main" []
+          (let_ "x" (i 0) :: let_ "y" (i 0)
+           :: for_ "j" ~from:(i 0) ~below:(i 12)
+                [
+                  if_
+                    (v "j" <: i 9)
+                    [ let_ "x" (v "x" +: i 1) ]
+                    [ let_ "y" (v "y" +: i 7) ];
+                ]
+          @ [ return_ ((v "x" *: i 100) +: v "y") ]);
+      ]
+  in
+  let traced, stats = traced_run ~threshold:4 p in
+  checki "result" ((9 * 100) + (3 * 7)) (List.hd traced);
+  checkb "guard failures deopted" true (stats.Trace_compile.deopts >= 1);
+  Alcotest.(check (list int))
+    "deopt run matches interp" (observe Engine.Interp p) traced
+
+(* ---------------- observable equivalence ---------------- *)
+
+let equivalence_mixed () =
+  let p =
+    program ~main:"main"
+      [
+        func "sum" [ "ptr"; "n" ]
+          (let_ "acc" (i 0)
+           :: for_ "j" ~from:(i 0) ~below:(v "n")
+                [ load "e" (v "ptr") (v "j" *: i 8);
+                  let_ "acc" (v "acc" +: v "e") ]
+          @ [ return_ (v "acc") ]);
+        func "main" []
+          (malloc "buf" (i 256)
+           :: for_ "j" ~from:(i 0) ~below:(i 32)
+                [ store (v "buf") (v "j" *: i 8) (v "j" *: v "j") ]
+          @ [
+              call ~dst:"s" "sum" [ v "buf"; i 32 ];
+              free_ (v "buf");
+              calloc "z" (i 16) (i 8);
+              load "first" (v "z") (i 0);
+              return_ (v "s" +: v "first");
+            ]);
+      ]
+  in
+  check_same_observables "mixed heap/loop/call program" p
+
+let equivalence_rand () =
+  (* Rand consumes the interpreter's stream; fused traces must draw in
+     exactly the same order. *)
+  let p =
+    program ~main:"main"
+      [
+        func "main" []
+          (let_ "acc" (i 0)
+           :: for_ "j" ~from:(i 0) ~below:(i 40)
+                [ let_ "acc" (v "acc" +: rand (i 100)) ]
+          @ [ return_ (v "acc") ]);
+      ]
+  in
+  check_same_observables "rand stream" p
+
+(* ---------------- typed errors under both engines ---------------- *)
+
+let errors_both_engines () =
+  let overflow =
+    program ~main:"main"
+      [ func "main" [] [ calloc "z" (i max_int) (i 8); return_ (i 0) ] ]
+  in
+  let bad_rand =
+    program ~main:"main"
+      [ func "main" [] [ let_ "r" (rand (i 0)); return_ (v "r") ] ]
+  in
+  List.iter
+    (fun kind ->
+      let name = Engine.to_string kind in
+      checkb (name ^ " calloc overflow") true
+        (try
+           ignore (observe kind overflow);
+           false
+         with
+        | Interp_error.Error
+            { cause = Interp_error.Calloc_overflow _; fname = "main"; _ } ->
+            true);
+      checkb (name ^ " rand bound") true
+        (try
+           ignore (observe kind bad_rand);
+           false
+         with
+        | Interp_error.Error
+            { cause = Interp_error.Rand_bound 0; fname = "main"; _ } ->
+            true))
+    Engine.all
+
+(* ---------------- selfcheck oracle ---------------- *)
+
+let selfcheck_clean () =
+  let p = counted_loop 64 in
+  let traced, stats = traced_run ~mode:Trace_compile.Selfcheck ~threshold:2 p in
+  checkb "checkpoints happened" true (stats.Trace_compile.checkpoints >= 1);
+  Alcotest.(check (list int))
+    "selfcheck run matches interp" (observe Engine.Interp p) traced
+
+(* cost_skew charges every fused chunk one extra instruction — exactly
+   the class of bug (engine disagrees with interpreter on the timing
+   model) the oracle exists to catch. It must fire at the very first
+   checkpointed region and name it. *)
+let selfcheck_catches_skew () =
+  let p = counted_loop 64 in
+  checkb "divergence raised" true
+    (try
+       ignore (traced_run ~mode:Trace_compile.Selfcheck ~threshold:2 ~cost_skew:1 p);
+       false
+     with Trace_compile.Divergence { region; detail; _ } ->
+       checkb "region names main" true
+         (String.length region >= 4 && String.sub region 0 4 = "main");
+       checkb "detail mentions instructions" true
+         (let has_sub s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go k = k + m <= n && (String.sub s k m = sub || go (k + 1)) in
+            go 0
+          in
+          has_sub detail "instructions");
+       true)
+
+(* Fast mode must ignore the skew injection hook entirely? No — the
+   skew is charged in Fast mode too (it models a buggy engine); what
+   matters is that Selfcheck is what catches it. A skewed Fast run
+   simply reports skewed instruction counts. *)
+let fast_skew_is_visible () =
+  let p = counted_loop 64 in
+  let skewed = List.nth (fst (traced_run ~threshold:2 ~cost_skew:1 p)) 1 in
+  let clean = List.nth (observe ~threshold:2 Engine.Traced p) 1 in
+  checkb "skew shifts instruction count" true (skewed > clean)
+
+(* ---------------- generative equivalence ---------------- *)
+
+let qcheck_equivalence =
+  QCheck2.Test.make ~name:"traced ≡ interp on generated programs" ~count:60
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let case = Fuzz_gen.generate ~seed () in
+      let run kind =
+        let vmem = Vmem.create () in
+        let alloc = Jemalloc_sim.create vmem in
+        let e =
+          Engine.create ~kind ~threshold:2 ~seed:2
+            ~program:case.Fuzz_gen.ref_ ~alloc ()
+        in
+        let ret =
+          try Ok (Engine.run e) with exn -> Error (Printexc.to_string exn)
+        in
+        (ret, Engine.instructions e, Engine.load_store_counts e)
+      in
+      run Engine.Interp = run Engine.Traced
+      && run Engine.Interp = run Engine.Selfcheck)
+
+let suite =
+  [
+    ("threshold boundary", `Quick, threshold_boundary);
+    ("deopt path", `Quick, deopt_path);
+    ("equivalence: mixed program", `Quick, equivalence_mixed);
+    ("equivalence: rand stream", `Quick, equivalence_rand);
+    ("typed errors under all engines", `Quick, errors_both_engines);
+    ("selfcheck: clean run", `Quick, selfcheck_clean);
+    ("selfcheck: catches injected skew", `Quick, selfcheck_catches_skew);
+    ("fast mode: skew visible", `Quick, fast_skew_is_visible);
+    QCheck_alcotest.to_alcotest qcheck_equivalence;
+  ]

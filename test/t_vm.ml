@@ -114,7 +114,9 @@ let interp_div_by_zero () =
     (try
        ignore (run_main [ return_ (i 1 /: i 0) ]);
        false
-     with Failure _ -> true)
+     with
+     | Interp_error.Error { fname = "main"; cause = Division_by_zero; _ } ->
+         true)
 
 let interp_if () =
   checki "then" 1 (run_main [ if_ (i 1) [ return_ (i 1) ] [ return_ (i 2) ] ]);
